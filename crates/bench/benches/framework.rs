@@ -1,0 +1,144 @@
+//! Criterion benches for the topological framework: complex operations,
+//! knowledge interning, projections, and the solvability checkers
+//! (including the fast-vs-generic ablation called out in DESIGN.md §4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsbt_complex::{homology, search, Complex, ProcessName, Vertex};
+use rsbt_core::{consistency, probability, protocol_complex, solvability};
+use rsbt_random::{Assignment, Realization};
+use rsbt_sim::{Execution, KnowledgeArena, Model};
+use rsbt_tasks::{projection, LeaderElection, Task};
+
+fn bench_complex_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complex");
+    for n in [4usize, 6, 8] {
+        let ole = LeaderElection.output_complex(n);
+        group.bench_with_input(BenchmarkId::new("build_ole", n), &n, |b, &n| {
+            b.iter(|| LeaderElection.output_complex(black_box(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_symmetric", n), &ole, |b, ole| {
+            b.iter(|| black_box(ole).is_symmetric())
+        });
+        group.bench_with_input(BenchmarkId::new("betti", n), &ole, |b, ole| {
+            b.iter(|| homology::betti_numbers(black_box(ole)))
+        });
+        group.bench_with_input(BenchmarkId::new("project", n), &ole, |b, ole| {
+            b.iter(|| projection::project_complex(black_box(ole)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_knowledge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge");
+    // Ablation (DESIGN.md §4.1): one long execution with a shared arena
+    // (interning) vs a fresh arena per run.
+    let alpha = Assignment::private(6);
+    let mut rng = rand::rngs::mock::StepRng::new(99, 0x9e37_79b9_97f4_a7c1);
+    let rho = Realization::sample(&alpha, 16, &mut rng);
+    group.bench_function("run_t16_n6_fresh_arena", |b| {
+        b.iter(|| {
+            let mut arena = KnowledgeArena::new();
+            Execution::run(&Model::Blackboard, black_box(&rho), &mut arena)
+        })
+    });
+    let mut shared = KnowledgeArena::new();
+    group.bench_function("run_t16_n6_shared_arena", |b| {
+        b.iter(|| Execution::run(&Model::Blackboard, black_box(&rho), &mut shared))
+    });
+    group.finish();
+}
+
+fn bench_solvability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvability");
+    let le = LeaderElection;
+    let alpha = Assignment::from_group_sizes(&[1, 2, 2]).unwrap();
+    let mut rng = rand::rngs::mock::StepRng::new(3, 0x9e37_79b9_97f4_a7c1);
+    let rho = Realization::sample(&alpha, 6, &mut rng);
+    // Ablation (DESIGN.md §4.2): fast combinatorial path vs the generic
+    // simplicial-map search of Definition 3.4.
+    group.bench_function("fast_path", |b| {
+        let mut arena = KnowledgeArena::new();
+        b.iter(|| solvability::solves(&Model::Blackboard, black_box(&rho), &le, &mut arena))
+    });
+    group.bench_function("generic_search", |b| {
+        let mut arena = KnowledgeArena::new();
+        b.iter(|| {
+            solvability::solves_via_projection(&Model::Blackboard, black_box(&rho), &le, &mut arena)
+        })
+    });
+    group.bench_function("definition_3_1_search", |b| {
+        let mut arena = KnowledgeArena::new();
+        b.iter(|| {
+            solvability::solves_via_definition_3_1(
+                &Model::Blackboard,
+                black_box(&rho),
+                &le,
+                &mut arena,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probability");
+    group.sample_size(10);
+    for (sizes, t) in [(vec![1usize, 2], 6usize), (vec![1, 2, 2], 4), (vec![2, 2], 6)] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let id = format!("exact_{sizes:?}_t{t}");
+        group.bench_function(&id, |b| {
+            b.iter(|| probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_complex_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.bench_function("protocol_complex_n3_t3", |b| {
+        b.iter(|| {
+            let mut arena = KnowledgeArena::new();
+            protocol_complex::build(&Model::Blackboard, 3, 3, &mut arena)
+        })
+    });
+    let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+    group.bench_function("pi_tilde_support_n4_t3", |b| {
+        b.iter(|| {
+            let mut arena = KnowledgeArena::new();
+            consistency::pi_tilde_of_support(&Model::Blackboard, &alpha, 3, &mut arena)
+        })
+    });
+    group.finish();
+}
+
+fn bench_map_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_search");
+    // Search scaling on π̃-shaped complexes into π(τ).
+    for n in [4usize, 6, 8] {
+        let mut dom: Complex<u64> = Complex::new();
+        dom.add_facet([Vertex::new(ProcessName::new(0), 10u64)]).unwrap();
+        dom.add_facet(
+            (1..n as u32).map(|i| Vertex::new(ProcessName::new(i), 20u64)),
+        )
+        .unwrap();
+        let tau = LeaderElection::tau(n, 0);
+        let cod = projection::project_facet(&tau);
+        group.bench_with_input(BenchmarkId::new("name_preserving", n), &n, |b, _| {
+            b.iter(|| search::exists_name_preserving_map(black_box(&dom), black_box(&cod)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_complex_ops,
+    bench_knowledge,
+    bench_solvability,
+    bench_probability,
+    bench_complex_construction,
+    bench_map_search
+);
+criterion_main!(benches);

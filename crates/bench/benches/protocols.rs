@@ -1,0 +1,93 @@
+//! Criterion benches for the executable protocols: blackboard election,
+//! Algorithm 1 matching, and Euclid leader election.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsbt_protocols::matching::CreateMatching;
+use rsbt_protocols::{BlackboardLeaderElection, EuclidLeaderElection};
+use rsbt_random::Assignment;
+use rsbt_sim::runner::{run, run_nodes};
+use rsbt_sim::{Model, PortNumbering};
+
+fn bench_blackboard_le(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blackboard_le");
+    for n in [2usize, 4, 8] {
+        let alpha = Assignment::private(n);
+        group.bench_with_input(BenchmarkId::new("private", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            b.iter(|| {
+                run(
+                    &Model::Blackboard,
+                    &alpha,
+                    512,
+                    BlackboardLeaderElection::new,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for (a, b_size) in [(2usize, 3usize), (4, 8)] {
+        let n = a + b_size;
+        let id = format!("a{a}_b{b_size}");
+        group.bench_function(&id, |bch| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let ports = PortNumbering::random(n, &mut rng);
+            let alpha = Assignment::private(n);
+            bch.iter(|| {
+                let nodes: Vec<CreateMatching> = (0..n)
+                    .map(|i| {
+                        if i < a {
+                            let b_ports =
+                                (a..n).map(|t| ports.port_towards(i, t)).collect();
+                            CreateMatching::new_a(a, b_ports)
+                        } else {
+                            CreateMatching::new_b(a)
+                        }
+                    })
+                    .collect();
+                run_nodes(
+                    &Model::MessagePassing(ports.clone()),
+                    &alpha,
+                    5000,
+                    nodes,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_euclid_le(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclid_le");
+    group.sample_size(20);
+    for sizes in [vec![2usize, 3], vec![3, 4], vec![2, 2, 3]] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let n = alpha.n();
+        let k = sizes.len();
+        let id = format!("{sizes:?}");
+        group.bench_function(&id, |b| {
+            let mut rng = StdRng::seed_from_u64(23);
+            b.iter(|| {
+                let ports = PortNumbering::random(n, &mut rng);
+                run(
+                    &Model::MessagePassing(ports),
+                    &alpha,
+                    8000,
+                    || EuclidLeaderElection::new(k),
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blackboard_le, bench_matching, bench_euclid_le);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Experiment `deputy` — the paper's Section 5 future-work example:
+//! electing a leader *and* a deputy leader.
+//!
+//! The framework's per-facet solvability machinery never needed output
+//! symmetry, so it applies directly. For unconstrained roles the
+//! framework yields: blackboard leader+deputy is eventually solvable ⟺
+//! **at least two sources are singletons** — strictly stronger than
+//! Theorem 4.1's single singleton. The `LeaderAndDeputyBlackboard`
+//! protocol realizes the positive side; constrained roles (only some
+//! nodes may lead) break output symmetry, which is exactly why the paper
+//! defers the general theory.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
+use rsbt_core::{eventual, probability};
+use rsbt_protocols::{DeputyRole, LeaderAndDeputyBlackboard};
+use rsbt_random::Assignment;
+use rsbt_sim::{runner, Model};
+use rsbt_tasks::{LeaderAndDeputy, Task};
+
+fn main() {
+    banner(
+        "Leader + deputy election (Section 5 future work)",
+        "Fraigniaud-Gelles-Lotker 2021, Section 5",
+    );
+
+    // Framework sweep with the unconstrained (symmetric) output complex.
+    let mut table = Table::new(vec![
+        "sizes",
+        "≥2 singletons",
+        "p(1)",
+        "p(2)",
+        "p(3)",
+        "limit",
+        "matches",
+    ]);
+    let mut all_match = true;
+    for n in 2..=6usize {
+        for alpha in Assignment::enumerate_profiles(n) {
+            let sizes = alpha.group_sizes();
+            let task = LeaderAndDeputy::unconstrained(n);
+            let t_max = 3.min(16 / alpha.k().max(1)).max(1);
+            let series = probability::exact_series(&Model::Blackboard, &task, &alpha, t_max);
+            let limit = eventual::lemma_3_2_limit(&series);
+            let observed = limit == eventual::LimitClass::One;
+            let predicted = sizes.iter().filter(|&&s| s == 1).count() >= 2;
+            let matches = observed == predicted;
+            all_match &= matches;
+            let p_at = |t: usize| {
+                series
+                    .get(t - 1)
+                    .map(|p| fmt_p(*p))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.row(vec![
+                fmt_sizes(&sizes),
+                predicted.to_string(),
+                p_at(1),
+                p_at(2),
+                p_at(3),
+                format!("{limit:?}"),
+                matches.to_string(),
+            ]);
+        }
+    }
+    println!("framework sweep (unconstrained roles):");
+    println!("{table}");
+    println!("framework-derived: solvable ⟺ at least two singleton sources.");
+    println!("all profiles match: {all_match}\n");
+
+    // The protocol realizes the positive side.
+    const TRIALS: u64 = 100;
+    let mut proto = Table::new(vec!["sizes", "elected (L,D)", "mean rounds"]);
+    for sizes in [vec![1usize, 1, 2], vec![1, 1, 1], vec![1, 1, 4]] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let mut ok = 0u64;
+        let mut rounds = Vec::new();
+        for seed in 0..TRIALS {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = runner::run(
+                &Model::Blackboard,
+                &alpha,
+                512,
+                LeaderAndDeputyBlackboard::new,
+                &mut rng,
+            );
+            if out.completed {
+                let l = out
+                    .outputs
+                    .iter()
+                    .filter(|o| **o == Some(DeputyRole::Leader))
+                    .count();
+                let d = out
+                    .outputs
+                    .iter()
+                    .filter(|o| **o == Some(DeputyRole::Deputy))
+                    .count();
+                if (l, d) == (1, 1) {
+                    ok += 1;
+                    rounds.push(out.rounds);
+                }
+            }
+        }
+        let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+        proto.row(vec![
+            fmt_sizes(&sizes),
+            format!("{ok}/{TRIALS}"),
+            format!("{mean:.1}"),
+        ]);
+    }
+    println!("protocol (LeaderAndDeputyBlackboard):");
+    println!("{proto}");
+
+    // Constrained roles break symmetry — flagged, not silently accepted.
+    let constrained = rsbt_tasks::LeaderAndDeputy::new(
+        vec![true, false, false],
+        vec![false, true, true],
+    );
+    println!(
+        "constrained roles (p0 leads, p1/p2 deputize): output symmetric = {} — \
+         outside the paper's symmetric framework, as Section 5 notes.",
+        constrained.is_symmetric_for(3)
+    );
+}

@@ -1,0 +1,68 @@
+//! Experiment `lem49` — Lemma 4.9 and the dimension-reduction dynamics of
+//! Theorem 4.2's 'if' direction.
+//!
+//! Verifies mechanically that for every succession `σ ≺ σ′` the unique
+//! name-preserving map `δ : π̃(σ′) → π̃(σ)` is simplicial (consistency
+//! classes only ever *refine*), and traces how consistency-class profiles
+//! evolve round by round — the subtractive-Euclid shape driving the
+//! leader-election algorithm.
+
+use rsbt_bench::{banner, fmt_sizes, Table};
+use rsbt_core::evolution;
+use rsbt_random::{Assignment, Realization};
+use rsbt_sim::{KnowledgeArena, Model, PortNumbering};
+
+fn main() {
+    banner(
+        "Lemma 4.9: backward projection maps are simplicial",
+        "Fraigniaud-Gelles-Lotker 2021, Lemma 4.9 (Section 4.2)",
+    );
+    let mut table = Table::new(vec!["model", "n", "t", "(ρ ≺ ρ′) pairs", "all simplicial"]);
+    let mut arena = KnowledgeArena::new();
+    for (model, n, t) in [
+        (Model::Blackboard, 2usize, 2usize),
+        (Model::Blackboard, 3, 1),
+        (Model::message_passing_cyclic(3), 3, 1),
+        (Model::MessagePassing(PortNumbering::adversarial(4, 2)), 4, 1),
+    ] {
+        let checked = evolution::verify_lemma_4_9(&model, n, t, &mut arena);
+        table.row(vec![
+            model.to_string(),
+            n.to_string(),
+            t.to_string(),
+            checked.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: the map exists and is simplicial for every succession.\n");
+
+    // Profile evolution: distribution of class-size profiles over time for
+    // the [2,3] assignment (gcd 1) under adversarial ports.
+    println!("consistency-class profiles over time, sizes [2,3], adversarial ports (g=1):");
+    let alpha = Assignment::from_group_sizes(&[2, 3]).unwrap();
+    let model = Model::MessagePassing(PortNumbering::adversarial(5, 1));
+    for t in 1..=3usize {
+        let mut profile_counts: std::collections::BTreeMap<Vec<usize>, usize> =
+            std::collections::BTreeMap::new();
+        let mut total = 0usize;
+        for rho in Realization::enumerate_consistent(&alpha, t) {
+            let profile = evolution::dimension_profile(&model, &rho, &mut arena);
+            *profile_counts.entry(profile).or_default() += 1;
+            total += 1;
+        }
+        print!("  t={t}:");
+        for (profile, count) in &profile_counts {
+            print!(
+                "  {}×{}",
+                fmt_sizes(profile),
+                format_args!("{:.0}%", 100.0 * *count as f64 / total as f64)
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("reading: profiles refine over time; a profile containing 1 means an");
+    println!("isolated vertex in π̃(ρ) — a leader. With gcd = 1 the singleton");
+    println!("profiles absorb all the probability as t grows (Theorem 4.2).");
+}

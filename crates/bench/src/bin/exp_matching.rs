@@ -1,0 +1,92 @@
+//! Experiment `alg1` — Algorithm 1 (`CreateMatching`): success rate,
+//! matching-size invariants (Lemma 4.8), and round-count distribution as
+//! a function of the group sizes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsbt_bench::{banner, Table};
+use rsbt_protocols::matching::{CreateMatching, MatchStatus};
+use rsbt_random::Assignment;
+use rsbt_sim::runner::run_nodes;
+use rsbt_sim::{Model, PortNumbering};
+
+fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize) {
+    let n = a + b;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ports = PortNumbering::random(n, &mut rng);
+    let nodes: Vec<CreateMatching> = (0..n)
+        .map(|i| {
+            if i < a {
+                let b_ports = (a..n).map(|t| ports.port_towards(i, t)).collect();
+                CreateMatching::new_a(a, b_ports)
+            } else {
+                CreateMatching::new_b(a)
+            }
+        })
+        .collect();
+    let alpha = if shared_sources {
+        let mut sources = vec![0usize; a];
+        sources.extend(std::iter::repeat(1).take(b));
+        Assignment::from_sources(sources).unwrap()
+    } else {
+        Assignment::private(n)
+    };
+    let out = run_nodes(&Model::MessagePassing(ports), &alpha, 5000, nodes, &mut rng);
+    if !out.completed {
+        return (false, out.rounds);
+    }
+    // Lemma 4.8 invariants.
+    let matched_a = out.outputs[..a]
+        .iter()
+        .filter(|o| **o == Some(MatchStatus::Matched))
+        .count();
+    let matched_b = out.outputs[a..]
+        .iter()
+        .filter(|o| **o == Some(MatchStatus::Matched))
+        .count();
+    assert_eq!(matched_a, a, "all of A matched");
+    assert_eq!(matched_b, a, "exactly |A| of B matched");
+    (true, out.rounds)
+}
+
+fn main() {
+    banner(
+        "Algorithm 1: CreateMatching",
+        "Fraigniaud-Gelles-Lotker 2021, Algorithm 1 + Lemma 4.8 (Section 4.2)",
+    );
+    const TRIALS: u64 = 200;
+    let mut table = Table::new(vec![
+        "(|A|,|B|)",
+        "sources",
+        "success",
+        "mean rounds",
+        "min",
+        "max",
+    ]);
+    for (a, b) in [(1usize, 1usize), (1, 4), (2, 3), (3, 3), (3, 5), (4, 8)] {
+        for shared in [true, false] {
+            let mut rounds = Vec::new();
+            let mut ok = 0u64;
+            for seed in 0..TRIALS {
+                let (success, r) = run_once(a, b, shared, seed * 7 + a as u64);
+                if success {
+                    ok += 1;
+                    rounds.push(r);
+                }
+            }
+            let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+            table.row(vec![
+                format!("({a},{b})"),
+                if shared { "2 shared" } else { "private" }.to_string(),
+                format!("{ok}/{TRIALS}"),
+                format!("{mean:.1}"),
+                rounds.iter().min().map(usize::to_string).unwrap_or_default(),
+                rounds.iter().max().map(usize::to_string).unwrap_or_default(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("paper: the matching always completes (Lemma 4.8: every iteration");
+    println!("matches ≥ 1 pair), matching exactly |A| nodes of B; shared group");
+    println!("sources — identical random draws — do not break the procedure.");
+}

@@ -1,0 +1,104 @@
+//! Experiment `ports` — exhausting the worst-case quantifier of
+//! Theorem 4.2.
+//!
+//! For `n = 4` there are `(3!)^4 = 1296` port numberings. For the gcd-2
+//! configuration `[2, 2]` we compute exact `p(t)` under *every* numbering
+//! and check that (a) the minimum over numberings is 0 — some numbering
+//! defeats every algorithm, as the theorem asserts via Lemma 4.3 — and
+//! (b) the explicit adversarial construction attains that minimum. For
+//! the gcd-1 configuration `[1, 3]` every numbering must give positive
+//! probability.
+
+use rsbt_bench::{banner, fmt_p, Table};
+use rsbt_core::probability;
+use rsbt_random::Assignment;
+use rsbt_sim::{Model, PortNumbering};
+use rsbt_tasks::LeaderElection;
+
+/// Enumerates every port numbering on `n` nodes (product of per-node
+/// permutations of the other nodes).
+fn all_numberings(n: usize) -> Vec<PortNumbering> {
+    fn perms(mut items: Vec<usize>) -> Vec<Vec<usize>> {
+        if items.len() <= 1 {
+            return vec![items];
+        }
+        let mut out = Vec::new();
+        for i in 0..items.len() {
+            items.swap(0, i);
+            let head = items[0];
+            for mut rest in perms(items[1..].to_vec()) {
+                let mut p = vec![head];
+                p.append(&mut rest);
+                out.push(p);
+            }
+            items.swap(0, i);
+        }
+        out
+    }
+    let per_node: Vec<Vec<Vec<usize>>> = (0..n)
+        .map(|i| perms((0..n).filter(|&x| x != i).collect()))
+        .collect();
+    let mut tables = vec![Vec::new()];
+    for rows in &per_node {
+        let mut next = Vec::with_capacity(tables.len() * rows.len());
+        for t in &tables {
+            for r in rows {
+                let mut t2: Vec<Vec<usize>> = t.clone();
+                t2.push(r.clone());
+                next.push(t2);
+            }
+        }
+        tables = next;
+    }
+    tables.into_iter().map(PortNumbering::from_table).collect()
+}
+
+fn main() {
+    banner(
+        "Port-numbering sweep: the worst case of Theorem 4.2, exhaustively",
+        "Fraigniaud-Gelles-Lotker 2021, Theorem 4.2 / Lemma 4.3 (n = 4)",
+    );
+    let numberings = all_numberings(4);
+    println!("enumerated {} numberings on 4 nodes\n", numberings.len());
+
+    let mut table = Table::new(vec![
+        "sizes",
+        "gcd",
+        "t",
+        "min p(t)",
+        "max p(t)",
+        "#dead numberings",
+        "adversarial dead",
+    ]);
+    for (sizes, t) in [(vec![2usize, 2], 2usize), (vec![1, 3], 2)] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let g = alpha.gcd_of_group_sizes() as usize;
+        let mut min_p = f64::INFINITY;
+        let mut max_p: f64 = 0.0;
+        let mut dead = 0usize;
+        for ports in &numberings {
+            let model = Model::MessagePassing(ports.clone());
+            let p = probability::exact(&model, &LeaderElection, &alpha, t);
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+            if p == 0.0 {
+                dead += 1;
+            }
+        }
+        let adv = Model::MessagePassing(PortNumbering::adversarial(4, g));
+        let adv_p = probability::exact(&adv, &LeaderElection, &alpha, t);
+        table.row(vec![
+            format!("{sizes:?}"),
+            g.to_string(),
+            t.to_string(),
+            fmt_p(min_p),
+            fmt_p(max_p),
+            dead.to_string(),
+            (adv_p == min_p && (g == 1 || adv_p == 0.0)).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: for gcd > 1 the minimum over numberings is 0 (Lemma 4.3");
+    println!("exhibits a witness); for gcd = 1 EVERY numbering has p(t) > 0");
+    println!("(Theorem 4.2 'if'). The adversarial construction attains the min.");
+}

@@ -1,0 +1,127 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every figure and theorem of the paper has a binary under `src/bin/`
+//! (run with `cargo run -p rsbt-bench --bin <exp> --release`); the
+//! performance benches live under `benches/`. See `EXPERIMENTS.md` at the
+//! workspace root for the paper-vs-measured record these binaries
+//! regenerate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// A minimal fixed-width text table for experiment output.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_bench::Table;
+///
+/// let mut t = Table::new(vec!["config", "p(3)"]);
+/// t.row(vec!["[1,2]".to_string(), "0.875".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("config"));
+/// assert!(s.contains("0.875"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a probability with fixed precision for table cells.
+pub fn fmt_p(p: f64) -> String {
+    format!("{p:.6}")
+}
+
+/// Formats a group-size profile like `[1, 2, 3]` compactly.
+pub fn fmt_sizes(sizes: &[usize]) -> String {
+    let inner: Vec<String> = sizes.iter().map(usize::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("=== {title} ===");
+    println!("paper reference: {paper_ref}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_p(0.5), "0.500000");
+        assert_eq!(fmt_sizes(&[1, 2]), "[1,2]");
+    }
+}

@@ -1,0 +1,397 @@
+//! Abstract chromatic simplicial complexes stored by their facets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::ComplexError;
+use crate::simplex::Simplex;
+use crate::vertex::{ProcessName, Value, Vertex};
+
+/// An abstract chromatic simplicial complex.
+///
+/// The complex is stored by its *facets* (maximal simplices), which fully
+/// determine it: a set is a simplex iff it is a face of some facet. Inserting
+/// a simplex that is already a face of an existing facet is a no-op;
+/// inserting a simplex that strictly contains existing facets absorbs them.
+///
+/// All simplices are properly colored (no repeated [`ProcessName`] inside a
+/// simplex), matching the paper's standing chromatic assumption.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{Complex, ProcessName, Vertex};
+///
+/// let mut k: Complex<&str> = Complex::new();
+/// let a = Vertex::new(ProcessName::new(0), "a");
+/// let b = Vertex::new(ProcessName::new(1), "b");
+/// k.add_facet([a.clone(), b.clone()])?;
+/// k.add_facet([a.clone()])?; // absorbed: {a} ⊆ {a, b}
+/// assert_eq!(k.facets().count(), 1);
+/// assert_eq!(k.dimension(), Some(1));
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Complex<V> {
+    /// Facets, kept sorted for canonical equality.
+    facets: BTreeSet<Simplex<V>>,
+}
+
+impl<V: Value> Complex<V> {
+    /// Creates an empty complex (no simplices).
+    pub fn new() -> Self {
+        Complex {
+            facets: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a complex from an iterator of facets (vertex iterators).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ComplexError`] from simplex construction (empty facet or
+    /// duplicate names within a facet).
+    pub fn from_facets<I, J>(facets: I) -> Result<Self, ComplexError>
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = Vertex<V>>,
+    {
+        let mut c = Complex::new();
+        for f in facets {
+            c.add_facet(f)?;
+        }
+        Ok(c)
+    }
+
+    /// Builds a complex from already-constructed simplices.
+    pub fn from_simplices<I>(simplices: I) -> Self
+    where
+        I: IntoIterator<Item = Simplex<V>>,
+    {
+        let mut c = Complex::new();
+        for s in simplices {
+            c.add_simplex(s);
+        }
+        c
+    }
+
+    /// Inserts the simplex spanned by `vertices`, maintaining facet
+    /// maximality. Returns `true` if the complex changed.
+    ///
+    /// # Errors
+    ///
+    /// * [`ComplexError::EmptySimplex`] for an empty vertex iterator;
+    /// * [`ComplexError::DuplicateName`] if two vertices share a name.
+    pub fn add_facet<I>(&mut self, vertices: I) -> Result<bool, ComplexError>
+    where
+        I: IntoIterator<Item = Vertex<V>>,
+    {
+        let s = Simplex::from_vertices(vertices)?;
+        Ok(self.add_simplex(s))
+    }
+
+    /// Inserts a pre-built simplex, maintaining facet maximality. Returns
+    /// `true` if the complex changed.
+    pub fn add_simplex(&mut self, s: Simplex<V>) -> bool {
+        if self.contains_simplex(&s) {
+            return false;
+        }
+        // Absorb facets that are faces of the new simplex.
+        let absorbed: Vec<Simplex<V>> = self
+            .facets
+            .iter()
+            .filter(|f| f.is_face_of(&s))
+            .cloned()
+            .collect();
+        for f in absorbed {
+            self.facets.remove(&f);
+        }
+        self.facets.insert(s);
+        true
+    }
+
+    /// Iterates over the facets (maximal simplices) in canonical order.
+    pub fn facets(&self) -> impl Iterator<Item = &Simplex<V>> {
+        self.facets.iter()
+    }
+
+    /// The number of facets.
+    pub fn facet_count(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// Whether the complex has no simplices at all.
+    pub fn is_empty(&self) -> bool {
+        self.facets.is_empty()
+    }
+
+    /// Whether `s` is a simplex of the complex (a face of some facet).
+    pub fn contains_simplex(&self, s: &Simplex<V>) -> bool {
+        self.facets.iter().any(|f| s.is_face_of(f))
+    }
+
+    /// Whether `v` is a vertex of the complex.
+    pub fn contains_vertex(&self, v: &Vertex<V>) -> bool {
+        self.facets.iter().any(|f| f.contains(v))
+    }
+
+    /// The vertex set `V(K)`, sorted and deduplicated.
+    pub fn vertices(&self) -> Vec<Vertex<V>> {
+        let set: BTreeSet<Vertex<V>> = self
+            .facets
+            .iter()
+            .flat_map(|f| f.vertices().cloned())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The number of distinct vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices().len()
+    }
+
+    /// All distinct simplices of the complex (every non-empty face of every
+    /// facet), sorted.
+    ///
+    /// The count is exponential in facet dimension; intended for the small
+    /// complexes of this workspace.
+    pub fn simplices(&self) -> Vec<Simplex<V>> {
+        let set: BTreeSet<Simplex<V>> = self
+            .facets
+            .iter()
+            .flat_map(|f| f.faces().into_iter())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// All distinct simplices of exactly dimension `d`.
+    pub fn simplices_of_dimension(&self, d: usize) -> Vec<Simplex<V>> {
+        let set: BTreeSet<Simplex<V>> = self
+            .facets
+            .iter()
+            .flat_map(|f| f.faces_of_dimension(d).into_iter())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The dimension of the complex (max facet dimension), or `None` if the
+    /// complex is empty.
+    pub fn dimension(&self) -> Option<usize> {
+        self.facets.iter().map(Simplex::dimension).max()
+    }
+
+    /// Whether all facets have the same dimension.
+    ///
+    /// The empty complex is vacuously pure.
+    pub fn is_pure(&self) -> bool {
+        let mut dims = self.facets.iter().map(Simplex::dimension);
+        match dims.next() {
+            None => true,
+            Some(d0) => dims.all(|d| d == d0),
+        }
+    }
+
+    /// Vertices that form facets of dimension 0 ("isolated nodes" in the
+    /// paper — e.g. the elected leader in `π(τ_i)`).
+    pub fn isolated_vertices(&self) -> Vec<Vertex<V>> {
+        self.facets
+            .iter()
+            .filter(|f| f.dimension() == 0)
+            .map(|f| f.as_slice()[0].clone())
+            .collect()
+    }
+
+    /// The set of process names appearing in the complex, sorted.
+    pub fn names(&self) -> Vec<ProcessName> {
+        let set: BTreeSet<ProcessName> = self
+            .facets
+            .iter()
+            .flat_map(|f| f.names().collect::<Vec<_>>())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Whether the complex is *symmetric* (stable under permutations of the
+    /// process names), the paper's requirement on output complexes of
+    /// symmetry-breaking tasks.
+    ///
+    /// For every facet `{(i, v_i)}` and every transposition `π` of the name
+    /// set, the renamed facet must also be a simplex. Checking all
+    /// transpositions suffices since they generate the symmetric group and
+    /// the property is closed under composition.
+    pub fn is_symmetric(&self) -> bool {
+        let names = self.names();
+        for facet in &self.facets {
+            for (ai, a) in names.iter().enumerate() {
+                for b in names.iter().skip(ai + 1) {
+                    let swapped: Vec<Vertex<V>> = facet
+                        .vertices()
+                        .map(|v| {
+                            let n = if v.name() == *a {
+                                *b
+                            } else if v.name() == *b {
+                                *a
+                            } else {
+                                v.name()
+                            };
+                            Vertex::new(n, v.value().clone())
+                        })
+                        .collect();
+                    match Simplex::from_vertices(swapped) {
+                        Ok(s) => {
+                            if !self.contains_simplex(&s) {
+                                return false;
+                            }
+                        }
+                        Err(_) => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<V: Value> FromIterator<Simplex<V>> for Complex<V> {
+    fn from_iter<I: IntoIterator<Item = Simplex<V>>>(iter: I) -> Self {
+        Complex::from_simplices(iter)
+    }
+}
+
+impl<V: Value> Extend<Simplex<V>> for Complex<V> {
+    fn extend<I: IntoIterator<Item = Simplex<V>>>(&mut self, iter: I) {
+        for s in iter {
+            self.add_simplex(s);
+        }
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for Complex<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "complex with {} facet(s):", self.facets.len())?;
+        for facet in &self.facets {
+            writeln!(f, "  {facet}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn o_le(n: u32) -> Complex<u8> {
+        Complex::from_facets((0..n).map(|leader| {
+            (0..n)
+                .map(|i| v(i, u8::from(i == leader)))
+                .collect::<Vec<_>>()
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_complex() {
+        let c: Complex<u8> = Complex::new();
+        assert!(c.is_empty());
+        assert_eq!(c.dimension(), None);
+        assert!(c.is_pure());
+        assert_eq!(c.vertex_count(), 0);
+    }
+
+    #[test]
+    fn facet_absorption() {
+        let mut c = Complex::new();
+        assert!(c.add_facet([v(0, 1)]).unwrap());
+        assert!(c.add_facet([v(0, 1), v(1, 0)]).unwrap());
+        assert_eq!(c.facet_count(), 1);
+        assert_eq!(c.dimension(), Some(1));
+        // Re-adding a face changes nothing.
+        assert!(!c.add_facet([v(0, 1)]).unwrap());
+    }
+
+    #[test]
+    fn contains_faces_of_facets() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 1), v(1, 0), v(2, 0)]).unwrap();
+        let edge = Simplex::from_vertices(vec![v(0, 1), v(2, 0)]).unwrap();
+        assert!(c.contains_simplex(&edge));
+        let other = Simplex::from_vertices(vec![v(0, 0)]).unwrap();
+        assert!(!c.contains_simplex(&other));
+    }
+
+    #[test]
+    fn ole_shape() {
+        let c = o_le(3);
+        assert_eq!(c.facet_count(), 3);
+        assert_eq!(c.dimension(), Some(2));
+        assert!(c.is_pure());
+        assert_eq!(c.vertex_count(), 6); // (i,0) and (i,1) for each i
+        assert_eq!(c.names().len(), 3);
+    }
+
+    #[test]
+    fn ole_is_symmetric() {
+        for n in 1..5 {
+            assert!(o_le(n).is_symmetric(), "O_LE symmetric for n={n}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_complex_detected() {
+        // Only process 0 may be the leader: not stable under name swap.
+        let mut c = Complex::new();
+        c.add_facet([v(0, 1), v(1, 0)]).unwrap();
+        assert!(!c.is_symmetric());
+    }
+
+    #[test]
+    fn simplices_enumeration() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 1), v(1, 0)]).unwrap();
+        // {a}, {b}, {a,b}
+        assert_eq!(c.simplices().len(), 3);
+        assert_eq!(c.simplices_of_dimension(0).len(), 2);
+        assert_eq!(c.simplices_of_dimension(1).len(), 1);
+        assert_eq!(c.simplices_of_dimension(2).len(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_only_dim0_facets() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 1)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        let iso = c.isolated_vertices();
+        assert_eq!(iso, vec![v(0, 1)]);
+    }
+
+    #[test]
+    fn impure_complex() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 1)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        assert!(!c.is_pure());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s1 = Simplex::from_vertices(vec![v(0, 1)]).unwrap();
+        let s2 = Simplex::from_vertices(vec![v(0, 1), v(1, 0)]).unwrap();
+        let c: Complex<u8> = vec![s1, s2].into_iter().collect();
+        assert_eq!(c.facet_count(), 1);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = o_le(3);
+        let mut b = Complex::new();
+        for leader in [2u32, 0, 1] {
+            b.add_facet((0..3).map(|i| v(i, u8::from(i == leader))))
+                .unwrap();
+        }
+        assert_eq!(a, b);
+    }
+}

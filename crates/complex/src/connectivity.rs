@@ -1,0 +1,172 @@
+//! Connectivity of the 1-skeleton: components and path-connectedness.
+//!
+//! Connectivity is the classic obstruction in topological distributed
+//! computing (e.g. consensus impossibility); the paper's projection
+//! complexes `π̃(ρ)` are disjoint unions of simplices, so their components
+//! are exactly the consistency classes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::complex::Complex;
+use crate::vertex::{Value, Vertex};
+
+/// The connected components of the 1-skeleton of `k`, each returned as a
+/// sorted vertex list. Components are sorted by their minimal vertex.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{Complex, ProcessName, Vertex, connectivity};
+///
+/// let mut k = Complex::new();
+/// k.add_facet([Vertex::new(ProcessName::new(0), 0u8)])?;
+/// k.add_facet([
+///     Vertex::new(ProcessName::new(1), 0u8),
+///     Vertex::new(ProcessName::new(2), 0u8),
+/// ])?;
+/// assert_eq!(connectivity::components(&k).len(), 2);
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+pub fn components<V: Value>(k: &Complex<V>) -> Vec<Vec<Vertex<V>>> {
+    let vertices = k.vertices();
+    let index: BTreeMap<&Vertex<V>, usize> = vertices.iter().zip(0..).collect();
+    let mut dsu = Dsu::new(vertices.len());
+    for facet in k.facets() {
+        let ids: Vec<usize> = facet.vertices().map(|v| index[v]).collect();
+        for w in ids.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<Vertex<V>>> = BTreeMap::new();
+    for (i, v) in vertices.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(v.clone());
+    }
+    let mut out: Vec<Vec<Vertex<V>>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+/// Whether the complex is path-connected (has at most one component).
+///
+/// The empty complex is considered connected.
+pub fn is_connected<V: Value>(k: &Complex<V>) -> bool {
+    components(k).len() <= 1
+}
+
+/// Whether two vertices lie in the same component.
+///
+/// Returns `false` if either vertex is not in the complex.
+pub fn same_component<V: Value>(k: &Complex<V>, a: &Vertex<V>, b: &Vertex<V>) -> bool {
+    components(k)
+        .iter()
+        .any(|c| c.binary_search(a).is_ok() && c.binary_search(b).is_ok())
+}
+
+/// The vertex sets of the components, as sets (convenience for membership
+/// checks).
+pub fn component_sets<V: Value>(k: &Complex<V>) -> Vec<BTreeSet<Vertex<V>>> {
+    components(k)
+        .into_iter()
+        .map(|c| c.into_iter().collect())
+        .collect()
+}
+
+/// Disjoint-set union with path halving and union by size.
+struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::ProcessName;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    #[test]
+    fn empty_is_connected() {
+        let c: Complex<u8> = Complex::new();
+        assert!(is_connected(&c));
+        assert!(components(&c).is_empty());
+    }
+
+    #[test]
+    fn single_facet_is_connected() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        assert!(is_connected(&c));
+        assert_eq!(components(&c).len(), 1);
+        assert_eq!(components(&c)[0].len(), 3);
+    }
+
+    #[test]
+    fn disjoint_simplices_are_components() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        c.add_facet([v(3, 0), v(4, 0), v(5, 0)]).unwrap();
+        let comps = components(&c);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert!(!is_connected(&c));
+    }
+
+    #[test]
+    fn shared_vertex_joins_components() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        assert!(is_connected(&c));
+        assert!(same_component(&c, &v(0, 0), &v(2, 0)));
+    }
+
+    #[test]
+    fn same_component_false_for_missing_vertex() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0)]).unwrap();
+        assert!(!same_component(&c, &v(0, 0), &v(9, 9)));
+    }
+
+    #[test]
+    fn component_sets_match_components() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        let sets = component_sets(&c);
+        assert_eq!(sets.len(), 2);
+        assert!(sets.iter().any(|s| s.contains(&v(0, 0)) && s.len() == 1));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for complex construction and map validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::vertex::ProcessName;
+
+/// Errors produced while constructing simplices, complexes, or maps.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ComplexError {
+    /// A simplex must contain at least one vertex.
+    EmptySimplex,
+    /// Two vertices of one simplex carried the same process name with
+    /// different values (complexes are properly colored).
+    DuplicateName(ProcessName),
+    /// A vertex map was queried on a vertex outside its domain.
+    VertexNotInDomain,
+    /// A vertex map does not preserve simplices (it is not simplicial).
+    NotSimplicial,
+    /// A vertex map does not preserve names.
+    NotNamePreserving,
+}
+
+impl fmt::Display for ComplexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComplexError::EmptySimplex => write!(f, "simplex must be non-empty"),
+            ComplexError::DuplicateName(n) => {
+                write!(f, "simplex contains two vertices named {n}")
+            }
+            ComplexError::VertexNotInDomain => {
+                write!(f, "vertex map queried outside its domain")
+            }
+            ComplexError::NotSimplicial => write!(f, "vertex map does not preserve simplices"),
+            ComplexError::NotNamePreserving => write!(f, "vertex map does not preserve names"),
+        }
+    }
+}
+
+impl Error for ComplexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = [
+            ComplexError::EmptySimplex,
+            ComplexError::DuplicateName(ProcessName::new(1)),
+            ComplexError::VertexNotInDomain,
+            ComplexError::NotSimplicial,
+            ComplexError::NotNamePreserving,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

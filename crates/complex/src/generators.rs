@@ -1,0 +1,201 @@
+//! Generators for standard complexes, with known homotopy types.
+//!
+//! Useful as test fixtures (their Betti numbers are classical) and as
+//! building blocks for output complexes.
+
+use crate::complex::Complex;
+use crate::vertex::{ProcessName, Vertex};
+
+/// The full `(n−1)`-simplex on names `0..n`, all values `0`.
+///
+/// Mod-2 acyclic: `β = [1, 0, …, 0]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{generators, homology};
+/// let s = generators::solid_simplex(4);
+/// assert!(homology::is_acyclic(&s));
+/// ```
+pub fn solid_simplex(n: usize) -> Complex<u64> {
+    assert!(n >= 1, "need at least one vertex");
+    let mut c = Complex::new();
+    c.add_facet((0..n).map(|i| Vertex::new(ProcessName::new(i as u32), 0u64)))
+        .expect("distinct names");
+    c
+}
+
+/// The boundary of the `(n−1)`-simplex: a combinatorial `(n−2)`-sphere.
+///
+/// `β = [1, 0, …, 0, 1]` with the final 1 in dimension `n − 2`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (the boundary of a point is empty).
+pub fn boundary_sphere(n: usize) -> Complex<u64> {
+    assert!(n >= 2, "boundary sphere needs n ≥ 2");
+    let mut c = Complex::new();
+    for skip in 0..n {
+        c.add_facet(
+            (0..n)
+                .filter(|&i| i != skip)
+                .map(|i| Vertex::new(ProcessName::new(i as u32), 0u64)),
+        )
+        .expect("distinct names");
+    }
+    c
+}
+
+/// A cycle (combinatorial circle) on `n ≥ 3` vertices: edges
+/// `{i, i+1 mod n}`. `β = [1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Complex<u64> {
+    assert!(n >= 3, "a combinatorial circle needs n ≥ 3");
+    let mut c = Complex::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        c.add_facet([
+            Vertex::new(ProcessName::new(i as u32), 0u64),
+            Vertex::new(ProcessName::new(j as u32), 0u64),
+        ])
+        .expect("distinct names");
+    }
+    c
+}
+
+/// A path on `n ≥ 1` vertices: edges `{i, i+1}`. Acyclic.
+pub fn path(n: usize) -> Complex<u64> {
+    assert!(n >= 1);
+    let mut c = Complex::new();
+    if n == 1 {
+        c.add_facet([Vertex::new(ProcessName::new(0), 0u64)])
+            .expect("singleton");
+        return c;
+    }
+    for i in 0..n - 1 {
+        c.add_facet([
+            Vertex::new(ProcessName::new(i as u32), 0u64),
+            Vertex::new(ProcessName::new(i as u32 + 1), 0u64),
+        ])
+        .expect("distinct names");
+    }
+    c
+}
+
+/// `m` disjoint points (names `0..m`, value per name). `β = [m]`.
+pub fn points(m: usize) -> Complex<u64> {
+    assert!(m >= 1);
+    let mut c = Complex::new();
+    for i in 0..m {
+        c.add_facet([Vertex::new(ProcessName::new(i as u32), 0u64)])
+            .expect("singleton");
+    }
+    c
+}
+
+/// The octahedral `(d)`-sphere (boundary of the `(d+1)`-cross-polytope):
+/// vertices `(i, 0)` and `(i, 1)` for `i ∈ 0..d+1`; facets pick one of the
+/// two values per name. `2^{d+1}` facets, `β = [1, 0, …, 0, 1]`.
+///
+/// This is also the shape of the *full* realization complex `R(1)` (one
+/// round, independent bits) — the paper's Figure 2 for `n = d + 1`.
+///
+/// # Panics
+///
+/// Panics if `d + 1 == 0` overflows (practically never).
+pub fn octahedral_sphere(d: usize) -> Complex<u64> {
+    let n = d + 1;
+    let mut c = Complex::new();
+    for mask in 0..1u64 << n {
+        c.add_facet(
+            (0..n).map(|i| Vertex::new(ProcessName::new(i as u32), mask >> i & 1)),
+        )
+        .expect("distinct names");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity;
+    use crate::homology;
+
+    #[test]
+    fn solid_simplices_are_acyclic() {
+        for n in 1..=5 {
+            let s = solid_simplex(n);
+            assert!(homology::is_acyclic(&s), "n={n}");
+            assert_eq!(s.dimension(), Some(n - 1));
+        }
+    }
+
+    #[test]
+    fn boundary_spheres_have_top_homology() {
+        for n in 3..=5 {
+            let s = boundary_sphere(n);
+            let mut expect = vec![0usize; n - 1];
+            expect[0] = 1;
+            expect[n - 2] = 1;
+            assert_eq!(homology::betti_numbers(&s), expect, "n={n}");
+            // χ(S^d) = 1 + (−1)^d with d = n − 2.
+            assert_eq!(homology::euler_characteristic(&s), if n % 2 == 0 { 2 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn boundary_sphere_n2_is_two_points() {
+        let s = boundary_sphere(2);
+        assert_eq!(homology::betti_numbers(&s), vec![2]);
+    }
+
+    #[test]
+    fn cycles_are_circles() {
+        for n in 3..=7 {
+            assert_eq!(homology::betti_numbers(&cycle(n)), vec![1, 1], "n={n}");
+        }
+    }
+
+    #[test]
+    fn paths_are_contractible() {
+        for n in 1..=6 {
+            assert!(homology::is_acyclic(&path(n)), "n={n}");
+            assert!(connectivity::is_connected(&path(n)));
+        }
+    }
+
+    #[test]
+    fn points_count_components() {
+        for m in 1..=5 {
+            assert_eq!(homology::betti_numbers(&points(m)), vec![m]);
+        }
+    }
+
+    #[test]
+    fn octahedral_spheres() {
+        // d = 1: 4-cycle (circle); d = 2: octahedron (2-sphere).
+        assert_eq!(homology::betti_numbers(&octahedral_sphere(1)), vec![1, 1]);
+        assert_eq!(
+            homology::betti_numbers(&octahedral_sphere(2)),
+            vec![1, 0, 1]
+        );
+        assert_eq!(octahedral_sphere(2).facet_count(), 8);
+    }
+
+    #[test]
+    fn octahedral_sphere_is_r1() {
+        // The paper's R(1) for n nodes equals the octahedral (n−1)-sphere
+        // with bit values — same facet and vertex counts, and isomorphic
+        // as chromatic complexes after encoding bits as u64.
+        let oct = octahedral_sphere(2);
+        assert_eq!(oct.vertex_count(), 6);
+        assert_eq!(oct.facet_count(), 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Mod-2 simplicial homology: Betti numbers and Euler characteristic.
+//!
+//! The homotopy-type arguments of topological distributed computing are
+//! driven by connectivity information; over `GF(2)` the Betti numbers
+//! `β_0, β_1, …` are computable with plain Gaussian elimination on boundary
+//! matrices, which suffices for the complexes in this workspace (e.g.
+//! verifying that `π(O_LE)` is a disjoint union of a point and a simplex:
+//! `β_0 = 2`, higher Betti numbers zero).
+
+use std::collections::BTreeMap;
+
+use crate::complex::Complex;
+use crate::vertex::Value;
+
+/// The Betti numbers `β_0 … β_dim` of the complex over `GF(2)`.
+///
+/// Returns an empty vector for the empty complex. `β_0` counts connected
+/// components (unreduced homology).
+///
+/// # Example
+///
+/// A hollow triangle (three edges, no 2-face) has one loop:
+///
+/// ```
+/// use rsbt_complex::{Complex, ProcessName, Vertex, homology};
+///
+/// let v = |i: u32| Vertex::new(ProcessName::new(i), 0u8);
+/// let mut k = Complex::new();
+/// k.add_facet([v(0), v(1)])?;
+/// k.add_facet([v(1), v(2)])?;
+/// k.add_facet([v(0), v(2)])?;
+/// assert_eq!(homology::betti_numbers(&k), vec![1, 1]);
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+pub fn betti_numbers<V: Value>(k: &Complex<V>) -> Vec<usize> {
+    let dim = match k.dimension() {
+        None => return Vec::new(),
+        Some(d) => d,
+    };
+    // Index simplices per dimension.
+    let mut counts = Vec::with_capacity(dim + 1);
+    let mut index_by_dim: Vec<BTreeMap<crate::Simplex<V>, usize>> = Vec::with_capacity(dim + 1);
+    for d in 0..=dim {
+        let simplices = k.simplices_of_dimension(d);
+        counts.push(simplices.len());
+        index_by_dim.push(simplices.into_iter().zip(0..).collect());
+    }
+    // rank of ∂_d : C_d → C_{d-1} for d = 1..=dim (∂_0 = 0).
+    let mut ranks = vec![0usize; dim + 2];
+    for d in 1..=dim {
+        let rows = counts[d - 1];
+        let mut matrix: Vec<BitRow> = Vec::with_capacity(counts[d]);
+        for (s, _) in &index_by_dim[d] {
+            let mut col = BitRow::zero(rows);
+            for face in s.boundary() {
+                let r = index_by_dim[d - 1][&face];
+                col.set(r);
+            }
+            matrix.push(col);
+        }
+        ranks[d] = gf2_rank(matrix);
+    }
+    // β_d = dim C_d − rank ∂_d − rank ∂_{d+1}
+    (0..=dim)
+        .map(|d| counts[d] - ranks[d] - ranks[d + 1])
+        .collect()
+}
+
+/// The Euler characteristic `Σ_d (−1)^d · #{d-simplices}`.
+///
+/// Equal to the alternating sum of Betti numbers (checked by property test).
+pub fn euler_characteristic<V: Value>(k: &Complex<V>) -> i64 {
+    let dim = match k.dimension() {
+        None => return 0,
+        Some(d) => d,
+    };
+    (0..=dim)
+        .map(|d| {
+            let c = k.simplices_of_dimension(d).len() as i64;
+            if d % 2 == 0 {
+                c
+            } else {
+                -c
+            }
+        })
+        .sum()
+}
+
+/// Whether the complex has the mod-2 homology of a point
+/// (`β = [1, 0, 0, …]`). Every non-empty simplex (as a complex) is
+/// mod-2 acyclic.
+pub fn is_acyclic<V: Value>(k: &Complex<V>) -> bool {
+    let b = betti_numbers(k);
+    match b.split_first() {
+        None => false,
+        Some((first, rest)) => *first == 1 && rest.iter().all(|&x| x == 0),
+    }
+}
+
+/// A dense GF(2) row backed by `u64` words.
+#[derive(Clone)]
+struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    fn zero(bits: usize) -> Self {
+        BitRow {
+            words: vec![0; bits.div_ceil(64).max(1)],
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn xor_assign(&mut self, other: &BitRow) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
+    fn leading_bit(&self) -> Option<usize> {
+        for (w, word) in self.words.iter().enumerate() {
+            if *word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+/// Rank of a GF(2) matrix given as a list of rows (here: boundary columns).
+fn gf2_rank(mut rows: Vec<BitRow>) -> usize {
+    let mut pivots: Vec<BitRow> = Vec::new();
+    'rows: for mut row in rows.drain(..) {
+        loop {
+            let lead = match row.leading_bit() {
+                None => continue 'rows,
+                Some(l) => l,
+            };
+            match pivots.iter().find(|p| p.get(lead) && p.leading_bit() == Some(lead)) {
+                Some(p) => {
+                    let p = p.clone();
+                    row.xor_assign(&p);
+                }
+                None => {
+                    pivots.push(row);
+                    continue 'rows;
+                }
+            }
+        }
+    }
+    pivots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::{ProcessName, Vertex};
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    #[test]
+    fn empty_complex_has_no_betti() {
+        let c: Complex<u8> = Complex::new();
+        assert!(betti_numbers(&c).is_empty());
+        assert_eq!(euler_characteristic(&c), 0);
+        assert!(!is_acyclic(&c));
+    }
+
+    #[test]
+    fn point_is_acyclic() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0)]).unwrap();
+        assert_eq!(betti_numbers(&c), vec![1]);
+        assert_eq!(euler_characteristic(&c), 1);
+        assert!(is_acyclic(&c));
+    }
+
+    #[test]
+    fn solid_triangle_is_acyclic() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        assert_eq!(betti_numbers(&c), vec![1, 0, 0]);
+        assert_eq!(euler_characteristic(&c), 1);
+        assert!(is_acyclic(&c));
+    }
+
+    #[test]
+    fn hollow_triangle_has_a_loop() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        c.add_facet([v(0, 0), v(2, 0)]).unwrap();
+        assert_eq!(betti_numbers(&c), vec![1, 1]);
+        assert_eq!(euler_characteristic(&c), 0);
+        assert!(!is_acyclic(&c));
+    }
+
+    #[test]
+    fn two_components() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0)]).unwrap();
+        c.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        assert_eq!(betti_numbers(&c)[0], 2);
+        assert_eq!(euler_characteristic(&c), 2);
+    }
+
+    #[test]
+    fn hollow_tetrahedron_is_a_sphere() {
+        // Boundary of a 3-simplex: β = [1, 0, 1].
+        let verts = [v(0, 0), v(1, 0), v(2, 0), v(3, 0)];
+        let mut c = Complex::new();
+        for skip in 0..4 {
+            let face: Vec<_> = verts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, x)| x.clone())
+                .collect();
+            c.add_facet(face).unwrap();
+        }
+        assert_eq!(betti_numbers(&c), vec![1, 0, 1]);
+        assert_eq!(euler_characteristic(&c), 2);
+    }
+
+    #[test]
+    fn euler_equals_alternating_betti_sum() {
+        // On a mixed complex.
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        c.add_facet([v(2, 0), v(3, 0)]).unwrap();
+        c.add_facet([v(4, 0)]).unwrap();
+        let b = betti_numbers(&c);
+        let alt: i64 = b
+            .iter()
+            .enumerate()
+            .map(|(d, &x)| if d % 2 == 0 { x as i64 } else { -(x as i64) })
+            .sum();
+        assert_eq!(euler_characteristic(&c), alt);
+    }
+
+    #[test]
+    fn betti0_matches_component_count() {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        c.add_facet([v(2, 0), v(3, 0)]).unwrap();
+        c.add_facet([v(4, 0)]).unwrap();
+        let comps = crate::connectivity::components(&c).len();
+        assert_eq!(betti_numbers(&c)[0], comps);
+    }
+}

@@ -1,0 +1,63 @@
+//! Chromatic (colored) abstract simplicial complexes for distributed computing.
+//!
+//! This crate is the topological substrate of the `rsbt` workspace, the
+//! reproduction of *Fraigniaud, Gelles, Lotker — "The Topology of Randomized
+//! Symmetry-Breaking Distributed Computing"* (PODC 2021). It provides:
+//!
+//! * [`Vertex`]: chromatic vertices `(name, value)` where the *name* is the
+//!   identity (color) of a processing node and the *value* is its local state;
+//! * [`Simplex`] and [`Complex`]: abstract simplicial complexes stored by
+//!   their facets (maximal simplices);
+//! * combinatorial operators ([`ops`]): induced subcomplexes, star, link,
+//!   skeleton, join, union;
+//! * [`connectivity`]: connected components of the 1-skeleton;
+//! * [`homology`]: mod-2 simplicial homology (Betti numbers, Euler
+//!   characteristic), computed with dense GF(2) Gaussian elimination;
+//! * [`maps`]: vertex maps with *simplicial*, *name-preserving* and
+//!   *name-independent* predicates (the three properties the paper's
+//!   solvability definitions hinge on);
+//! * [`search`]: exhaustive existence search for name-preserving simplicial
+//!   maps between two complexes (used as the "generic" solvability checker);
+//! * [`iso`]: chromatic isomorphism testing.
+//!
+//! # Example
+//!
+//! Build the leader-election output complex for three processes and check
+//! its basic shape:
+//!
+//! ```
+//! use rsbt_complex::{Complex, ProcessName, Vertex};
+//!
+//! let mut o_le: Complex<u8> = Complex::new();
+//! for leader in 0..3u32 {
+//!     let facet = (0..3u32).map(|i| {
+//!         Vertex::new(ProcessName::new(i), u8::from(i == leader))
+//!     });
+//!     o_le.add_facet(facet).unwrap();
+//! }
+//! assert_eq!(o_le.facets().count(), 3);
+//! assert_eq!(o_le.dimension(), Some(2));
+//! assert!(o_le.is_pure());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+pub mod connectivity;
+mod error;
+pub mod generators;
+pub mod homology;
+pub mod iso;
+pub mod maps;
+pub mod ops;
+pub mod render;
+pub mod search;
+mod simplex;
+pub mod subdivision;
+mod vertex;
+
+pub use crate::complex::Complex;
+pub use crate::error::ComplexError;
+pub use crate::simplex::Simplex;
+pub use crate::vertex::{ProcessName, Value, Vertex};

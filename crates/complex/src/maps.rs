@@ -1,0 +1,325 @@
+//! Vertex maps between chromatic complexes and the paper's three key
+//! predicates: *simplicial*, *name-preserving*, *name-independent*.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::complex::Complex;
+use crate::error::ComplexError;
+use crate::simplex::Simplex;
+use crate::vertex::{Value, Vertex};
+
+/// A total map on a finite vertex set, from vertices over `V` to vertices
+/// over `W`.
+///
+/// Wraps a finite table; apply it to simplices and complexes with
+/// [`VertexMap::apply`] and [`VertexMap::image`].
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{maps::VertexMap, Complex, ProcessName, Vertex};
+///
+/// let k0 = Vertex::new(ProcessName::new(0), "knowledge-a");
+/// let mut delta = VertexMap::new();
+/// delta.insert(k0.clone(), Vertex::new(ProcessName::new(0), 1u8));
+/// assert_eq!(delta.get(&k0).unwrap().value(), &1u8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VertexMap<V, W> {
+    table: BTreeMap<Vertex<V>, Vertex<W>>,
+}
+
+impl<V: Value, W: Value> VertexMap<V, W> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        VertexMap {
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the image of `from`, returning the previous image
+    /// if any.
+    pub fn insert(&mut self, from: Vertex<V>, to: Vertex<W>) -> Option<Vertex<W>> {
+        self.table.insert(from, to)
+    }
+
+    /// Looks up the image of a vertex.
+    pub fn get(&self, from: &Vertex<V>) -> Option<&Vertex<W>> {
+        self.table.get(from)
+    }
+
+    /// The number of vertices in the domain.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `(domain vertex, image vertex)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vertex<V>, &Vertex<W>)> {
+        self.table.iter()
+    }
+
+    /// Applies the map to a simplex.
+    ///
+    /// # Errors
+    ///
+    /// * [`ComplexError::VertexNotInDomain`] if a vertex has no image;
+    /// * [`ComplexError::DuplicateName`] if two vertices map to the same name
+    ///   with different values (the image is not properly colored).
+    pub fn apply(&self, s: &Simplex<V>) -> Result<Simplex<W>, ComplexError> {
+        let images: Result<Vec<Vertex<W>>, ComplexError> = s
+            .vertices()
+            .map(|v| {
+                self.table
+                    .get(v)
+                    .cloned()
+                    .ok_or(ComplexError::VertexNotInDomain)
+            })
+            .collect();
+        Simplex::from_vertices(images?)
+    }
+
+    /// The image complex `{ f(σ) : σ ∈ K }` restricted to simplices whose
+    /// image is well defined.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VertexMap::apply`], on any facet.
+    pub fn image(&self, k: &Complex<V>) -> Result<Complex<W>, ComplexError> {
+        let mut out = Complex::new();
+        for f in k.facets() {
+            out.add_simplex(self.apply(f)?);
+        }
+        Ok(out)
+    }
+
+    /// Whether the map is *simplicial* from `k` to `l`: every simplex of `k`
+    /// maps to a simplex of `l`. Checking facets suffices because `l` is
+    /// closed under taking faces.
+    pub fn is_simplicial(&self, k: &Complex<V>, l: &Complex<W>) -> bool {
+        k.facets().all(|f| match self.apply(f) {
+            Ok(img) => l.contains_simplex(&img),
+            Err(_) => false,
+        })
+    }
+
+    /// Whether the map is *name-preserving*: `δ(i, x) = (i, y)`.
+    pub fn is_name_preserving(&self) -> bool {
+        self.table.iter().all(|(a, b)| a.name() == b.name())
+    }
+
+    /// Whether the map is *name-independent*: the output value depends only
+    /// on the input value, i.e. if `δ(i, x) = (i, y)` then `δ(j, x) = (j, y)`
+    /// whenever `(j, x)` is in the domain.
+    pub fn is_name_independent(&self) -> bool {
+        let mut by_value: BTreeMap<&V, &W> = BTreeMap::new();
+        for (a, b) in &self.table {
+            match by_value.insert(a.value(), b.value()) {
+                Some(prev) if prev != b.value() => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Composes `self` with `next`, yielding `next ∘ self`.
+    ///
+    /// # Errors
+    ///
+    /// [`ComplexError::VertexNotInDomain`] if some image of `self` is outside
+    /// the domain of `next`.
+    pub fn then<U: Value>(&self, next: &VertexMap<W, U>) -> Result<VertexMap<V, U>, ComplexError> {
+        let mut out = VertexMap::new();
+        for (a, b) in &self.table {
+            let c = next
+                .get(b)
+                .cloned()
+                .ok_or(ComplexError::VertexNotInDomain)?;
+            out.insert(a.clone(), c);
+        }
+        Ok(out)
+    }
+
+    /// Validates that the map is a name-preserving simplicial map `k → l`
+    /// (the paper's `δ`), returning a descriptive error if not.
+    ///
+    /// # Errors
+    ///
+    /// * [`ComplexError::NotNamePreserving`] if some vertex changes name;
+    /// * [`ComplexError::NotSimplicial`] if some facet image is not a simplex
+    ///   of `l` (or is not well defined).
+    pub fn validate_chromatic(&self, k: &Complex<V>, l: &Complex<W>) -> Result<(), ComplexError> {
+        if !self.is_name_preserving() {
+            return Err(ComplexError::NotNamePreserving);
+        }
+        if !self.is_simplicial(k, l) {
+            return Err(ComplexError::NotSimplicial);
+        }
+        Ok(())
+    }
+}
+
+impl<V: Value, W: Value> FromIterator<(Vertex<V>, Vertex<W>)> for VertexMap<V, W> {
+    fn from_iter<I: IntoIterator<Item = (Vertex<V>, Vertex<W>)>>(iter: I) -> Self {
+        VertexMap {
+            table: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<V: Value + fmt::Display, W: Value + fmt::Display> fmt::Display for VertexMap<V, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "vertex map with {} entries:", self.table.len())?;
+        for (a, b) in &self.table {
+            writeln!(f, "  {a} ↦ {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::ProcessName;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn o_le(n: u32) -> Complex<u8> {
+        Complex::from_facets((0..n).map(|leader| {
+            (0..n)
+                .map(|i| v(i, u8::from(i == leader)))
+                .collect::<Vec<_>>()
+        }))
+        .unwrap()
+    }
+
+    /// A 1-round protocol-like complex on two vertices per process.
+    fn square() -> Complex<u8> {
+        // Values 0/1 per process; all four edges (i.e. all combinations).
+        let mut c = Complex::new();
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                c.add_facet([v(0, a), v(1, b)]).unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn apply_and_missing_domain() {
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        m.insert(v(0, 0), v(0, 1));
+        let s = Simplex::from_vertices(vec![v(0, 0), v(1, 0)]).unwrap();
+        assert!(matches!(
+            m.apply(&s),
+            Err(ComplexError::VertexNotInDomain)
+        ));
+        m.insert(v(1, 0), v(1, 0));
+        assert_eq!(m.apply(&s).unwrap().dimension(), 1);
+    }
+
+    #[test]
+    fn name_preserving_detection() {
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        m.insert(v(0, 0), v(0, 1));
+        assert!(m.is_name_preserving());
+        m.insert(v(1, 0), v(2, 1));
+        assert!(!m.is_name_preserving());
+    }
+
+    #[test]
+    fn name_independent_detection() {
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        m.insert(v(0, 7), v(0, 1));
+        m.insert(v(1, 7), v(1, 1));
+        m.insert(v(1, 8), v(1, 0));
+        assert!(m.is_name_independent());
+        // Same input value 7, different output values: dependent on name.
+        m.insert(v(2, 7), v(2, 0));
+        assert!(!m.is_name_independent());
+    }
+
+    #[test]
+    fn simplicial_into_ole() {
+        // Map the asymmetric vertices of the square onto O_LE outputs:
+        // value 1 -> leader (1), value 0 -> defeated (0). The facet {00}
+        // and {11} would map to all-0 / all-1 which are NOT in O_LE, so the
+        // full square is not simplicial into O_LE...
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        for i in 0..2u32 {
+            m.insert(v(i, 0), v(i, 0));
+            m.insert(v(i, 1), v(i, 1));
+        }
+        let sq = square();
+        let ole = o_le(2);
+        assert!(!m.is_simplicial(&sq, &ole));
+        // ...but restricted to the symmetric-breaking facet {01} it is.
+        let mut broken = Complex::new();
+        broken.add_facet([v(0, 0), v(1, 1)]).unwrap();
+        assert!(m.is_simplicial(&broken, &ole));
+        m.validate_chromatic(&broken, &ole).unwrap();
+    }
+
+    #[test]
+    fn validate_reports_name_violation_first() {
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        m.insert(v(0, 0), v(1, 0));
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0)]).unwrap();
+        let mut l = Complex::new();
+        l.add_facet([v(1, 0)]).unwrap();
+        assert_eq!(
+            m.validate_chromatic(&k, &l),
+            Err(ComplexError::NotNamePreserving)
+        );
+    }
+
+    #[test]
+    fn image_collapses() {
+        // Both knowledge vertices of p0 map to the same output vertex.
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        m.insert(v(0, 0), v(0, 0));
+        m.insert(v(0, 1), v(0, 0));
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0)]).unwrap();
+        k.add_facet([v(0, 1)]).unwrap();
+        let img = m.image(&k).unwrap();
+        assert_eq!(img.vertex_count(), 1);
+    }
+
+    #[test]
+    fn composition() {
+        let mut f: VertexMap<u8, u8> = VertexMap::new();
+        f.insert(v(0, 0), v(0, 1));
+        let mut g: VertexMap<u8, u8> = VertexMap::new();
+        g.insert(v(0, 1), v(0, 2));
+        let h = f.then(&g).unwrap();
+        assert_eq!(h.get(&v(0, 0)), Some(&v(0, 2)));
+        // Composition with a map missing the intermediate vertex fails.
+        let empty: VertexMap<u8, u8> = VertexMap::new();
+        assert!(f.then(&empty).is_err());
+    }
+
+    #[test]
+    fn collapsing_to_duplicate_names_is_error() {
+        let mut m: VertexMap<u8, u8> = VertexMap::new();
+        m.insert(v(0, 0), v(0, 0));
+        m.insert(v(1, 0), v(0, 1));
+        let s = Simplex::from_vertices(vec![v(0, 0), v(1, 0)]).unwrap();
+        assert!(matches!(m.apply(&s), Err(ComplexError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: VertexMap<u8, u8> = vec![(v(0, 0), v(0, 1))].into_iter().collect();
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! Combinatorial operators on complexes: induced subcomplex, star, link,
+//! skeleton, join, union.
+
+use std::collections::BTreeSet;
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+use crate::vertex::{Value, Vertex};
+
+/// The induced subcomplex of `k` on the vertex set `x`:
+/// `{ σ ∈ K | V(σ) ⊆ X }`.
+///
+/// This is the operation the paper uses to define the consistency projection
+/// `π(σ)` as an induced subcomplex of `P(t)` on `V(σ)`.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{Complex, ProcessName, Vertex, ops};
+///
+/// let a = Vertex::new(ProcessName::new(0), 0u8);
+/// let b = Vertex::new(ProcessName::new(1), 0u8);
+/// let c = Vertex::new(ProcessName::new(2), 0u8);
+/// let mut k = Complex::new();
+/// k.add_facet([a.clone(), b.clone(), c.clone()])?;
+/// let sub = ops::induced_subcomplex(&k, &[a.clone(), b.clone()]);
+/// assert_eq!(sub.dimension(), Some(1));
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+pub fn induced_subcomplex<V: Value>(k: &Complex<V>, x: &[Vertex<V>]) -> Complex<V> {
+    let keep: BTreeSet<&Vertex<V>> = x.iter().collect();
+    let mut out = Complex::new();
+    for facet in k.facets() {
+        let vs: Vec<Vertex<V>> = facet
+            .vertices()
+            .filter(|v| keep.contains(v))
+            .cloned()
+            .collect();
+        if !vs.is_empty() {
+            out.add_facet(vs).expect("subset of a valid simplex is valid");
+        }
+    }
+    out
+}
+
+/// The (closed) star of vertex `v`: all simplices contained in a simplex
+/// containing `v`.
+pub fn star<V: Value>(k: &Complex<V>, v: &Vertex<V>) -> Complex<V> {
+    let mut out = Complex::new();
+    for facet in k.facets() {
+        if facet.contains(v) {
+            out.add_simplex(facet.clone());
+        }
+    }
+    out
+}
+
+/// The link of vertex `v`: `{ σ ∈ K | v ∉ σ, σ ∪ {v} ∈ K }`.
+pub fn link<V: Value>(k: &Complex<V>, v: &Vertex<V>) -> Complex<V> {
+    let mut out = Complex::new();
+    for facet in k.facets() {
+        if facet.contains(v) {
+            let rest: Vec<Vertex<V>> = facet.vertices().filter(|w| *w != v).cloned().collect();
+            if !rest.is_empty() {
+                out.add_facet(rest).expect("valid sub-simplex");
+            }
+        }
+    }
+    out
+}
+
+/// The `d`-skeleton: all simplices of dimension at most `d`.
+pub fn skeleton<V: Value>(k: &Complex<V>, d: usize) -> Complex<V> {
+    let mut out = Complex::new();
+    for facet in k.facets() {
+        if facet.dimension() <= d {
+            out.add_simplex(facet.clone());
+        } else {
+            for f in facet.faces_of_dimension(d) {
+                out.add_simplex(f);
+            }
+        }
+    }
+    out
+}
+
+/// The join `K * L` of two complexes on disjoint name sets: simplices are
+/// unions `σ ∪ τ` with `σ ∈ K ∪ {∅}`, `τ ∈ L ∪ {∅}` (minus the empty set).
+///
+/// # Panics
+///
+/// Panics if the name sets of `k` and `l` intersect (the join of chromatic
+/// complexes is only defined for disjoint colors).
+pub fn join<V: Value>(k: &Complex<V>, l: &Complex<V>) -> Complex<V> {
+    let kn: BTreeSet<_> = k.names().into_iter().collect();
+    let ln: BTreeSet<_> = l.names().into_iter().collect();
+    assert!(
+        kn.is_disjoint(&ln),
+        "join requires disjoint process-name sets"
+    );
+    if k.is_empty() {
+        return l.clone();
+    }
+    if l.is_empty() {
+        return k.clone();
+    }
+    let mut out = Complex::new();
+    for fk in k.facets() {
+        for fl in l.facets() {
+            let vs: Vec<Vertex<V>> = fk.vertices().chain(fl.vertices()).cloned().collect();
+            out.add_facet(vs).expect("disjoint names imply proper coloring");
+        }
+    }
+    out
+}
+
+/// The union `K ∪ L` (simplices of either complex).
+pub fn union<V: Value>(k: &Complex<V>, l: &Complex<V>) -> Complex<V> {
+    let mut out = k.clone();
+    for facet in l.facets() {
+        out.add_simplex(facet.clone());
+    }
+    out
+}
+
+/// Whether `sub` is a subcomplex of `sup` (every simplex of `sub` is a
+/// simplex of `sup`). Facet containment suffices.
+pub fn is_subcomplex<V: Value>(sub: &Complex<V>, sup: &Complex<V>) -> bool {
+    sub.facets().all(|f| sup.contains_simplex(f))
+}
+
+/// The complex consisting of a single facet, viewed as a complex (the paper
+/// repeatedly treats a facet `σ ∈ P(t)` "being viewed as a complex").
+pub fn facet_as_complex<V: Value>(facet: &Simplex<V>) -> Complex<V> {
+    let mut out = Complex::new();
+    out.add_simplex(facet.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::ProcessName;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn triangle() -> Complex<u8> {
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        c
+    }
+
+    #[test]
+    fn induced_subcomplex_restricts() {
+        let c = triangle();
+        let sub = induced_subcomplex(&c, &[v(0, 0), v(2, 0)]);
+        assert_eq!(sub.dimension(), Some(1));
+        assert_eq!(sub.facet_count(), 1);
+        let empty = induced_subcomplex(&c, &[v(0, 9)]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn induced_subcomplex_keeps_components() {
+        // Two disjoint edges; restrict to three of the four vertices.
+        let mut c = Complex::new();
+        c.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        c.add_facet([v(2, 0), v(3, 0)]).unwrap();
+        let sub = induced_subcomplex(&c, &[v(0, 0), v(1, 0), v(2, 0)]);
+        assert_eq!(sub.facet_count(), 2);
+        assert!(!sub.is_pure());
+    }
+
+    #[test]
+    fn star_and_link() {
+        let c = triangle();
+        let s = star(&c, &v(0, 0));
+        assert_eq!(s.dimension(), Some(2));
+        let l = link(&c, &v(0, 0));
+        assert_eq!(l.dimension(), Some(1));
+        assert!(!l.contains_vertex(&v(0, 0)));
+        assert!(l.contains_vertex(&v(1, 0)));
+        // Vertex not in the complex: empty star and link.
+        assert!(star(&c, &v(0, 9)).is_empty());
+        assert!(link(&c, &v(0, 9)).is_empty());
+    }
+
+    #[test]
+    fn skeleton_cuts_dimension() {
+        let c = triangle();
+        let sk1 = skeleton(&c, 1);
+        assert_eq!(sk1.dimension(), Some(1));
+        assert_eq!(sk1.facet_count(), 3); // three edges
+        let sk0 = skeleton(&c, 0);
+        assert_eq!(sk0.facet_count(), 3); // three isolated vertices
+        // Skeleton at or above the dimension is the identity.
+        assert_eq!(skeleton(&c, 2), c);
+        assert_eq!(skeleton(&c, 5), c);
+    }
+
+    #[test]
+    fn join_of_point_and_edge_is_triangle() {
+        let mut p = Complex::new();
+        p.add_facet([v(0, 0)]).unwrap();
+        let mut e = Complex::new();
+        e.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        let j = join(&p, &e);
+        assert_eq!(j, triangle());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn join_rejects_shared_names() {
+        let mut p = Complex::new();
+        p.add_facet([v(0, 0)]).unwrap();
+        let mut q = Complex::new();
+        q.add_facet([v(0, 1)]).unwrap();
+        let _ = join(&p, &q);
+    }
+
+    #[test]
+    fn join_with_empty_is_identity() {
+        let c = triangle();
+        let e: Complex<u8> = Complex::new();
+        assert_eq!(join(&c, &e), c);
+        assert_eq!(join(&e, &c), c);
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut a = Complex::new();
+        a.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        let mut b = Complex::new();
+        b.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        let u = union(&a, &b);
+        assert_eq!(u.facet_count(), 2);
+        assert!(is_subcomplex(&a, &u));
+        assert!(is_subcomplex(&b, &u));
+        assert!(!is_subcomplex(&u, &a));
+    }
+
+    #[test]
+    fn facet_as_complex_roundtrip() {
+        let c = triangle();
+        let f = c.facets().next().unwrap().clone();
+        let fc = facet_as_complex(&f);
+        assert_eq!(fc.facet_count(), 1);
+        assert!(is_subcomplex(&fc, &c));
+    }
+}

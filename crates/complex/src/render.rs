@@ -1,0 +1,152 @@
+//! Rendering complexes for inspection: Graphviz DOT (1-skeleton) and a
+//! canonical text format with a parser (round-trip tested).
+
+use std::collections::BTreeSet;
+use std::fmt::Display;
+
+use crate::complex::Complex;
+use crate::error::ComplexError;
+use crate::simplex::Simplex;
+use crate::vertex::{ProcessName, Value, Vertex};
+
+/// Renders the 1-skeleton of `k` as a Graphviz DOT graph. Vertices are
+/// labeled `name:value`; facets of dimension ≥ 1 contribute their edges,
+/// isolated vertices appear as lone nodes.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{render, Complex, ProcessName, Vertex};
+/// let mut k = Complex::new();
+/// k.add_facet([Vertex::new(ProcessName::new(0), 1u8)])?;
+/// let dot = render::to_dot(&k, "pi_tau");
+/// assert!(dot.contains("graph pi_tau"));
+/// assert!(dot.contains("p0:1"));
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+pub fn to_dot<V: Value + Display>(k: &Complex<V>, name: &str) -> String {
+    let mut out = format!("graph {name} {{\n");
+    let node_id = |v: &Vertex<V>| format!("\"{}:{}\"", v.name(), v.value());
+    let mut emitted_edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for v in k.vertices() {
+        out.push_str(&format!("  {} [label=\"{}:{}\"];\n", node_id(&v), v.name(), v.value()));
+    }
+    for facet in k.facets() {
+        let vs: Vec<&Vertex<V>> = facet.vertices().collect();
+        for (i, a) in vs.iter().enumerate() {
+            for b in vs.iter().skip(i + 1) {
+                let key = (node_id(a), node_id(b));
+                if emitted_edges.insert(key.clone()) {
+                    out.push_str(&format!("  {} -- {};\n", key.0, key.1));
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes a complex to the canonical text format: one facet per line,
+/// vertices as `name:value` separated by spaces, sorted.
+pub fn to_text<V: Value + Display>(k: &Complex<V>) -> String {
+    let mut out = String::new();
+    for facet in k.facets() {
+        let cells: Vec<String> = facet
+            .vertices()
+            .map(|v| format!("{}:{}", v.name().index(), v.value()))
+            .collect();
+        out.push_str(&cells.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the [`to_text`] format back into a complex with `u64` values.
+///
+/// # Errors
+///
+/// Returns [`ComplexError`] wrapped in a message when a line is malformed
+/// (bad `name:value` cell, duplicate names in a facet, empty facet).
+pub fn from_text(text: &str) -> Result<Complex<u64>, String> {
+    let mut c = Complex::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut vs = Vec::new();
+        for cell in line.split_whitespace() {
+            let (name, value) = cell
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: cell `{cell}` is not name:value", lineno + 1))?;
+            let name: u32 = name
+                .parse()
+                .map_err(|e| format!("line {}: bad name `{name}`: {e}", lineno + 1))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|e| format!("line {}: bad value `{value}`: {e}", lineno + 1))?;
+            vs.push(Vertex::new(ProcessName::new(name), value));
+        }
+        let simplex: Simplex<u64> = Simplex::from_vertices(vs)
+            .map_err(|e: ComplexError| format!("line {}: {e}", lineno + 1))?;
+        c.add_simplex(simplex);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: u32, value: u64) -> Vertex<u64> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    #[test]
+    fn dot_contains_vertices_and_edges() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 1)]).unwrap();
+        k.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        let dot = to_dot(&k, "g");
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("\"p0:1\""));
+        assert!(dot.contains("\"p1:0\" -- \"p2:0\";"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_dedups_shared_edges() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        let dot = to_dot(&k, "t");
+        assert_eq!(dot.matches(" -- ").count(), 3, "triangle has 3 edges");
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 1)]).unwrap();
+        k.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        k.add_facet([v(0, 0), v(1, 0), v(2, 7)]).unwrap();
+        let text = to_text(&k);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_text("0:1 0:2").is_err(), "duplicate name");
+        assert!(from_text("nonsense").is_err());
+        assert!(from_text("0:x").is_err());
+        assert!(from_text("x:0").is_err());
+        // Blank lines are fine.
+        let c = from_text("\n0:1\n\n").unwrap();
+        assert_eq!(c.facet_count(), 1);
+    }
+
+    #[test]
+    fn parse_maintains_maximality() {
+        let c = from_text("0:1\n0:1 1:0\n").unwrap();
+        assert_eq!(c.facet_count(), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Exhaustive existence search for name-preserving simplicial maps.
+//!
+//! Definition 3.4 of the paper asks whether a *name-preserving simplicial
+//! map* `δ : π̃(ρ) → π(τ)` exists; Definition 3.1 additionally requires
+//! *name-independence*. This module implements both searches by vertex-wise
+//! backtracking: each vertex `(i, x)` of the domain can only map to a vertex
+//! of the codomain with the same name `i`, and every facet image must be a
+//! simplex of the codomain.
+
+use std::collections::BTreeMap;
+
+use crate::complex::Complex;
+use crate::maps::VertexMap;
+use crate::simplex::Simplex;
+use crate::vertex::{Value, Vertex};
+
+/// Searches for a name-preserving simplicial map from `k` to `l`.
+///
+/// Returns the first map found (in canonical vertex order), or `None` if no
+/// such map exists.
+///
+/// # Example
+///
+/// Any complex maps into a full simplex on the same names:
+///
+/// ```
+/// use rsbt_complex::{search, Complex, ProcessName, Vertex};
+///
+/// let v = |i: u32, x: u8| Vertex::new(ProcessName::new(i), x);
+/// let mut k = Complex::new();
+/// k.add_facet([v(0, 3), v(1, 4)])?;
+/// let mut l = Complex::new();
+/// l.add_facet([v(0, 0), v(1, 0)])?;
+/// assert!(search::find_name_preserving_map(&k, &l).is_some());
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+pub fn find_name_preserving_map<V: Value, W: Value>(
+    k: &Complex<V>,
+    l: &Complex<W>,
+) -> Option<VertexMap<V, W>> {
+    Search::new(k, l, false).run()
+}
+
+/// Searches for a map that is name-preserving, simplicial, **and**
+/// name-independent (equal domain values get equal image values) — the map
+/// class of Definition 3.1.
+pub fn find_name_independent_map<V: Value, W: Value>(
+    k: &Complex<V>,
+    l: &Complex<W>,
+) -> Option<VertexMap<V, W>> {
+    Search::new(k, l, true).run()
+}
+
+/// Whether a name-preserving simplicial map `k → l` exists.
+pub fn exists_name_preserving_map<V: Value, W: Value>(k: &Complex<V>, l: &Complex<W>) -> bool {
+    find_name_preserving_map(k, l).is_some()
+}
+
+/// Whether a name-preserving, name-independent simplicial map `k → l`
+/// exists.
+pub fn exists_name_independent_map<V: Value, W: Value>(k: &Complex<V>, l: &Complex<W>) -> bool {
+    find_name_independent_map(k, l).is_some()
+}
+
+struct Search<'a, V: Value, W: Value> {
+    domain_vertices: Vec<Vertex<V>>,
+    /// Candidate images per domain vertex (same name).
+    candidates: Vec<Vec<Vertex<W>>>,
+    /// Facets of the domain, as indices into `domain_vertices`.
+    facets: Vec<Vec<usize>>,
+    codomain: &'a Complex<W>,
+    name_independent: bool,
+}
+
+impl<'a, V: Value, W: Value> Search<'a, V, W> {
+    fn new(k: &Complex<V>, l: &'a Complex<W>, name_independent: bool) -> Self {
+        let domain_vertices = k.vertices();
+        let index: BTreeMap<&Vertex<V>, usize> = domain_vertices.iter().zip(0..).collect();
+        let codomain_vertices = l.vertices();
+        let candidates = domain_vertices
+            .iter()
+            .map(|v| {
+                codomain_vertices
+                    .iter()
+                    .filter(|w| w.name() == v.name())
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        let facets = k
+            .facets()
+            .map(|f| f.vertices().map(|v| index[v]).collect())
+            .collect();
+        Search {
+            domain_vertices,
+            candidates,
+            facets,
+            codomain: l,
+            name_independent,
+        }
+    }
+
+    fn run(&self) -> Option<VertexMap<V, W>> {
+        let mut assignment: Vec<Option<Vertex<W>>> = vec![None; self.domain_vertices.len()];
+        if self.backtrack(0, &mut assignment) {
+            let mut map = VertexMap::new();
+            for (v, img) in self.domain_vertices.iter().zip(assignment) {
+                map.insert(v.clone(), img.expect("complete assignment"));
+            }
+            Some(map)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(&self, next: usize, assignment: &mut Vec<Option<Vertex<W>>>) -> bool {
+        if next == self.domain_vertices.len() {
+            return true;
+        }
+        'cands: for cand in &self.candidates[next] {
+            if self.name_independent {
+                // Equal domain values must receive equal image values.
+                let value = self.domain_vertices[next].value();
+                for (i, img) in assignment.iter().enumerate().take(next) {
+                    if self.domain_vertices[i].value() == value {
+                        let img = img.as_ref().expect("prefix assigned");
+                        if img.value() != cand.value() {
+                            continue 'cands;
+                        }
+                    }
+                }
+            }
+            assignment[next] = Some(cand.clone());
+            // Every facet's assigned prefix must map to a simplex of `l`.
+            let consistent = self.facets.iter().all(|facet| {
+                if !facet.contains(&next) {
+                    return true;
+                }
+                let imgs: Vec<Vertex<W>> = facet
+                    .iter()
+                    .filter_map(|&i| assignment[i].clone())
+                    .collect();
+                match Simplex::from_vertices(imgs) {
+                    Ok(s) => self.codomain.contains_simplex(&s),
+                    Err(_) => false,
+                }
+            });
+            if consistent && self.backtrack(next + 1, assignment) {
+                return true;
+            }
+            assignment[next] = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::ProcessName;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn o_le(n: u32) -> Complex<u8> {
+        Complex::from_facets((0..n).map(|leader| {
+            (0..n)
+                .map(|i| v(i, u8::from(i == leader)))
+                .collect::<Vec<_>>()
+        }))
+        .unwrap()
+    }
+
+    /// π(τ_i) for O_LE on n processes: facets {(i,1)} and {(j,0) : j ≠ i}.
+    fn pi_tau(n: u32, i: u32) -> Complex<u8> {
+        let mut c = Complex::new();
+        c.add_facet([v(i, 1)]).unwrap();
+        let others: Vec<_> = (0..n).filter(|j| *j != i).map(|j| v(j, 0)).collect();
+        if !others.is_empty() {
+            c.add_facet(others).unwrap();
+        }
+        c
+    }
+
+    /// π(O_LE) = ∪_i π(τ_i).
+    fn pi_o_le(n: u32) -> Complex<u8> {
+        let mut c = Complex::new();
+        for i in 0..n {
+            for f in pi_tau(n, i).facets() {
+                c.add_simplex(f.clone());
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn map_into_full_simplex_always_exists() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 3), v(1, 4), v(2, 5)]).unwrap();
+        let mut l = Complex::new();
+        l.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        let m = find_name_preserving_map(&k, &l).unwrap();
+        assert!(m.is_name_preserving());
+        assert!(m.is_simplicial(&k, &l));
+    }
+
+    #[test]
+    fn no_map_when_names_missing() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        let mut l = Complex::new();
+        l.add_facet([v(0, 0)]).unwrap(); // no vertex named p1
+        assert!(!exists_name_preserving_map(&k, &l));
+    }
+
+    #[test]
+    fn broken_symmetry_maps_to_projected_ole() {
+        // π̃(ρ) with an isolated vertex p0 and an edge {p1, p2}:
+        let mut k = Complex::new();
+        k.add_facet([v(0, 10)]).unwrap();
+        k.add_facet([v(1, 20), v(2, 20)]).unwrap();
+        assert!(exists_name_preserving_map(&k, &pi_tau(3, 0)));
+    }
+
+    #[test]
+    fn unbroken_symmetry_cannot_map_to_projected_ole() {
+        // Full triangle (everyone consistent): no facet of π(O_LE) contains
+        // an edge with a leader, so the 2-simplex has no image.
+        let mut k = Complex::new();
+        k.add_facet([v(0, 20), v(1, 20), v(2, 20)]).unwrap();
+        assert!(!exists_name_preserving_map(&k, &pi_o_le(3)));
+    }
+
+    #[test]
+    fn pair_without_singleton_cannot_map_to_any_projected_facet() {
+        // Two consistency classes of size 2 (n = 4): nobody is isolated.
+        // Definition 3.4 asks for a map into π(τ) for a SINGLE facet τ; in
+        // π(τ_i) the only vertex named i is the isolated (i,1), so the class
+        // containing i would have to map an edge onto a simplex containing
+        // the isolated leader — impossible.
+        let mut k = Complex::new();
+        k.add_facet([v(0, 10), v(1, 10)]).unwrap();
+        k.add_facet([v(2, 20), v(3, 20)]).unwrap();
+        for i in 0..4 {
+            assert!(
+                !exists_name_preserving_map(&k, &pi_tau(4, i)),
+                "no map into π(τ_{i})"
+            );
+        }
+        // Into the UNION π(O_LE) a map does exist (map everyone to 0): this
+        // is exactly why the paper quantifies over single facets.
+        assert!(exists_name_preserving_map(&k, &pi_o_le(4)));
+    }
+
+    #[test]
+    fn name_independence_restricts() {
+        // Domain: p0 and p1 both hold value 7, as two isolated vertices.
+        let mut k = Complex::new();
+        k.add_facet([v(0, 7)]).unwrap();
+        k.add_facet([v(1, 7)]).unwrap();
+        // Codomain O_LE(2): facets {(0,1),(1,0)} and {(0,0),(1,1)}.
+        let l = o_le(2);
+        // Name-preserving maps exist (send p0 ↦ 1, p1 ↦ 0 — both isolated
+        // vertices, and O_LE contains the singletons).
+        assert!(exists_name_preserving_map(&k, &l));
+        // But name-independence forces equal outputs for the equal value 7,
+        // and {(0,1),(1,1)} / {(0,0),(1,0)} are simplices? No — singletons
+        // {(0,1)} and {(1,1)} are faces of different facets, which is fine!
+        // Each image singleton only needs to be a simplex individually.
+        assert!(exists_name_independent_map(&k, &l));
+        // Joining the two vertices into one edge kills it: the image edge
+        // {(0,c),(1,c)} is not a simplex of O_LE for any constant c.
+        let mut k2 = Complex::new();
+        k2.add_facet([v(0, 7), v(1, 7)]).unwrap();
+        assert!(exists_name_preserving_map(&k2, &l)); // (0,1),(1,0) works
+        assert!(!exists_name_independent_map(&k2, &l));
+    }
+
+    #[test]
+    fn found_map_validates() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 10)]).unwrap();
+        k.add_facet([v(1, 20), v(2, 20)]).unwrap();
+        let l = pi_o_le(3);
+        let m = find_name_independent_map(&k, &l).unwrap();
+        m.validate_chromatic(&k, &l).unwrap();
+        assert!(m.is_name_independent());
+    }
+
+    #[test]
+    fn empty_domain_trivially_maps() {
+        let k: Complex<u8> = Complex::new();
+        let l = o_le(2);
+        assert!(exists_name_preserving_map(&k, &l));
+    }
+}

@@ -1,0 +1,298 @@
+//! Simplices of chromatic complexes: properly-colored vertex sets.
+
+use std::fmt;
+
+use crate::error::ComplexError;
+use crate::vertex::{ProcessName, Value, Vertex};
+
+/// A non-empty, properly colored set of vertices.
+///
+/// "Properly colored" means no two vertices share a [`ProcessName`] — the
+/// standing assumption for every complex in the paper. Vertices are stored
+/// sorted by `(name, value)` so structural equality and hashing are
+/// canonical.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{ProcessName, Simplex, Vertex};
+///
+/// let s = Simplex::from_vertices(vec![
+///     Vertex::new(ProcessName::new(1), 0u8),
+///     Vertex::new(ProcessName::new(0), 1u8),
+/// ])?;
+/// assert_eq!(s.dimension(), 1);
+/// assert_eq!(s.vertices().next().unwrap().name().index(), 0); // sorted
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Simplex<V> {
+    /// Sorted by `(name, value)`; names pairwise distinct.
+    vertices: Vec<Vertex<V>>,
+}
+
+impl<V: Value> Simplex<V> {
+    /// Builds a simplex from an iterator of vertices.
+    ///
+    /// Duplicate *vertices* (same name and value) are collapsed; duplicate
+    /// *names* with different values are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`ComplexError::EmptySimplex`] if the iterator is empty;
+    /// * [`ComplexError::DuplicateName`] if two vertices share a name but
+    ///   carry different values.
+    pub fn from_vertices<I>(vertices: I) -> Result<Self, ComplexError>
+    where
+        I: IntoIterator<Item = Vertex<V>>,
+    {
+        let mut vs: Vec<Vertex<V>> = vertices.into_iter().collect();
+        if vs.is_empty() {
+            return Err(ComplexError::EmptySimplex);
+        }
+        vs.sort();
+        vs.dedup();
+        for w in vs.windows(2) {
+            if w[0].name() == w[1].name() {
+                return Err(ComplexError::DuplicateName(w[0].name()));
+            }
+        }
+        Ok(Simplex { vertices: vs })
+    }
+
+    /// Builds the 0-dimensional simplex `{v}`.
+    pub fn singleton(v: Vertex<V>) -> Self {
+        Simplex { vertices: vec![v] }
+    }
+
+    /// The dimension `|V(σ)| − 1`.
+    pub fn dimension(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// The number of vertices `|V(σ)| = dim(σ) + 1`.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// A simplex is never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the vertices in canonical `(name, value)` order.
+    pub fn vertices(&self) -> impl Iterator<Item = &Vertex<V>> {
+        self.vertices.iter()
+    }
+
+    /// Returns the sorted vertex slice.
+    pub fn as_slice(&self) -> &[Vertex<V>] {
+        &self.vertices
+    }
+
+    /// Whether `v` is a vertex of this simplex.
+    pub fn contains(&self, v: &Vertex<V>) -> bool {
+        self.vertices.binary_search(v).is_ok()
+    }
+
+    /// Whether this simplex is a (non-strict) face of `other`, i.e.
+    /// `V(self) ⊆ V(other)`.
+    pub fn is_face_of(&self, other: &Simplex<V>) -> bool {
+        // Both sides sorted: merge scan.
+        let mut it = other.vertices.iter();
+        'outer: for v in &self.vertices {
+            for w in it.by_ref() {
+                match w.cmp(v) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// The names (colors) appearing in the simplex, sorted.
+    ///
+    /// This is the paper's `names(σ)`.
+    pub fn names(&self) -> impl Iterator<Item = ProcessName> + '_ {
+        self.vertices.iter().map(Vertex::name)
+    }
+
+    /// Returns the value held by process `name`, if that process appears.
+    pub fn value_of(&self, name: ProcessName) -> Option<&V> {
+        self.vertices
+            .binary_search_by_key(&name, |v| v.name())
+            .ok()
+            .map(|i| self.vertices[i].value())
+    }
+
+    /// Enumerates every non-empty face of the simplex (`2^{dim+1} − 1` of
+    /// them), in subset-mask order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simplex has more than 62 vertices (mask overflow); the
+    /// complexes in this workspace are orders of magnitude smaller.
+    pub fn faces(&self) -> Vec<Simplex<V>> {
+        let k = self.vertices.len();
+        assert!(k <= 62, "face enumeration limited to 62 vertices");
+        let mut out = Vec::with_capacity((1usize << k) - 1);
+        for mask in 1u64..(1u64 << k) {
+            let vs: Vec<Vertex<V>> = (0..k)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.vertices[i].clone())
+                .collect();
+            out.push(Simplex { vertices: vs });
+        }
+        out
+    }
+
+    /// Enumerates the faces of exactly dimension `d` (i.e. `d+1` vertices).
+    pub fn faces_of_dimension(&self, d: usize) -> Vec<Simplex<V>> {
+        self.subsets_of_len(d + 1)
+    }
+
+    /// The boundary: all faces of codimension 1. Empty for a 0-simplex.
+    pub fn boundary(&self) -> Vec<Simplex<V>> {
+        if self.dimension() == 0 {
+            return Vec::new();
+        }
+        self.subsets_of_len(self.vertices.len() - 1)
+    }
+
+    fn subsets_of_len(&self, len: usize) -> Vec<Simplex<V>> {
+        if len == 0 || len > self.vertices.len() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..len).collect();
+        loop {
+            out.push(Simplex {
+                vertices: idx.iter().map(|&i| self.vertices[i].clone()).collect(),
+            });
+            // next combination
+            let k = self.vertices.len();
+            let mut i = len;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + k - len {
+                    idx[i] += 1;
+                    for j in i + 1..len {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for Simplex<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn s(vs: Vec<Vertex<u8>>) -> Simplex<u8> {
+        Simplex::from_vertices(vs).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Simplex::<u8>::from_vertices(Vec::new()),
+            Err(ComplexError::EmptySimplex)
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Simplex::from_vertices(vec![v(0, 0), v(0, 1)]).unwrap_err();
+        assert!(matches!(err, ComplexError::DuplicateName(n) if n.index() == 0));
+    }
+
+    #[test]
+    fn collapses_duplicate_vertices() {
+        let sx = s(vec![v(0, 1), v(0, 1), v(1, 0)]);
+        assert_eq!(sx.dimension(), 1);
+    }
+
+    #[test]
+    fn canonical_order() {
+        let a = s(vec![v(2, 0), v(0, 1), v(1, 0)]);
+        let b = s(vec![v(0, 1), v(1, 0), v(2, 0)]);
+        assert_eq!(a, b);
+        let names: Vec<u32> = a.names().map(ProcessName::index).collect();
+        assert_eq!(names, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn face_relation() {
+        let big = s(vec![v(0, 1), v(1, 0), v(2, 0)]);
+        let small = s(vec![v(0, 1), v(2, 0)]);
+        let not_face = s(vec![v(0, 0), v(2, 0)]);
+        assert!(small.is_face_of(&big));
+        assert!(big.is_face_of(&big));
+        assert!(!not_face.is_face_of(&big));
+        assert!(!big.is_face_of(&small));
+    }
+
+    #[test]
+    fn faces_count_matches_powerset() {
+        let sx = s(vec![v(0, 1), v(1, 0), v(2, 0)]);
+        assert_eq!(sx.faces().len(), 7);
+        assert_eq!(sx.faces_of_dimension(1).len(), 3);
+        assert_eq!(sx.faces_of_dimension(0).len(), 3);
+        assert_eq!(sx.faces_of_dimension(2).len(), 1);
+        assert_eq!(sx.faces_of_dimension(3).len(), 0);
+    }
+
+    #[test]
+    fn boundary_of_edge_is_two_points() {
+        let e = s(vec![v(0, 1), v(1, 0)]);
+        let b = e.boundary();
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|f| f.dimension() == 0));
+    }
+
+    #[test]
+    fn boundary_of_point_is_empty() {
+        let p = s(vec![v(0, 1)]);
+        assert!(p.boundary().is_empty());
+    }
+
+    #[test]
+    fn value_lookup() {
+        let sx = s(vec![v(0, 1), v(1, 0)]);
+        assert_eq!(sx.value_of(ProcessName::new(0)), Some(&1));
+        assert_eq!(sx.value_of(ProcessName::new(1)), Some(&0));
+        assert_eq!(sx.value_of(ProcessName::new(2)), None);
+    }
+
+    #[test]
+    fn contains_vertex() {
+        let sx = s(vec![v(0, 1), v(1, 0)]);
+        assert!(sx.contains(&v(0, 1)));
+        assert!(!sx.contains(&v(0, 0)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Barycentric subdivision.
+//!
+//! The subdivision `Bary(K)` has one vertex per simplex of `K`, and a
+//! simplex per chain `σ_0 ⊊ σ_1 ⊊ … ⊊ σ_m` of simplices of `K`. It is the
+//! standard "refinement" operator of combinatorial topology: it preserves
+//! the homotopy type (checked here through mod-2 Betti numbers), and
+//! iterated subdivisions model multi-round full-information protocol
+//! evolution in the HKR framework that this paper builds on.
+//!
+//! Chromatic note: subdivision vertices are colored by the *dimension* of
+//! the simplex they came from — the standard coloring making `Bary(K)` a
+//! chromatic complex when `K` is pure.
+
+use std::collections::BTreeMap;
+
+use crate::complex::Complex;
+use crate::simplex::Simplex;
+use crate::vertex::{ProcessName, Value, Vertex};
+
+/// A vertex of the subdivision: the simplex of `K` it stands for, encoded
+/// canonically as its sorted vertex list.
+pub type BaryValue<V> = Vec<Vertex<V>>;
+
+/// Computes the barycentric subdivision of `k`.
+///
+/// The resulting vertices carry the originating simplex as their value and
+/// its dimension as their name.
+///
+/// # Example
+///
+/// Subdividing an edge yields a path of two edges (3 vertices):
+///
+/// ```
+/// use rsbt_complex::{subdivision, Complex, ProcessName, Vertex};
+///
+/// let mut k = Complex::new();
+/// k.add_facet([
+///     Vertex::new(ProcessName::new(0), 0u8),
+///     Vertex::new(ProcessName::new(1), 0u8),
+/// ])?;
+/// let bary = subdivision::barycentric(&k);
+/// assert_eq!(bary.vertex_count(), 3);
+/// assert_eq!(bary.facet_count(), 2);
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+pub fn barycentric<V: Value>(k: &Complex<V>) -> Complex<BaryValue<V>> {
+    let mut out = Complex::new();
+    for facet in k.facets() {
+        // Chains within a single facet: enumerate all maximal chains of
+        // its face lattice. A maximal chain of an m-simplex picks a
+        // permutation of its vertices (add one vertex at a time).
+        let vs: Vec<Vertex<V>> = facet.vertices().cloned().collect();
+        let mut order: Vec<usize> = (0..vs.len()).collect();
+        permute_chains(&vs, &mut order, 0, &mut out);
+    }
+    out
+}
+
+/// Recursively enumerates vertex orders of a facet, emitting the chain
+/// simplex for each order.
+fn permute_chains<V: Value>(
+    vs: &[Vertex<V>],
+    order: &mut Vec<usize>,
+    fixed: usize,
+    out: &mut Complex<BaryValue<V>>,
+) {
+    if fixed == vs.len() {
+        let chain: Vec<Vertex<BaryValue<V>>> = (0..vs.len())
+            .map(|d| {
+                let mut prefix: Vec<Vertex<V>> =
+                    order[..=d].iter().map(|&i| vs[i].clone()).collect();
+                prefix.sort();
+                Vertex::new(ProcessName::new(d as u32), prefix)
+            })
+            .collect();
+        out.add_facet(chain).expect("chain vertices have distinct dims");
+        return;
+    }
+    for i in fixed..vs.len() {
+        order.swap(fixed, i);
+        permute_chains(vs, order, fixed + 1, out);
+        order.swap(fixed, i);
+    }
+}
+
+/// The number of simplices of each dimension in `k`, as a map — the
+/// f-vector. Useful for checking subdivision counts.
+pub fn f_vector<V: Value>(k: &Complex<V>) -> BTreeMap<usize, usize> {
+    let mut out = BTreeMap::new();
+    if let Some(dim) = k.dimension() {
+        for d in 0..=dim {
+            out.insert(d, k.simplices_of_dimension(d).len());
+        }
+    }
+    out
+}
+
+/// The simplex of `K` represented by a subdivision vertex.
+pub fn carrier<V: Value>(v: &Vertex<BaryValue<V>>) -> Simplex<V> {
+    Simplex::from_vertices(v.value().clone()).expect("non-empty carrier")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homology;
+
+    fn v(name: u32, value: u8) -> Vertex<u8> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    #[test]
+    fn point_subdivides_to_point() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0)]).unwrap();
+        let b = barycentric(&k);
+        assert_eq!(b.vertex_count(), 1);
+        assert_eq!(b.facet_count(), 1);
+    }
+
+    #[test]
+    fn triangle_subdivision_counts() {
+        // A 2-simplex subdivides into 6 triangles on 7 vertices.
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        let b = barycentric(&k);
+        assert_eq!(b.vertex_count(), 7); // 3 + 3 + 1 simplices of K
+        assert_eq!(b.facet_count(), 6); // 3! maximal chains
+        assert!(b.is_pure());
+        assert_eq!(b.dimension(), Some(2));
+    }
+
+    #[test]
+    fn subdivision_preserves_betti_numbers() {
+        // Hollow triangle (a circle): β = [1, 1] before and after.
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        k.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        k.add_facet([v(0, 0), v(2, 0)]).unwrap();
+        let b = barycentric(&k);
+        assert_eq!(
+            homology::betti_numbers(&k),
+            homology::betti_numbers(&b),
+            "subdivision is a homeomorphism"
+        );
+        // And once more.
+        let bb = barycentric(&b);
+        assert_eq!(homology::betti_numbers(&k), homology::betti_numbers(&bb));
+    }
+
+    #[test]
+    fn subdivision_of_disjoint_pieces() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0)]).unwrap();
+        k.add_facet([v(1, 0), v(2, 0)]).unwrap();
+        let b = barycentric(&k);
+        assert_eq!(homology::betti_numbers(&b)[0], 2);
+    }
+
+    #[test]
+    fn colors_are_dimensions() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0)]).unwrap();
+        let b = barycentric(&k);
+        for facet in b.facets() {
+            let names: Vec<u32> = facet.names().map(ProcessName::index).collect();
+            assert_eq!(names, vec![0, 1], "chain colored by dimension");
+        }
+    }
+
+    #[test]
+    fn carriers_nest_along_chains() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        let b = barycentric(&k);
+        for facet in b.facets() {
+            let carriers: Vec<Simplex<u8>> = facet.vertices().map(carrier).collect();
+            for w in carriers.windows(2) {
+                assert!(w[0].is_face_of(&w[1]), "chains are nested");
+            }
+        }
+    }
+
+    #[test]
+    fn f_vector_counts() {
+        let mut k = Complex::new();
+        k.add_facet([v(0, 0), v(1, 0), v(2, 0)]).unwrap();
+        let f = f_vector(&k);
+        assert_eq!(f[&0], 3);
+        assert_eq!(f[&1], 3);
+        assert_eq!(f[&2], 1);
+    }
+}

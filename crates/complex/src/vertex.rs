@@ -1,0 +1,164 @@
+//! Chromatic vertices: `(name, value)` pairs.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// The identity ("color") of a processing node in a chromatic complex.
+///
+/// The paper writes vertices as pairs `(i, x)` with `i ∈ [n]`; `ProcessName`
+/// is that `i`. Names start at `0` in this implementation.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::ProcessName;
+/// let p = ProcessName::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessName(u32);
+
+impl ProcessName {
+    /// Creates a process name from a zero-based index.
+    pub fn new(index: u32) -> Self {
+        ProcessName(index)
+    }
+
+    /// Returns the zero-based index of the process.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the first `n` process names `p0, …, p(n-1)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rsbt_complex::ProcessName;
+    /// let names: Vec<_> = ProcessName::first(3).collect();
+    /// assert_eq!(names.len(), 3);
+    /// assert_eq!(names[2].index(), 2);
+    /// ```
+    pub fn first(n: u32) -> impl Iterator<Item = ProcessName> {
+        (0..n).map(ProcessName)
+    }
+}
+
+impl fmt::Display for ProcessName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessName {
+    fn from(index: u32) -> Self {
+        ProcessName(index)
+    }
+}
+
+/// Bound alias for the value (local state / output) carried by a vertex.
+///
+/// Values must support structural equality, hashing (for vertex interning),
+/// and a total order (for canonical simplex ordering).
+pub trait Value: Clone + Eq + Ord + Hash + fmt::Debug {}
+
+impl<T: Clone + Eq + Ord + Hash + fmt::Debug> Value for T {}
+
+/// A chromatic vertex `(name, value)`.
+///
+/// Two vertices are equal iff both name and value are equal; a complex may
+/// contain several vertices with the same name (e.g. `O_LE` contains `(i, 0)`
+/// and `(i, 1)` for every `i`), but a *simplex* never contains two vertices
+/// with the same name (proper coloring).
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{ProcessName, Vertex};
+/// let v = Vertex::new(ProcessName::new(0), "elected");
+/// assert_eq!(v.name().index(), 0);
+/// assert_eq!(*v.value(), "elected");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Vertex<V> {
+    name: ProcessName,
+    value: V,
+}
+
+impl<V: Value> Vertex<V> {
+    /// Creates a vertex with the given name (color) and value.
+    pub fn new(name: ProcessName, value: V) -> Self {
+        Vertex { name, value }
+    }
+
+    /// Returns the name (color) of the vertex.
+    pub fn name(&self) -> ProcessName {
+        self.name
+    }
+
+    /// Returns a reference to the value carried by the vertex.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+
+    /// Consumes the vertex and returns its `(name, value)` pair.
+    pub fn into_parts(self) -> (ProcessName, V) {
+        (self.name, self.value)
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for Vertex<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.name, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        assert_eq!(ProcessName::new(7).index(), 7);
+        assert_eq!(ProcessName::from(3).index(), 3);
+    }
+
+    #[test]
+    fn first_yields_contiguous_names() {
+        let names: Vec<u32> = ProcessName::first(5).map(ProcessName::index).collect();
+        assert_eq!(names, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn vertex_accessors() {
+        let v = Vertex::new(ProcessName::new(1), 42u8);
+        assert_eq!(v.name(), ProcessName::new(1));
+        assert_eq!(*v.value(), 42);
+        let (n, val) = v.into_parts();
+        assert_eq!((n.index(), val), (1, 42));
+    }
+
+    #[test]
+    fn vertex_equality_requires_both_fields() {
+        let a = Vertex::new(ProcessName::new(0), 1u8);
+        let b = Vertex::new(ProcessName::new(0), 2u8);
+        let c = Vertex::new(ProcessName::new(1), 1u8);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, Vertex::new(ProcessName::new(0), 1u8));
+    }
+
+    #[test]
+    fn vertex_ordering_is_name_major() {
+        let a = Vertex::new(ProcessName::new(0), 9u8);
+        let b = Vertex::new(ProcessName::new(1), 0u8);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Vertex::new(ProcessName::new(2), 1u8);
+        assert_eq!(v.to_string(), "(p2, 1)");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the simplicial-complex substrate.
+
+use proptest::prelude::*;
+use rsbt_complex::{connectivity, homology, iso, ops, search, Complex, ProcessName, Vertex};
+
+/// Strategy: a random chromatic complex on up to `n` names with values in
+/// `0..vals`, built from up to `max_facets` random facets.
+fn arb_complex(n: u32, vals: u8, max_facets: usize) -> impl Strategy<Value = Complex<u8>> {
+    let facet = proptest::collection::vec((0..n, 0..vals), 1..=(n as usize));
+    proptest::collection::vec(facet, 1..=max_facets).prop_map(|facets| {
+        let mut c = Complex::new();
+        for f in facets {
+            // Deduplicate names inside the candidate facet (keep first value).
+            let mut seen = std::collections::BTreeMap::new();
+            for (name, val) in f {
+                seen.entry(name).or_insert(val);
+            }
+            let vs: Vec<Vertex<u8>> = seen
+                .into_iter()
+                .map(|(name, val)| Vertex::new(ProcessName::new(name), val))
+                .collect();
+            c.add_facet(vs).expect("distinct names by construction");
+        }
+        c
+    })
+}
+
+proptest! {
+    /// No facet is a face of another facet (maximality invariant).
+    #[test]
+    fn facets_are_maximal(c in arb_complex(5, 3, 8)) {
+        let facets: Vec<_> = c.facets().cloned().collect();
+        for (i, a) in facets.iter().enumerate() {
+            for (j, b) in facets.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_face_of(b), "facet {a:?} ⊆ facet {b:?}");
+                }
+            }
+        }
+    }
+
+    /// Every face of every facet is contained in the complex.
+    #[test]
+    fn downward_closure(c in arb_complex(4, 3, 6)) {
+        for f in c.facets() {
+            for face in f.faces() {
+                prop_assert!(c.contains_simplex(&face));
+            }
+        }
+    }
+
+    /// Insertion is idempotent and order-independent.
+    #[test]
+    fn insertion_order_irrelevant(c in arb_complex(5, 3, 8)) {
+        let facets: Vec<_> = c.facets().cloned().collect();
+        let mut rev = Complex::new();
+        for f in facets.iter().rev() {
+            rev.add_simplex(f.clone());
+            rev.add_simplex(f.clone()); // idempotence
+        }
+        prop_assert_eq!(c, rev);
+    }
+
+    /// β_0 equals the number of connected components.
+    #[test]
+    fn betti0_is_component_count(c in arb_complex(5, 2, 6)) {
+        let b = homology::betti_numbers(&c);
+        let comps = connectivity::components(&c).len();
+        if comps == 0 {
+            prop_assert!(b.is_empty());
+        } else {
+            prop_assert_eq!(b[0], comps);
+        }
+    }
+
+    /// Euler characteristic equals the alternating sum of Betti numbers.
+    #[test]
+    fn euler_poincare(c in arb_complex(5, 2, 6)) {
+        let b = homology::betti_numbers(&c);
+        let alt: i64 = b.iter().enumerate()
+            .map(|(d, &x)| if d % 2 == 0 { x as i64 } else { -(x as i64) })
+            .sum();
+        prop_assert_eq!(homology::euler_characteristic(&c), alt);
+    }
+
+    /// A single facet viewed as a complex is mod-2 acyclic (contractible).
+    #[test]
+    fn facet_complexes_are_acyclic(c in arb_complex(5, 3, 6)) {
+        for f in c.facets() {
+            let fc = ops::facet_as_complex(f);
+            prop_assert!(homology::is_acyclic(&fc));
+        }
+    }
+
+    /// The induced subcomplex on the full vertex set is the identity.
+    #[test]
+    fn induced_on_everything_is_identity(c in arb_complex(5, 3, 6)) {
+        let all = c.vertices();
+        prop_assert_eq!(ops::induced_subcomplex(&c, &all), c);
+    }
+
+    /// Induced subcomplexes are monotone: restricting to fewer vertices
+    /// yields a subcomplex.
+    #[test]
+    fn induced_is_subcomplex(c in arb_complex(5, 3, 6), keep in 0usize..32) {
+        let all = c.vertices();
+        let subset: Vec<_> = all.iter().enumerate()
+            .filter(|(i, _)| keep & (1 << (i % 5)) != 0)
+            .map(|(_, v)| v.clone())
+            .collect();
+        let sub = ops::induced_subcomplex(&c, &subset);
+        prop_assert!(ops::is_subcomplex(&sub, &c));
+    }
+
+    /// Every complex is isomorphic to itself, and isomorphic to a version
+    /// with values shifted by a constant.
+    #[test]
+    fn iso_reflexive_and_value_shift(c in arb_complex(4, 2, 4)) {
+        prop_assert!(iso::are_isomorphic(&c, &c));
+        let shifted = Complex::from_facets(c.facets().map(|f| {
+            f.vertices().map(|v| Vertex::new(v.name(), v.value() + 10)).collect::<Vec<_>>()
+        })).unwrap();
+        prop_assert!(iso::are_isomorphic(&c, &shifted));
+    }
+
+    /// A name-preserving simplicial map into a full simplex over the same
+    /// names always exists, and the search returns a valid map.
+    #[test]
+    fn map_to_cone_exists(c in arb_complex(4, 3, 6)) {
+        let names = c.names();
+        if names.is_empty() { return Ok(()); }
+        let full: Vec<Vertex<u8>> = names.iter().map(|n| Vertex::new(*n, 0)).collect();
+        let mut l = Complex::new();
+        l.add_facet(full).unwrap();
+        let m = search::find_name_preserving_map(&c, &l);
+        prop_assert!(m.is_some());
+        let m = m.unwrap();
+        prop_assert!(m.validate_chromatic(&c, &l).is_ok());
+    }
+
+    /// The star of a vertex contains its link joined with the vertex.
+    #[test]
+    fn star_contains_link(c in arb_complex(4, 2, 5)) {
+        for v in c.vertices() {
+            let star = ops::star(&c, &v);
+            let link = ops::link(&c, &v);
+            prop_assert!(ops::is_subcomplex(&link, &star));
+            prop_assert!(star.is_empty() || star.contains_vertex(&v));
+            prop_assert!(!link.contains_vertex(&v));
+        }
+    }
+
+    /// Skeleton dimension is capped, and skeleton of skeleton is skeleton.
+    #[test]
+    fn skeleton_properties(c in arb_complex(5, 2, 6), d in 0usize..4) {
+        let sk = ops::skeleton(&c, d);
+        if let Some(dim) = sk.dimension() {
+            prop_assert!(dim <= d);
+        }
+        prop_assert_eq!(ops::skeleton(&sk, d), sk.clone());
+        prop_assert!(ops::is_subcomplex(&sk, &c));
+    }
+}

@@ -1,0 +1,181 @@
+//! Closed-form probabilities from the proof of Theorem 4.1.
+//!
+//! For a blackboard configuration with `k > 1` sources and `n_1 = 1`, the
+//! paper lower-bounds the success probability through the event `S_1(t)`
+//! ("the first party's string is unique"):
+//!
+//! ```text
+//! Pr[S(t) | α] ≥ (2^t − 1)^{k−1} / 2^{t(k−1)} ≥ 1 − (k−1)/2^t .
+//! ```
+//!
+//! This module provides those two closed forms plus the *exact*
+//! inclusion-exclusion formula for the blackboard success probability of
+//! leader election (a singleton-source string must differ from every other
+//! source's string), cross-validated against brute-force enumeration in
+//! the tests.
+
+/// The paper's lower bound `1 − (k−1)/2^t` (proof of Theorem 4.1, 'if'
+/// direction, for configurations with a singleton source and `k` sources).
+pub fn theorem_4_1_lower_bound(k: usize, t: usize) -> f64 {
+    1.0 - (k as f64 - 1.0) / 2f64.powi(t as i32)
+}
+
+/// The probability of the event `S_1(t)`: the singleton party's string
+/// differs from every other source's string —
+/// `(2^t − 1)^{k−1} / 2^{t(k−1)}`.
+pub fn s1_probability(k: usize, t: usize) -> f64 {
+    let m = 2f64.powi(t as i32);
+    ((m - 1.0) / m).powi(k as i32 - 1)
+}
+
+/// Exact blackboard success probability of leader election for group sizes
+/// `n_1, …, n_k` at time `t`, via inclusion-exclusion.
+///
+/// Leader election solves at `ρ` iff some consistency class is a
+/// singleton; in the blackboard model classes coincide with
+/// equal-randomness groups of nodes, so a singleton class exists iff some
+/// *singleton group*'s source string differs from every other source's
+/// string. With `s` singleton groups among `k` sources and `m = 2^t`
+/// strings:
+///
+/// ```text
+/// p(t) = Σ_{j=1}^{s} (−1)^{j+1} C(s, j) · m(m−1)⋯(m−j+1) · (m−j)^{k−j} / m^k
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use rsbt_core::bounds::exact_blackboard_le_probability;
+///
+/// // Two private sources (n = k = 2, both singletons): p(t) = 1 − 2^{−t}.
+/// let p = exact_blackboard_le_probability(&[1, 1], 3);
+/// assert!((p - 0.875).abs() < 1e-12);
+/// // No singleton: probability 0.
+/// assert_eq!(exact_blackboard_le_probability(&[2, 2], 3), 0.0);
+/// ```
+pub fn exact_blackboard_le_probability(group_sizes: &[usize], t: usize) -> f64 {
+    let k = group_sizes.len();
+    let s = group_sizes.iter().filter(|&&g| g == 1).count();
+    if s == 0 {
+        return 0.0;
+    }
+    if k == 1 {
+        // Single source feeding a single node: trivial election.
+        return 1.0;
+    }
+    let m = 2f64.powi(t as i32);
+    let mut total = 0.0;
+    let mut binom = 1.0; // C(s, j)
+    let mut falling = 1.0; // m (m−1) ⋯ (m−j+1)
+    for j in 1..=s {
+        binom *= (s - j + 1) as f64 / j as f64;
+        falling *= m - (j as f64 - 1.0);
+        let rest = (m - j as f64).powi((k - j) as i32);
+        let term = binom * falling * rest / m.powi(k as i32);
+        if j % 2 == 1 {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_ordering() {
+        // exact ≥ S1 ≥ paper bound, for singleton configurations.
+        for k in 2..=5 {
+            for t in 1..=6 {
+                let sizes: Vec<usize> =
+                    std::iter::once(1).chain(std::iter::repeat(2).take(k - 1)).collect();
+                let exact = exact_blackboard_le_probability(&sizes, t);
+                let s1 = s1_probability(k, t);
+                let lb = theorem_4_1_lower_bound(k, t);
+                assert!(exact >= s1 - 1e-12, "k={k} t={t}: exact {exact} < s1 {s1}");
+                assert!(s1 >= lb - 1e-12, "k={k} t={t}: s1 {s1} < bound {lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_singleton_equals_s1() {
+        // With exactly one singleton group, the exact probability IS the
+        // S1 event probability.
+        for k in 2..=5 {
+            for t in 1..=5 {
+                let sizes: Vec<usize> =
+                    std::iter::once(1).chain(std::iter::repeat(3).take(k - 1)).collect();
+                let exact = exact_blackboard_le_probability(&sizes, t);
+                assert!((exact - s1_probability(k, t)).abs() < 1e-12, "k={k} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_private_two_nodes() {
+        for t in 1..=6 {
+            let p = exact_blackboard_le_probability(&[1, 1], t);
+            let expect = 1.0 - 0.5f64.powi(t as i32);
+            assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_one() {
+        let p = exact_blackboard_le_probability(&[1, 2, 3], 30);
+        assert!(p > 1.0 - 1e-8);
+        let lb = theorem_4_1_lower_bound(3, 30);
+        assert!(lb > 1.0 - 1e-8);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(exact_blackboard_le_probability(&[1], 5), 1.0);
+        assert_eq!(exact_blackboard_le_probability(&[4], 5), 0.0);
+        assert_eq!(exact_blackboard_le_probability(&[2, 3], 5), 0.0);
+    }
+
+    /// Brute-force cross-check against direct enumeration of source words.
+    #[test]
+    fn matches_brute_force() {
+        for sizes in [
+            vec![1usize, 1],
+            vec![1, 2],
+            vec![1, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 2],
+            vec![2, 2],
+        ] {
+            let k = sizes.len();
+            for t in 1..=3usize {
+                let m = 1u64 << t;
+                let mut hits = 0u64;
+                let mut total = 0u64;
+                // Every k-tuple of source strings.
+                for word in 0..m.pow(k as u32) {
+                    let strings: Vec<u64> =
+                        (0..k).map(|i| word / m.pow(i as u32) % m).collect();
+                    let solvable = (0..k).any(|i| {
+                        sizes[i] == 1
+                            && strings
+                                .iter()
+                                .enumerate()
+                                .all(|(j, &x)| j == i || x != strings[i])
+                    });
+                    hits += u64::from(solvable);
+                    total += 1;
+                }
+                let brute = hits as f64 / total as f64;
+                let formula = exact_blackboard_le_probability(&sizes, t);
+                assert!(
+                    (brute - formula).abs() < 1e-12,
+                    "sizes={sizes:?} t={t}: brute {brute} vs formula {formula}"
+                );
+            }
+        }
+    }
+}

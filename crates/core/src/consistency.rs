@@ -1,0 +1,222 @@
+//! The consistency projection `π̃(ρ)` (Eq. 5 of the paper).
+//!
+//! For a realization `ρ`, vertices `(i, x_i)` and `(j, x_j)` span a simplex
+//! of `π̃(ρ)` iff `i ∼_t j`, i.e. the nodes hold identical knowledge after
+//! running the model on `ρ`. The projection is a disjoint union of
+//! simplices — one per consistency class — and leader election is solvable
+//! on `ρ` exactly when `π̃(ρ)` has an isolated vertex.
+
+use rsbt_complex::{Complex, ProcessName, Vertex};
+use rsbt_random::{Assignment, BitString, Realization};
+use rsbt_sim::{Execution, KnowledgeArena, Model};
+
+/// Builds `π̃(ρ)` by running the full-information dynamics on `ρ`.
+///
+/// The vertex set is `{(i, x_i)}` (randomness values, matching the paper's
+/// definition on `R(t)`); the facets are the consistency classes.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_core::consistency;
+/// use rsbt_random::{BitString, Realization};
+/// use rsbt_sim::{KnowledgeArena, Model};
+///
+/// let rho = Realization::new(vec![
+///     BitString::from_bits([true]),
+///     BitString::from_bits([false]),
+///     BitString::from_bits([false]),
+/// ]).unwrap();
+/// let mut arena = KnowledgeArena::new();
+/// let pi = consistency::pi_tilde(&Model::Blackboard, &rho, &mut arena);
+/// assert_eq!(pi.facet_count(), 2); // {p0} and {p1, p2}
+/// assert_eq!(pi.isolated_vertices().len(), 1);
+/// ```
+pub fn pi_tilde(model: &Model, rho: &Realization, arena: &mut KnowledgeArena) -> Complex<BitString> {
+    let exec = Execution::run(model, rho, arena);
+    pi_tilde_of_execution(&exec, rho)
+}
+
+/// Builds `π̃(ρ)` from an already-computed execution (avoids re-running the
+/// dynamics when the caller needs both).
+///
+/// # Panics
+///
+/// Panics if `exec` and `rho` disagree on node count or time.
+pub fn pi_tilde_of_execution(exec: &Execution, rho: &Realization) -> Complex<BitString> {
+    assert_eq!(exec.n(), rho.n(), "execution/realization node mismatch");
+    assert_eq!(exec.time(), rho.time(), "execution/realization time mismatch");
+    let t = exec.time();
+    let mut c = Complex::new();
+    for class in exec.consistency_partition(t) {
+        c.add_facet(
+            class
+                .into_iter()
+                .map(|i| Vertex::new(ProcessName::new(i as u32), rho.node(i))),
+        )
+        .expect("classes have distinct nodes");
+    }
+    c
+}
+
+/// The union `π̃(R(t)) = ⋃_ρ π̃(ρ)` over the positive-probability
+/// realizations of `α` (Eq. 6).
+pub fn pi_tilde_of_support(
+    model: &Model,
+    alpha: &Assignment,
+    t: usize,
+    arena: &mut KnowledgeArena,
+) -> Complex<BitString> {
+    let mut c = Complex::new();
+    for rho in Realization::enumerate_consistent(alpha, t) {
+        for f in pi_tilde(model, &rho, arena).facets() {
+            c.add_simplex(f.clone());
+        }
+    }
+    c
+}
+
+/// The dimensions (plus one) of the facets of `π̃(ρ)` — the class sizes
+/// Lemma 4.3 constrains to multiples of `g`.
+pub fn class_sizes(model: &Model, rho: &Realization, arena: &mut KnowledgeArena) -> Vec<usize> {
+    let exec = Execution::run(model, rho, arena);
+    exec.class_sizes(rho.time())
+}
+
+/// Checks Lemma 4.3 on every positive-probability realization of `α` at
+/// time `t`: under `model`, every consistency-class size must be divisible
+/// by `g`. Returns the number of `(realization, class)` pairs checked.
+///
+/// # Panics
+///
+/// Panics on the first violating class (with context).
+pub fn verify_lemma_4_3(
+    model: &Model,
+    alpha: &Assignment,
+    g: usize,
+    t: usize,
+    arena: &mut KnowledgeArena,
+) -> usize {
+    let mut checked = 0;
+    for rho in Realization::enumerate_consistent(alpha, t) {
+        for size in class_sizes(model, &rho, arena) {
+            assert_eq!(
+                size % g,
+                0,
+                "class size {size} not divisible by g={g} on {rho}"
+            );
+            checked += 1;
+        }
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_complex::connectivity;
+    use rsbt_sim::PortNumbering;
+
+    fn bits(s: &str) -> BitString {
+        BitString::from_bits(s.chars().map(|c| c == '1'))
+    }
+
+    fn rho(strs: &[&str]) -> Realization {
+        Realization::new(strs.iter().map(|s| bits(s)).collect()).unwrap()
+    }
+
+    #[test]
+    fn blackboard_classes_equal_randomness_groups() {
+        let mut arena = KnowledgeArena::new();
+        let r = rho(&["01", "01", "10", "11"]);
+        let pi = pi_tilde(&Model::Blackboard, &r, &mut arena);
+        assert_eq!(pi.facet_count(), 3);
+        assert_eq!(pi.isolated_vertices().len(), 2);
+        // π̃(ρ) is a disjoint union of simplices: components = facets.
+        assert_eq!(connectivity::components(&pi).len(), 3);
+    }
+
+    #[test]
+    fn pi_tilde_is_disjoint_union_of_simplices() {
+        let mut arena = KnowledgeArena::new();
+        for r in Realization::enumerate_all(3, 2) {
+            let pi = pi_tilde(&Model::Blackboard, &r, &mut arena);
+            let comps = connectivity::components(&pi).len();
+            assert_eq!(comps, pi.facet_count(), "{r}");
+        }
+    }
+
+    #[test]
+    fn support_union_for_shared_source() {
+        // All nodes share the source: π̃(R(t)) is the diagonal — one
+        // (n−1)-simplex per source word.
+        let alpha = Assignment::shared(3);
+        let mut arena = KnowledgeArena::new();
+        let u = pi_tilde_of_support(&Model::Blackboard, &alpha, 2, &mut arena);
+        assert_eq!(u.facet_count(), 4); // 2^t source words
+        assert!(u.is_pure());
+        assert_eq!(u.dimension(), Some(2));
+    }
+
+    #[test]
+    fn lemma_4_3_holds_on_adversarial_ports() {
+        for (sizes, g) in [
+            (vec![2usize, 2], 2usize),
+            (vec![3, 3], 3),
+            (vec![2, 4], 2),
+            (vec![4], 4),
+        ] {
+            let n: usize = sizes.iter().sum();
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            let model = Model::MessagePassing(PortNumbering::adversarial(n, g));
+            let mut arena = KnowledgeArena::new();
+            for t in 1..=2 {
+                let checked = verify_lemma_4_3(&model, &alpha, g, t, &mut arena);
+                assert!(checked > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_3_fails_on_bad_ports() {
+        // With cyclic ports + gcd 2 the divisibility CAN break (the lemma
+        // is about a specific adversarial numbering). Find a witness.
+        let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        let model = Model::message_passing_cyclic(4);
+        let mut arena = KnowledgeArena::new();
+        let mut violated = false;
+        for t in 1..=3 {
+            for r in Realization::enumerate_consistent(&alpha, t) {
+                if class_sizes(&model, &r, &mut arena)
+                    .iter()
+                    .any(|s| s % 2 != 0)
+                {
+                    violated = true;
+                }
+            }
+        }
+        assert!(
+            violated,
+            "cyclic ports should break the divisibility invariant"
+        );
+    }
+
+    #[test]
+    fn class_sizes_sum_to_n() {
+        let mut arena = KnowledgeArena::new();
+        for r in Realization::enumerate_all(4, 1) {
+            let sizes = class_sizes(&Model::Blackboard, &r, &mut arena);
+            assert_eq!(sizes.iter().sum::<usize>(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time mismatch")]
+    fn execution_mismatch_detected() {
+        let mut arena = KnowledgeArena::new();
+        let r2 = rho(&["01", "10"]);
+        let r1 = rho(&["0", "1"]);
+        let exec = Execution::run(&Model::Blackboard, &r1, &mut arena);
+        let _ = pi_tilde_of_execution(&exec, &r2);
+    }
+}

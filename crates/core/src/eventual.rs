@@ -1,0 +1,170 @@
+//! Eventual solvability (Definition 3.3) and the zero-one law (Lemma 3.2).
+//!
+//! Kolmogorov's zero-one law forces `lim_{t→∞} Pr[S(t) | α] ∈ {0, 1}`, so
+//! eventual solvability is a *deterministic* predicate of the
+//! randomness-configuration. For leader election the paper pins it down:
+//!
+//! * **Theorem 4.1 (blackboard)**: solvable ⟺ some source feeds exactly
+//!   one node (`∃ i : n_i = 1`);
+//! * **Theorem 4.2 (message passing, worst-case ports)**: solvable ⟺
+//!   `gcd(n_1, …, n_k) = 1`.
+
+use rsbt_random::Assignment;
+
+/// Theorem 4.1: eventual solvability of leader election in the blackboard
+/// model.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_core::eventual::blackboard_eventually_solvable;
+/// use rsbt_random::Assignment;
+///
+/// let with_singleton = Assignment::from_group_sizes(&[1, 3]).unwrap();
+/// let without = Assignment::from_group_sizes(&[2, 2]).unwrap();
+/// assert!(blackboard_eventually_solvable(&with_singleton));
+/// assert!(!blackboard_eventually_solvable(&without));
+/// ```
+pub fn blackboard_eventually_solvable(alpha: &Assignment) -> bool {
+    alpha.has_singleton_group()
+}
+
+/// Theorem 4.2: worst-case (over port numberings) eventual solvability of
+/// leader election in the message-passing model.
+///
+/// If the gcd is 1, *every* port numbering admits eventual election; if it
+/// is greater than 1, the adversarial numbering
+/// [`rsbt_sim::PortNumbering::adversarial`] defeats every algorithm.
+pub fn message_passing_worst_case_solvable(alpha: &Assignment) -> bool {
+    alpha.gcd_of_group_sizes() == 1
+}
+
+/// Classification of the limit of a probability series.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LimitClass {
+    /// The series is identically zero (task unsolvable).
+    Zero,
+    /// The series approaches one (task eventually solvable).
+    One,
+    /// The prefix is too short to classify against the tolerance.
+    Inconclusive,
+}
+
+/// Classifies a finite prefix of `p(1), p(2), …` against the zero-one law:
+/// all-zero prefixes classify as [`LimitClass::Zero`]; prefixes whose last
+/// value exceeds `1 − tol` classify as [`LimitClass::One`].
+///
+/// By Lemma 3.2, `p(t) > 0` for any `t` already implies the limit is 1;
+/// this function is deliberately conservative and reports
+/// [`LimitClass::Inconclusive`] for short positive prefixes instead of
+/// extrapolating.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or `tol` is not in `(0, 1)`.
+pub fn classify_limit(series: &[f64], tol: f64) -> LimitClass {
+    assert!(!series.is_empty(), "need at least one probability");
+    assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0,1)");
+    if series.iter().all(|&p| p == 0.0) {
+        LimitClass::Zero
+    } else if series.last().copied().unwrap_or(0.0) >= 1.0 - tol {
+        LimitClass::One
+    } else {
+        LimitClass::Inconclusive
+    }
+}
+
+/// The zero-one dichotomy implied by Lemma 3.2 on a *finite* prefix:
+/// a positive entry anywhere forces limit 1; an all-zero prefix is
+/// consistent with limit 0 (and is limit 0 whenever solvability is
+/// time-monotone, which Section 3.2 proves).
+pub fn lemma_3_2_limit(series: &[f64]) -> LimitClass {
+    assert!(!series.is_empty(), "need at least one probability");
+    if series.iter().any(|&p| p > 0.0) {
+        LimitClass::One
+    } else {
+        LimitClass::Zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_4_1_predicate() {
+        let cases = [
+            (vec![1usize], true),
+            (vec![2], false),
+            (vec![1, 1], true),
+            (vec![2, 2], false),
+            (vec![1, 4], true),
+            (vec![3, 3, 3], false),
+            (vec![1, 2, 3], true),
+        ];
+        for (sizes, expect) in cases {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            assert_eq!(
+                blackboard_eventually_solvable(&alpha),
+                expect,
+                "{sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_2_predicate() {
+        let cases = [
+            (vec![1usize], true),
+            (vec![2], false),
+            (vec![2, 2], false),
+            (vec![2, 3], true),
+            (vec![4, 6], false),
+            (vec![2, 4, 6], false),
+            (vec![2, 4, 7], true),
+            (vec![3, 3], false),
+            (vec![1, 5], true),
+        ];
+        for (sizes, expect) in cases {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            assert_eq!(
+                message_passing_worst_case_solvable(&alpha),
+                expect,
+                "{sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blackboard_solvable_implies_mp_solvable() {
+        // ∃ n_i = 1 ⇒ gcd = 1: the blackboard condition is strictly
+        // stronger, matching the intuition that ports only help.
+        for alpha in Assignment::enumerate_profiles(6) {
+            if blackboard_eventually_solvable(&alpha) {
+                assert!(message_passing_worst_case_solvable(&alpha));
+            }
+        }
+        // And the inclusion is strict: [2,3].
+        let alpha = Assignment::from_group_sizes(&[2, 3]).unwrap();
+        assert!(!blackboard_eventually_solvable(&alpha));
+        assert!(message_passing_worst_case_solvable(&alpha));
+    }
+
+    #[test]
+    fn classify_limits() {
+        assert_eq!(classify_limit(&[0.0, 0.0, 0.0], 0.01), LimitClass::Zero);
+        assert_eq!(classify_limit(&[0.5, 0.75, 0.999], 0.01), LimitClass::One);
+        assert_eq!(
+            classify_limit(&[0.1, 0.2, 0.3], 0.01),
+            LimitClass::Inconclusive
+        );
+        assert_eq!(lemma_3_2_limit(&[0.0, 0.0]), LimitClass::Zero);
+        assert_eq!(lemma_3_2_limit(&[0.0, 0.001]), LimitClass::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probability")]
+    fn empty_series_rejected() {
+        let _ = classify_limit(&[], 0.01);
+    }
+}

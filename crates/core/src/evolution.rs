@@ -1,0 +1,222 @@
+//! Evolution of realizations over time: succession (Definition 4.6),
+//! the backward projection map of Lemma 4.9, and the dimension-reduction
+//! dynamics behind the 'if' direction of Theorem 4.2.
+
+use rsbt_complex::{maps::VertexMap, Vertex};
+use rsbt_random::{BitString, Realization};
+use rsbt_sim::{KnowledgeArena, Model};
+
+use crate::consistency;
+
+/// All one-round extensions `ρ′ ≻ ρ` (Definition 4.6) — one per
+/// assignment of fresh bits to the `n` nodes. Only those consistent with
+/// a configuration have positive probability; this enumerates the raw
+/// `2^n` successors.
+///
+/// # Panics
+///
+/// Panics if `rho.n() > 32`.
+pub fn one_round_successors(rho: &Realization) -> Vec<Realization> {
+    let n = rho.n();
+    assert!(n <= 32, "successor enumeration limited to 32 nodes");
+    (0..1u64 << n)
+        .map(|mask| {
+            let strings: Vec<BitString> = (0..n)
+                .map(|i| {
+                    let mut s = rho.node(i);
+                    s.push(mask >> i & 1 == 1);
+                    s
+                })
+                .collect();
+            Realization::new(strings).expect("uniform lengths")
+        })
+        .collect()
+}
+
+/// Lemma 4.9: for `σ ≺ σ′`, the unique name-preserving vertex map
+/// `δ : π̃(σ′) → π̃(σ)` (send `(i, x_i(1..t′))` to `(i, x_i(1..t))`) is
+/// simplicial. Builds the map and checks simpliciality; returns the map.
+///
+/// # Panics
+///
+/// Panics if `later` does not succeed `earlier`, or — refuting the lemma —
+/// if the map fails to be simplicial.
+pub fn lemma_4_9_map(
+    model: &Model,
+    earlier: &Realization,
+    later: &Realization,
+    arena: &mut KnowledgeArena,
+) -> VertexMap<BitString, BitString> {
+    assert!(later.succeeds(earlier), "need earlier ≺ later");
+    let pi_late = consistency::pi_tilde(model, later, arena);
+    let pi_early = consistency::pi_tilde(model, earlier, arena);
+    let t = earlier.time();
+    let map: VertexMap<BitString, BitString> = pi_late
+        .vertices()
+        .into_iter()
+        .map(|v| {
+            let name = v.name();
+            let truncated = v.value().prefix(t);
+            (v, Vertex::new(name, truncated))
+        })
+        .collect();
+    assert!(map.is_name_preserving(), "δ preserves names by construction");
+    assert!(
+        map.is_simplicial(&pi_late, &pi_early),
+        "Lemma 4.9 violated: δ not simplicial for {earlier} ≺ {later}"
+    );
+    map
+}
+
+/// Verifies Lemma 4.9 for every one-round successor of every realization
+/// of `n` nodes at time `t`; returns the number of `(ρ, ρ′)` pairs
+/// checked.
+pub fn verify_lemma_4_9(model: &Model, n: usize, t: usize, arena: &mut KnowledgeArena) -> usize {
+    let mut checked = 0;
+    for rho in Realization::enumerate_all(n, t) {
+        for succ in one_round_successors(&rho) {
+            let _ = lemma_4_9_map(model, &rho, &succ, arena);
+            checked += 1;
+        }
+    }
+    checked
+}
+
+/// The "dimension profile" of `π̃(ρ)`: the sorted class sizes. Under the
+/// Theorem 4.2 'if'-direction dynamics these profiles evolve by
+/// subtractive Euclid steps; this helper exposes them for the
+/// `exp_lem49` experiment and tests.
+pub fn dimension_profile(
+    model: &Model,
+    rho: &Realization,
+    arena: &mut KnowledgeArena,
+) -> Vec<usize> {
+    consistency::class_sizes(model, rho, arena)
+}
+
+/// Whether some successor chain of `rho` (within `extra_rounds` rounds,
+/// exhaustive search) reaches a profile containing a singleton class —
+/// i.e. whether symmetry *can* break from this state.
+pub fn can_reach_singleton(
+    model: &Model,
+    rho: &Realization,
+    extra_rounds: usize,
+    arena: &mut KnowledgeArena,
+) -> bool {
+    if dimension_profile(model, rho, arena).contains(&1) {
+        return true;
+    }
+    if extra_rounds == 0 {
+        return false;
+    }
+    one_round_successors(rho)
+        .iter()
+        .any(|succ| can_reach_singleton(model, succ, extra_rounds - 1, arena))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_random::Assignment;
+    use rsbt_sim::PortNumbering;
+
+    fn bits(s: &str) -> BitString {
+        BitString::from_bits(s.chars().map(|c| c == '1'))
+    }
+
+    fn rho(strs: &[&str]) -> Realization {
+        Realization::new(strs.iter().map(|s| bits(s)).collect()).unwrap()
+    }
+
+    #[test]
+    fn successors_extend_by_one_round() {
+        let r = rho(&["01", "10"]);
+        let succ = one_round_successors(&r);
+        assert_eq!(succ.len(), 4);
+        for s in &succ {
+            assert_eq!(s.time(), 3);
+            assert!(s.succeeds(&r));
+        }
+        // All distinct.
+        let set: std::collections::BTreeSet<_> = succ.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn lemma_4_9_blackboard_sweep() {
+        let mut arena = KnowledgeArena::new();
+        let checked = verify_lemma_4_9(&Model::Blackboard, 3, 1, &mut arena);
+        assert_eq!(checked, 8 * 8); // 2^{3·1} realizations × 2^3 successors
+    }
+
+    #[test]
+    fn lemma_4_9_message_passing_sweep() {
+        let mut arena = KnowledgeArena::new();
+        let checked = verify_lemma_4_9(
+            &Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+            4,
+            1,
+            &mut arena,
+        );
+        assert_eq!(checked, 16 * 16);
+        let checked_cyclic =
+            verify_lemma_4_9(&Model::message_passing_cyclic(3), 3, 2, &mut arena);
+        assert_eq!(checked_cyclic, 64 * 8);
+    }
+
+    #[test]
+    fn profiles_refine_over_time() {
+        // The number of classes never decreases along a successor.
+        let mut arena = KnowledgeArena::new();
+        for r in Realization::enumerate_all(3, 1) {
+            let before = dimension_profile(&Model::Blackboard, &r, &mut arena).len();
+            for s in one_round_successors(&r) {
+                let after = dimension_profile(&Model::Blackboard, &s, &mut arena).len();
+                assert!(after >= before, "{r} → {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn can_reach_singleton_tracks_solvability() {
+        let mut arena = KnowledgeArena::new();
+        // Two nodes with equal strings: a singleton is reachable in one
+        // round (they draw different bits).
+        let r = rho(&["0", "0"]);
+        assert!(can_reach_singleton(&Model::Blackboard, &r, 1, &mut arena));
+        // Zero extra rounds: not yet broken.
+        assert!(!can_reach_singleton(&Model::Blackboard, &r, 0, &mut arena));
+        // Already broken counts immediately.
+        let b = rho(&["0", "1"]);
+        assert!(can_reach_singleton(&Model::Blackboard, &b, 0, &mut arena));
+    }
+
+    #[test]
+    fn adversarial_ports_block_singletons_for_consistent_realizations() {
+        // Under the Lemma 4.3 numbering and the [2,2] assignment, no
+        // α-consistent realization can reach a singleton in 2 extra rounds
+        // if the extension stays α-consistent... the raw search allows
+        // inconsistent extensions, so instead verify directly: consistent
+        // realizations never contain singletons at any enumerable time.
+        let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        let model = Model::MessagePassing(PortNumbering::adversarial(4, 2));
+        let mut arena = KnowledgeArena::new();
+        for t in 1..=3 {
+            for r in Realization::enumerate_consistent(&alpha, t) {
+                assert!(
+                    !dimension_profile(&model, &r, &mut arena).contains(&1),
+                    "{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need earlier ≺ later")]
+    fn lemma_4_9_rejects_non_successors() {
+        let mut arena = KnowledgeArena::new();
+        let a = rho(&["01", "10"]);
+        let b = rho(&["11", "10"]);
+        let _ = lemma_4_9_map(&Model::Blackboard, &a, &b, &mut arena);
+    }
+}

@@ -1,0 +1,159 @@
+//! The simplicial map `h : P(t) → R(t)` and its facet isomorphism
+//! (Section 3.3).
+//!
+//! `h` sends a knowledge vertex `(i, K_i(t))` to the randomness vertex
+//! `(i, x_i)` where `x_i` is the bit string embedded in `K_i(t)`. It is
+//! name-preserving and simplicial, generally many-to-one on vertices, but
+//! **bijective on facets**: a realization determines the knowledge vector
+//! and vice versa. This module materializes `h`, its inverse on facets, and
+//! a mechanical verifier for the bijection.
+
+use rsbt_complex::{maps::VertexMap, Complex, ProcessName, Simplex, Vertex};
+use rsbt_random::{BitString, Realization};
+use rsbt_sim::{KnowledgeArena, KnowledgeId, Model};
+
+use crate::protocol_complex;
+use crate::realization_complex;
+
+/// Applies `h` to a single vertex: extract the randomness from the
+/// knowledge.
+pub fn h_vertex(arena: &KnowledgeArena, v: &Vertex<KnowledgeId>) -> Vertex<BitString> {
+    let bits = arena.randomness(*v.value());
+    Vertex::new(v.name(), BitString::from_bits(bits))
+}
+
+/// Applies `h` to a facet of `P(t)`, yielding the corresponding facet of
+/// `R(t)`.
+pub fn h_facet(arena: &KnowledgeArena, facet: &Simplex<KnowledgeId>) -> Simplex<BitString> {
+    Simplex::from_vertices(facet.vertices().map(|v| h_vertex(arena, v)))
+        .expect("h preserves names")
+}
+
+/// The inverse of `h` on facets: run the dynamics on the realization to
+/// rebuild the knowledge facet.
+pub fn h_inverse_facet(
+    model: &Model,
+    facet: &Simplex<BitString>,
+    arena: &mut KnowledgeArena,
+) -> Simplex<KnowledgeId> {
+    let rho = realization_complex::realization_of(facet);
+    protocol_complex::facet_of(model, &rho, arena)
+}
+
+/// Materializes `h` as a [`VertexMap`] on the vertex set of a built `P(t)`.
+pub fn h_map(
+    arena: &KnowledgeArena,
+    protocol: &Complex<KnowledgeId>,
+) -> VertexMap<KnowledgeId, BitString> {
+    protocol
+        .vertices()
+        .into_iter()
+        .map(|v| {
+            let img = h_vertex(arena, &v);
+            (v, img)
+        })
+        .collect()
+}
+
+/// Mechanically verifies, for every realization on `n` nodes at time `t`,
+/// that `h` and `h⁻¹` invert each other on facets and that `h` is a
+/// name-preserving simplicial map `P(t) → R(t)`.
+///
+/// Returns the number of facets checked.
+///
+/// # Panics
+///
+/// Panics (with context) on any violation — used by tests and by the
+/// `exp_fig4_lemma35` experiment.
+pub fn verify_facet_isomorphism(model: &Model, n: usize, t: usize) -> usize {
+    let mut arena = KnowledgeArena::new();
+    let protocol = protocol_complex::build(model, n, t, &mut arena);
+    let realizations = realization_complex::full(n, t);
+    let map = h_map(&arena, &protocol);
+    assert!(map.is_name_preserving(), "h must preserve names");
+    assert!(
+        map.is_simplicial(&protocol, &realizations),
+        "h must be simplicial"
+    );
+    let mut checked = 0;
+    let mut images = std::collections::BTreeSet::new();
+    for facet in protocol.facets() {
+        let image = h_facet(&arena, facet);
+        assert!(
+            realizations.contains_simplex(&image),
+            "h image must be a facet of R(t)"
+        );
+        let back = h_inverse_facet(model, &image, &mut arena);
+        assert_eq!(&back, facet, "h⁻¹ ∘ h must be the identity on facets");
+        assert!(images.insert(image), "h must be injective on facets");
+        checked += 1;
+    }
+    assert_eq!(
+        checked,
+        realizations.facet_count(),
+        "h must be surjective on facets"
+    );
+    checked
+}
+
+/// Recovers `(i, x_i)` for every process from a protocol facet — the
+/// explicit content of the paper's claim that a facet of `P(t)` "uniquely
+/// determines the randomness received by all parties".
+pub fn randomness_of_facet(
+    arena: &KnowledgeArena,
+    facet: &Simplex<KnowledgeId>,
+) -> Realization {
+    let n = facet.len();
+    let strings: Vec<BitString> = (0..n)
+        .map(|i| {
+            let v = facet
+                .value_of(ProcessName::new(i as u32))
+                .expect("contiguous names");
+            BitString::from_bits(arena.randomness(*v))
+        })
+        .collect();
+    Realization::new(strings).expect("uniform time")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackboard_isomorphism_small() {
+        assert_eq!(verify_facet_isomorphism(&Model::Blackboard, 2, 2), 16);
+        assert_eq!(verify_facet_isomorphism(&Model::Blackboard, 3, 1), 8);
+    }
+
+    #[test]
+    fn message_passing_isomorphism_small() {
+        assert_eq!(
+            verify_facet_isomorphism(&Model::message_passing_cyclic(3), 3, 2),
+            64
+        );
+    }
+
+    #[test]
+    fn h_is_many_to_one_on_vertices() {
+        // Different board contents give different knowledge but identical
+        // own-randomness: h collapses them.
+        let mut arena = KnowledgeArena::new();
+        let protocol = protocol_complex::build(&Model::Blackboard, 2, 2, &mut arena);
+        let map = h_map(&arena, &protocol);
+        let images: std::collections::BTreeSet<_> =
+            map.iter().map(|(_, img)| img.clone()).collect();
+        assert!(images.len() < map.len(), "vertex-level h collapses");
+    }
+
+    #[test]
+    fn randomness_roundtrip() {
+        let mut arena = KnowledgeArena::new();
+        let rho = Realization::new(vec![
+            rsbt_random::BitString::from_bits([true, true]),
+            rsbt_random::BitString::from_bits([false, true]),
+        ])
+        .unwrap();
+        let f = protocol_complex::facet_of(&Model::Blackboard, &rho, &mut arena);
+        assert_eq!(randomness_of_facet(&arena, &f), rho);
+    }
+}

@@ -1,0 +1,305 @@
+//! `Pr[S(t) | α]`: the probability that the system solves a task by time
+//! `t` (Section 3.4).
+//!
+//! Exact values enumerate the `2^{k·t}` positive-probability realizations
+//! (all equiprobable by Lemma B.1); a Monte-Carlo estimator covers the
+//! regimes where exact enumeration is out of reach.
+
+use rand::Rng;
+use rsbt_random::{Assignment, Realization};
+use rsbt_sim::{KnowledgeArena, Model};
+use rsbt_tasks::Task;
+
+use crate::solvability;
+
+/// Largest `k·t` accepted by the exact enumerator (`2^26` executions).
+pub const MAX_EXACT_BITS: usize = 26;
+
+/// Exact `Pr[S(t) | α]` by enumeration.
+///
+/// # Panics
+///
+/// Panics if `alpha.n()` mismatches the model's node count, or if
+/// `k·t > MAX_EXACT_BITS`.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_core::probability;
+/// use rsbt_random::Assignment;
+/// use rsbt_sim::Model;
+/// use rsbt_tasks::LeaderElection;
+///
+/// // One singleton source among two (k = 2): p(1) = 1/2.
+/// let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+/// let p = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, 1);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+pub fn exact<T: Task>(model: &Model, task: &T, alpha: &Assignment, t: usize) -> f64 {
+    let bits = alpha.k() * t;
+    assert!(
+        bits <= MAX_EXACT_BITS,
+        "k*t = {bits} exceeds exact-enumeration budget; use monte_carlo"
+    );
+    if let Some(p) = model.ports() {
+        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    }
+    let mut arena = KnowledgeArena::new();
+    let mut solved = 0u64;
+    let mut total = 0u64;
+    for rho in Realization::enumerate_consistent(alpha, t) {
+        if solvability::solves(model, &rho, task, &mut arena) {
+            solved += 1;
+        }
+        total += 1;
+    }
+    solved as f64 / total as f64
+}
+
+/// The series `p(1), …, p(t_max)` of exact success probabilities.
+pub fn exact_series<T: Task>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+) -> Vec<f64> {
+    (1..=t_max).map(|t| exact(model, task, alpha, t)).collect()
+}
+
+/// Exact `Pr[S(t) | α]` computed on `threads` OS threads, each with its
+/// own knowledge arena. Produces bit-identical results to [`exact`]
+/// (verified by test); use for the larger sweeps where `2^{kt}` single-
+/// threaded enumeration dominates wall-clock time.
+///
+/// # Panics
+///
+/// Same conditions as [`exact`], plus `threads ≥ 1`.
+pub fn exact_parallel<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    threads: usize,
+) -> f64
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let bits = alpha.k() * t;
+    assert!(
+        bits <= MAX_EXACT_BITS,
+        "k*t = {bits} exceeds exact-enumeration budget; use monte_carlo"
+    );
+    if let Some(p) = model.ports() {
+        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    }
+    let total: u64 = 1 << bits;
+    let chunk = total.div_ceil(threads as u64);
+    let solved: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(total);
+                scope.spawn(move || {
+                    let mut arena = KnowledgeArena::new();
+                    let mut hits = 0u64;
+                    for rho in Realization::enumerate_consistent(alpha, t)
+                        .skip(lo as usize)
+                        .take(hi.saturating_sub(lo) as usize)
+                    {
+                        if solvability::solves(model, &rho, task, &mut arena) {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    solved as f64 / total as f64
+}
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Sample mean of the success indicator.
+    pub p: f64,
+    /// Standard error `sqrt(p(1−p)/samples)`.
+    pub std_error: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// Whether `value` lies within `z` standard errors of the estimate.
+    pub fn is_consistent_with(&self, value: f64, z: f64) -> bool {
+        (self.p - value).abs() <= z * self.std_error + f64::EPSILON
+    }
+}
+
+/// Monte-Carlo `Pr[S(t) | α]`.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or on a model/assignment node mismatch.
+pub fn monte_carlo<T: Task, R: Rng + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    rng: &mut R,
+) -> Estimate {
+    assert!(samples > 0, "need at least one sample");
+    if let Some(p) = model.ports() {
+        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    }
+    let mut arena = KnowledgeArena::new();
+    let mut solved = 0usize;
+    for _ in 0..samples {
+        let rho = Realization::sample(alpha, t, rng);
+        if solvability::solves(model, &rho, task, &mut arena) {
+            solved += 1;
+        }
+    }
+    let p = solved as f64 / samples as f64;
+    Estimate {
+        p,
+        std_error: (p * (1.0 - p) / samples as f64).sqrt(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsbt_tasks::{KLeaderElection, LeaderElection};
+
+    #[test]
+    fn shared_source_never_solves() {
+        let alpha = Assignment::shared(3);
+        for t in 1..=3 {
+            assert_eq!(exact(&Model::Blackboard, &LeaderElection, &alpha, t), 0.0);
+        }
+    }
+
+    #[test]
+    fn private_sources_converge_to_one() {
+        let alpha = Assignment::private(2);
+        let series = exact_series(&Model::Blackboard, &LeaderElection, &alpha, 5);
+        // p(t) = 1 − 2^{−t}: the two nodes differ somewhere in t rounds.
+        for (i, p) in series.iter().enumerate() {
+            let t = i + 1;
+            let expect = 1.0 - 0.5f64.powi(t as i32);
+            assert!((p - expect).abs() < 1e-12, "t={t}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn singleton_plus_pair_matches_closed_form() {
+        // Group sizes [1, 2]: k = 2, exactly one singleton source. The
+        // system solves iff the singleton's string differs from the pair's:
+        // p(t) = 1 − 2^{−t}.
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        for t in 1..=4 {
+            let p = exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+            let expect = 1.0 - 0.5f64.powi(t as i32);
+            assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_singleton_blackboard_is_dead() {
+        // Theorem 4.1 'only if': sizes [2,2] never solve on the blackboard.
+        let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        for t in 1..=3 {
+            assert_eq!(exact(&Model::Blackboard, &LeaderElection, &alpha, t), 0.0);
+        }
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        for sizes in [vec![1usize, 1], vec![1, 2], vec![1, 1, 1], vec![1, 3]] {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            let series = exact_series(&Model::Blackboard, &LeaderElection, &alpha, 4);
+            for w in series.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "{sizes:?}: {series:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact() {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(12345);
+        let t = 3;
+        let exact_p = exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+        let est = monte_carlo(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            t,
+            20_000,
+            &mut rng,
+        );
+        assert!(
+            est.is_consistent_with(exact_p, 4.0),
+            "MC {est:?} vs exact {exact_p}"
+        );
+    }
+
+    #[test]
+    fn two_leader_probability() {
+        // 2-LE on sizes [2,2] in the blackboard: solvable iff the two
+        // groups' strings differ (elect one whole group? no — elect the two
+        // members of one class... classes are the two groups when strings
+        // differ; electing one group of size 2 = exactly two leaders). So
+        // p(t) = 1 − 2^{−t}.
+        let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        let task = KLeaderElection::new(2);
+        for t in 1..=4 {
+            let p = exact(&Model::Blackboard, &task, &alpha, t);
+            let expect = 1.0 - 0.5f64.powi(t as i32);
+            assert!((p - expect).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for sizes in [vec![1usize, 2], vec![2, 2], vec![1, 1, 1]] {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            for t in 1..=3usize {
+                let seq = exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+                for threads in [1usize, 2, 4] {
+                    let par = exact_parallel(
+                        &Model::Blackboard,
+                        &LeaderElection,
+                        &alpha,
+                        t,
+                        threads,
+                    );
+                    assert_eq!(seq, par, "sizes {sizes:?} t {t} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_message_passing() {
+        let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        let model = Model::message_passing_cyclic(4);
+        let seq = exact(&model, &LeaderElection, &alpha, 3);
+        let par = exact_parallel(&model, &LeaderElection, &alpha, 3, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds exact-enumeration budget")]
+    fn exact_budget_guard() {
+        let alpha = Assignment::private(7);
+        let _ = exact(&Model::Blackboard, &LeaderElection, &alpha, 4);
+    }
+}

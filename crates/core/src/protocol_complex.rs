@@ -1,0 +1,125 @@
+//! The protocol complex `P(t)` (Section 3.1, Figure 1).
+//!
+//! Vertices are pairs `(i, K_i(t))`; a set `{(i, K_i(t))}` is a facet iff
+//! some randomness-configuration gives it positive probability. Because any
+//! realization has positive probability under the all-private assignment,
+//! the facets of `P(t)` correspond exactly to the `2^{nt}` realizations run
+//! through the (deterministic) full-information dynamics — which is also
+//! why the paper's `h` is a facet bijection.
+
+use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
+use rsbt_random::Realization;
+use rsbt_sim::{Execution, KnowledgeArena, KnowledgeId, Model};
+
+/// Builds `P(t)` for the given model by executing every realization.
+///
+/// Knowledge values are interned in `arena`; the returned complex stores
+/// their [`KnowledgeId`]s (only meaningful relative to `arena`).
+///
+/// # Panics
+///
+/// Panics on a node-count mismatch between `n` and a message-passing port
+/// numbering.
+///
+/// # Example
+///
+/// Figure 1: the 2-party protocol complex at times 0, 1, 2.
+///
+/// ```
+/// use rsbt_core::protocol_complex;
+/// use rsbt_sim::{KnowledgeArena, Model};
+///
+/// let mut arena = KnowledgeArena::new();
+/// let p0 = protocol_complex::build(&Model::Blackboard, 2, 0, &mut arena);
+/// let p1 = protocol_complex::build(&Model::Blackboard, 2, 1, &mut arena);
+/// let p2 = protocol_complex::build(&Model::Blackboard, 2, 2, &mut arena);
+/// assert_eq!(p0.facet_count(), 1);
+/// assert_eq!(p1.facet_count(), 4);
+/// assert_eq!(p2.facet_count(), 16);
+/// ```
+pub fn build(model: &Model, n: usize, t: usize, arena: &mut KnowledgeArena) -> Complex<KnowledgeId> {
+    assert!(n >= 1, "need at least one node");
+    let mut c = Complex::new();
+    for rho in Realization::enumerate_all(n, t) {
+        c.add_simplex(facet_of(model, &rho, arena));
+    }
+    c
+}
+
+/// The facet of `P(t)` reached from realization `rho`:
+/// `{(i, K_i(t)) : i ∈ [n]}`.
+pub fn facet_of(model: &Model, rho: &Realization, arena: &mut KnowledgeArena) -> Simplex<KnowledgeId> {
+    let exec = Execution::run(model, rho, arena);
+    facet_of_execution(&exec)
+}
+
+/// The facet of `P(t)` at the final time of an existing execution.
+pub fn facet_of_execution(exec: &Execution) -> Simplex<KnowledgeId> {
+    let t = exec.time();
+    Simplex::from_vertices(
+        (0..exec.n()).map(|i| Vertex::new(ProcessName::new(i as u32), exec.knowledge(t, i))),
+    )
+    .expect("distinct names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_random::BitString;
+
+    #[test]
+    fn figure1_facet_counts() {
+        let mut arena = KnowledgeArena::new();
+        for (t, expect) in [(0usize, 1usize), (1, 4), (2, 16)] {
+            let p = build(&Model::Blackboard, 2, t, &mut arena);
+            assert_eq!(p.facet_count(), expect, "P({t})");
+        }
+    }
+
+    #[test]
+    fn figure1_vertex_counts() {
+        // Each party has 2^t distinct knowledge values at time t (its own
+        // bits; the board content is determined by the realization, and for
+        // n=2 the other party's knowledge is visible, so vertices are
+        // (own bits, other's bits) pairs: 4^t... at t=1: own bit × board
+        // content = 2 × 1? Figure 1 shows 4 vertices at t=1 (2 per party).
+        let mut arena = KnowledgeArena::new();
+        let p1 = build(&Model::Blackboard, 2, 1, &mut arena);
+        assert_eq!(p1.vertex_count(), 4);
+        // At t=2 Figure 1 shows 8 states per party? It draws 16 edges on
+        // 16 vertices (each vertex listed with its knowledge tuple).
+        let p2 = build(&Model::Blackboard, 2, 2, &mut arena);
+        assert_eq!(p2.vertex_count(), 16);
+    }
+
+    #[test]
+    fn facets_biject_with_realizations() {
+        let mut arena = KnowledgeArena::new();
+        let n = 3;
+        let t = 2;
+        let p = build(&Model::Blackboard, n, t, &mut arena);
+        assert_eq!(p.facet_count(), 1 << (n * t));
+    }
+
+    #[test]
+    fn message_passing_complex_depends_on_ports() {
+        let mut arena = KnowledgeArena::new();
+        let cyclic = build(&Model::message_passing_cyclic(3), 3, 2, &mut arena);
+        assert_eq!(cyclic.facet_count(), 64);
+    }
+
+    #[test]
+    fn facet_of_single_realization() {
+        let mut arena = KnowledgeArena::new();
+        let rho = Realization::new(vec![
+            BitString::from_bits([true, false]),
+            BitString::from_bits([false, false]),
+        ])
+        .unwrap();
+        let f = facet_of(&Model::Blackboard, &rho, &mut arena);
+        assert_eq!(f.dimension(), 1);
+        // Distinct randomness ⇒ distinct knowledge vertices.
+        let vals: Vec<_> = f.vertices().map(|v| *v.value()).collect();
+        assert_ne!(vals[0], vals[1]);
+    }
+}

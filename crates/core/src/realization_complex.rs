@@ -1,0 +1,131 @@
+//! The realization complex `R(t)` (Section 3.3, Figure 2).
+//!
+//! Vertices are pairs `(i, x_i)` with `x_i ∈ {0,1}^t`; every set
+//! `{(i, x_i) : i ∈ I}` with distinct names is a simplex, so the facets are
+//! exactly the `2^{nt}` full realizations. `R(t)` is "maximally
+//! uninformative" by itself; its role is to carry probabilities (easy to
+//! compute per facet, Lemma B.1) over to `P(t)` through the isomorphism
+//! `h`.
+
+use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
+use rsbt_random::{Assignment, BitString, Realization};
+
+/// Builds the full realization complex `R(t)` for `n` nodes.
+///
+/// The result has `2^{nt}` facets; keep `n·t` small (the Figure 2
+/// reproduction uses `n = 3`, `t ≤ 1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the enumeration would exceed `2^62` facets.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_core::realization_complex;
+///
+/// // Figure 2: R(1) for three processes has 8 facets (triangles).
+/// let r1 = realization_complex::full(3, 1);
+/// assert_eq!(r1.facet_count(), 8);
+/// assert_eq!(r1.dimension(), Some(2));
+/// assert!(r1.is_pure());
+/// ```
+pub fn full(n: usize, t: usize) -> Complex<BitString> {
+    assert!(n >= 1, "need at least one node");
+    let mut c = Complex::new();
+    for rho in Realization::enumerate_all(n, t) {
+        c.add_simplex(facet_of(&rho));
+    }
+    c
+}
+
+/// Builds the support of `R(t)` under a randomness-configuration `α`: only
+/// the `2^{k(α)·t}` facets with positive probability.
+pub fn support(alpha: &Assignment, t: usize) -> Complex<BitString> {
+    let mut c = Complex::new();
+    for rho in Realization::enumerate_consistent(alpha, t) {
+        c.add_simplex(facet_of(&rho));
+    }
+    c
+}
+
+/// The facet of `R(t)` corresponding to a realization:
+/// `{(i, x_i) : i ∈ [n]}`.
+pub fn facet_of(rho: &Realization) -> Simplex<BitString> {
+    Simplex::from_vertices(
+        (0..rho.n()).map(|i| Vertex::new(ProcessName::new(i as u32), rho.node(i))),
+    )
+    .expect("distinct names")
+}
+
+/// Recovers the realization from a facet of `R(t)`.
+///
+/// # Panics
+///
+/// Panics if the facet does not cover contiguous names `0..n` (i.e. is not
+/// a full realization facet).
+pub fn realization_of(facet: &Simplex<BitString>) -> Realization {
+    let n = facet.len();
+    let strings: Vec<BitString> = (0..n)
+        .map(|i| {
+            *facet
+                .value_of(ProcessName::new(i as u32))
+                .unwrap_or_else(|| panic!("facet missing process p{i}"))
+        })
+        .collect();
+    Realization::new(strings).expect("facet carries equal-length strings")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_counts() {
+        // R(0): a single facet {(i, ⊥)}.
+        let r0 = full(3, 0);
+        assert_eq!(r0.facet_count(), 1);
+        assert_eq!(r0.dimension(), Some(2));
+        // R(1): 2^3 = 8 triangles on 6 vertices.
+        let r1 = full(3, 1);
+        assert_eq!(r1.facet_count(), 8);
+        assert_eq!(r1.vertex_count(), 6);
+    }
+
+    #[test]
+    fn vertex_count_scales() {
+        // n · 2^t vertices.
+        let c = full(2, 2);
+        assert_eq!(c.vertex_count(), 8);
+        assert_eq!(c.facet_count(), 16);
+    }
+
+    #[test]
+    fn support_is_subcomplex_of_full() {
+        let alpha = Assignment::from_group_sizes(&[2, 1]).unwrap();
+        let sup = support(&alpha, 1);
+        let all = full(3, 1);
+        assert_eq!(sup.facet_count(), 4); // 2^{k·t} = 2^2
+        assert!(rsbt_complex::ops::is_subcomplex(&sup, &all));
+    }
+
+    #[test]
+    fn facet_roundtrip() {
+        let alpha = Assignment::private(3);
+        for rho in Realization::enumerate_consistent(&alpha, 2).take(16) {
+            let f = facet_of(&rho);
+            assert_eq!(realization_of(&f), rho);
+        }
+    }
+
+    #[test]
+    fn shared_source_support_is_diagonal() {
+        let alpha = Assignment::shared(2);
+        let sup = support(&alpha, 1);
+        assert_eq!(sup.facet_count(), 2); // "00" and "11" only
+        for f in sup.facets() {
+            let rho = realization_of(f);
+            assert_eq!(rho.node(0), rho.node(1));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Solvability of symmetry-breaking tasks, three ways.
+//!
+//! * [`solves`] — the fast combinatorial criterion: a realization solves
+//!   `O` iff some facet `τ ∈ O` is *monochromatic on every consistency
+//!   class*. This is the forced form of the name-preserving simplicial map
+//!   `δ : π̃(ρ) → π(τ)` of Definition 3.4: name preservation pins
+//!   `δ(i, x_i) = (i, τ_i)`, and simpliciality is exactly
+//!   class-monochromaticity.
+//! * [`solves_via_projection`] — Definition 3.4 verbatim: build `π̃(ρ)`
+//!   and run the generic name-preserving simplicial-map search into each
+//!   `π(τ)`.
+//! * [`solves_via_definition_3_1`] — Definition 3.1 verbatim on the
+//!   protocol facet `σ = h⁻¹(ρ)`: search for a name-preserving *and
+//!   name-independent* simplicial map `σ → τ`.
+//!
+//! Lemma 3.5 states the three agree; the property tests in this module and
+//! in `tests/framework.rs` verify that agreement on every realization small
+//! enough to enumerate.
+
+use rsbt_complex::{ops, search, ProcessName, Simplex};
+use rsbt_random::Realization;
+use rsbt_sim::{Execution, KnowledgeArena, Model};
+use rsbt_tasks::{projection, Task};
+
+/// Fast solvability check (the production path).
+///
+/// # Example
+///
+/// ```
+/// use rsbt_core::solvability::solves;
+/// use rsbt_random::{BitString, Realization};
+/// use rsbt_sim::{KnowledgeArena, Model};
+/// use rsbt_tasks::LeaderElection;
+///
+/// let mut arena = KnowledgeArena::new();
+/// let broken = Realization::new(vec![
+///     BitString::from_bits([true]),
+///     BitString::from_bits([false]),
+/// ]).unwrap();
+/// assert!(solves(&Model::Blackboard, &broken, &LeaderElection, &mut arena));
+///
+/// let symmetric = Realization::new(vec![
+///     BitString::from_bits([true]),
+///     BitString::from_bits([true]),
+/// ]).unwrap();
+/// assert!(!solves(&Model::Blackboard, &symmetric, &LeaderElection, &mut arena));
+/// ```
+pub fn solves<T: Task + ?Sized>(
+    model: &Model,
+    rho: &Realization,
+    task: &T,
+    arena: &mut KnowledgeArena,
+) -> bool {
+    let exec = Execution::run(model, rho, arena);
+    solves_execution(&exec, task)
+}
+
+/// Fast solvability check on an existing execution (final time).
+pub fn solves_execution<T: Task + ?Sized>(exec: &Execution, task: &T) -> bool {
+    let classes = exec.consistency_partition(exec.time());
+    task.output_complex(exec.n())
+        .facets()
+        .any(|tau| classes_monochromatic(&classes, tau))
+}
+
+/// Whether every class holds a single output value in `tau`.
+fn classes_monochromatic(classes: &[Vec<usize>], tau: &Simplex<u64>) -> bool {
+    classes.iter().all(|class| {
+        let first = tau
+            .value_of(ProcessName::new(class[0] as u32))
+            .expect("facet covers all names");
+        class.iter().all(|&i| {
+            tau.value_of(ProcessName::new(i as u32)) == Some(first)
+        })
+    })
+}
+
+/// Definition 3.4 verbatim: existence of a name-preserving simplicial map
+/// `δ : π̃(ρ) → π(τ)` for some facet `τ` of the output complex.
+pub fn solves_via_projection<T: Task + ?Sized>(
+    model: &Model,
+    rho: &Realization,
+    task: &T,
+    arena: &mut KnowledgeArena,
+) -> bool {
+    let pi_rho = crate::consistency::pi_tilde(model, rho, arena);
+    task.output_complex(rho.n()).facets().any(|tau| {
+        let pi_tau = projection::project_facet(tau);
+        search::exists_name_preserving_map(&pi_rho, &pi_tau)
+    })
+}
+
+/// Definition 3.1 verbatim: existence of a name-preserving,
+/// name-independent simplicial map `δ : σ → τ` where `σ = h⁻¹(ρ)` is the
+/// protocol facet (viewed as a complex).
+pub fn solves_via_definition_3_1<T: Task + ?Sized>(
+    model: &Model,
+    rho: &Realization,
+    task: &T,
+    arena: &mut KnowledgeArena,
+) -> bool {
+    let sigma = crate::protocol_complex::facet_of(model, rho, arena);
+    let sigma_cx = ops::facet_as_complex(&sigma);
+    task.output_complex(rho.n()).facets().any(|tau| {
+        let tau_cx = ops::facet_as_complex(tau);
+        search::exists_name_independent_map(&sigma_cx, &tau_cx)
+    })
+}
+
+/// Monotonicity (Section 3.2): once a realization solves a task, every
+/// succeeding realization solves it too. Verifies the claim for all
+/// one-round extensions of `rho`; returns the number of extensions
+/// checked.
+///
+/// # Panics
+///
+/// Panics if a solving realization has a non-solving extension.
+pub fn verify_monotonicity<T: Task + ?Sized>(
+    model: &Model,
+    rho: &Realization,
+    task: &T,
+    arena: &mut KnowledgeArena,
+) -> usize {
+    if !solves(model, rho, task, arena) {
+        return 0;
+    }
+    let n = rho.n();
+    let mut checked = 0;
+    for mask in 0..1u32 << n {
+        let strings: Vec<_> = (0..n)
+            .map(|i| {
+                let mut s = rho.node(i);
+                s.push(mask >> i & 1 == 1);
+                s
+            })
+            .collect();
+        let ext = Realization::new(strings).expect("uniform length");
+        assert!(ext.succeeds(rho));
+        assert!(
+            solves(model, &ext, task, arena),
+            "extension {ext} of a solving realization must solve"
+        );
+        checked += 1;
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_random::BitString;
+    use rsbt_sim::PortNumbering;
+    use rsbt_tasks::{KLeaderElection, LeaderElection};
+
+    fn bits(s: &str) -> BitString {
+        BitString::from_bits(s.chars().map(|c| c == '1'))
+    }
+
+    fn rho(strs: &[&str]) -> Realization {
+        Realization::new(strs.iter().map(|s| bits(s)).collect()).unwrap()
+    }
+
+    #[test]
+    fn leader_election_needs_singleton_class() {
+        let mut arena = KnowledgeArena::new();
+        assert!(solves(
+            &Model::Blackboard,
+            &rho(&["0", "1", "1"]),
+            &LeaderElection,
+            &mut arena
+        ));
+        assert!(!solves(
+            &Model::Blackboard,
+            &rho(&["1", "1", "1"]),
+            &LeaderElection,
+            &mut arena
+        ));
+        // Two singletons also solve (pick either leader).
+        assert!(solves(
+            &Model::Blackboard,
+            &rho(&["00", "01", "11"]),
+            &LeaderElection,
+            &mut arena
+        ));
+    }
+
+    #[test]
+    fn two_leader_election_needs_a_two_split() {
+        let mut arena = KnowledgeArena::new();
+        let t = KLeaderElection::new(2);
+        // Classes {0},{1},{2,3}: elect 0 and 1.
+        assert!(solves(
+            &Model::Blackboard,
+            &rho(&["00", "01", "11", "11"]),
+            &t,
+            &mut arena
+        ));
+        // Classes {0,1},{2,3}: elect class {0,1} as the two leaders!
+        assert!(solves(
+            &Model::Blackboard,
+            &rho(&["00", "00", "11", "11"]),
+            &t,
+            &mut arena
+        ));
+        // Classes {0,1,2},{3}: cannot pick exactly two.
+        assert!(!solves(
+            &Model::Blackboard,
+            &rho(&["00", "00", "00", "11"]),
+            &t,
+            &mut arena
+        ));
+    }
+
+    #[test]
+    fn all_three_definitions_agree_blackboard() {
+        let mut arena = KnowledgeArena::new();
+        let le = LeaderElection;
+        let two = KLeaderElection::new(2);
+        for r in Realization::enumerate_all(3, 2) {
+            let fast = solves(&Model::Blackboard, &r, &le, &mut arena);
+            let proj = solves_via_projection(&Model::Blackboard, &r, &le, &mut arena);
+            let d31 = solves_via_definition_3_1(&Model::Blackboard, &r, &le, &mut arena);
+            assert_eq!(fast, proj, "Def 3.4 mismatch on {r}");
+            assert_eq!(fast, d31, "Def 3.1 mismatch on {r}");
+            let fast2 = solves(&Model::Blackboard, &r, &two, &mut arena);
+            let proj2 = solves_via_projection(&Model::Blackboard, &r, &two, &mut arena);
+            assert_eq!(fast2, proj2, "2-LE mismatch on {r}");
+        }
+    }
+
+    #[test]
+    fn all_three_definitions_agree_message_passing() {
+        let mut arena = KnowledgeArena::new();
+        let le = LeaderElection;
+        let model = Model::MessagePassing(PortNumbering::adversarial(4, 2));
+        for r in Realization::enumerate_all(4, 1) {
+            let fast = solves(&model, &r, &le, &mut arena);
+            let proj = solves_via_projection(&model, &r, &le, &mut arena);
+            let d31 = solves_via_definition_3_1(&model, &r, &le, &mut arena);
+            assert_eq!(fast, proj, "Def 3.4 mismatch on {r}");
+            assert_eq!(fast, d31, "Def 3.1 mismatch on {r}");
+        }
+    }
+
+    #[test]
+    fn monotonicity_holds() {
+        let mut arena = KnowledgeArena::new();
+        let mut total = 0;
+        for r in Realization::enumerate_all(3, 1) {
+            total += verify_monotonicity(&Model::Blackboard, &r, &LeaderElection, &mut arena);
+        }
+        assert!(total > 0, "some realization at t=1 must solve");
+    }
+
+    #[test]
+    fn single_node_always_solves() {
+        let mut arena = KnowledgeArena::new();
+        assert!(solves(
+            &Model::Blackboard,
+            &rho(&["0"]),
+            &LeaderElection,
+            &mut arena
+        ));
+    }
+
+    #[test]
+    fn ports_can_solve_what_the_blackboard_cannot() {
+        // Sizes [2,2] (no singleton): blackboard never solves; a non-
+        // adversarial port numbering can.
+        let r = rho(&["01", "01", "11", "11"]);
+        let mut arena = KnowledgeArena::new();
+        assert!(!solves(&Model::Blackboard, &r, &LeaderElection, &mut arena));
+        let mp = Model::message_passing_cyclic(4);
+        assert!(
+            solves(&mp, &r, &LeaderElection, &mut arena),
+            "cyclic ports break the 2+2 symmetry on this realization"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the framework: solvability equivalences,
+//! monotonicity, probability laws.
+
+use proptest::prelude::*;
+use rsbt_core::{consistency, evolution, probability, solvability};
+use rsbt_random::{Assignment, BitString, Realization};
+use rsbt_sim::{KnowledgeArena, Model, PortNumbering};
+use rsbt_tasks::{KLeaderElection, LeaderElection, WeakSymmetryBreaking};
+
+fn arb_realization(n: usize, t: usize) -> impl Strategy<Value = Realization> {
+    proptest::collection::vec(any::<u64>(), n).prop_map(move |words| {
+        Realization::new(
+            words
+                .into_iter()
+                .map(|w| BitString::from_word(w, t))
+                .collect(),
+        )
+        .expect("uniform length")
+    })
+}
+
+fn arb_model(n: usize) -> impl Strategy<Value = Model> {
+    prop_oneof![
+        Just(Model::Blackboard),
+        Just(Model::message_passing_cyclic(n)),
+        any::<u64>().prop_map(move |seed| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            Model::MessagePassing(PortNumbering::random(n, &mut rng))
+        }),
+    ]
+}
+
+proptest! {
+    /// Lemma 3.5 on random instances: the fast path, the Definition 3.4
+    /// search, and the Definition 3.1 search agree.
+    #[test]
+    fn solvability_definitions_agree(rho in arb_realization(3, 2), model in arb_model(3)) {
+        let mut arena = KnowledgeArena::new();
+        for k in 1..=3usize {
+            let task = KLeaderElection::new(k);
+            let fast = solvability::solves(&model, &rho, &task, &mut arena);
+            let proj = solvability::solves_via_projection(&model, &rho, &task, &mut arena);
+            let d31 = solvability::solves_via_definition_3_1(&model, &rho, &task, &mut arena);
+            prop_assert_eq!(fast, proj, "k={} {}", k, &rho);
+            prop_assert_eq!(fast, d31, "k={} {}", k, &rho);
+        }
+    }
+
+    /// Monotonicity: a solving realization keeps solving under every
+    /// one-round extension (Section 3.2).
+    #[test]
+    fn solving_is_monotone(rho in arb_realization(3, 2), model in arb_model(3)) {
+        let mut arena = KnowledgeArena::new();
+        if solvability::solves(&model, &rho, &LeaderElection, &mut arena) {
+            for succ in evolution::one_round_successors(&rho) {
+                prop_assert!(solvability::solves(&model, &succ, &LeaderElection, &mut arena));
+            }
+        }
+    }
+
+    /// WSB is implied by LE on every realization (the reduction direction
+    /// of task hierarchies), for n ≥ 2.
+    #[test]
+    fn le_implies_wsb(rho in arb_realization(4, 2), model in arb_model(4)) {
+        let mut arena = KnowledgeArena::new();
+        if solvability::solves(&model, &rho, &LeaderElection, &mut arena) {
+            prop_assert!(solvability::solves(&model, &rho, &WeakSymmetryBreaking, &mut arena));
+        }
+    }
+
+    /// π̃(ρ) facets are the consistency classes: their sizes sum to n, and
+    /// the complex is a disjoint union of simplices.
+    #[test]
+    fn pi_tilde_shape(rho in arb_realization(4, 2), model in arb_model(4)) {
+        let mut arena = KnowledgeArena::new();
+        let pi = consistency::pi_tilde(&model, &rho, &mut arena);
+        let total: usize = pi.facets().map(|f| f.len()).sum();
+        prop_assert_eq!(total, 4);
+        let comps = rsbt_complex::connectivity::components(&pi).len();
+        prop_assert_eq!(comps, pi.facet_count());
+    }
+
+    /// Exact success probability lies in [0,1] and is monotone in t.
+    #[test]
+    fn probability_laws(sizes_idx in 0usize..5) {
+        let profiles: [&[usize]; 5] = [&[1, 1], &[1, 2], &[2, 2], &[1, 1, 1], &[3]];
+        let alpha = Assignment::from_group_sizes(profiles[sizes_idx]).unwrap();
+        let series = probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, 4);
+        for w in series.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        for p in series {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    /// Message-passing never solves less than... precisely: blackboard
+    /// solvability of a realization implies message-passing solvability of
+    /// the same realization for ANY ports (ports only refine knowledge).
+    #[test]
+    fn ports_only_help(rho in arb_realization(4, 2), model in arb_model(4)) {
+        let mut arena = KnowledgeArena::new();
+        if solvability::solves(&Model::Blackboard, &rho, &LeaderElection, &mut arena) {
+            prop_assert!(
+                solvability::solves(&model, &rho, &LeaderElection, &mut arena),
+                "{} must stay solvable under {}", &rho, &model
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Blackboard leader *and deputy* election — the algorithmic side of the
+//! paper's Section 5 future-work example (unconstrained roles).
+//!
+//! Strategy: keep posting randomness strings; decide once the common
+//! multiset contains **two distinct unique strings** — their holders
+//! become leader (smaller string) and deputy (next unique string), and
+//! everyone else follows. In the blackboard model the equality classes
+//! are exactly the source groups merged by string collisions, so the task
+//! is eventually solvable iff **at least two sources are singletons**
+//! (or `n = 2` with two sources, where both classes are singletons) — a
+//! strictly stronger requirement than Theorem 4.1's single singleton,
+//! quantifying how much harder the paper's future-work task is.
+
+use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
+
+/// Roles of the leader-and-deputy protocol.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DeputyRole {
+    /// The elected leader.
+    Leader,
+    /// The deputy (immediate backup).
+    Deputy,
+    /// Everyone else.
+    Follower,
+}
+
+/// The blackboard leader-and-deputy protocol (unconstrained roles).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rsbt_protocols::{DeputyRole, LeaderAndDeputyBlackboard};
+/// use rsbt_random::Assignment;
+/// use rsbt_sim::{runner, Model};
+///
+/// let alpha = Assignment::from_group_sizes(&[1, 1, 2]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let out = runner::run(
+///     &Model::Blackboard, &alpha, 128,
+///     LeaderAndDeputyBlackboard::new, &mut rng,
+/// );
+/// assert!(out.completed);
+/// let leaders = out.outputs.iter().filter(|o| **o == Some(DeputyRole::Leader)).count();
+/// let deputies = out.outputs.iter().filter(|o| **o == Some(DeputyRole::Deputy)).count();
+/// assert_eq!((leaders, deputies), (1, 1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LeaderAndDeputyBlackboard {
+    history: Vec<bool>,
+    decided: Option<DeputyRole>,
+}
+
+impl LeaderAndDeputyBlackboard {
+    /// Creates a fresh, undecided node.
+    pub fn new() -> Self {
+        LeaderAndDeputyBlackboard::default()
+    }
+}
+
+impl Protocol for LeaderAndDeputyBlackboard {
+    type Msg = Vec<bool>;
+    type Output = DeputyRole;
+
+    fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<Vec<bool>>) -> Outgoing<Vec<bool>> {
+        if self.decided.is_some() {
+            return Outgoing::Silent;
+        }
+        if ctx.round > 1 {
+            let board = incoming.board();
+            let mine = self.history.clone();
+            let mut all: Vec<&Vec<bool>> = board.iter().collect();
+            all.push(&mine);
+            all.sort();
+            // Unique strings in lexicographic order.
+            let uniques: Vec<&Vec<bool>> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    let prev_same = *i > 0 && all[i - 1] == **s;
+                    let next_same = *i + 1 < all.len() && all[i + 1] == **s;
+                    !prev_same && !next_same
+                })
+                .map(|(_, s)| *s)
+                .collect();
+            if uniques.len() >= 2 {
+                self.decided = Some(if mine == *uniques[0] {
+                    DeputyRole::Leader
+                } else if mine == *uniques[1] {
+                    DeputyRole::Deputy
+                } else {
+                    DeputyRole::Follower
+                });
+                return Outgoing::Silent;
+            }
+        }
+        self.history.push(ctx.bit);
+        Outgoing::Post(self.history.clone())
+    }
+
+    fn output(&self) -> Option<DeputyRole> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsbt_random::Assignment;
+    use rsbt_sim::{runner, Model};
+
+    fn run_ld(sizes: &[usize], seed: u64, cap: usize) -> runner::RunOutcome<DeputyRole> {
+        let alpha = Assignment::from_group_sizes(sizes).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        runner::run(
+            &Model::Blackboard,
+            &alpha,
+            cap,
+            LeaderAndDeputyBlackboard::new,
+            &mut rng,
+        )
+    }
+
+    fn role_counts(outs: &[Option<DeputyRole>]) -> (usize, usize, usize) {
+        let c = |r| outs.iter().filter(|o| **o == Some(r)).count();
+        (
+            c(DeputyRole::Leader),
+            c(DeputyRole::Deputy),
+            c(DeputyRole::Follower),
+        )
+    }
+
+    #[test]
+    fn two_singletons_elect_leader_and_deputy() {
+        for seed in 0..20 {
+            let out = run_ld(&[1, 1, 3], seed, 256);
+            assert!(out.completed, "seed {seed}");
+            assert_eq!(role_counts(&out.outputs), (1, 1, 3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_private_works() {
+        for seed in 0..10 {
+            let out = run_ld(&[1, 1, 1, 1], seed, 256);
+            assert!(out.completed);
+            assert_eq!(role_counts(&out.outputs), (1, 1, 2));
+        }
+    }
+
+    #[test]
+    fn one_singleton_is_not_enough() {
+        // A leader can be elected, but no deputy ever distinguishes itself
+        // inside the remaining pair.
+        for seed in 0..5 {
+            let out = run_ld(&[1, 2], seed, 64);
+            assert!(!out.completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_singleton_stalls() {
+        for seed in 0..5 {
+            let out = run_ld(&[2, 2], seed, 64);
+            assert!(!out.completed);
+        }
+    }
+
+    #[test]
+    fn leader_holds_smaller_string_than_deputy() {
+        // Consistency of the deterministic rule: roles are a function of
+        // the common multiset, so re-running with the same seed reproduces
+        // the same role vector.
+        let a = run_ld(&[1, 1, 2], 11, 256);
+        let b = run_ld(&[1, 1, 2], 11, 256);
+        assert!(a.completed && b.completed);
+        assert_eq!(a.outputs, b.outputs);
+    }
+}

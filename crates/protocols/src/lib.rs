@@ -1,0 +1,41 @@
+//! Executable anonymous distributed algorithms from the paper.
+//!
+//! * [`BlackboardLeaderElection`] — the Theorem 4.1 'if'-direction
+//!   algorithm: post your randomness every round, elect the holder of the
+//!   minimal *unique* string once one exists;
+//! * [`matching`] — Algorithm 1 (`CreateMatching`): randomized
+//!   request/acknowledge matching between two groups of anonymous nodes;
+//! * [`EuclidLeaderElection`] — the Theorem 4.2 'if'-direction algorithm:
+//!   discover the source groups, then imitate the subtractive Euclid
+//!   process by repeatedly matching the two smallest groups and
+//!   deactivating the matched members of the larger, until a singleton
+//!   group remains — its member leads;
+//! * [`reduction`] — Theorem C.1: any *name-independent* input-output task
+//!   reduces to leader election (the leader aggregates the input multiset,
+//!   computes an input→output table, and publishes it);
+//! * [`consensus`] — consensus as the canonical name-independent task,
+//!   solved via the reduction.
+//!
+//! All protocols run on the [`rsbt_sim::runner`] engine, drawing their
+//! randomness through an [`rsbt_random::Assignment`] so correlated sources
+//! are modeled faithfully — the central concern of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blackboard_le;
+pub mod consensus;
+mod deputy_bb;
+mod euclid_le;
+mod k_leader_bb;
+pub mod matching;
+pub mod reduction;
+mod role;
+mod wsb_bb;
+
+pub use crate::blackboard_le::BlackboardLeaderElection;
+pub use crate::deputy_bb::{DeputyRole, LeaderAndDeputyBlackboard};
+pub use crate::euclid_le::{EuclidLeaderElection, EuclidMsg};
+pub use crate::k_leader_bb::KLeaderBlackboard;
+pub use crate::role::{leader_count, Role};
+pub use crate::wsb_bb::WeakSymmetryBreakingBlackboard;

@@ -1,0 +1,56 @@
+//! Decision values for election protocols.
+
+use std::fmt;
+
+/// The outcome of a leader-election protocol at one node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Role {
+    /// This node was elected.
+    Leader,
+    /// This node was defeated.
+    Follower,
+}
+
+impl Role {
+    /// Whether this node is the leader.
+    pub fn is_leader(self) -> bool {
+        self == Role::Leader
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Leader => write!(f, "leader"),
+            Role::Follower => write!(f, "follower"),
+        }
+    }
+}
+
+/// Counts the leaders among decided outputs; `None` entries are undecided.
+pub fn leader_count(outputs: &[Option<Role>]) -> usize {
+    outputs
+        .iter()
+        .filter(|o| matches!(o, Some(Role::Leader)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles() {
+        assert!(Role::Leader.is_leader());
+        assert!(!Role::Follower.is_leader());
+        assert_eq!(Role::Leader.to_string(), "leader");
+        assert_eq!(Role::Follower.to_string(), "follower");
+    }
+
+    #[test]
+    fn counting() {
+        let outs = vec![Some(Role::Leader), Some(Role::Follower), None];
+        assert_eq!(leader_count(&outs), 1);
+        assert_eq!(leader_count(&[]), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Randomness-configurations `α ∈ A`: which node is wired to which source.
+
+use std::fmt;
+
+use crate::error::RandomError;
+use crate::gcd;
+
+/// A randomness-configuration (a facet of the paper's assignment complex
+/// `A`): a surjective map from nodes `[n]` onto sources `[k]`.
+///
+/// Stored in *canonical form*: sources are renumbered in order of first
+/// appearance (the paper's "without loss of generality we rename the `k`
+/// different sources to be contiguous"), so two assignments inducing the
+/// same partition of nodes compare equal iff their ordered source labels
+/// agree after canonicalization.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_random::Assignment;
+///
+/// let alpha = Assignment::from_sources(vec![7, 7, 3])?; // canonicalized
+/// assert_eq!(alpha.source_of(0), 0);
+/// assert_eq!(alpha.source_of(2), 1);
+/// assert_eq!(alpha.group_sizes(), vec![2, 1]);
+/// assert!(alpha.has_singleton_group()); // Theorem 4.1's condition
+/// # Ok::<(), rsbt_random::RandomError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Assignment {
+    /// `source[i]` = canonical source index of node `i`, in `0..k`.
+    source: Vec<usize>,
+    k: usize,
+}
+
+impl Assignment {
+    /// Builds an assignment from raw per-node source labels, renumbering
+    /// sources in order of first appearance.
+    ///
+    /// # Errors
+    ///
+    /// [`RandomError::EmptyAssignment`] if `labels` is empty.
+    pub fn from_sources(labels: Vec<usize>) -> Result<Self, RandomError> {
+        if labels.is_empty() {
+            return Err(RandomError::EmptyAssignment);
+        }
+        let mut canonical: Vec<usize> = Vec::new();
+        let mut source = Vec::with_capacity(labels.len());
+        for l in labels {
+            let idx = match canonical.iter().position(|&c| c == l) {
+                Some(i) => i,
+                None => {
+                    canonical.push(l);
+                    canonical.len() - 1
+                }
+            };
+            source.push(idx);
+        }
+        let k = canonical.len();
+        Ok(Assignment { source, k })
+    }
+
+    /// Builds the assignment with the given group sizes `n_1, …, n_k`:
+    /// the first `n_1` nodes are wired to source 0, the next `n_2` to
+    /// source 1, and so on.
+    ///
+    /// # Errors
+    ///
+    /// * [`RandomError::EmptyAssignment`] if `sizes` is empty;
+    /// * [`RandomError::EmptyGroup`] if any size is zero.
+    pub fn from_group_sizes(sizes: &[usize]) -> Result<Self, RandomError> {
+        if sizes.is_empty() {
+            return Err(RandomError::EmptyAssignment);
+        }
+        if sizes.contains(&0) {
+            return Err(RandomError::EmptyGroup);
+        }
+        let mut source = Vec::with_capacity(sizes.iter().sum());
+        for (s, &size) in sizes.iter().enumerate() {
+            source.extend(std::iter::repeat(s).take(size));
+        }
+        Ok(Assignment {
+            source,
+            k: sizes.len(),
+        })
+    }
+
+    /// Private randomness: every node has its own source (`k = n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn private(n: usize) -> Self {
+        assert!(n > 0, "assignment needs at least one node");
+        Assignment {
+            source: (0..n).collect(),
+            k: n,
+        }
+    }
+
+    /// Shared randomness: all nodes wired to the same source (`k = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn shared(n: usize) -> Self {
+        assert!(n > 0, "assignment needs at least one node");
+        Assignment {
+            source: vec![0; n],
+            k: 1,
+        }
+    }
+
+    /// The number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.source.len()
+    }
+
+    /// The number of distinct sources `k = k(α)`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The canonical source index of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n()`.
+    pub fn source_of(&self, i: usize) -> usize {
+        self.source[i]
+    }
+
+    /// Per-node source indices.
+    pub fn sources(&self) -> &[usize] {
+        &self.source
+    }
+
+    /// The group sizes `n_1, …, n_k` in canonical source order.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &s in &self.source {
+            sizes[s] += 1;
+        }
+        sizes
+    }
+
+    /// The nodes of each group, in canonical source order.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k];
+        for (i, &s) in self.source.iter().enumerate() {
+            groups[s].push(i);
+        }
+        groups
+    }
+
+    /// Whether two nodes share a randomness source.
+    pub fn same_source(&self, i: usize, j: usize) -> bool {
+        self.source[i] == self.source[j]
+    }
+
+    /// Theorem 4.1's condition: does some source feed exactly one node?
+    pub fn has_singleton_group(&self) -> bool {
+        self.group_sizes().contains(&1)
+    }
+
+    /// Theorem 4.2's quantity: `gcd(n_1, …, n_k)`.
+    pub fn gcd_of_group_sizes(&self) -> u64 {
+        let sizes: Vec<u64> = self.group_sizes().iter().map(|&s| s as u64).collect();
+        gcd::gcd_many(&sizes)
+    }
+
+    /// Enumerates every randomness-configuration on `n` nodes, i.e. every
+    /// set partition of `[n]` (via restricted-growth strings). There are
+    /// Bell(n) of them (e.g. 203 for `n = 6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn enumerate_all(n: usize) -> Vec<Assignment> {
+        assert!(n > 0, "assignment needs at least one node");
+        let mut out = Vec::new();
+        let mut rgs = vec![0usize; n];
+        loop {
+            out.push(Assignment {
+                source: rgs.clone(),
+                k: rgs.iter().copied().max().unwrap() + 1,
+            });
+            // Next restricted-growth string.
+            let mut i = n;
+            loop {
+                if i == 1 {
+                    return out;
+                }
+                i -= 1;
+                let cap = rgs[..i].iter().copied().max().unwrap() + 1;
+                if rgs[i] < cap {
+                    rgs[i] += 1;
+                    for slot in rgs.iter_mut().skip(i + 1) {
+                        *slot = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Enumerates one representative per *group-size profile* (unordered
+    /// multiset of `n_i`): the integer partitions of `n`. Sufficient for
+    /// solvability sweeps because both theorems depend only on the sizes.
+    pub fn enumerate_profiles(n: usize) -> Vec<Assignment> {
+        assert!(n > 0, "assignment needs at least one node");
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        fn rec(remaining: usize, max: usize, current: &mut Vec<usize>, out: &mut Vec<Assignment>) {
+            if remaining == 0 {
+                out.push(Assignment::from_group_sizes(current).expect("nonempty parts"));
+                return;
+            }
+            for part in (1..=remaining.min(max)).rev() {
+                current.push(part);
+                rec(remaining - part, part, current, out);
+                current.pop();
+            }
+        }
+        rec(n, n, &mut current, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α[")?;
+        for (i, &s) in self.source.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "p{i}→R{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_renumbers_in_first_appearance_order() {
+        let a = Assignment::from_sources(vec![9, 2, 9, 5]).unwrap();
+        assert_eq!(a.sources(), &[0, 1, 0, 2]);
+        assert_eq!(a.k(), 3);
+        let b = Assignment::from_sources(vec![0, 1, 0, 2]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_sizes_and_groups() {
+        let a = Assignment::from_group_sizes(&[2, 3, 1]).unwrap();
+        assert_eq!(a.n(), 6);
+        assert_eq!(a.k(), 3);
+        assert_eq!(a.group_sizes(), vec![2, 3, 1]);
+        assert_eq!(a.groups()[1], vec![2, 3, 4]);
+        assert!(a.same_source(2, 4));
+        assert!(!a.same_source(0, 2));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(matches!(
+            Assignment::from_sources(Vec::new()),
+            Err(RandomError::EmptyAssignment)
+        ));
+        assert!(matches!(
+            Assignment::from_group_sizes(&[]),
+            Err(RandomError::EmptyAssignment)
+        ));
+        assert!(matches!(
+            Assignment::from_group_sizes(&[1, 0]),
+            Err(RandomError::EmptyGroup)
+        ));
+    }
+
+    #[test]
+    fn private_and_shared() {
+        let p = Assignment::private(4);
+        assert_eq!(p.k(), 4);
+        assert!(p.has_singleton_group());
+        assert_eq!(p.gcd_of_group_sizes(), 1);
+        let s = Assignment::shared(4);
+        assert_eq!(s.k(), 1);
+        assert!(!s.has_singleton_group());
+        assert_eq!(s.gcd_of_group_sizes(), 4);
+    }
+
+    #[test]
+    fn theorem_conditions() {
+        let a = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        assert!(!a.has_singleton_group());
+        assert_eq!(a.gcd_of_group_sizes(), 2);
+        let b = Assignment::from_group_sizes(&[2, 3]).unwrap();
+        assert!(!b.has_singleton_group());
+        assert_eq!(b.gcd_of_group_sizes(), 1);
+        let c = Assignment::from_group_sizes(&[1, 4]).unwrap();
+        assert!(c.has_singleton_group());
+        assert_eq!(c.gcd_of_group_sizes(), 1);
+    }
+
+    #[test]
+    fn enumerate_all_counts_bell_numbers() {
+        // Bell numbers: 1, 2, 5, 15, 52, 203.
+        let bell = [1usize, 2, 5, 15, 52, 203];
+        for (i, &b) in bell.iter().enumerate() {
+            let n = i + 1;
+            let all = Assignment::enumerate_all(n);
+            assert_eq!(all.len(), b, "Bell({n})");
+            // All distinct and canonical.
+            let set: std::collections::BTreeSet<_> = all.iter().collect();
+            assert_eq!(set.len(), b);
+            for a in &all {
+                assert_eq!(a.n(), n);
+                let re = Assignment::from_sources(a.sources().to_vec()).unwrap();
+                assert_eq!(&re, a, "already canonical");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_profiles_counts_integer_partitions() {
+        // Partition numbers p(n): 1, 2, 3, 5, 7, 11.
+        let partitions = [1usize, 2, 3, 5, 7, 11];
+        for (i, &p) in partitions.iter().enumerate() {
+            let n = i + 1;
+            assert_eq!(Assignment::enumerate_profiles(n).len(), p, "p({n})");
+        }
+    }
+
+    #[test]
+    fn display_mentions_wiring() {
+        let a = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let s = a.to_string();
+        assert!(s.contains("p0→R0"));
+        assert!(s.contains("p2→R1"));
+    }
+}

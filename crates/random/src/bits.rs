@@ -1,0 +1,243 @@
+//! Fixed-length bit strings `x ∈ {0,1}^t`.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// Maximum supported bit-string length (bits are packed in one `u64`).
+pub const MAX_BITS: usize = 63;
+
+/// A bit string of length at most [`MAX_BITS`], ordered round-by-round:
+/// bit `0` is the bit emitted in round 1.
+///
+/// `BitString` models both the per-round output of a randomness source
+/// `R_i(1..t)` and the randomness `x_i(t)` received by a node.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_random::BitString;
+///
+/// let mut x = BitString::empty();
+/// x.push(true);
+/// x.push(false);
+/// assert_eq!(x.len(), 2);
+/// assert_eq!(x.bit(0), true);
+/// assert_eq!(x.to_string(), "10");
+/// assert_eq!(x.prefix(1), BitString::from_bits([true]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BitString {
+    bits: u64,
+    len: u8,
+}
+
+impl BitString {
+    /// The empty string `⊥` (the paper's initial knowledge placeholder).
+    pub fn empty() -> Self {
+        BitString { bits: 0, len: 0 }
+    }
+
+    /// Builds a bit string from an iterator of bits (round order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than [`MAX_BITS`] bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = BitString::empty();
+        for b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Decodes the `len` low bits of `word` as a bit string (bit `i` of
+    /// `word` is round `i+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_BITS`.
+    pub fn from_word(word: u64, len: usize) -> Self {
+        assert!(len <= MAX_BITS, "bit strings limited to {MAX_BITS} bits");
+        let mask = if len == 0 { 0 } else { u64::MAX >> (64 - len) };
+        BitString {
+            bits: word & mask,
+            len: len as u8,
+        }
+    }
+
+    /// The number of rounds covered, `t`.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this is the empty string `⊥`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit of round `i + 1` (zero-based index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of range");
+        self.bits >> i & 1 == 1
+    }
+
+    /// Appends one round's bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is already [`MAX_BITS`] long.
+    pub fn push(&mut self, b: bool) {
+        assert!(self.len() < MAX_BITS, "bit string full");
+        if b {
+            self.bits |= 1 << self.len;
+        }
+        self.len += 1;
+    }
+
+    /// The prefix covering the first `t` rounds, `x(1..t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > len()`.
+    pub fn prefix(&self, t: usize) -> BitString {
+        assert!(t <= self.len(), "prefix length {t} exceeds string");
+        BitString::from_word(self.bits, t)
+    }
+
+    /// Whether `self` extends `other` (i.e. `other` is a prefix of `self`).
+    pub fn extends(&self, other: &BitString) -> bool {
+        other.len() <= self.len() && self.prefix(other.len()) == *other
+    }
+
+    /// Concatenates `other` after `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined length exceeds [`MAX_BITS`].
+    pub fn concat(&self, other: &BitString) -> BitString {
+        let total = self.len() + other.len();
+        assert!(total <= MAX_BITS, "concatenation exceeds {MAX_BITS} bits");
+        BitString {
+            bits: self.bits | other.bits << self.len,
+            len: total as u8,
+        }
+    }
+
+    /// Iterates over the bits in round order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len()).map(|i| self.bit(i))
+    }
+
+    /// The packed representation (low `len` bits).
+    pub fn as_word(&self) -> u64 {
+        self.bits
+    }
+
+    /// All `2^t` bit strings of length `t`, in numeric order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > MAX_BITS` or `2^t` overflows the iterator bound
+    /// (practically `t ≤ 62`).
+    pub fn all_of_length(t: usize) -> impl Iterator<Item = BitString> {
+        assert!(t <= MAX_BITS);
+        (0..1u64 << t).map(move |w| BitString::from_word(w, t))
+    }
+
+    /// Samples a uniform bit string of length `t`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, t: usize) -> BitString {
+        assert!(t <= MAX_BITS);
+        BitString::from_word(rng.gen::<u64>(), t)
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "⊥");
+        }
+        for b in self.iter() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_displays_bottom() {
+        assert_eq!(BitString::empty().to_string(), "⊥");
+        assert!(BitString::empty().is_empty());
+    }
+
+    #[test]
+    fn push_and_bit() {
+        let x = BitString::from_bits([true, false, true]);
+        assert_eq!(x.len(), 3);
+        assert!(x.bit(0));
+        assert!(!x.bit(1));
+        assert!(x.bit(2));
+        assert_eq!(x.to_string(), "101");
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let x = BitString::from_word(0b101, 3);
+        assert_eq!(x, BitString::from_bits([true, false, true]));
+        assert_eq!(x.as_word(), 0b101);
+        // Extra high bits are masked.
+        assert_eq!(BitString::from_word(0b1111, 2).as_word(), 0b11);
+    }
+
+    #[test]
+    fn prefix_and_extends() {
+        let x = BitString::from_bits([true, false, true, true]);
+        let p = x.prefix(2);
+        assert_eq!(p.to_string(), "10");
+        assert!(x.extends(&p));
+        assert!(x.extends(&x));
+        assert!(!p.extends(&x));
+        let other = BitString::from_bits([false, false]);
+        assert!(!x.extends(&other));
+    }
+
+    #[test]
+    fn concat_orders_rounds() {
+        let a = BitString::from_bits([true]);
+        let b = BitString::from_bits([false, true]);
+        assert_eq!(a.concat(&b).to_string(), "101");
+    }
+
+    #[test]
+    fn all_of_length_counts() {
+        assert_eq!(BitString::all_of_length(0).count(), 1);
+        assert_eq!(BitString::all_of_length(3).count(), 8);
+        let all: Vec<_> = BitString::all_of_length(2).collect();
+        assert_eq!(all.len(), 4);
+        // Distinct.
+        let set: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let _ = BitString::empty().bit(0);
+    }
+
+    #[test]
+    fn sample_has_requested_length() {
+        let mut rng = rand::rngs::mock::StepRng::new(0xdead_beef, 0x9e37_79b9);
+        for t in 0..10 {
+            assert_eq!(BitString::sample(&mut rng, t).len(), t);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for randomness-configuration construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing assignments or realizations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum RandomError {
+    /// An assignment needs at least one node.
+    EmptyAssignment,
+    /// A group size of zero was supplied (every source must feed ≥ 1 node).
+    EmptyGroup,
+    /// A realization mixed bit strings of different lengths.
+    RaggedRealization,
+    /// A realization's node count does not match the assignment's.
+    NodeCountMismatch {
+        /// Nodes in the realization.
+        realization: usize,
+        /// Nodes in the assignment.
+        assignment: usize,
+    },
+}
+
+impl fmt::Display for RandomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RandomError::EmptyAssignment => write!(f, "assignment must cover at least one node"),
+            RandomError::EmptyGroup => write!(f, "every randomness source must feed at least one node"),
+            RandomError::RaggedRealization => {
+                write!(f, "realization bit strings must all have the same length")
+            }
+            RandomError::NodeCountMismatch {
+                realization,
+                assignment,
+            } => write!(
+                f,
+                "realization covers {realization} node(s) but assignment covers {assignment}"
+            ),
+        }
+    }
+}
+
+impl Error for RandomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = [
+            RandomError::EmptyAssignment,
+            RandomError::EmptyGroup,
+            RandomError::RaggedRealization,
+            RandomError::NodeCountMismatch {
+                realization: 1,
+                assignment: 2,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Greatest-common-divisor utilities over group sizes.
+//!
+//! Theorem 4.2 characterizes message-passing leader election by
+//! `gcd(n_1, …, n_k)`; the 'if'-direction algorithm imitates Euclid's
+//! algorithm on group sizes, so we also expose the Euclidean trace.
+
+/// The greatest common divisor of two numbers; `gcd(0, b) = b`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(rsbt_random::gcd::gcd(12, 18), 6);
+/// assert_eq!(rsbt_random::gcd::gcd(0, 7), 7);
+/// ```
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// The gcd of a slice; `0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(rsbt_random::gcd::gcd_many(&[4, 6, 10]), 2);
+/// assert_eq!(rsbt_random::gcd::gcd_many(&[3, 5]), 1);
+/// assert_eq!(rsbt_random::gcd::gcd_many(&[]), 0);
+/// ```
+pub fn gcd_many(xs: &[u64]) -> u64 {
+    xs.iter().copied().fold(0, gcd)
+}
+
+/// One step of the subtractive Euclid process used by the paper's
+/// leader-election algorithm (proof of Theorem 4.2): match the smaller
+/// group against the larger, deactivate the matched nodes of the larger
+/// side, leaving group sizes `(a, b − a)` for `a ≤ b`.
+///
+/// Returns `None` when a group has reached zero (process finished).
+pub fn euclid_step(a: u64, b: u64) -> Option<(u64, u64)> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    Some((lo, hi - lo))
+}
+
+/// The full subtractive-Euclid trace starting from `(a, b)`, ending at
+/// `(g, 0)` where `g = gcd(a, b)`.
+///
+/// # Example
+///
+/// ```
+/// let trace = rsbt_random::gcd::euclid_trace(3, 5);
+/// assert_eq!(*trace.last().unwrap(), (1, 0));
+/// ```
+pub fn euclid_trace(a: u64, b: u64) -> Vec<(u64, u64)> {
+    let mut out = vec![(a, b)];
+    let (mut a, mut b) = (a, b);
+    while let Some((x, y)) = euclid_step(a, b) {
+        out.push((x, y));
+        (a, b) = (x, y);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(8, 12), 4);
+        assert_eq!(gcd(1, 99), 1);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(7, 7), 7);
+    }
+
+    #[test]
+    fn gcd_many_matches_pairwise() {
+        assert_eq!(gcd_many(&[6]), 6);
+        assert_eq!(gcd_many(&[6, 4]), 2);
+        assert_eq!(gcd_many(&[6, 4, 3]), 1);
+        assert_eq!(gcd_many(&[10, 20, 30]), 10);
+    }
+
+    #[test]
+    fn euclid_step_subtracts() {
+        assert_eq!(euclid_step(3, 5), Some((3, 2)));
+        assert_eq!(euclid_step(5, 3), Some((3, 2)));
+        assert_eq!(euclid_step(4, 4), Some((4, 0)));
+        assert_eq!(euclid_step(0, 5), None);
+    }
+
+    #[test]
+    fn trace_terminates_at_gcd() {
+        for (a, b) in [(3u64, 5u64), (12, 18), (1, 9), (7, 7)] {
+            let trace = euclid_trace(a, b);
+            let last = *trace.last().unwrap();
+            assert_eq!(last.1, 0);
+            assert_eq!(last.0, gcd(a, b));
+            // Sizes never increase along the trace.
+            for w in trace.windows(2) {
+                assert!(w[1].0 + w[1].1 <= w[0].0 + w[0].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Correlated randomness sources, assignments, and realizations.
+//!
+//! The paper's model (Section 2.1): `k ≤ n` independent sources
+//! `R_1, …, R_k` each emit one uniform bit per round; every node is wired to
+//! exactly one source, so nodes sharing a source see *identical* randomness.
+//! This crate provides:
+//!
+//! * [`BitString`] — the bit strings `x_i(1..t) ∈ {0,1}^t`;
+//! * [`Assignment`] — a randomness-configuration `α ∈ A` (which node is
+//!   connected to which source), with canonical renumbering and exhaustive
+//!   enumeration over all set partitions of `[n]`;
+//! * [`Realization`] — a facet `ρ = {(i, x_i)}` of the realization complex
+//!   `R(t)`, with exact probability `Pr[ρ | α]` (Lemma B.1), enumeration of
+//!   all positive-probability realizations, and sampling;
+//! * [`gcd`] — gcd utilities over group sizes (the quantity Theorem 4.2
+//!   keys on).
+//!
+//! # Example
+//!
+//! ```
+//! use rsbt_random::{Assignment, Realization};
+//!
+//! // Four nodes: two wired to source 0, two to source 1 (n_i = [2, 2]).
+//! let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+//! assert_eq!(alpha.k(), 2);
+//! assert_eq!(alpha.gcd_of_group_sizes(), 2);
+//! assert!(!alpha.has_singleton_group());
+//!
+//! // All positive-probability realizations at time t=1: 2^{k·t} = 4.
+//! let all: Vec<Realization> = Realization::enumerate_consistent(&alpha, 1).collect();
+//! assert_eq!(all.len(), 4);
+//! assert!(all.iter().all(|r| (r.probability(&alpha) - 0.25).abs() < 1e-12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod bits;
+mod error;
+pub mod gcd;
+mod realization;
+
+pub use crate::assignment::Assignment;
+pub use crate::bits::{BitString, MAX_BITS};
+pub use crate::error::RandomError;
+pub use crate::realization::Realization;

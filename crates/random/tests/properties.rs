@@ -1,0 +1,114 @@
+//! Property-based tests for assignments, realizations, and probabilities.
+
+use proptest::prelude::*;
+use rsbt_random::{gcd, Assignment, BitString, Realization};
+
+fn arb_assignment(max_n: usize) -> impl Strategy<Value = Assignment> {
+    proptest::collection::vec(0usize..4, 1..=max_n)
+        .prop_map(|labels| Assignment::from_sources(labels).expect("non-empty"))
+}
+
+proptest! {
+    /// Canonicalization is idempotent and preserves the partition.
+    #[test]
+    fn canonicalization_idempotent(alpha in arb_assignment(8)) {
+        let re = Assignment::from_sources(alpha.sources().to_vec()).unwrap();
+        prop_assert_eq!(&re, &alpha);
+        // Same-source relation must be preserved by any relabeling.
+        for i in 0..alpha.n() {
+            for j in 0..alpha.n() {
+                prop_assert_eq!(
+                    alpha.same_source(i, j),
+                    alpha.source_of(i) == alpha.source_of(j)
+                );
+            }
+        }
+    }
+
+    /// Group sizes sum to n and there are exactly k groups.
+    #[test]
+    fn group_sizes_partition(alpha in arb_assignment(8)) {
+        let sizes = alpha.group_sizes();
+        prop_assert_eq!(sizes.len(), alpha.k());
+        prop_assert_eq!(sizes.iter().sum::<usize>(), alpha.n());
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+        let groups = alpha.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, alpha.n());
+    }
+
+    /// gcd of group sizes divides every group size and n.
+    #[test]
+    fn gcd_divides(alpha in arb_assignment(8)) {
+        let g = alpha.gcd_of_group_sizes();
+        prop_assert!(g >= 1);
+        for s in alpha.group_sizes() {
+            prop_assert_eq!(s as u64 % g, 0);
+        }
+        prop_assert_eq!(alpha.n() as u64 % g, 0);
+    }
+
+    /// Sampled realizations are always consistent and have the stated
+    /// probability.
+    #[test]
+    fn sampled_realizations_consistent(alpha in arb_assignment(6), t in 0usize..8, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rho = Realization::sample(&alpha, t, &mut rng);
+        prop_assert!(rho.is_consistent_with(&alpha));
+        let expect = 0.5f64.powi((t * alpha.k()) as i32);
+        prop_assert!((rho.probability(&alpha) - expect).abs() < 1e-15);
+    }
+
+    /// Prefixes of consistent realizations remain consistent, and
+    /// succession is transitive.
+    #[test]
+    fn prefix_consistency(alpha in arb_assignment(5), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rho = Realization::sample(&alpha, 6, &mut rng);
+        for t in 0..6 {
+            prop_assert!(rho.prefix(t).is_consistent_with(&alpha));
+            if t >= 1 {
+                prop_assert!(rho.succeeds(&rho.prefix(t)));
+                prop_assert!(rho.prefix(t + 1).succeeds(&rho.prefix(t)) || t + 1 == 6);
+            }
+        }
+    }
+
+    /// Probabilities over the consistent support sum to 1.
+    #[test]
+    fn support_sums_to_one(alpha in arb_assignment(4), t in 1usize..3) {
+        prop_assume!(alpha.k() * t <= 10);
+        let total: f64 = Realization::enumerate_consistent(&alpha, t)
+            .map(|r| r.probability(&alpha))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// BitString word roundtrip and prefix laws.
+    #[test]
+    fn bitstring_laws(word in any::<u64>(), len in 0usize..32, cut in 0usize..32) {
+        let s = BitString::from_word(word, len);
+        prop_assert_eq!(s.len(), len);
+        let cut = cut.min(len);
+        let p = s.prefix(cut);
+        prop_assert!(s.extends(&p));
+        // Rebuilding from bits is identity.
+        let rebuilt = BitString::from_bits(s.iter());
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    /// Euclid trace ends at (gcd, 0) and never grows.
+    #[test]
+    fn euclid_trace_laws(a in 1u64..200, b in 1u64..200) {
+        let trace = gcd::euclid_trace(a, b);
+        let last = *trace.last().unwrap();
+        prop_assert_eq!(last, (gcd::gcd(a, b), 0));
+        for w in trace.windows(2) {
+            prop_assert!(w[1].0 + w[1].1 <= w[0].0 + w[0].1);
+            // The gcd is invariant along the trace (gcd(x, 0) = x).
+            prop_assert_eq!(gcd::gcd(w[1].0, w[1].1), gcd::gcd(a, b));
+        }
+    }
+}

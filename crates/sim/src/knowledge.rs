@@ -1,0 +1,295 @@
+//! Hash-consed knowledge values `K_i(t)`.
+//!
+//! The paper defines knowledge recursively (Eqs. 1 and 2): a node's
+//! knowledge at time `t` is a tuple of its previous knowledge, its fresh
+//! random bit, and the (multiset or port-ordered tuple of) knowledge of the
+//! other nodes at `t − 1`. Knowledge values double in size every round, so a
+//! naive representation explodes; interning them in an arena gives
+//! structural sharing and makes the consistency test `K_i(t) = K_j(t)` a
+//! single integer comparison — *exactly*, not probabilistically (no hashing
+//! collisions can merge distinct values, because interning compares the
+//! full node on insertion).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned knowledge value inside a [`KnowledgeArena`].
+///
+/// Two ids from the *same arena* are equal iff the knowledge values are
+/// structurally equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct KnowledgeId(u32);
+
+impl KnowledgeId {
+    /// The raw arena index (useful as a compact state label).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from a raw arena index (crate-internal; arenas are
+    /// append-only, so any index below `len` is valid).
+    pub(crate) fn from_raw(raw: u32) -> KnowledgeId {
+        KnowledgeId(raw)
+    }
+}
+
+impl fmt::Display for KnowledgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K#{}", self.0)
+    }
+}
+
+/// The information received from the other nodes in one round.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NeighborInfo {
+    /// Blackboard model: the full board content for the round — the
+    /// multiset `{K_j(t−1) : j ≠ i}`, stored sorted (the paper's
+    /// lexicographic-order convention removes sender identity).
+    Board(Vec<KnowledgeId>),
+    /// Message-passing model: `(K_{π_i(1)}(t−1), …, K_{π_i(n−1)}(t−1))`,
+    /// ordered by the receiving node's own port numbers.
+    Ports(Vec<KnowledgeId>),
+}
+
+/// An interned knowledge value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum KnowledgeNode {
+    /// `K_i(0)`: the input value of the node, or `None` for the input-free
+    /// placeholder `⊥`.
+    Initial(Option<u64>),
+    /// `K_i(t)` for `t ≥ 1`: previous knowledge, fresh random bit, and the
+    /// other nodes' previous knowledge.
+    Round {
+        /// `K_i(t − 1)`.
+        prev: KnowledgeId,
+        /// `X_i(t)`, the bit received from the node's randomness source.
+        bit: bool,
+        /// What the node heard from the rest of the system this round.
+        heard: NeighborInfo,
+    },
+}
+
+/// Interning arena for knowledge values.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_sim::{KnowledgeArena, KnowledgeNode, NeighborInfo};
+///
+/// let mut arena = KnowledgeArena::new();
+/// let bottom = arena.initial(None);
+/// let a = arena.intern(KnowledgeNode::Round {
+///     prev: bottom,
+///     bit: true,
+///     heard: NeighborInfo::Board(vec![bottom]),
+/// });
+/// let b = arena.intern(KnowledgeNode::Round {
+///     prev: bottom,
+///     bit: true,
+///     heard: NeighborInfo::Board(vec![bottom]),
+/// });
+/// assert_eq!(a, b); // structural equality ⇒ same id
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeArena {
+    nodes: Vec<KnowledgeNode>,
+    index: HashMap<KnowledgeNode, KnowledgeId>,
+}
+
+impl KnowledgeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        KnowledgeArena::default()
+    }
+
+    /// Interns a knowledge value, returning its canonical id.
+    ///
+    /// For [`KnowledgeNode::Round`] values, the `heard` board variant must
+    /// already be sorted; use [`KnowledgeArena::round_blackboard`] /
+    /// [`KnowledgeArena::round_ports`] to construct rounds safely.
+    pub fn intern(&mut self, node: KnowledgeNode) -> KnowledgeId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = KnowledgeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
+    /// Interns an initial knowledge value (`⊥` for `None`).
+    pub fn initial(&mut self, input: Option<u64>) -> KnowledgeId {
+        self.intern(KnowledgeNode::Initial(input))
+    }
+
+    /// Interns one blackboard round (Eq. 1): sorts the board multiset,
+    /// erasing sender identity.
+    pub fn round_blackboard(
+        &mut self,
+        prev: KnowledgeId,
+        bit: bool,
+        mut board: Vec<KnowledgeId>,
+    ) -> KnowledgeId {
+        board.sort_unstable();
+        self.intern(KnowledgeNode::Round {
+            prev,
+            bit,
+            heard: NeighborInfo::Board(board),
+        })
+    }
+
+    /// Interns one message-passing round (Eq. 2): `by_port[j]` is the
+    /// previous knowledge of the node behind port `j + 1`; order is
+    /// preserved (ports are local identifiers).
+    pub fn round_ports(
+        &mut self,
+        prev: KnowledgeId,
+        bit: bool,
+        by_port: Vec<KnowledgeId>,
+    ) -> KnowledgeId {
+        self.intern(KnowledgeNode::Round {
+            prev,
+            bit,
+            heard: NeighborInfo::Ports(by_port),
+        })
+    }
+
+    /// Resolves an id back to its node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id comes from a different arena (index out of range).
+    pub fn get(&self, id: KnowledgeId) -> &KnowledgeNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The number of distinct knowledge values interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The time `t` a knowledge value covers (its recursion depth).
+    pub fn depth(&self, id: KnowledgeId) -> usize {
+        match self.get(id) {
+            KnowledgeNode::Initial(_) => 0,
+            KnowledgeNode::Round { prev, .. } => 1 + self.depth(*prev),
+        }
+    }
+
+    /// The randomness string `x_i(1..t)` embedded in a knowledge value
+    /// (the paper's map `h : P(t) → R(t)` extracts exactly this).
+    pub fn randomness(&self, id: KnowledgeId) -> Vec<bool> {
+        let mut bits = Vec::new();
+        let mut cur = id;
+        loop {
+            match self.get(cur) {
+                KnowledgeNode::Initial(_) => break,
+                KnowledgeNode::Round { prev, bit, .. } => {
+                    bits.push(*bit);
+                    cur = *prev;
+                }
+            }
+        }
+        bits.reverse();
+        bits
+    }
+
+    /// The input value recorded at the root of the knowledge recursion.
+    pub fn input(&self, id: KnowledgeId) -> Option<u64> {
+        match self.get(id) {
+            KnowledgeNode::Initial(v) => *v,
+            KnowledgeNode::Round { prev, .. } => self.input(*prev),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut a = KnowledgeArena::new();
+        let x = a.initial(None);
+        let y = a.initial(None);
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+        let z = a.initial(Some(5));
+        assert_ne!(x, z);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn board_is_sorted_on_construction() {
+        let mut a = KnowledgeArena::new();
+        let b0 = a.initial(Some(0));
+        let b1 = a.initial(Some(1));
+        let r1 = a.round_blackboard(b0, true, vec![b1, b0]);
+        let r2 = a.round_blackboard(b0, true, vec![b0, b1]);
+        assert_eq!(r1, r2, "multiset order must not matter");
+    }
+
+    #[test]
+    fn port_order_matters() {
+        let mut a = KnowledgeArena::new();
+        let b0 = a.initial(Some(0));
+        let b1 = a.initial(Some(1));
+        let r1 = a.round_ports(b0, true, vec![b1, b0]);
+        let r2 = a.round_ports(b0, true, vec![b0, b1]);
+        assert_ne!(r1, r2, "port order is part of the knowledge");
+    }
+
+    #[test]
+    fn bit_distinguishes() {
+        let mut a = KnowledgeArena::new();
+        let b = a.initial(None);
+        let r0 = a.round_blackboard(b, false, vec![b]);
+        let r1 = a.round_blackboard(b, true, vec![b]);
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn depth_counts_rounds() {
+        let mut a = KnowledgeArena::new();
+        let b = a.initial(None);
+        assert_eq!(a.depth(b), 0);
+        let r1 = a.round_blackboard(b, false, vec![b]);
+        let r2 = a.round_blackboard(r1, true, vec![r1]);
+        assert_eq!(a.depth(r1), 1);
+        assert_eq!(a.depth(r2), 2);
+    }
+
+    #[test]
+    fn randomness_extraction_in_round_order() {
+        let mut a = KnowledgeArena::new();
+        let b = a.initial(None);
+        let r1 = a.round_blackboard(b, true, vec![b]);
+        let r2 = a.round_blackboard(r1, false, vec![r1]);
+        let r3 = a.round_blackboard(r2, true, vec![r2]);
+        assert_eq!(a.randomness(r3), vec![true, false, true]);
+        assert_eq!(a.randomness(b), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn input_recovered_from_root() {
+        let mut a = KnowledgeArena::new();
+        let b = a.initial(Some(17));
+        let r1 = a.round_blackboard(b, true, vec![b]);
+        assert_eq!(a.input(r1), Some(17));
+        assert_eq!(a.input(b), Some(17));
+        let bot = a.initial(None);
+        assert_eq!(a.input(bot), None);
+    }
+
+    #[test]
+    fn display_id() {
+        let mut a = KnowledgeArena::new();
+        let b = a.initial(None);
+        assert_eq!(b.to_string(), "K#0");
+    }
+}

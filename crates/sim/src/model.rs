@@ -1,0 +1,73 @@
+//! The two anonymous communication models of the paper.
+
+use std::fmt;
+
+use crate::ports::PortNumbering;
+
+/// A communication model instance (Section 2.1 of the paper).
+///
+/// The blackboard model needs no parameters; the message-passing model is
+/// parameterized by a concrete [`PortNumbering`], because knowledge — and
+/// hence solvability — depends on it (Theorem 4.2 quantifies over the worst
+/// case).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Model {
+    /// Shared anonymous blackboard: everyone sees every message, senders
+    /// are anonymous, board order is lexicographic.
+    Blackboard,
+    /// Clique with private point-to-point channels labeled by per-node
+    /// port numbers.
+    MessagePassing(PortNumbering),
+}
+
+impl Model {
+    /// A message-passing model with the canonical cyclic numbering.
+    pub fn message_passing_cyclic(n: usize) -> Self {
+        Model::MessagePassing(PortNumbering::cyclic(n))
+    }
+
+    /// Whether this is the blackboard model.
+    pub fn is_blackboard(&self) -> bool {
+        matches!(self, Model::Blackboard)
+    }
+
+    /// The port numbering, if message-passing.
+    pub fn ports(&self) -> Option<&PortNumbering> {
+        match self {
+            Model::Blackboard => None,
+            Model::MessagePassing(p) => Some(p),
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Model::Blackboard => write!(f, "blackboard"),
+            Model::MessagePassing(p) => write!(f, "message-passing (n={})", p.n()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let bb = Model::Blackboard;
+        assert!(bb.is_blackboard());
+        assert!(bb.ports().is_none());
+        let mp = Model::message_passing_cyclic(3);
+        assert!(!mp.is_blackboard());
+        assert_eq!(mp.ports().unwrap().n(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Model::Blackboard.to_string(), "blackboard");
+        assert!(Model::message_passing_cyclic(4)
+            .to_string()
+            .contains("n=4"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Port numberings for the message-passing clique `K_n`.
+//!
+//! Every node privately labels its `n − 1` incident edges with distinct
+//! port numbers in `{1, …, n−1}`; there is no correlation between the two
+//! endpoints' labels. Theorem 4.2 is a *worst-case* statement over port
+//! numberings, so alongside random numberings this module implements the
+//! adversarial numbering from the proof of Lemma 4.3.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A complete port numbering: for every node, a permutation of the other
+/// nodes indexed by port.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_sim::PortNumbering;
+///
+/// let p = PortNumbering::cyclic(4);
+/// assert_eq!(p.n(), 4);
+/// assert_eq!(p.neighbor(0, 1), 1); // port j of node i is (i + j) mod n
+/// assert_eq!(p.neighbor(3, 2), 1);
+/// assert!(p.validate().is_ok());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PortNumbering {
+    /// `to[i][j-1]` = the node reached from node `i` through port `j`.
+    to: Vec<Vec<usize>>,
+}
+
+impl PortNumbering {
+    /// Builds a numbering from the raw table `to[i][j-1] = neighbor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not a valid numbering (each row must be a
+    /// permutation of the other nodes); use [`PortNumbering::validate`] for
+    /// a fallible check.
+    pub fn from_table(to: Vec<Vec<usize>>) -> Self {
+        let p = PortNumbering { to };
+        if let Err(msg) = p.validate() {
+            panic!("invalid port numbering: {msg}");
+        }
+        p
+    }
+
+    /// The canonical cyclic numbering: port `j` of node `i` connects to
+    /// `(i + j) mod n`. This is the "natural" symmetric numbering under
+    /// which a ring-like symmetry survives.
+    pub fn cyclic(n: usize) -> Self {
+        assert!(n >= 1);
+        PortNumbering {
+            to: (0..n)
+                .map(|i| (1..n).map(|j| (i + j) % n).collect())
+                .collect(),
+        }
+    }
+
+    /// A uniformly random numbering: every node independently shuffles its
+    /// neighbor order.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n >= 1);
+        PortNumbering {
+            to: (0..n)
+                .map(|i| {
+                    let mut others: Vec<usize> = (0..n).filter(|&x| x != i).collect();
+                    others.shuffle(rng);
+                    others
+                })
+                .collect(),
+        }
+    }
+
+    /// The adversarial numbering from the proof of Lemma 4.3 for a system
+    /// whose group sizes all share the divisor `g`:
+    /// port `j` of node `i` connects to
+    /// `((i + j) mod g + ⌊i/g⌋·g + ⌈j/g⌉·g) mod n`.
+    ///
+    /// Nodes are assumed ordered by source (the first `n_1` nodes on source
+    /// 1, etc., as in the paper's proof), so each aligned block of `g`
+    /// consecutive nodes shares a source. Under this numbering the rotation
+    /// `f(r + m·g) = ((r+1) mod g) + m·g` preserves both sources and ports,
+    /// forcing every consistency class to have size a multiple of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ g`, `g | n`, and `n ≥ 1`.
+    pub fn adversarial(n: usize, g: usize) -> Self {
+        assert!(g >= 1 && n >= 1 && n % g == 0, "g must divide n");
+        let table: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (1..n)
+                    .map(|j| ((i + j) % g + (i / g) * g + j.div_ceil(g) * g) % n)
+                    .collect()
+            })
+            .collect();
+        PortNumbering::from_table(table)
+    }
+
+    /// The number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.to.len()
+    }
+
+    /// The node reached from `i` through port `j` (1-based port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n` or `j ∉ {1, …, n−1}`.
+    pub fn neighbor(&self, i: usize, j: usize) -> usize {
+        assert!(j >= 1 && j < self.n(), "port {j} out of range");
+        self.to[i][j - 1]
+    }
+
+    /// The port of node `i` that leads to node `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == i` or either index is out of range.
+    pub fn port_towards(&self, i: usize, target: usize) -> usize {
+        assert_ne!(i, target, "no self-loop ports");
+        1 + self.to[i]
+            .iter()
+            .position(|&x| x == target)
+            .expect("clique: every other node is a neighbor")
+    }
+
+    /// The neighbor list of node `i` in port order (`port = index + 1`).
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.to[i]
+    }
+
+    /// Checks that every row is a permutation of the other nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        for (i, row) in self.to.iter().enumerate() {
+            if row.len() != n - 1 {
+                return Err(format!("node {i} has {} ports, expected {}", row.len(), n - 1));
+            }
+            let mut seen = vec![false; n];
+            for &tgt in row {
+                if tgt >= n {
+                    return Err(format!("node {i} points at out-of-range node {tgt}"));
+                }
+                if tgt == i {
+                    return Err(format!("node {i} has a self-loop port"));
+                }
+                if seen[tgt] {
+                    return Err(format!("node {i} reaches node {tgt} twice"));
+                }
+                seen[tgt] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PortNumbering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "port numbering on {} node(s):", self.n())?;
+        for (i, row) in self.to.iter().enumerate() {
+            write!(f, "  p{i}:")?;
+            for (j, tgt) in row.iter().enumerate() {
+                write!(f, " {}→p{}", j + 1, tgt)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cyclic_is_valid() {
+        for n in 1..8 {
+            assert!(PortNumbering::cyclic(n).validate().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_neighbors() {
+        let p = PortNumbering::cyclic(5);
+        assert_eq!(p.neighbor(0, 1), 1);
+        assert_eq!(p.neighbor(4, 1), 0);
+        assert_eq!(p.neighbor(2, 4), 1);
+        assert_eq!(p.port_towards(0, 1), 1);
+        assert_eq!(p.port_towards(1, 0), 4);
+    }
+
+    #[test]
+    fn random_is_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in 1..8 {
+            assert!(PortNumbering::random(n, &mut rng).validate().is_ok());
+        }
+        // StepRng also works (Rng + ?Sized bound).
+        let mut step = StepRng::new(1, 1);
+        assert!(PortNumbering::random(4, &mut step).validate().is_ok());
+    }
+
+    #[test]
+    fn adversarial_is_valid_when_g_divides_n() {
+        for (n, g) in [(4, 2), (6, 2), (6, 3), (8, 4), (9, 3), (12, 6), (5, 1)] {
+            let p = PortNumbering::adversarial(n, g);
+            assert!(p.validate().is_ok(), "n={n} g={g}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn adversarial_rejects_non_divisor() {
+        let _ = PortNumbering::adversarial(5, 2);
+    }
+
+    /// The rotation f(r + mg) = ((r+1) mod g) + mg preserves ports: if
+    /// node i's port j leads to p, then node f(i)'s port j leads to f(p).
+    #[test]
+    fn adversarial_rotation_preserves_ports() {
+        for (n, g) in [(4, 2), (6, 2), (6, 3), (8, 2), (8, 4), (9, 3), (12, 4)] {
+            let p = PortNumbering::adversarial(n, g);
+            let f = |i: usize| (i % g + 1) % g + (i / g) * g;
+            for i in 0..n {
+                for j in 1..n {
+                    assert_eq!(
+                        p.neighbor(f(i), j),
+                        f(p.neighbor(i, j)),
+                        "n={n} g={g} i={i} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_errors() {
+        let bad_len = PortNumbering { to: vec![vec![], vec![0]] };
+        assert!(bad_len.validate().is_err());
+        let self_loop = PortNumbering { to: vec![vec![0], vec![0]] };
+        assert!(self_loop.validate().is_err());
+        let dup = PortNumbering {
+            to: vec![vec![1, 1], vec![0, 2], vec![0, 1]],
+        };
+        assert!(dup.validate().is_err());
+        let out_of_range = PortNumbering { to: vec![vec![7], vec![0]] };
+        assert!(out_of_range.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid port numbering")]
+    fn from_table_panics_on_bad_input() {
+        let _ = PortNumbering::from_table(vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn display_lists_ports() {
+        let p = PortNumbering::cyclic(3);
+        let s = p.to_string();
+        assert!(s.contains("p0: 1→p1 2→p2"));
+    }
+}

@@ -1,0 +1,481 @@
+//! Synchronous runner for concrete anonymous protocols.
+//!
+//! While [`crate::Execution`] computes *full-information* knowledge (what
+//! the topological framework consumes), real algorithms such as the paper's
+//! `CreateMatching` (Algorithm 1) exchange small messages. This module runs
+//! `n` identical anonymous state machines in lockstep rounds, wiring their
+//! randomness through an [`Assignment`] so correlated sources are modeled
+//! faithfully.
+
+use std::fmt;
+
+use rand::Rng;
+use rsbt_random::Assignment;
+
+use crate::model::Model;
+
+/// Per-round context handed to each node.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx {
+    /// The 1-based round number `r` (the round occurs between time `r − 1`
+    /// and time `r`).
+    pub round: usize,
+    /// The bit `X_i(r)` received from the node's randomness source.
+    pub bit: bool,
+    /// The system size `n` (common knowledge in the paper's model).
+    pub n: usize,
+}
+
+/// Messages received by a node at the start of a round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Incoming<M> {
+    /// Blackboard model: everything the *other* nodes posted in the
+    /// previous round, sorted (anonymous, lexicographic board order; own
+    /// post excluded, per Eq. 1). Empty in round 1.
+    Board(Vec<M>),
+    /// Message-passing model: `ports[j - 1]` holds the message (if any)
+    /// that arrived through port `j`. Empty slots in round 1.
+    Ports(Vec<Option<M>>),
+}
+
+impl<M> Incoming<M> {
+    /// The board content; panics in the message-passing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Incoming::Ports`].
+    pub fn board(&self) -> &[M] {
+        match self {
+            Incoming::Board(b) => b,
+            Incoming::Ports(_) => panic!("protocol expected the blackboard model"),
+        }
+    }
+
+    /// The per-port slots; panics in the blackboard model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Incoming::Board`].
+    pub fn ports(&self) -> &[Option<M>] {
+        match self {
+            Incoming::Ports(p) => p,
+            Incoming::Board(_) => panic!("protocol expected the message-passing model"),
+        }
+    }
+}
+
+/// Messages emitted by a node at the end of a round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outgoing<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Blackboard model: append one message to the board.
+    Post(M),
+    /// Message-passing model: send each `(port, message)` pair (at most one
+    /// message per port).
+    Send(Vec<(usize, M)>),
+    /// Message-passing model: send the same message through every port.
+    Broadcast(M),
+}
+
+/// An anonymous synchronous protocol: `n` copies of the same state machine.
+///
+/// Nodes have no identifiers; a node may only distinguish neighbors by its
+/// local port numbers, exactly as in the paper's model.
+pub trait Protocol {
+    /// Message alphabet. `Ord` is required so the blackboard can be
+    /// presented in lexicographic order.
+    type Msg: Clone + Ord + fmt::Debug;
+    /// Decision value.
+    type Output: Clone + fmt::Debug;
+
+    /// Executes one round: consume the incoming messages and the fresh
+    /// random bit, update local state, and emit outgoing messages.
+    fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<Self::Msg>) -> Outgoing<Self::Msg>;
+
+    /// The node's decision, once made. The runner stops when every node
+    /// has decided (or the round cap is hit).
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// The result of running a protocol.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<O> {
+    /// Per-node outputs (`None` for undecided nodes on timeout).
+    pub outputs: Vec<Option<O>>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether every node decided before the round cap.
+    pub completed: bool,
+}
+
+/// Runs `n` identical nodes of protocol `P` under `model`, drawing
+/// randomness through `alpha`, for at most `max_rounds` rounds.
+///
+/// `make` constructs one fresh node; it is called `n` times with no
+/// arguments so that nodes are genuinely identical (anonymity).
+///
+/// # Panics
+///
+/// Panics if `alpha.n()` disagrees with the model's node count, or if a
+/// node emits a message kind that does not match the model (e.g.
+/// [`Outgoing::Post`] under message passing).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rsbt_random::Assignment;
+/// use rsbt_sim::runner::{run, Incoming, Outgoing, Protocol, RoundCtx};
+/// use rsbt_sim::Model;
+///
+/// /// Every node posts its bit and decides on the sorted board.
+/// #[derive(Default)]
+/// struct OneShot { decided: Option<Vec<bool>> }
+/// impl Protocol for OneShot {
+///     type Msg = bool;
+///     type Output = Vec<bool>;
+///     fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<bool>) -> Outgoing<bool> {
+///         if ctx.round == 1 {
+///             Outgoing::Post(ctx.bit)
+///         } else {
+///             self.decided = Some(incoming.board().to_vec());
+///             Outgoing::Silent
+///         }
+///     }
+///     fn output(&self) -> Option<Vec<bool>> { self.decided.clone() }
+/// }
+///
+/// let alpha = Assignment::private(3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let out = run(&Model::Blackboard, &alpha, 10, OneShot::default, &mut rng);
+/// assert!(out.completed);
+/// assert_eq!(out.rounds, 2);
+/// ```
+pub fn run<P, F, R>(
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    make: F,
+    rng: &mut R,
+) -> RunOutcome<P::Output>
+where
+    P: Protocol,
+    F: Fn() -> P,
+    R: Rng + ?Sized,
+{
+    let nodes: Vec<P> = (0..alpha.n()).map(|_| make()).collect();
+    run_nodes(model, alpha, max_rounds, nodes, rng)
+}
+
+/// Like [`run`], but with caller-constructed nodes — used for input-output
+/// tasks where nodes run identical *code* but carry different inputs
+/// (the Appendix C reduction).
+///
+/// # Panics
+///
+/// Same conditions as [`run`], plus `nodes.len()` must equal `alpha.n()`.
+pub fn run_nodes<P, R>(
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    mut nodes: Vec<P>,
+    rng: &mut R,
+) -> RunOutcome<P::Output>
+where
+    P: Protocol,
+    R: Rng + ?Sized,
+{
+    let n = alpha.n();
+    assert_eq!(nodes.len(), n, "one node per assignment slot");
+    if let Model::MessagePassing(p) = model {
+        assert_eq!(p.n(), n, "port numbering covers {} nodes, need {n}", p.n());
+    }
+    // What each node will receive next round. Board posts are tagged with
+    // the sender so a node's own message can be excluded from its view
+    // (Eq. 1 hands node i the multiset {K_j : j ≠ i}); the tag never
+    // reaches the nodes, preserving anonymity.
+    let mut board: Vec<(usize, P::Msg)> = Vec::new();
+    let mut mailboxes: Vec<Vec<Option<P::Msg>>> = vec![vec![None; n.saturating_sub(1)]; n];
+    let mut rounds = 0;
+
+    for round in 1..=max_rounds {
+        rounds = round;
+        // One fresh bit per source, wired through alpha.
+        let source_bits: Vec<bool> = (0..alpha.k()).map(|_| rng.gen::<bool>()).collect();
+        let mut next_board: Vec<(usize, P::Msg)> = Vec::new();
+        let mut next_mailboxes: Vec<Vec<Option<P::Msg>>> =
+            vec![vec![None; n.saturating_sub(1)]; n];
+
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let ctx = RoundCtx {
+                round,
+                bit: source_bits[alpha.source_of(i)],
+                n,
+            };
+            let incoming = match model {
+                Model::Blackboard => {
+                    let mut view: Vec<P::Msg> = board
+                        .iter()
+                        .filter(|(sender, _)| *sender != i)
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    view.sort();
+                    Incoming::Board(view)
+                }
+                Model::MessagePassing(_) => Incoming::Ports(std::mem::replace(
+                    &mut mailboxes[i],
+                    vec![None; n.saturating_sub(1)],
+                )),
+            };
+            match (node.round(ctx, &incoming), model) {
+                (Outgoing::Silent, _) => {}
+                (Outgoing::Post(m), Model::Blackboard) => next_board.push((i, m)),
+                (Outgoing::Send(msgs), Model::MessagePassing(ports)) => {
+                    for (port, m) in msgs {
+                        assert!(
+                            port >= 1 && port < n,
+                            "port {port} out of range for n={n}"
+                        );
+                        let target = ports.neighbor(i, port);
+                        let back = ports.port_towards(target, i);
+                        assert!(
+                            next_mailboxes[target][back - 1].is_none(),
+                            "duplicate message on edge"
+                        );
+                        next_mailboxes[target][back - 1] = Some(m);
+                    }
+                }
+                (Outgoing::Broadcast(m), Model::MessagePassing(ports)) => {
+                    for port in 1..n {
+                        let target = ports.neighbor(i, port);
+                        let back = ports.port_towards(target, i);
+                        next_mailboxes[target][back - 1] = Some(m.clone());
+                    }
+                }
+                (out, _) => panic!("outgoing message {out:?} does not match model {model}"),
+            }
+        }
+        board = next_board;
+        mailboxes = next_mailboxes;
+
+        if nodes.iter().all(|nd| nd.output().is_some()) {
+            return RunOutcome {
+                outputs: nodes.iter().map(Protocol::output).collect(),
+                rounds,
+                completed: true,
+            };
+        }
+    }
+    RunOutcome {
+        outputs: nodes.iter().map(Protocol::output).collect(),
+        rounds,
+        completed: nodes.iter().all(|nd| nd.output().is_some()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsbt_random::Assignment;
+
+    /// Counts how many distinct bits appeared on the board in round 1.
+    #[derive(Default)]
+    struct BitCounter {
+        seen: Option<usize>,
+    }
+
+    impl Protocol for BitCounter {
+        type Msg = bool;
+        type Output = usize;
+
+        fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<bool>) -> Outgoing<bool> {
+            if ctx.round == 1 {
+                Outgoing::Post(ctx.bit)
+            } else {
+                if self.seen.is_none() {
+                    let board = incoming.board();
+                    let distinct = board.windows(2).filter(|w| w[0] != w[1]).count() + 1;
+                    self.seen = Some(if board.is_empty() { 0 } else { distinct });
+                }
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self) -> Option<usize> {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn shared_source_posts_identical_bits() {
+        let alpha = Assignment::shared(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let out = run(&Model::Blackboard, &alpha, 5, BitCounter::default, &mut rng);
+            assert!(out.completed);
+            assert_eq!(out.rounds, 2);
+            for o in &out.outputs {
+                assert_eq!(o.unwrap(), 1, "all bits equal under a shared source");
+            }
+        }
+    }
+
+    #[test]
+    fn private_sources_eventually_differ() {
+        let alpha = Assignment::private(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_diff = false;
+        for _ in 0..50 {
+            let out = run(&Model::Blackboard, &alpha, 5, BitCounter::default, &mut rng);
+            if out.outputs[0] == Some(2) {
+                saw_diff = true;
+            }
+        }
+        assert!(saw_diff, "independent bits differ with probability 7/8");
+    }
+
+    /// Message-passing echo: round 1 send bit on every port; round 2 decide
+    /// on the multiset of received bits.
+    #[derive(Default)]
+    struct Echo {
+        got: Option<Vec<bool>>,
+    }
+
+    impl Protocol for Echo {
+        type Msg = bool;
+        type Output = Vec<bool>;
+
+        fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<bool>) -> Outgoing<bool> {
+            if ctx.round == 1 {
+                Outgoing::Broadcast(ctx.bit)
+            } else {
+                if self.got.is_none() {
+                    let mut bits: Vec<bool> =
+                        incoming.ports().iter().map(|m| m.unwrap()).collect();
+                    bits.sort_unstable();
+                    self.got = Some(bits);
+                }
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self) -> Option<Vec<bool>> {
+            self.got.clone()
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_port() {
+        let alpha = Assignment::private(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = run(
+            &Model::message_passing_cyclic(3),
+            &alpha,
+            4,
+            Echo::default,
+            &mut rng,
+        );
+        assert!(out.completed);
+        for o in &out.outputs {
+            assert_eq!(o.as_ref().unwrap().len(), 2);
+        }
+    }
+
+    /// Directed send: node sends its bit only through port 1 and records
+    /// what shows up.
+    #[derive(Default)]
+    struct Port1 {
+        got: Option<usize>,
+    }
+
+    impl Protocol for Port1 {
+        type Msg = u8;
+        type Output = usize;
+
+        fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<u8>) -> Outgoing<u8> {
+            if ctx.round == 1 {
+                Outgoing::Send(vec![(1, 7u8)])
+            } else {
+                if self.got.is_none() {
+                    self.got = Some(incoming.ports().iter().flatten().count());
+                }
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self) -> Option<usize> {
+            self.got
+        }
+    }
+
+    #[test]
+    fn unicast_is_delivered_once() {
+        let alpha = Assignment::private(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = run(
+            &Model::message_passing_cyclic(4),
+            &alpha,
+            4,
+            Port1::default,
+            &mut rng,
+        );
+        assert!(out.completed);
+        // With cyclic ports every node's port 1 hits its successor: each
+        // node receives exactly one message.
+        assert!(out.outputs.iter().all(|o| *o == Some(1)));
+    }
+
+    /// A protocol that never decides — runner must time out gracefully.
+    struct Mute;
+
+    impl Protocol for Mute {
+        type Msg = u8;
+        type Output = ();
+
+        fn round(&mut self, _ctx: RoundCtx, _incoming: &Incoming<u8>) -> Outgoing<u8> {
+            Outgoing::Silent
+        }
+
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        let alpha = Assignment::shared(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = run(&Model::Blackboard, &alpha, 3, || Mute, &mut rng);
+        assert!(!out.completed);
+        assert_eq!(out.rounds, 3);
+        assert!(out.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model")]
+    fn model_mismatch_panics() {
+        struct BadPost;
+        impl Protocol for BadPost {
+            type Msg = u8;
+            type Output = ();
+            fn round(&mut self, _ctx: RoundCtx, _incoming: &Incoming<u8>) -> Outgoing<u8> {
+                Outgoing::Post(0)
+            }
+            fn output(&self) -> Option<()> {
+                None
+            }
+        }
+        let alpha = Assignment::shared(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = run(
+            &Model::message_passing_cyclic(2),
+            &alpha,
+            2,
+            || BadPost,
+            &mut rng,
+        );
+    }
+}

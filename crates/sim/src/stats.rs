@@ -1,0 +1,161 @@
+//! Statistics over knowledge arenas: sharing factors and depth profiles.
+//!
+//! Knowledge values grow exponentially with time when written out in
+//! full; the interning arena keeps one copy per distinct value. These
+//! helpers quantify that sharing (used by the `bench_knowledge` ablation
+//! and handy when sizing experiments).
+
+use std::collections::BTreeMap;
+
+use crate::knowledge::{KnowledgeArena, KnowledgeId, KnowledgeNode};
+
+/// Summary statistics of an arena.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArenaStats {
+    /// Distinct knowledge values interned.
+    pub distinct: usize,
+    /// Count of distinct values per recursion depth (time).
+    pub per_depth: BTreeMap<usize, usize>,
+}
+
+impl ArenaStats {
+    /// The deepest knowledge value's time.
+    pub fn max_depth(&self) -> usize {
+        self.per_depth.keys().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes statistics for the whole arena.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_random::{Assignment, Realization};
+/// use rsbt_sim::{stats, Execution, KnowledgeArena, Model};
+///
+/// let alpha = Assignment::private(3);
+/// let mut rng = rand::thread_rng();
+/// let rho = Realization::sample(&alpha, 5, &mut rng);
+/// let mut arena = KnowledgeArena::new();
+/// let _ = Execution::run(&Model::Blackboard, &rho, &mut arena);
+/// let s = stats::arena_stats(&arena);
+/// assert_eq!(s.max_depth(), 5);
+/// assert!(s.distinct <= 1 + 3 * 5); // at most n per round, plus ⊥
+/// ```
+pub fn arena_stats(arena: &KnowledgeArena) -> ArenaStats {
+    let mut per_depth: BTreeMap<usize, usize> = BTreeMap::new();
+    // Depths computed iteratively to avoid recursion over long chains.
+    let mut depth_of: Vec<usize> = Vec::with_capacity(arena.len());
+    for i in 0..arena.len() {
+        let id = KnowledgeId::from_index_for_stats(i);
+        let d = match arena.get(id) {
+            KnowledgeNode::Initial(_) => 0,
+            KnowledgeNode::Round { prev, .. } => depth_of[prev.index() as usize] + 1,
+        };
+        depth_of.push(d);
+        *per_depth.entry(d).or_default() += 1;
+    }
+    ArenaStats {
+        distinct: arena.len(),
+        per_depth,
+    }
+}
+
+/// The *expansion factor* of a knowledge value: how many tree nodes its
+/// fully-expanded form would have, versus the number of distinct DAG
+/// nodes reachable from it. Large ratios are exactly what interning
+/// saves.
+pub fn expansion_factor(arena: &KnowledgeArena, id: KnowledgeId) -> (u128, usize) {
+    let mut tree_sizes: BTreeMap<KnowledgeId, u128> = BTreeMap::new();
+    let mut reachable: std::collections::BTreeSet<KnowledgeId> = Default::default();
+    fn go(
+        arena: &KnowledgeArena,
+        id: KnowledgeId,
+        sizes: &mut BTreeMap<KnowledgeId, u128>,
+        reach: &mut std::collections::BTreeSet<KnowledgeId>,
+    ) -> u128 {
+        if let Some(&s) = sizes.get(&id) {
+            reach.insert(id);
+            return s;
+        }
+        reach.insert(id);
+        let s = match arena.get(id).clone() {
+            KnowledgeNode::Initial(_) => 1,
+            KnowledgeNode::Round { prev, heard, .. } => {
+                let mut total = 1 + go(arena, prev, sizes, reach);
+                let children = match heard {
+                    crate::knowledge::NeighborInfo::Board(v) => v,
+                    crate::knowledge::NeighborInfo::Ports(v) => v,
+                };
+                for c in children {
+                    total += go(arena, c, sizes, reach);
+                }
+                total
+            }
+        };
+        sizes.insert(id, s);
+        s
+    }
+    let tree = go(arena, id, &mut tree_sizes, &mut reachable);
+    (tree, reachable.len())
+}
+
+impl KnowledgeId {
+    /// Internal constructor for stats iteration (ids are dense arena
+    /// indices).
+    fn from_index_for_stats(i: usize) -> KnowledgeId {
+        // KnowledgeId is a thin wrapper over a u32 index; arenas are
+        // append-only so every index below `len` is valid.
+        KnowledgeId::from_raw(u32::try_from(i).expect("arena bounded by u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Execution, Model};
+    use rsbt_random::{Assignment, Realization};
+
+    #[test]
+    fn stats_count_depths() {
+        let mut rng = rand::rngs::mock::StepRng::new(5, 0x9e37_79b9_97f4_a7c1);
+        let alpha = Assignment::private(3);
+        let rho = Realization::sample(&alpha, 4, &mut rng);
+        let mut arena = KnowledgeArena::new();
+        let _ = Execution::run(&Model::Blackboard, &rho, &mut arena);
+        let s = arena_stats(&arena);
+        assert_eq!(s.max_depth(), 4);
+        assert_eq!(s.per_depth[&0], 1, "single ⊥");
+        assert_eq!(s.distinct, arena.len());
+        let total: usize = s.per_depth.values().sum();
+        assert_eq!(total, s.distinct);
+    }
+
+    #[test]
+    fn expansion_grows_exponentially_but_dag_stays_linear() {
+        let mut rng = rand::rngs::mock::StepRng::new(5, 0x9e37_79b9_97f4_a7c1);
+        let alpha = Assignment::private(3);
+        let rho = Realization::sample(&alpha, 8, &mut rng);
+        let mut arena = KnowledgeArena::new();
+        let exec = Execution::run(&Model::Blackboard, &rho, &mut arena);
+        let id = exec.knowledge(8, 0);
+        let (tree, dag) = expansion_factor(&arena, id);
+        assert!(tree > 1000, "full tree explodes: {tree}");
+        assert!(dag <= arena.len());
+        assert!((dag as u128) < tree, "interning must compress");
+    }
+
+    #[test]
+    fn shared_source_collapses_arena() {
+        // With one source all nodes share knowledge: one value per round.
+        let mut rng = rand::rngs::mock::StepRng::new(5, 0x9e37_79b9_97f4_a7c1);
+        let alpha = Assignment::shared(4);
+        let rho = Realization::sample(&alpha, 6, &mut rng);
+        let mut arena = KnowledgeArena::new();
+        let _ = Execution::run(&Model::Blackboard, &rho, &mut arena);
+        let s = arena_stats(&arena);
+        for (d, count) in &s.per_depth {
+            assert_eq!(*count, 1, "depth {d} has one shared value");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the execution engine.
+
+use proptest::prelude::*;
+use rsbt_random::{Assignment, BitString, Realization};
+use rsbt_sim::{Execution, KnowledgeArena, Model, PortNumbering};
+
+fn arb_realization(n: usize, t: usize) -> impl Strategy<Value = Realization> {
+    proptest::collection::vec(any::<u64>(), n).prop_map(move |words| {
+        Realization::new(
+            words
+                .into_iter()
+                .map(|w| BitString::from_word(w, t))
+                .collect(),
+        )
+        .expect("uniform length")
+    })
+}
+
+fn arb_ports(n: usize) -> impl Strategy<Value = PortNumbering> {
+    any::<u64>().prop_map(move |seed| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        PortNumbering::random(n, &mut rng)
+    })
+}
+
+proptest! {
+    /// Consistency classes always partition [n], and refine over time.
+    #[test]
+    fn classes_partition_and_refine(rho in arb_realization(4, 4)) {
+        let mut arena = KnowledgeArena::new();
+        let exec = Execution::run(&Model::Blackboard, &rho, &mut arena);
+        let mut prev = 1usize;
+        for t in 0..=4 {
+            let classes = exec.consistency_partition(t);
+            let total: usize = classes.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, 4);
+            prop_assert!(classes.len() >= prev, "classes only split");
+            prev = classes.len();
+        }
+    }
+
+    /// In the blackboard model, knowledge equality is equivalent to
+    /// equality of received randomness (the paper's observation in the
+    /// proof of Theorem 4.1).
+    #[test]
+    fn blackboard_knowledge_iff_randomness(rho in arb_realization(4, 3)) {
+        let mut arena = KnowledgeArena::new();
+        let exec = Execution::run(&Model::Blackboard, &rho, &mut arena);
+        for t in 0..=3 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let same_k = exec.knowledge(t, i) == exec.knowledge(t, j);
+                    let same_x = rho.node(i).prefix(t) == rho.node(j).prefix(t);
+                    prop_assert_eq!(same_k, same_x, "t={} i={} j={}", t, i, j);
+                }
+            }
+        }
+    }
+
+    /// Message-passing consistency implies equal randomness (but not
+    /// conversely): ports can only distinguish more, never less.
+    #[test]
+    fn ports_refine_blackboard(rho in arb_realization(4, 3), ports in arb_ports(4)) {
+        let mut arena = KnowledgeArena::new();
+        let mp = Execution::run(&Model::MessagePassing(ports), &rho, &mut arena);
+        for t in 0..=3 {
+            for class in mp.consistency_partition(t) {
+                for w in class.windows(2) {
+                    prop_assert_eq!(
+                        rho.node(w[0]).prefix(t),
+                        rho.node(w[1]).prefix(t),
+                        "consistent nodes share randomness"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Determinism: two executions of the same realization in different
+    /// arenas yield the same consistency structure.
+    #[test]
+    fn execution_deterministic(rho in arb_realization(3, 4)) {
+        let mut a1 = KnowledgeArena::new();
+        let mut a2 = KnowledgeArena::new();
+        let e1 = Execution::run(&Model::Blackboard, &rho, &mut a1);
+        let e2 = Execution::run(&Model::Blackboard, &rho, &mut a2);
+        for t in 0..=4 {
+            prop_assert_eq!(e1.consistency_partition(t), e2.consistency_partition(t));
+        }
+    }
+
+    /// The randomness embedded in final knowledge matches the realization
+    /// (the content of the h map), in both models.
+    #[test]
+    fn h_extraction(rho in arb_realization(3, 3), ports in arb_ports(3)) {
+        for model in [Model::Blackboard, Model::MessagePassing(ports)] {
+            let mut arena = KnowledgeArena::new();
+            let exec = Execution::run(&model, &rho, &mut arena);
+            for i in 0..3 {
+                let bits = arena.randomness(exec.knowledge(3, i));
+                let expect: Vec<bool> = rho.node(i).iter().collect();
+                prop_assert_eq!(&bits, &expect);
+            }
+        }
+    }
+
+    /// The Lemma 4.3 adversarial numbering keeps class sizes divisible by
+    /// g for block-aligned assignments, for arbitrary realizations drawn
+    /// from the assignment's support.
+    #[test]
+    fn adversarial_divisibility(seed in any::<u64>(), t in 1usize..5) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for (sizes, g) in [(vec![2usize, 2], 2usize), (vec![3, 3], 3), (vec![2, 4], 2)] {
+            let n: usize = sizes.iter().sum();
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            let rho = Realization::sample(&alpha, t, &mut rng);
+            let model = Model::MessagePassing(PortNumbering::adversarial(n, g));
+            let mut arena = KnowledgeArena::new();
+            let exec = Execution::run(&model, &rho, &mut arena);
+            for size in exec.class_sizes(t) {
+                prop_assert_eq!(size % g, 0, "sizes {:?} t {}", sizes, t);
+            }
+        }
+    }
+
+    /// Random port numberings are always valid.
+    #[test]
+    fn random_ports_valid(ports in arb_ports(6)) {
+        prop_assert!(ports.validate().is_ok());
+        for i in 0..6 {
+            for j in 1..6 {
+                let tgt = ports.neighbor(i, j);
+                prop_assert_eq!(ports.port_towards(i, tgt), j);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Leader + deputy-leader election: the paper's future-work example.
+//!
+//! Section 5 of the paper proposes "electing a leader and a deputy leader
+//! (…) under the constraint that some nodes may only be leaders, some nodes
+//! may only be deputy leaders, some nodes may be either of the two, and
+//! some nodes may be neither" as a first step beyond symmetric output
+//! complexes. We implement the output complex so the framework's
+//! *per-facet* solvability machinery (which never needed symmetry) can be
+//! exercised on it; the `is_symmetric_for` check correctly reports when the
+//! constraints break symmetry.
+
+use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
+
+use crate::task::Task;
+
+/// Output value for the elected leader in [`LeaderAndDeputy`].
+pub const ROLE_LEADER: u64 = 2;
+/// Output value for the deputy leader.
+pub const ROLE_DEPUTY: u64 = 1;
+/// Output value for everyone else.
+pub const ROLE_FOLLOWER: u64 = 0;
+
+/// The leader-and-deputy task with per-node role constraints.
+///
+/// A facet elects a leader `i` (allowed by `may_lead`) and a distinct
+/// deputy `j` (allowed by `may_deputy`); all other nodes are followers.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_tasks::{LeaderAndDeputy, Task};
+///
+/// // Unconstrained: any of 3 leaders × 2 remaining deputies = 6 facets.
+/// let t = LeaderAndDeputy::unconstrained(3);
+/// assert_eq!(t.output_complex(3).facet_count(), 6);
+/// assert!(t.is_symmetric_for(3));
+///
+/// // Node 0 may only lead, node 1 may only deputize: not symmetric.
+/// let c = LeaderAndDeputy::new(vec![true, false, false], vec![false, true, false]);
+/// assert_eq!(c.output_complex(3).facet_count(), 1);
+/// assert!(!c.is_symmetric_for(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeaderAndDeputy {
+    may_lead: Vec<bool>,
+    may_deputy: Vec<bool>,
+}
+
+impl LeaderAndDeputy {
+    /// Creates the task with explicit per-node role permissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two permission vectors have different lengths or are
+    /// empty.
+    pub fn new(may_lead: Vec<bool>, may_deputy: Vec<bool>) -> Self {
+        assert_eq!(may_lead.len(), may_deputy.len(), "one flag pair per node");
+        assert!(!may_lead.is_empty(), "need at least one node");
+        LeaderAndDeputy {
+            may_lead,
+            may_deputy,
+        }
+    }
+
+    /// Every node may take either role (symmetric output complex).
+    pub fn unconstrained(n: usize) -> Self {
+        LeaderAndDeputy::new(vec![true; n], vec![true; n])
+    }
+
+    /// The number of nodes the constraints cover.
+    pub fn n(&self) -> usize {
+        self.may_lead.len()
+    }
+
+    /// The facet electing leader `i` and deputy `j`.
+    ///
+    /// Returns `None` when the pair violates the constraints (or `i == j`).
+    pub fn facet_for(&self, leader: usize, deputy: usize) -> Option<Simplex<u64>> {
+        let n = self.n();
+        if leader == deputy
+            || leader >= n
+            || deputy >= n
+            || !self.may_lead[leader]
+            || !self.may_deputy[deputy]
+        {
+            return None;
+        }
+        Some(
+            Simplex::from_vertices((0..n).map(|i| {
+                let role = if i == leader {
+                    ROLE_LEADER
+                } else if i == deputy {
+                    ROLE_DEPUTY
+                } else {
+                    ROLE_FOLLOWER
+                };
+                Vertex::new(ProcessName::new(i as u32), role)
+            }))
+            .expect("distinct names"),
+        )
+    }
+}
+
+impl Task for LeaderAndDeputy {
+    fn name(&self) -> String {
+        "leader-and-deputy".into()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `n` differs from the constraint vectors' length, or if no
+    /// valid (leader, deputy) pair exists.
+    fn output_complex(&self, n: usize) -> Complex<u64> {
+        assert_eq!(n, self.n(), "constraints defined for {} nodes", self.n());
+        let mut c = Complex::new();
+        for leader in 0..n {
+            for deputy in 0..n {
+                if let Some(f) = self.facet_for(leader, deputy) {
+                    c.add_simplex(f);
+                }
+            }
+        }
+        assert!(
+            !c.is_empty(),
+            "role constraints admit no (leader, deputy) pair"
+        );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_counts() {
+        for n in 2..=5 {
+            let t = LeaderAndDeputy::unconstrained(n);
+            assert_eq!(t.output_complex(n).facet_count(), n * (n - 1));
+            assert!(t.is_symmetric_for(n));
+        }
+    }
+
+    #[test]
+    fn constraints_prune_facets() {
+        // Nodes 0,1 may lead; only node 2 may deputize.
+        let t = LeaderAndDeputy::new(vec![true, true, false], vec![false, false, true]);
+        let c = t.output_complex(3);
+        assert_eq!(c.facet_count(), 2); // leaders 0 or 1, deputy always 2
+        assert!(!t.is_symmetric_for(3));
+    }
+
+    #[test]
+    fn facet_for_validates() {
+        let t = LeaderAndDeputy::unconstrained(3);
+        assert!(t.facet_for(0, 0).is_none(), "leader ≠ deputy");
+        assert!(t.facet_for(0, 3).is_none(), "range check");
+        let f = t.facet_for(1, 2).unwrap();
+        assert_eq!(f.value_of(ProcessName::new(1)), Some(&ROLE_LEADER));
+        assert_eq!(f.value_of(ProcessName::new(2)), Some(&ROLE_DEPUTY));
+        assert_eq!(f.value_of(ProcessName::new(0)), Some(&ROLE_FOLLOWER));
+    }
+
+    #[test]
+    fn projection_isolates_both_roles() {
+        let t = LeaderAndDeputy::unconstrained(4);
+        for pi in t.projected_facets(4) {
+            // Leader and deputy are singletons; followers form a simplex.
+            assert_eq!(pi.isolated_vertices().len(), 2);
+            assert_eq!(pi.facet_count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no (leader, deputy) pair")]
+    fn impossible_constraints_panic() {
+        let t = LeaderAndDeputy::new(vec![true, false], vec![true, false]);
+        // Only node 0 may hold either role, but roles must differ.
+        let _ = t.output_complex(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag pair per node")]
+    fn mismatched_constraint_lengths_panic() {
+        let _ = LeaderAndDeputy::new(vec![true], vec![true, false]);
+    }
+}

@@ -1,0 +1,179 @@
+//! `k`-leader election: exactly `k` nodes output [`crate::LEADER`].
+//!
+//! Section 1.2 of the paper challenges the reader to characterize
+//! "2-leader election" directly and compare with the characterization the
+//! topological framework produces; this module supplies the output complex
+//! so `rsbt-core` can run that exercise mechanically (see the
+//! `exp_two_leader` experiment).
+
+use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
+
+use crate::leader::{DEFEATED, LEADER};
+use crate::task::Task;
+
+/// The exactly-`k`-leaders task.
+///
+/// Facets are indexed by the `C(n, k)` leader sets: the nodes of the set
+/// output [`LEADER`], everyone else [`DEFEATED`].
+///
+/// # Example
+///
+/// ```
+/// use rsbt_tasks::{KLeaderElection, Task};
+///
+/// let two = KLeaderElection::new(2);
+/// assert_eq!(two.output_complex(4).facet_count(), 6); // C(4,2)
+/// assert!(two.is_symmetric_for(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KLeaderElection {
+    k: usize,
+}
+
+impl KLeaderElection {
+    /// Creates the exactly-`k`-leaders task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (electing nobody is the trivial task).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k-leader election needs k ≥ 1");
+        KLeaderElection { k }
+    }
+
+    /// The number of leaders `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The facet in which exactly the nodes of `leaders` are elected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaders` has the wrong size or out-of-range members.
+    pub fn facet_for(&self, n: usize, leaders: &[usize]) -> Simplex<u64> {
+        assert_eq!(leaders.len(), self.k, "need exactly k leaders");
+        assert!(leaders.iter().all(|&l| l < n), "leader out of range");
+        Simplex::from_vertices((0..n).map(|i| {
+            Vertex::new(
+                ProcessName::new(i as u32),
+                if leaders.contains(&i) { LEADER } else { DEFEATED },
+            )
+        }))
+        .expect("distinct names")
+    }
+}
+
+impl Task for KLeaderElection {
+    fn name(&self) -> String {
+        format!("{}-leader-election", self.k)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `k > n` (no valid outputs exist).
+    fn output_complex(&self, n: usize) -> Complex<u64> {
+        assert!(self.k <= n, "cannot elect {} leaders among {n}", self.k);
+        let mut c = Complex::new();
+        // Enumerate k-subsets of [n].
+        let mut subset: Vec<usize> = (0..self.k).collect();
+        loop {
+            c.add_simplex(self.facet_for(n, &subset));
+            // Next combination.
+            let mut i = self.k;
+            loop {
+                if i == 0 {
+                    return c;
+                }
+                i -= 1;
+                if subset[i] != i + n - self.k {
+                    subset[i] += 1;
+                    for j in i + 1..self.k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
+    }
+
+    #[test]
+    fn facet_counts_are_binomial() {
+        for n in 1..=6 {
+            for k in 1..=n {
+                let t = KLeaderElection::new(k);
+                assert_eq!(
+                    t.output_complex(n).facet_count(),
+                    binomial(n, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_leader_matches_leader_election() {
+        use crate::leader::LeaderElection;
+        for n in 1..=5 {
+            assert_eq!(
+                KLeaderElection::new(1).output_complex(n),
+                LeaderElection.output_complex(n)
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        for n in 2..=5 {
+            for k in 1..=n {
+                assert!(KLeaderElection::new(k).is_symmetric_for(n), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn projected_facet_shape() {
+        // π(τ) for 2-LE on n=4: a leader edge + a defeated edge.
+        let t = KLeaderElection::new(2);
+        for pi in t.projected_facets(4) {
+            assert_eq!(pi.facet_count(), 2);
+            assert!(pi.is_pure());
+            assert_eq!(pi.dimension(), Some(1));
+        }
+        // All leaders (k = n): the projection is the full simplex.
+        let all = KLeaderElection::new(3);
+        for pi in all.projected_facets(3) {
+            assert_eq!(pi.facet_count(), 1);
+            assert_eq!(pi.dimension(), Some(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot elect")]
+    fn k_larger_than_n_panics() {
+        let _ = KLeaderElection::new(3).output_complex(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_rejected() {
+        let _ = KLeaderElection::new(0);
+    }
+
+    #[test]
+    fn name_mentions_k() {
+        assert_eq!(KLeaderElection::new(2).name(), "2-leader-election");
+    }
+}

@@ -1,0 +1,52 @@
+//! Output complexes for input-free symmetry-breaking tasks.
+//!
+//! A symmetry-breaking task is defined solely by its output complex `O`
+//! (Section 3.1 of the paper), required to be *symmetric*: stable under
+//! permutations of the process names. This crate provides:
+//!
+//! * [`Task`] — the task abstraction (an output-complex family indexed by
+//!   the system size `n`);
+//! * [`LeaderElection`] — the complex `O_LE` with facets `τ_i` (one leader,
+//!   `n − 1` defeated);
+//! * [`KLeaderElection`] — exactly `k` leaders (the paper's "2-leader
+//!   election" teaser in Section 1.2);
+//! * [`WeakSymmetryBreaking`] — the classic companion task: 0/1 outputs,
+//!   not all equal;
+//! * [`LeaderAndDeputy`] — the paper's future-work example (Section 5): a
+//!   leader plus a deputy leader, with per-node role constraints; its
+//!   output complex is *not* symmetric in general, which is exactly why the
+//!   paper flags it as future work;
+//! * [`projection`] — the consistency projection `π` (Eq. 3): subsets of a
+//!   facet holding *identical values*.
+//!
+//! # Example
+//!
+//! ```
+//! use rsbt_tasks::{projection, LeaderElection, Task};
+//!
+//! let ole = LeaderElection.output_complex(3);
+//! assert_eq!(ole.facet_count(), 3);
+//! assert!(ole.is_symmetric());
+//!
+//! // Figure 3: π(τ_1) is an isolated leader vertex plus a defeated edge.
+//! let tau = ole.facets().next().unwrap();
+//! let pi = projection::project_facet(tau);
+//! assert_eq!(pi.facet_count(), 2);
+//! assert_eq!(pi.isolated_vertices().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deputy;
+mod k_leader;
+mod leader;
+pub mod projection;
+mod task;
+mod wsb;
+
+pub use crate::deputy::LeaderAndDeputy;
+pub use crate::k_leader::KLeaderElection;
+pub use crate::leader::{LeaderElection, DEFEATED, LEADER};
+pub use crate::task::Task;
+pub use crate::wsb::WeakSymmetryBreaking;

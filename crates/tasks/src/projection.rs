@@ -1,0 +1,152 @@
+//! The consistency projection `π` (Eq. 3 of the paper).
+//!
+//! For a facet `σ = {(i, v_i) : i ∈ [n]}`, the projected complex `π(σ)`
+//! keeps exactly the subsets whose members hold **identical values**:
+//!
+//! ```text
+//! {(i, v_i) : i ∈ I} ∈ π(σ)  ⟺  ∀ (i, j) ∈ I×I . v_i = v_j
+//! ```
+//!
+//! `π(σ)` is therefore a disjoint union of simplices — one per
+//! value-equality class — which is the "structure" the paper grafts onto
+//! single facets so topological arguments keep working.
+
+use std::collections::BTreeMap;
+
+use rsbt_complex::{Complex, Simplex, Value, Vertex};
+
+/// Projects a single facet: the result's facets are the value-equality
+/// classes of `σ`.
+///
+/// # Example
+///
+/// Figure 3 of the paper: `π(τ_1)` for 3-process leader election is the
+/// isolated vertex `(1, 1)` plus the edge `{(2, 0), (3, 0)}` (0-indexed
+/// here).
+///
+/// ```
+/// use rsbt_complex::{ProcessName, Simplex, Vertex};
+/// use rsbt_tasks::projection;
+///
+/// let tau = Simplex::from_vertices(vec![
+///     Vertex::new(ProcessName::new(0), 1u64),
+///     Vertex::new(ProcessName::new(1), 0u64),
+///     Vertex::new(ProcessName::new(2), 0u64),
+/// ]).unwrap();
+/// let pi = projection::project_facet(&tau);
+/// assert_eq!(pi.facet_count(), 2);
+/// assert_eq!(pi.isolated_vertices().len(), 1);
+/// ```
+pub fn project_facet<V: Value>(sigma: &Simplex<V>) -> Complex<V> {
+    let mut classes: BTreeMap<&V, Vec<Vertex<V>>> = BTreeMap::new();
+    for v in sigma.vertices() {
+        classes.entry(v.value()).or_default().push(v.clone());
+    }
+    let mut out = Complex::new();
+    for (_, class) in classes {
+        out.add_facet(class).expect("classes partition a valid simplex");
+    }
+    out
+}
+
+/// Projects every facet of a complex and unions the results:
+/// `π(K) = ⋃_{σ facet of K} π(σ)`, a subcomplex of `K`.
+pub fn project_complex<V: Value>(k: &Complex<V>) -> Complex<V> {
+    let mut out = Complex::new();
+    for f in k.facets() {
+        for pf in project_facet(f).facets() {
+            out.add_simplex(pf.clone());
+        }
+    }
+    out
+}
+
+/// The value-equality classes of a facet (the facets of `π(σ)`), as vertex
+/// groups sorted by value.
+pub fn equality_classes<V: Value>(sigma: &Simplex<V>) -> Vec<Vec<Vertex<V>>> {
+    let mut classes: BTreeMap<&V, Vec<Vertex<V>>> = BTreeMap::new();
+    for v in sigma.vertices() {
+        classes.entry(v.value()).or_default().push(v.clone());
+    }
+    classes.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_complex::{connectivity, ops, ProcessName};
+
+    fn v(name: u32, value: u64) -> Vertex<u64> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn facet(vals: &[u64]) -> Simplex<u64> {
+        Simplex::from_vertices(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &x)| v(i as u32, x))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_equal_projects_to_whole_simplex() {
+        let s = facet(&[5, 5, 5]);
+        let pi = project_facet(&s);
+        assert_eq!(pi.facet_count(), 1);
+        assert_eq!(pi.dimension(), Some(2));
+    }
+
+    #[test]
+    fn all_distinct_projects_to_isolated_vertices() {
+        let s = facet(&[1, 2, 3]);
+        let pi = project_facet(&s);
+        assert_eq!(pi.facet_count(), 3);
+        assert_eq!(pi.dimension(), Some(0));
+        assert_eq!(pi.isolated_vertices().len(), 3);
+    }
+
+    #[test]
+    fn figure3_leader_projection() {
+        // τ_0 = {(0,1),(1,0),(2,0)}: isolated leader + defeated edge.
+        let s = facet(&[1, 0, 0]);
+        let pi = project_facet(&s);
+        assert_eq!(pi.facet_count(), 2);
+        let iso = pi.isolated_vertices();
+        assert_eq!(iso, vec![v(0, 1)]);
+        // Components = classes.
+        assert_eq!(connectivity::components(&pi).len(), 2);
+    }
+
+    #[test]
+    fn projection_is_subcomplex_of_facet() {
+        let s = facet(&[1, 0, 0, 1]);
+        let pi = project_facet(&s);
+        let whole = ops::facet_as_complex(&s);
+        assert!(ops::is_subcomplex(&pi, &whole));
+    }
+
+    #[test]
+    fn project_complex_unions_facet_projections() {
+        // O_LE for n=2: facets {(0,1),(1,0)} and {(0,0),(1,1)}.
+        let mut ole = Complex::new();
+        ole.add_simplex(facet(&[1, 0]));
+        ole.add_simplex(facet(&[0, 1]));
+        let pi = project_complex(&ole);
+        // π(O_LE): 4 isolated vertices.
+        assert_eq!(pi.facet_count(), 4);
+        assert_eq!(pi.dimension(), Some(0));
+    }
+
+    #[test]
+    fn equality_classes_partition() {
+        let s = facet(&[7, 7, 9, 7]);
+        let classes = equality_classes(&s);
+        assert_eq!(classes.len(), 2);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        let sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&1));
+    }
+}

@@ -1,0 +1,81 @@
+//! The task abstraction: a family of output complexes indexed by `n`.
+
+use rsbt_complex::{Complex, Simplex};
+
+use crate::projection;
+
+/// An input-free task, defined by its output complex for each system size.
+///
+/// Output values are `u64` role codes (e.g. [`crate::LEADER`] /
+/// [`crate::DEFEATED`] for leader election).
+///
+/// The paper's framework additionally *requires* the output complex of a
+/// symmetry-breaking task to be symmetric ([`Task::is_symmetric_for`]);
+/// tasks violating this (such as [`crate::LeaderAndDeputy`] with
+/// heterogeneous role constraints) are provided as explicitly-flagged
+/// extensions.
+pub trait Task {
+    /// A short human-readable task name (for experiment tables).
+    fn name(&self) -> String;
+
+    /// The output complex `O` for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when the task is undefined for `n` (e.g.
+    /// `k`-leader election with `k > n`).
+    fn output_complex(&self, n: usize) -> Complex<u64>;
+
+    /// Whether the output complex for `n` processes is symmetric (stable
+    /// under name permutations), the paper's admissibility condition.
+    fn is_symmetric_for(&self, n: usize) -> bool {
+        self.output_complex(n).is_symmetric()
+    }
+
+    /// The projected facets `{ π(τ) : τ facet of O }` (Definition 3.4's
+    /// codomains). Provided for all tasks via [`projection::project_facet`].
+    fn projected_facets(&self, n: usize) -> Vec<Complex<u64>> {
+        self.output_complex(n)
+            .facets()
+            .map(projection::project_facet)
+            .collect()
+    }
+
+    /// The facets of the output complex (convenience accessor).
+    fn facets(&self, n: usize) -> Vec<Simplex<u64>> {
+        self.output_complex(n).facets().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_complex::{ProcessName, Vertex};
+
+    /// A trivial "everyone outputs 0" task to exercise default methods.
+    struct Constant;
+
+    impl Task for Constant {
+        fn name(&self) -> String {
+            "constant".into()
+        }
+
+        fn output_complex(&self, n: usize) -> Complex<u64> {
+            let mut c = Complex::new();
+            c.add_facet((0..n as u32).map(|i| Vertex::new(ProcessName::new(i), 0u64)))
+                .unwrap();
+            c
+        }
+    }
+
+    #[test]
+    fn defaults_work() {
+        let t = Constant;
+        assert!(t.is_symmetric_for(3));
+        assert_eq!(t.facets(3).len(), 1);
+        let proj = t.projected_facets(3);
+        assert_eq!(proj.len(), 1);
+        // All values equal: projection is the whole facet.
+        assert_eq!(proj[0].dimension(), Some(2));
+    }
+}

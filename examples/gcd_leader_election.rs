@@ -1,0 +1,69 @@
+//! Theorem 4.2 in action: message-passing leader election succeeds for
+//! every port numbering exactly when `gcd(n_1, …, n_k) = 1`.
+//!
+//! Runs the Euclid-style election on correlated groups under random *and*
+//! adversarial port numberings, and shows the gcd = 2 configuration
+//! stalling under the adversarial numbering while gcd = 1 always elects.
+//!
+//! Run with `cargo run --release --example gcd_leader_election`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsbt::protocols::{leader_count, EuclidLeaderElection};
+use rsbt::random::Assignment;
+use rsbt::sim::{runner, Model, PortNumbering};
+
+fn demo(sizes: &[usize], adversarial: bool, rng: &mut StdRng) {
+    let alpha = Assignment::from_group_sizes(sizes).unwrap();
+    let n = alpha.n();
+    let g = alpha.gcd_of_group_sizes();
+    let k = sizes.len();
+    let ports = if adversarial {
+        PortNumbering::adversarial(n, g as usize)
+    } else {
+        PortNumbering::random(n, rng)
+    };
+    let out = runner::run(
+        &Model::MessagePassing(ports),
+        &alpha,
+        4000,
+        || EuclidLeaderElection::new(k),
+        rng,
+    );
+    let kind = if adversarial { "adversarial" } else { "random" };
+    if out.completed {
+        println!(
+            "  sizes {sizes:?} (gcd {g}), {kind} ports: elected {} leader in {} rounds",
+            leader_count(&out.outputs),
+            out.rounds
+        );
+    } else {
+        println!(
+            "  sizes {sizes:?} (gcd {g}), {kind} ports: STUCK after {} rounds (as predicted)",
+            out.rounds
+        );
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    println!("gcd = 1: solvable for EVERY numbering (Theorem 4.2, 'if'):");
+    for sizes in [vec![2usize, 3], vec![3, 4], vec![2, 2, 3]] {
+        demo(&sizes, false, &mut rng);
+        demo(&sizes, true, &mut rng);
+    }
+
+    println!("\ngcd > 1: the adversarial numbering defeats every algorithm");
+    println!("(Theorem 4.2, 'only if', via Lemma 4.3):");
+    for sizes in [vec![2usize, 2], vec![3, 3]] {
+        demo(&sizes, true, &mut rng);
+    }
+
+    println!("\ngcd > 1 with *random* ports: the Euclid algorithm only exploits");
+    println!("randomness groups, so it stalls here too —");
+    demo(&[2, 2], false, &mut rng);
+    println!("— yet the topological framework shows a full-information protocol");
+    println!("CAN often elect under random numberings (run exp_thm42's ablation):");
+    println!("Theorem 4.2's impossibility is specifically about the worst case.");
+}

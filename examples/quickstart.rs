@@ -1,0 +1,60 @@
+//! Quickstart: the paper's framework in five minutes.
+//!
+//! Builds the leader-election output complex, inspects its consistency
+//! projection (Figure 3), decides solvability of individual realizations
+//! (Definition 3.4), computes `Pr[S(t) | α]`, and applies the Theorem 4.1
+//! / 4.2 predicates.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rsbt::core::{eventual, probability, solvability};
+use rsbt::random::{Assignment, BitString, Realization};
+use rsbt::sim::{KnowledgeArena, Model};
+use rsbt::tasks::{projection, LeaderElection, Task};
+
+fn main() {
+    // 1. The task: leader election for three processes.
+    let ole = LeaderElection.output_complex(3);
+    println!("O_LE(3): {} facets, symmetric = {}", ole.facet_count(), ole.is_symmetric());
+
+    // 2. Its consistency projection (Figure 3): the isolated vertex is the
+    //    leader-to-be.
+    let tau = LeaderElection::tau(3, 0);
+    let pi_tau = projection::project_facet(&tau);
+    println!("π(τ_0) facets:");
+    for f in pi_tau.facets() {
+        println!("  {f}");
+    }
+
+    // 3. A concrete realization: p0 drew 1, p1 and p2 drew 0. The
+    //    consistency classes are {p0} and {p1, p2}; the singleton class
+    //    means leader election is solved (Definition 3.4).
+    let rho = Realization::new(vec![
+        BitString::from_bits([true]),
+        BitString::from_bits([false]),
+        BitString::from_bits([false]),
+    ])
+    .unwrap();
+    let mut arena = KnowledgeArena::new();
+    let solved = solvability::solves(&Model::Blackboard, &rho, &LeaderElection, &mut arena);
+    println!("\nrealization {rho} solves LE: {solved}");
+
+    // 4. Probabilities: one singleton source among k = 2 sources gives
+    //    p(t) = 1 − 2^{−t}.
+    let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+    print!("\nPr[S(t) | α] for sizes [1,2]:");
+    for t in 1..=5 {
+        print!(" {:.4}", probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t));
+    }
+    println!();
+
+    // 5. The eventual-solvability predicates of Theorems 4.1 and 4.2.
+    for sizes in [vec![1usize, 2], vec![2, 2], vec![2, 3]] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        println!(
+            "sizes {sizes:?}: blackboard solvable = {}, message-passing (worst-case ports) solvable = {}",
+            eventual::blackboard_eventually_solvable(&alpha),
+            eventual::message_passing_worst_case_solvable(&alpha),
+        );
+    }
+}

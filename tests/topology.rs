@@ -1,0 +1,150 @@
+//! Integration tests on the topology of the paper's complexes: the shapes
+//! the framework predicts, verified through the homology machinery.
+
+use rsbt::complex::{connectivity, generators, homology, iso, ops, subdivision};
+use rsbt::core::{consistency, realization_complex};
+use rsbt::random::Assignment;
+use rsbt::sim::{KnowledgeArena, Model};
+use rsbt::tasks::{projection, LeaderElection, Task, WeakSymmetryBreaking};
+
+/// `R(1)` with independent bits is the octahedral `(n−1)`-sphere: same
+/// facet/vertex counts and isomorphic as chromatic complexes.
+#[test]
+fn r1_is_an_octahedral_sphere() {
+    for n in 2..=4usize {
+        let r1 = realization_complex::full(n, 1);
+        let sphere = generators::octahedral_sphere(n - 1);
+        assert_eq!(r1.facet_count(), sphere.facet_count(), "n={n}");
+        assert_eq!(r1.vertex_count(), sphere.vertex_count());
+        assert_eq!(
+            homology::betti_numbers(&r1),
+            homology::betti_numbers(&sphere),
+            "R(1) has sphere homology for n={n}"
+        );
+        assert!(iso::are_isomorphic(&r1, &sphere), "n={n}");
+    }
+}
+
+/// `R(t)` is `(n−2)`-connected but has top-dimensional homology — the
+/// sphere-like shape persists across rounds (t·n bounded for enumeration).
+#[test]
+fn rt_homology_is_spherelike() {
+    // n = 2: R(t) is a cycle-like 1-complex: β = [1, (2^t − 1)^2] for the
+    // complete bipartite K_{2^t,2^t}... measured directly:
+    let r2 = realization_complex::full(2, 2);
+    let b = homology::betti_numbers(&r2);
+    assert_eq!(b[0], 1, "connected");
+    // K_{4,4}: β_1 = (4−1)(4−1) = 9.
+    assert_eq!(b[1], 9);
+    assert!(connectivity::is_connected(&r2));
+}
+
+/// `π(O_LE)` is a disjoint union of `n` leader points and the boundary of
+/// the defeated simplex structure: for n = 3, three points plus a
+/// *hollow* triangle (the three defeated edges form a cycle).
+#[test]
+fn projected_ole_topology() {
+    let ole = LeaderElection.output_complex(3);
+    let pi = projection::project_complex(&ole);
+    let b = homology::betti_numbers(&pi);
+    // Components: 3 leader points + 1 defeated cycle = 4; the cycle
+    // contributes β_1 = 1.
+    assert_eq!(b, vec![4, 1]);
+    // For n = 4 the defeated part is the boundary of the tetrahedron
+    // minus nothing... defeated simplices are {(j,0): j ≠ i}, i.e. all
+    // 2-faces of the 3-simplex on the 0-vertices: the 2-sphere.
+    let ole4 = LeaderElection.output_complex(4);
+    let pi4 = projection::project_complex(&ole4);
+    let b4 = homology::betti_numbers(&pi4);
+    assert_eq!(b4, vec![5, 0, 1], "4 points + a 2-sphere");
+}
+
+/// `O_LE` itself is contractible-ish for small n: its facets all share no
+/// common vertex but pairwise intersect; measured Betti numbers are a
+/// regression fixture.
+#[test]
+fn ole_homology_fixture() {
+    // O_LE(2): facets {(0,1),(1,0)} and {(0,0),(1,1)} are disjoint edges.
+    assert_eq!(
+        homology::betti_numbers(&LeaderElection.output_complex(2)),
+        vec![2, 0]
+    );
+    let b3 = homology::betti_numbers(&LeaderElection.output_complex(3));
+    assert_eq!(b3[0], 1, "O_LE(3) is connected");
+    let bw = homology::betti_numbers(&WeakSymmetryBreaking.output_complex(3));
+    assert_eq!(bw[0], 1, "O_WSB(3) is connected");
+}
+
+/// Barycentric subdivision preserves the homology of every task complex.
+#[test]
+fn subdivision_preserves_task_homology() {
+    for n in 2..=3usize {
+        let ole = LeaderElection.output_complex(n);
+        let sub = subdivision::barycentric(&ole);
+        assert_eq!(
+            homology::betti_numbers(&ole),
+            homology::betti_numbers(&sub),
+            "n={n}"
+        );
+    }
+    let pi = projection::project_complex(&LeaderElection.output_complex(3));
+    let sub = subdivision::barycentric(&pi);
+    assert_eq!(homology::betti_numbers(&pi), homology::betti_numbers(&sub));
+}
+
+/// `π̃(R(t))` under a shared source is the disjoint union of `2^t` full
+/// simplices — `β_0 = 2^t`, acyclic components.
+#[test]
+fn pi_tilde_support_shared_source_shape() {
+    let alpha = Assignment::shared(3);
+    let mut arena = KnowledgeArena::new();
+    for t in 1..=3usize {
+        let u = consistency::pi_tilde_of_support(&Model::Blackboard, &alpha, t, &mut arena);
+        let b = homology::betti_numbers(&u);
+        assert_eq!(b[0], 1 << t, "t={t}");
+        assert!(b[1..].iter().all(|&x| x == 0));
+    }
+}
+
+/// The union `π̃(R(t))` *erases* the symmetry-breaking structure: the
+/// isolated vertices of individual `π̃(ρ)` get absorbed as faces of the
+/// all-equal realizations' big simplices, leaving a pure complex with no
+/// isolated vertex. This is precisely why Definition 3.4 quantifies over
+/// single facets — the paper's key observation, verified mechanically.
+#[test]
+fn pi_tilde_union_erases_per_facet_structure() {
+    use rsbt::random::{BitString, Realization};
+    let alpha = Assignment::private(3);
+    let mut arena = KnowledgeArena::new();
+    // A symmetry-broken realization has an isolated vertex...
+    let rho = Realization::new(vec![
+        BitString::from_bits([true]),
+        BitString::from_bits([false]),
+        BitString::from_bits([false]),
+    ])
+    .unwrap();
+    let pi_rho = consistency::pi_tilde(&Model::Blackboard, &rho, &mut arena);
+    assert_eq!(pi_rho.isolated_vertices().len(), 1);
+    assert!(!pi_rho.is_pure());
+    // ...but the union over all realizations absorbs it.
+    let u = consistency::pi_tilde_of_support(&Model::Blackboard, &alpha, 1, &mut arena);
+    assert!(u.is_pure());
+    assert!(u.isolated_vertices().is_empty());
+    assert_eq!(u.facet_count(), 2, "the two all-equal triangles remain");
+    assert_eq!(u.dimension(), Some(2));
+}
+
+/// The star/link/induced operators interact with projections as expected:
+/// the link of an isolated leader vertex in `π(τ)` is empty.
+#[test]
+fn leader_vertex_is_isolated_in_projection() {
+    use rsbt::complex::{ProcessName, Vertex};
+    for n in 2..=4usize {
+        let tau = LeaderElection::tau(n, 0);
+        let pi = projection::project_facet(&tau);
+        let leader = Vertex::new(ProcessName::new(0), 1u64);
+        assert!(ops::link(&pi, &leader).is_empty(), "n={n}");
+        let star = ops::star(&pi, &leader);
+        assert_eq!(star.vertex_count(), 1);
+    }
+}
