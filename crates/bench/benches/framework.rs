@@ -84,7 +84,11 @@ fn bench_solvability(c: &mut Criterion) {
 fn bench_probability(c: &mut Criterion) {
     let mut group = c.benchmark_group("probability");
     group.sample_size(10);
-    for (sizes, t) in [(vec![1usize, 2], 6usize), (vec![1, 2, 2], 4), (vec![2, 2], 6)] {
+    for (sizes, t) in [
+        (vec![1usize, 2], 6usize),
+        (vec![1, 2, 2], 4),
+        (vec![2, 2], 6),
+    ] {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let id = format!("exact_{sizes:?}_t{t}");
         group.bench_function(&id, |b| {
@@ -118,11 +122,10 @@ fn bench_map_search(c: &mut Criterion) {
     // Search scaling on π̃-shaped complexes into π(τ).
     for n in [4usize, 6, 8] {
         let mut dom: Complex<u64> = Complex::new();
-        dom.add_facet([Vertex::new(ProcessName::new(0), 10u64)]).unwrap();
-        dom.add_facet(
-            (1..n as u32).map(|i| Vertex::new(ProcessName::new(i), 20u64)),
-        )
-        .unwrap();
+        dom.add_facet([Vertex::new(ProcessName::new(0), 10u64)])
+            .unwrap();
+        dom.add_facet((1..n as u32).map(|i| Vertex::new(ProcessName::new(i), 20u64)))
+            .unwrap();
         let tau = LeaderElection::tau(n, 0);
         let cod = projection::project_facet(&tau);
         group.bench_with_input(BenchmarkId::new("name_preserving", n), &n, |b, _| {

@@ -43,8 +43,7 @@ fn bench_matching(c: &mut Criterion) {
                 let nodes: Vec<CreateMatching> = (0..n)
                     .map(|i| {
                         if i < a {
-                            let b_ports =
-                                (a..n).map(|t| ports.port_towards(i, t)).collect();
+                            let b_ports = (a..n).map(|t| ports.port_towards(i, t)).collect();
                             CreateMatching::new_a(a, b_ports)
                         } else {
                             CreateMatching::new_b(a)
@@ -89,5 +88,10 @@ fn bench_euclid_le(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_blackboard_le, bench_matching, bench_euclid_le);
+criterion_group!(
+    benches,
+    bench_blackboard_le,
+    bench_matching,
+    bench_euclid_le
+);
 criterion_main!(benches);

@@ -113,10 +113,8 @@ fn main() {
     println!("{proto}");
 
     // Constrained roles break symmetry — flagged, not silently accepted.
-    let constrained = rsbt_tasks::LeaderAndDeputy::new(
-        vec![true, false, false],
-        vec![false, true, true],
-    );
+    let constrained =
+        rsbt_tasks::LeaderAndDeputy::new(vec![true, false, false], vec![false, true, true]);
     println!(
         "constrained roles (p0 leads, p1/p2 deputize): output symmetric = {} — \
          outside the paper's symmetric framework, as Section 5 notes.",

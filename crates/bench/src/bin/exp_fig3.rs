@@ -15,14 +15,23 @@ fn main() {
         "Fraigniaud-Gelles-Lotker 2021, Figure 3 (Section 3.3)",
     );
     let ole = LeaderElection.output_complex(3);
-    println!("O_LE: {} facets, dimension {:?}, symmetric = {}", ole.facet_count(), ole.dimension(), ole.is_symmetric());
+    println!(
+        "O_LE: {} facets, dimension {:?}, symmetric = {}",
+        ole.facet_count(),
+        ole.dimension(),
+        ole.is_symmetric()
+    );
     for f in ole.facets() {
         println!("  τ: {f}");
     }
     println!("Betti numbers of O_LE: {:?}", homology::betti_numbers(&ole));
 
     let pi = projection::project_complex(&ole);
-    println!("\nπ(O_LE): {} facets, dimension {:?}", pi.facet_count(), pi.dimension());
+    println!(
+        "\nπ(O_LE): {} facets, dimension {:?}",
+        pi.facet_count(),
+        pi.dimension()
+    );
     for f in pi.facets() {
         println!("  {f}");
     }

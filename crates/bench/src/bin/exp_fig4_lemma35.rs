@@ -28,7 +28,11 @@ fn main() {
         (Model::Blackboard, 3, 1),
         (Model::Blackboard, 3, 2),
         (Model::message_passing_cyclic(3), 3, 2),
-        (Model::MessagePassing(PortNumbering::adversarial(4, 2)), 4, 1),
+        (
+            Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+            4,
+            1,
+        ),
     ];
     for (model, n, t) in &cases {
         let checked = iso_h::verify_facet_isomorphism(model, *n, *t);

@@ -80,7 +80,10 @@ fn main() {
     for (label, alpha) in [
         ("π̃(R(t)) shared", Assignment::shared(3)),
         ("π̃(R(t)) private", Assignment::private(3)),
-        ("π̃(R(t)) [1,2]", Assignment::from_group_sizes(&[1, 2]).unwrap()),
+        (
+            "π̃(R(t)) [1,2]",
+            Assignment::from_group_sizes(&[1, 2]).unwrap(),
+        ),
     ] {
         for t in 1..=2usize {
             let u = consistency::pi_tilde_of_support(&Model::Blackboard, &alpha, t, &mut arena);

@@ -15,13 +15,7 @@ fn main() {
         "Lemma 4.3: g divides every consistency-class size (adversarial ports)",
         "Fraigniaud-Gelles-Lotker 2021, Lemma 4.3 (Section 4.2)",
     );
-    let mut table = Table::new(vec![
-        "sizes",
-        "g",
-        "t",
-        "classes checked",
-        "violations",
-    ]);
+    let mut table = Table::new(vec!["sizes", "g", "t", "classes checked", "violations"]);
     for (sizes, g) in [
         (vec![2usize, 2], 2usize),
         (vec![2, 4], 2),

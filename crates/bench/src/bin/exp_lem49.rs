@@ -23,7 +23,11 @@ fn main() {
         (Model::Blackboard, 2usize, 2usize),
         (Model::Blackboard, 3, 1),
         (Model::message_passing_cyclic(3), 3, 1),
-        (Model::MessagePassing(PortNumbering::adversarial(4, 2)), 4, 1),
+        (
+            Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+            4,
+            1,
+        ),
     ] {
         let checked = evolution::verify_lemma_4_9(&model, n, t, &mut arena);
         table.row(vec![

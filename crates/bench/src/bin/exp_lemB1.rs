@@ -18,7 +18,14 @@ fn main() {
         "each =2^-tk",
         "sum",
     ]);
-    for sizes in [vec![1usize], vec![2], vec![1, 1], vec![2, 1], vec![2, 2], vec![1, 1, 1]] {
+    for sizes in [
+        vec![1usize],
+        vec![2],
+        vec![1, 1],
+        vec![2, 1],
+        vec![2, 2],
+        vec![1, 1, 1],
+    ] {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let n = alpha.n();
         for t in 1..=2usize {

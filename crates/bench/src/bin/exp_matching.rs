@@ -26,7 +26,7 @@ fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize
         .collect();
     let alpha = if shared_sources {
         let mut sources = vec![0usize; a];
-        sources.extend(std::iter::repeat(1).take(b));
+        sources.extend(std::iter::repeat_n(1, b));
         Assignment::from_sources(sources).unwrap()
     } else {
         Assignment::private(n)
@@ -80,8 +80,16 @@ fn main() {
                 if shared { "2 shared" } else { "private" }.to_string(),
                 format!("{ok}/{TRIALS}"),
                 format!("{mean:.1}"),
-                rounds.iter().min().map(usize::to_string).unwrap_or_default(),
-                rounds.iter().max().map(usize::to_string).unwrap_or_default(),
+                rounds
+                    .iter()
+                    .min()
+                    .map(usize::to_string)
+                    .unwrap_or_default(),
+                rounds
+                    .iter()
+                    .max()
+                    .map(usize::to_string)
+                    .unwrap_or_default(),
             ]);
         }
     }

@@ -20,13 +20,7 @@ fn main() {
         "Fraigniaud-Gelles-Lotker 2021, Appendix C",
     );
     const TRIALS: u64 = 100;
-    let mut table = Table::new(vec![
-        "model",
-        "sizes",
-        "task",
-        "valid runs",
-        "mean rounds",
-    ]);
+    let mut table = Table::new(vec!["model", "sizes", "task", "valid runs", "mean rounds"]);
 
     // Blackboard consensus.
     for sizes in [vec![1usize, 1, 1], vec![1, 3]] {

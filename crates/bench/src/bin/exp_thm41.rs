@@ -68,7 +68,12 @@ fn main() {
     // Section 2: convergence vs closed forms for sizes [1, 2, 2] (k = 3).
     let alpha = Assignment::from_group_sizes(&[1, 2, 2]).unwrap();
     let k = alpha.k();
-    let mut series = Table::new(vec!["t", "exact p(t)", "S1 closed form", "1-(k-1)/2^t bound"]);
+    let mut series = Table::new(vec![
+        "t",
+        "exact p(t)",
+        "S1 closed form",
+        "1-(k-1)/2^t bound",
+    ]);
     for t in 1..=6usize {
         let exact = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t);
         series.row(vec![

@@ -72,14 +72,7 @@ fn main() {
 
     // Section 2: random-ports ablation for gcd > 1 profiles.
     let mut rng = StdRng::seed_from_u64(42);
-    let mut ablation = Table::new(vec![
-        "sizes",
-        "gcd",
-        "ports",
-        "p(2)",
-        "p(3)",
-        "note",
-    ]);
+    let mut ablation = Table::new(vec!["sizes", "gcd", "ports", "p(2)", "p(3)", "note"]);
     for sizes in [vec![2usize, 2], vec![3, 3], vec![2, 4]] {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let n = alpha.n();

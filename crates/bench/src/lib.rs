@@ -2,9 +2,9 @@
 //!
 //! Every figure and theorem of the paper has a binary under `src/bin/`
 //! (run with `cargo run -p rsbt-bench --bin <exp> --release`); the
-//! performance benches live under `benches/`. See `EXPERIMENTS.md` at the
-//! workspace root for the paper-vs-measured record these binaries
-//! regenerate.
+//! performance benches live under `benches/`. See the workspace `README.md`
+//! for the full experiment list and `DESIGN.md` §4 for the ablations the
+//! benches measure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -114,10 +114,8 @@ pub fn octahedral_sphere(d: usize) -> Complex<u64> {
     let n = d + 1;
     let mut c = Complex::new();
     for mask in 0..1u64 << n {
-        c.add_facet(
-            (0..n).map(|i| Vertex::new(ProcessName::new(i as u32), mask >> i & 1)),
-        )
-        .expect("distinct names");
+        c.add_facet((0..n).map(|i| Vertex::new(ProcessName::new(i as u32), mask >> i & 1)))
+            .expect("distinct names");
     }
     c
 }
@@ -146,7 +144,10 @@ mod tests {
             expect[n - 2] = 1;
             assert_eq!(homology::betti_numbers(&s), expect, "n={n}");
             // χ(S^d) = 1 + (−1)^d with d = n − 2.
-            assert_eq!(homology::euler_characteristic(&s), if n % 2 == 0 { 2 } else { 0 });
+            assert_eq!(
+                homology::euler_characteristic(&s),
+                if n % 2 == 0 { 2 } else { 0 }
+            );
         }
     }
 

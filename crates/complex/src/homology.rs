@@ -50,7 +50,7 @@ pub fn betti_numbers<V: Value>(k: &Complex<V>) -> Vec<usize> {
     for d in 1..=dim {
         let rows = counts[d - 1];
         let mut matrix: Vec<BitRow> = Vec::with_capacity(counts[d]);
-        for (s, _) in &index_by_dim[d] {
+        for s in index_by_dim[d].keys() {
             let mut col = BitRow::zero(rows);
             for face in s.boundary() {
                 let r = index_by_dim[d - 1][&face];
@@ -143,7 +143,10 @@ fn gf2_rank(mut rows: Vec<BitRow>) -> usize {
                 None => continue 'rows,
                 Some(l) => l,
             };
-            match pivots.iter().find(|p| p.get(lead) && p.leading_bit() == Some(lead)) {
+            match pivots
+                .iter()
+                .find(|p| p.get(lead) && p.leading_bit() == Some(lead))
+            {
                 Some(p) => {
                     let p = p.clone();
                     row.xor_assign(&p);

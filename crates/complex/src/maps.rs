@@ -217,10 +217,7 @@ mod tests {
         let mut m: VertexMap<u8, u8> = VertexMap::new();
         m.insert(v(0, 0), v(0, 1));
         let s = Simplex::from_vertices(vec![v(0, 0), v(1, 0)]).unwrap();
-        assert!(matches!(
-            m.apply(&s),
-            Err(ComplexError::VertexNotInDomain)
-        ));
+        assert!(matches!(m.apply(&s), Err(ComplexError::VertexNotInDomain)));
         m.insert(v(1, 0), v(1, 0));
         assert_eq!(m.apply(&s).unwrap().dimension(), 1);
     }

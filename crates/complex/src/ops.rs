@@ -37,7 +37,8 @@ pub fn induced_subcomplex<V: Value>(k: &Complex<V>, x: &[Vertex<V>]) -> Complex<
             .cloned()
             .collect();
         if !vs.is_empty() {
-            out.add_facet(vs).expect("subset of a valid simplex is valid");
+            out.add_facet(vs)
+                .expect("subset of a valid simplex is valid");
         }
     }
     out
@@ -108,7 +109,8 @@ pub fn join<V: Value>(k: &Complex<V>, l: &Complex<V>) -> Complex<V> {
     for fk in k.facets() {
         for fl in l.facets() {
             let vs: Vec<Vertex<V>> = fk.vertices().chain(fl.vertices()).cloned().collect();
-            out.add_facet(vs).expect("disjoint names imply proper coloring");
+            out.add_facet(vs)
+                .expect("disjoint names imply proper coloring");
         }
     }
     out
@@ -195,6 +197,7 @@ mod tests {
         assert_eq!(sk1.facet_count(), 3); // three edges
         let sk0 = skeleton(&c, 0);
         assert_eq!(sk0.facet_count(), 3); // three isolated vertices
+
         // Skeleton at or above the dimension is the identity.
         assert_eq!(skeleton(&c, 2), c);
         assert_eq!(skeleton(&c, 5), c);

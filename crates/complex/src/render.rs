@@ -29,7 +29,12 @@ pub fn to_dot<V: Value + Display>(k: &Complex<V>, name: &str) -> String {
     let node_id = |v: &Vertex<V>| format!("\"{}:{}\"", v.name(), v.value());
     let mut emitted_edges: BTreeSet<(String, String)> = BTreeSet::new();
     for v in k.vertices() {
-        out.push_str(&format!("  {} [label=\"{}:{}\"];\n", node_id(&v), v.name(), v.value()));
+        out.push_str(&format!(
+            "  {} [label=\"{}:{}\"];\n",
+            node_id(&v),
+            v.name(),
+            v.value()
+        ));
     }
     for facet in k.facets() {
         let vs: Vec<&Vertex<V>> = facet.vertices().collect();

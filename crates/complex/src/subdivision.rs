@@ -73,7 +73,8 @@ fn permute_chains<V: Value>(
                 Vertex::new(ProcessName::new(d as u32), prefix)
             })
             .collect();
-        out.add_facet(chain).expect("chain vertices have distinct dims");
+        out.add_facet(chain)
+            .expect("chain vertices have distinct dims");
         return;
     }
     for i in fixed..vs.len() {

@@ -26,6 +26,14 @@ fn arb_complex(n: u32, vals: u8, max_facets: usize) -> impl Strategy<Value = Com
 }
 
 proptest! {
+    // Fixed RNG configuration so tier-1 is deterministic in CI: the
+    // vendored proptest derives each property's stream from this seed
+    // and the test's module path, with no persistence files.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: 0x5253_4254, // "RSBT"
+        ..ProptestConfig::default()
+    })]
     /// No facet is a face of another facet (maximality invariant).
     #[test]
     fn facets_are_maximal(c in arb_complex(5, 3, 8)) {

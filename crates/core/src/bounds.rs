@@ -90,8 +90,9 @@ mod tests {
         // exact ≥ S1 ≥ paper bound, for singleton configurations.
         for k in 2..=5 {
             for t in 1..=6 {
-                let sizes: Vec<usize> =
-                    std::iter::once(1).chain(std::iter::repeat(2).take(k - 1)).collect();
+                let sizes: Vec<usize> = std::iter::once(1)
+                    .chain(std::iter::repeat_n(2, k - 1))
+                    .collect();
                 let exact = exact_blackboard_le_probability(&sizes, t);
                 let s1 = s1_probability(k, t);
                 let lb = theorem_4_1_lower_bound(k, t);
@@ -107,8 +108,9 @@ mod tests {
         // S1 event probability.
         for k in 2..=5 {
             for t in 1..=5 {
-                let sizes: Vec<usize> =
-                    std::iter::once(1).chain(std::iter::repeat(3).take(k - 1)).collect();
+                let sizes: Vec<usize> = std::iter::once(1)
+                    .chain(std::iter::repeat_n(3, k - 1))
+                    .collect();
                 let exact = exact_blackboard_le_probability(&sizes, t);
                 assert!((exact - s1_probability(k, t)).abs() < 1e-12, "k={k} t={t}");
             }
@@ -157,8 +159,7 @@ mod tests {
                 let mut total = 0u64;
                 // Every k-tuple of source strings.
                 for word in 0..m.pow(k as u32) {
-                    let strings: Vec<u64> =
-                        (0..k).map(|i| word / m.pow(i as u32) % m).collect();
+                    let strings: Vec<u64> = (0..k).map(|i| word / m.pow(i as u32) % m).collect();
                     let solvable = (0..k).any(|i| {
                         sizes[i] == 1
                             && strings

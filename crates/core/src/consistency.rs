@@ -32,7 +32,11 @@ use rsbt_sim::{Execution, KnowledgeArena, Model};
 /// assert_eq!(pi.facet_count(), 2); // {p0} and {p1, p2}
 /// assert_eq!(pi.isolated_vertices().len(), 1);
 /// ```
-pub fn pi_tilde(model: &Model, rho: &Realization, arena: &mut KnowledgeArena) -> Complex<BitString> {
+pub fn pi_tilde(
+    model: &Model,
+    rho: &Realization,
+    arena: &mut KnowledgeArena,
+) -> Complex<BitString> {
     let exec = Execution::run(model, rho, arena);
     pi_tilde_of_execution(&exec, rho)
 }
@@ -45,7 +49,11 @@ pub fn pi_tilde(model: &Model, rho: &Realization, arena: &mut KnowledgeArena) ->
 /// Panics if `exec` and `rho` disagree on node count or time.
 pub fn pi_tilde_of_execution(exec: &Execution, rho: &Realization) -> Complex<BitString> {
     assert_eq!(exec.n(), rho.n(), "execution/realization node mismatch");
-    assert_eq!(exec.time(), rho.time(), "execution/realization time mismatch");
+    assert_eq!(
+        exec.time(),
+        rho.time(),
+        "execution/realization time mismatch"
+    );
     let t = exec.time();
     let mut c = Complex::new();
     for class in exec.consistency_partition(t) {

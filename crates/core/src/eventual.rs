@@ -104,11 +104,7 @@ mod tests {
         ];
         for (sizes, expect) in cases {
             let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-            assert_eq!(
-                blackboard_eventually_solvable(&alpha),
-                expect,
-                "{sizes:?}"
-            );
+            assert_eq!(blackboard_eventually_solvable(&alpha), expect, "{sizes:?}");
         }
     }
 

@@ -60,7 +60,10 @@ pub fn lemma_4_9_map(
             (v, Vertex::new(name, truncated))
         })
         .collect();
-    assert!(map.is_name_preserving(), "δ preserves names by construction");
+    assert!(
+        map.is_name_preserving(),
+        "δ preserves names by construction"
+    );
     assert!(
         map.is_simplicial(&pi_late, &pi_early),
         "Lemma 4.9 violated: δ not simplicial for {earlier} ≺ {later}"
@@ -159,8 +162,7 @@ mod tests {
             &mut arena,
         );
         assert_eq!(checked, 16 * 16);
-        let checked_cyclic =
-            verify_lemma_4_9(&Model::message_passing_cyclic(3), 3, 2, &mut arena);
+        let checked_cyclic = verify_lemma_4_9(&Model::message_passing_cyclic(3), 3, 2, &mut arena);
         assert_eq!(checked_cyclic, 64 * 8);
     }
 

@@ -25,8 +25,7 @@ pub fn h_vertex(arena: &KnowledgeArena, v: &Vertex<KnowledgeId>) -> Vertex<BitSt
 /// Applies `h` to a facet of `P(t)`, yielding the corresponding facet of
 /// `R(t)`.
 pub fn h_facet(arena: &KnowledgeArena, facet: &Simplex<KnowledgeId>) -> Simplex<BitString> {
-    Simplex::from_vertices(facet.vertices().map(|v| h_vertex(arena, v)))
-        .expect("h preserves names")
+    Simplex::from_vertices(facet.vertices().map(|v| h_vertex(arena, v))).expect("h preserves names")
 }
 
 /// The inverse of `h` on facets: run the dynamics on the realization to
@@ -99,10 +98,7 @@ pub fn verify_facet_isomorphism(model: &Model, n: usize, t: usize) -> usize {
 /// Recovers `(i, x_i)` for every process from a protocol facet — the
 /// explicit content of the paper's claim that a facet of `P(t)` "uniquely
 /// determines the randomness received by all parties".
-pub fn randomness_of_facet(
-    arena: &KnowledgeArena,
-    facet: &Simplex<KnowledgeId>,
-) -> Realization {
+pub fn randomness_of_facet(arena: &KnowledgeArena, facet: &Simplex<KnowledgeId>) -> Realization {
     let n = facet.len();
     let strings: Vec<BitString> = (0..n)
         .map(|i| {

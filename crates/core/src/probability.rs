@@ -274,13 +274,8 @@ mod tests {
             for t in 1..=3usize {
                 let seq = exact(&Model::Blackboard, &LeaderElection, &alpha, t);
                 for threads in [1usize, 2, 4] {
-                    let par = exact_parallel(
-                        &Model::Blackboard,
-                        &LeaderElection,
-                        &alpha,
-                        t,
-                        threads,
-                    );
+                    let par =
+                        exact_parallel(&Model::Blackboard, &LeaderElection, &alpha, t, threads);
                     assert_eq!(seq, par, "sizes {sizes:?} t {t} threads {threads}");
                 }
             }

@@ -37,7 +37,12 @@ use rsbt_sim::{Execution, KnowledgeArena, KnowledgeId, Model};
 /// assert_eq!(p1.facet_count(), 4);
 /// assert_eq!(p2.facet_count(), 16);
 /// ```
-pub fn build(model: &Model, n: usize, t: usize, arena: &mut KnowledgeArena) -> Complex<KnowledgeId> {
+pub fn build(
+    model: &Model,
+    n: usize,
+    t: usize,
+    arena: &mut KnowledgeArena,
+) -> Complex<KnowledgeId> {
     assert!(n >= 1, "need at least one node");
     let mut c = Complex::new();
     for rho in Realization::enumerate_all(n, t) {
@@ -48,7 +53,11 @@ pub fn build(model: &Model, n: usize, t: usize, arena: &mut KnowledgeArena) -> C
 
 /// The facet of `P(t)` reached from realization `rho`:
 /// `{(i, K_i(t)) : i ∈ [n]}`.
-pub fn facet_of(model: &Model, rho: &Realization, arena: &mut KnowledgeArena) -> Simplex<KnowledgeId> {
+pub fn facet_of(
+    model: &Model,
+    rho: &Realization,
+    arena: &mut KnowledgeArena,
+) -> Simplex<KnowledgeId> {
     let exec = Execution::run(model, rho, arena);
     facet_of_execution(&exec)
 }

@@ -69,9 +69,9 @@ fn classes_monochromatic(classes: &[Vec<usize>], tau: &Simplex<u64>) -> bool {
         let first = tau
             .value_of(ProcessName::new(class[0] as u32))
             .expect("facet covers all names");
-        class.iter().all(|&i| {
-            tau.value_of(ProcessName::new(i as u32)) == Some(first)
-        })
+        class
+            .iter()
+            .all(|&i| tau.value_of(ProcessName::new(i as u32)) == Some(first))
     })
 }
 

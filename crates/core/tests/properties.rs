@@ -32,6 +32,14 @@ fn arb_model(n: usize) -> impl Strategy<Value = Model> {
 }
 
 proptest! {
+    // Fixed RNG configuration so tier-1 is deterministic in CI: the
+    // vendored proptest derives each property's stream from this seed
+    // and the test's module path, with no persistence files.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: 0x5253_4254, // "RSBT"
+        ..ProptestConfig::default()
+    })]
     /// Lemma 3.5 on random instances: the fast path, the Definition 3.4
     /// search, and the Definition 3.1 search agree.
     #[test]

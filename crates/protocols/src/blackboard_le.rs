@@ -79,7 +79,11 @@ impl Protocol for BlackboardLeaderElection {
                 })
                 .map(|(_, s)| (*s).clone());
             if let Some(w) = winner {
-                self.decided = Some(if w == mine { Role::Leader } else { Role::Follower });
+                self.decided = Some(if w == mine {
+                    Role::Leader
+                } else {
+                    Role::Follower
+                });
                 return Outgoing::Silent;
             }
         } else if ctx.n == 1 {

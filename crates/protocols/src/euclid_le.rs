@@ -170,7 +170,9 @@ impl EuclidLeaderElection {
             return None;
         }
         let bits: Vec<bool> = self.bit_buffer.drain(..needed).collect();
-        let v = bits.iter().fold(0usize, |acc, &b| acc << 1 | usize::from(b));
+        let v = bits
+            .iter()
+            .fold(0usize, |acc, &b| acc << 1 | usize::from(b));
         (v < m).then_some(v)
     }
 
@@ -185,7 +187,11 @@ impl EuclidLeaderElection {
             .collect()
     }
 
-    fn discovery_round(&mut self, ctx: RoundCtx, ports: &[Option<EuclidMsg>]) -> Outgoing<EuclidMsg> {
+    fn discovery_round(
+        &mut self,
+        ctx: RoundCtx,
+        ports: &[Option<EuclidMsg>],
+    ) -> Outgoing<EuclidMsg> {
         if ctx.n == 1 {
             self.decided = Some(Role::Leader);
             return Outgoing::Silent;
@@ -200,14 +206,17 @@ impl EuclidLeaderElection {
                 })
                 .collect();
             let mine = self.history.clone();
-            let mut distinct: Vec<&Vec<bool>> = others.iter().chain(std::iter::once(&mine)).collect();
+            let mut distinct: Vec<&Vec<bool>> =
+                others.iter().chain(std::iter::once(&mine)).collect();
             distinct.sort();
             distinct.dedup();
             if distinct.len() == self.k {
                 // Freeze: group ids by sorted string rank.
-                let rank = |s: &Vec<bool>| distinct.binary_search(&s).expect("present");
-                self.my_group = rank(&mine);
-                self.port_group = others.iter().map(rank).collect();
+                self.my_group = distinct.binary_search(&&mine).expect("present");
+                self.port_group = others
+                    .iter()
+                    .map(|s| distinct.binary_search(&s).expect("present"))
+                    .collect();
                 self.port_active = vec![true; ports.len()];
                 self.sizes = vec![0; self.k];
                 self.sizes[self.my_group] += 1;
@@ -223,7 +232,11 @@ impl EuclidLeaderElection {
         Outgoing::Broadcast(EuclidMsg::Hist(self.history.clone()))
     }
 
-    fn matching_round(&mut self, ctx: RoundCtx, ports: &[Option<EuclidMsg>]) -> Outgoing<EuclidMsg> {
+    fn matching_round(
+        &mut self,
+        ctx: RoundCtx,
+        ports: &[Option<EuclidMsg>],
+    ) -> Outgoing<EuclidMsg> {
         self.bit_buffer.push(ctx.bit);
         let freeze = self.freeze_round.expect("frozen");
         let (ga, gb) = match self.pair {
@@ -453,7 +466,12 @@ mod tests {
                 break;
             }
             node.sizes[b] -= node.sizes[a];
-            let live: Vec<u64> = node.sizes.iter().filter(|&&s| s > 0).map(|&s| s as u64).collect();
+            let live: Vec<u64> = node
+                .sizes
+                .iter()
+                .filter(|&&s| s > 0)
+                .map(|&s| s as u64)
+                .collect();
             assert_eq!(gcd::gcd_many(&live), g0, "gcd invariant");
         }
         assert_eq!(node.winner_group(), Some(2));

@@ -177,7 +177,10 @@ mod tests {
                 .filter(|(_, o)| **o == Some(Role::Leader))
                 .map(|(i, _)| i)
                 .collect();
-            assert!(leaders == vec![0, 1] || leaders == vec![2, 3], "{leaders:?}");
+            assert!(
+                leaders == vec![0, 1] || leaders == vec![2, 3],
+                "{leaders:?}"
+            );
         }
     }
 
@@ -202,10 +205,16 @@ mod tests {
 
     #[test]
     fn choose_classes_lexicographic() {
-        assert_eq!(KLeaderBlackboard::choose_classes(&[1, 1, 3], 2), Some(vec![0, 1]));
+        assert_eq!(
+            KLeaderBlackboard::choose_classes(&[1, 1, 3], 2),
+            Some(vec![0, 1])
+        );
         assert_eq!(KLeaderBlackboard::choose_classes(&[3, 2], 2), Some(vec![1]));
         assert_eq!(KLeaderBlackboard::choose_classes(&[3, 1], 2), None);
-        assert_eq!(KLeaderBlackboard::choose_classes(&[2, 1, 1], 4), Some(vec![0, 1, 2]));
+        assert_eq!(
+            KLeaderBlackboard::choose_classes(&[2, 1, 1], 4),
+            Some(vec![0, 1, 2])
+        );
         assert_eq!(KLeaderBlackboard::choose_classes(&[], 1), None);
     }
 

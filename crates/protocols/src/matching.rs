@@ -140,7 +140,9 @@ impl CreateMatching {
             return None;
         }
         let bits: Vec<bool> = self.bit_buffer.drain(..needed).collect();
-        let v = bits.iter().fold(0usize, |acc, &b| acc << 1 | usize::from(b));
+        let v = bits
+            .iter()
+            .fold(0usize, |acc, &b| acc << 1 | usize::from(b));
         (v < m).then_some(v)
     }
 
@@ -173,10 +175,7 @@ impl Protocol for CreateMatching {
             // R1: count AnnA from the previous block; unmatched A-nodes
             // request a random active B-port.
             0 => {
-                self.matched_count += ports
-                    .iter()
-                    .filter(|m| **m == Some(MatchMsg::AnnA))
-                    .count();
+                self.matched_count += ports.iter().filter(|m| **m == Some(MatchMsg::AnnA)).count();
                 if self.matched_count >= self.a_total {
                     self.finish();
                     return Outgoing::Silent;
@@ -262,8 +261,9 @@ mod tests {
         (0..n)
             .map(|i| {
                 if i < a {
-                    let b_ports: Vec<usize> =
-                        (a..a + b).map(|target| ports.port_towards(i, target)).collect();
+                    let b_ports: Vec<usize> = (a..a + b)
+                        .map(|target| ports.port_towards(i, target))
+                        .collect();
                     CreateMatching::new_a(a, b_ports)
                 } else if i < a + b {
                     CreateMatching::new_b(a)
@@ -287,13 +287,7 @@ mod tests {
         let nodes = build_nodes(&ports, a, b);
         let alpha = Assignment::from_sources(sources).unwrap();
         assert_eq!(alpha.n(), n);
-        let out = run_nodes(
-            &Model::MessagePassing(ports),
-            &alpha,
-            3000,
-            nodes,
-            &mut rng,
-        );
+        let out = run_nodes(&Model::MessagePassing(ports), &alpha, 3000, nodes, &mut rng);
         assert!(out.completed, "matching a={a} b={b} seed={seed} timed out");
         out.outputs
     }

@@ -83,11 +83,7 @@ impl<L: Protocol<Output = Role>> Protocol for ViaLeader<L> {
     type Msg = ReductionMsg<L::Msg>;
     type Output = u64;
 
-    fn round(
-        &mut self,
-        ctx: RoundCtx,
-        incoming: &Incoming<Self::Msg>,
-    ) -> Outgoing<Self::Msg> {
+    fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<Self::Msg>) -> Outgoing<Self::Msg> {
         // Phase 0: run the inner election until it decides.
         let elected_round = match self.elected_round {
             None => {
@@ -158,7 +154,10 @@ fn publish<M: Clone + Ord + fmt::Debug>(
 }
 
 /// Collects all incoming task messages matching `f`, model-agnostically.
-fn collect<M, T>(incoming: &Incoming<ReductionMsg<M>>, f: impl Fn(&ReductionMsg<M>) -> Option<T>) -> Vec<T>
+fn collect<M, T>(
+    incoming: &Incoming<ReductionMsg<M>>,
+    f: impl Fn(&ReductionMsg<M>) -> Option<T>,
+) -> Vec<T>
 where
     M: Clone + Ord + fmt::Debug,
 {
@@ -169,9 +168,7 @@ where
 }
 
 /// Projects incoming messages down to the inner protocol's alphabet.
-fn project_inner<M: Clone + Ord + fmt::Debug>(
-    incoming: &Incoming<ReductionMsg<M>>,
-) -> Incoming<M> {
+fn project_inner<M: Clone + Ord + fmt::Debug>(incoming: &Incoming<ReductionMsg<M>>) -> Incoming<M> {
     match incoming {
         Incoming::Board(msgs) => Incoming::Board(
             msgs.iter()

@@ -94,7 +94,7 @@ mod tests {
     fn assert_broken(outputs: &[Option<u8>]) {
         let bits: Vec<u8> = outputs.iter().map(|o| o.expect("decided")).collect();
         assert!(
-            bits.iter().any(|&b| b == 0) && bits.iter().any(|&b| b == 1),
+            bits.contains(&0) && bits.contains(&1),
             "not all equal: {bits:?}"
         );
     }

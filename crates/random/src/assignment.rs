@@ -77,7 +77,7 @@ impl Assignment {
         }
         let mut source = Vec::with_capacity(sizes.iter().sum());
         for (s, &size) in sizes.iter().enumerate() {
-            source.extend(std::iter::repeat(s).take(size));
+            source.extend(std::iter::repeat_n(s, size));
         }
         Ok(Assignment {
             source,

@@ -26,7 +26,9 @@ impl fmt::Display for RandomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RandomError::EmptyAssignment => write!(f, "assignment must cover at least one node"),
-            RandomError::EmptyGroup => write!(f, "every randomness source must feed at least one node"),
+            RandomError::EmptyGroup => {
+                write!(f, "every randomness source must feed at least one node")
+            }
             RandomError::RaggedRealization => {
                 write!(f, "realization bit strings must all have the same length")
             }

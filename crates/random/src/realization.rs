@@ -171,9 +171,7 @@ impl Realization {
     /// Samples a realization at time `t` by drawing the `k` source strings
     /// uniformly and wiring them through `α`.
     pub fn sample<R: Rng + ?Sized>(alpha: &Assignment, t: usize, rng: &mut R) -> Realization {
-        let sources: Vec<BitString> = (0..alpha.k())
-            .map(|_| BitString::sample(rng, t))
-            .collect();
+        let sources: Vec<BitString> = (0..alpha.k()).map(|_| BitString::sample(rng, t)).collect();
         Realization {
             strings: (0..alpha.n())
                 .map(|i| sources[alpha.source_of(i)])

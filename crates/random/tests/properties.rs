@@ -9,6 +9,14 @@ fn arb_assignment(max_n: usize) -> impl Strategy<Value = Assignment> {
 }
 
 proptest! {
+    // Fixed RNG configuration so tier-1 is deterministic in CI: the
+    // vendored proptest derives each property's stream from this seed
+    // and the test's module path, with no persistence files.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: 0x5253_4254, // "RSBT"
+        ..ProptestConfig::default()
+    })]
     /// Canonicalization is idempotent and preserves the partition.
     #[test]
     fn canonicalization_idempotent(alpha in arb_assignment(8)) {

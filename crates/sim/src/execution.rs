@@ -74,16 +74,13 @@ impl Execution {
                 let bit = rho.node(i).bit(t - 1);
                 let id = match model {
                     Model::Blackboard => {
-                        let board: Vec<KnowledgeId> = (0..n)
-                            .filter(|&j| j != i)
-                            .map(|j| prev[j])
-                            .collect();
+                        let board: Vec<KnowledgeId> =
+                            (0..n).filter(|&j| j != i).map(|j| prev[j]).collect();
                         arena.round_blackboard(prev[i], bit, board)
                     }
                     Model::MessagePassing(ports) => {
-                        let by_port: Vec<KnowledgeId> = (1..n)
-                            .map(|j| prev[ports.neighbor(i, j)])
-                            .collect();
+                        let by_port: Vec<KnowledgeId> =
+                            (1..n).map(|j| prev[ports.neighbor(i, j)]).collect();
                         arena.round_ports(prev[i], bit, by_port)
                     }
                 };
@@ -130,11 +127,7 @@ impl Execution {
 
     /// The sizes of the consistency classes at time `t'`, sorted ascending.
     pub fn class_sizes(&self, t: usize) -> Vec<usize> {
-        let mut sizes: Vec<usize> = self
-            .consistency_partition(t)
-            .iter()
-            .map(Vec::len)
-            .collect();
+        let mut sizes: Vec<usize> = self.consistency_partition(t).iter().map(Vec::len).collect();
         sizes.sort_unstable();
         sizes
     }

@@ -66,8 +66,6 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Model::Blackboard.to_string(), "blackboard");
-        assert!(Model::message_passing_cyclic(4)
-            .to_string()
-            .contains("n=4"));
+        assert!(Model::message_passing_cyclic(4).to_string().contains("n=4"));
     }
 }

@@ -89,7 +89,7 @@ impl PortNumbering {
     ///
     /// Panics unless `1 ≤ g`, `g | n`, and `n ≥ 1`.
     pub fn adversarial(n: usize, g: usize) -> Self {
-        assert!(g >= 1 && n >= 1 && n % g == 0, "g must divide n");
+        assert!(g >= 1 && n >= 1 && n.is_multiple_of(g), "g must divide n");
         let table: Vec<Vec<usize>> = (0..n)
             .map(|i| {
                 (1..n)
@@ -142,7 +142,11 @@ impl PortNumbering {
         let n = self.n();
         for (i, row) in self.to.iter().enumerate() {
             if row.len() != n - 1 {
-                return Err(format!("node {i} has {} ports, expected {}", row.len(), n - 1));
+                return Err(format!(
+                    "node {i} has {} ports, expected {}",
+                    row.len(),
+                    n - 1
+                ));
             }
             let mut seen = vec![false; n];
             for &tgt in row {
@@ -245,15 +249,21 @@ mod tests {
 
     #[test]
     fn validate_catches_errors() {
-        let bad_len = PortNumbering { to: vec![vec![], vec![0]] };
+        let bad_len = PortNumbering {
+            to: vec![vec![], vec![0]],
+        };
         assert!(bad_len.validate().is_err());
-        let self_loop = PortNumbering { to: vec![vec![0], vec![0]] };
+        let self_loop = PortNumbering {
+            to: vec![vec![0], vec![0]],
+        };
         assert!(self_loop.validate().is_err());
         let dup = PortNumbering {
             to: vec![vec![1, 1], vec![0, 2], vec![0, 1]],
         };
         assert!(dup.validate().is_err());
-        let out_of_range = PortNumbering { to: vec![vec![7], vec![0]] };
+        let out_of_range = PortNumbering {
+            to: vec![vec![7], vec![0]],
+        };
         assert!(out_of_range.validate().is_err());
     }
 

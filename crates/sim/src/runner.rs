@@ -204,8 +204,7 @@ where
         // One fresh bit per source, wired through alpha.
         let source_bits: Vec<bool> = (0..alpha.k()).map(|_| rng.gen::<bool>()).collect();
         let mut next_board: Vec<(usize, P::Msg)> = Vec::new();
-        let mut next_mailboxes: Vec<Vec<Option<P::Msg>>> =
-            vec![vec![None; n.saturating_sub(1)]; n];
+        let mut next_mailboxes: Vec<Vec<Option<P::Msg>>> = vec![vec![None; n.saturating_sub(1)]; n];
 
         for (i, node) in nodes.iter_mut().enumerate() {
             let ctx = RoundCtx {
@@ -233,10 +232,7 @@ where
                 (Outgoing::Post(m), Model::Blackboard) => next_board.push((i, m)),
                 (Outgoing::Send(msgs), Model::MessagePassing(ports)) => {
                     for (port, m) in msgs {
-                        assert!(
-                            port >= 1 && port < n,
-                            "port {port} out of range for n={n}"
-                        );
+                        assert!(port >= 1 && port < n, "port {port} out of range for n={n}");
                         let target = ports.neighbor(i, port);
                         let back = ports.port_towards(target, i);
                         assert!(
@@ -353,8 +349,7 @@ mod tests {
                 Outgoing::Broadcast(ctx.bit)
             } else {
                 if self.got.is_none() {
-                    let mut bits: Vec<bool> =
-                        incoming.ports().iter().map(|m| m.unwrap()).collect();
+                    let mut bits: Vec<bool> = incoming.ports().iter().map(|m| m.unwrap()).collect();
                     bits.sort_unstable();
                     self.got = Some(bits);
                 }

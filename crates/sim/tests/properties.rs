@@ -25,6 +25,14 @@ fn arb_ports(n: usize) -> impl Strategy<Value = PortNumbering> {
 }
 
 proptest! {
+    // Fixed RNG configuration so tier-1 is deterministic in CI: the
+    // vendored proptest derives each property's stream from this seed
+    // and the test's module path, with no persistence files.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: 0x5253_4254, // "RSBT"
+        ..ProptestConfig::default()
+    })]
     /// Consistency classes always partition [n], and refine over time.
     #[test]
     fn classes_partition_and_refine(rho in arb_realization(4, 4)) {

@@ -57,7 +57,11 @@ impl KLeaderElection {
         Simplex::from_vertices((0..n).map(|i| {
             Vertex::new(
                 ProcessName::new(i as u32),
-                if leaders.contains(&i) { LEADER } else { DEFEATED },
+                if leaders.contains(&i) {
+                    LEADER
+                } else {
+                    DEFEATED
+                },
             )
         }))
         .expect("distinct names")

@@ -44,7 +44,8 @@ pub fn project_facet<V: Value>(sigma: &Simplex<V>) -> Complex<V> {
     }
     let mut out = Complex::new();
     for (_, class) in classes {
-        out.add_facet(class).expect("classes partition a valid simplex");
+        out.add_facet(class)
+            .expect("classes partition a valid simplex");
     }
     out
 }

@@ -39,12 +39,10 @@ impl WeakSymmetryBreaking {
             return None;
         }
         Some(
-            Simplex::from_vertices((0..n).map(|i| {
-                Vertex::new(
-                    ProcessName::new(i as u32),
-                    u64::from(ones.contains(&i)),
-                )
-            }))
+            Simplex::from_vertices(
+                (0..n)
+                    .map(|i| Vertex::new(ProcessName::new(i as u32), u64::from(ones.contains(&i)))),
+            )
             .expect("distinct names"),
         )
     }

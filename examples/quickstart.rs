@@ -15,7 +15,11 @@ use rsbt::tasks::{projection, LeaderElection, Task};
 fn main() {
     // 1. The task: leader election for three processes.
     let ole = LeaderElection.output_complex(3);
-    println!("O_LE(3): {} facets, symmetric = {}", ole.facet_count(), ole.is_symmetric());
+    println!(
+        "O_LE(3): {} facets, symmetric = {}",
+        ole.facet_count(),
+        ole.is_symmetric()
+    );
 
     // 2. Its consistency projection (Figure 3): the isolated vertex is the
     //    leader-to-be.
@@ -44,7 +48,10 @@ fn main() {
     let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
     print!("\nPr[S(t) | α] for sizes [1,2]:");
     for t in 1..=5 {
-        print!(" {:.4}", probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t));
+        print!(
+            " {:.4}",
+            probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t)
+        );
     }
     println!();
 

@@ -25,7 +25,10 @@ fn main() {
         .collect();
     let out = runner::run_nodes(&Model::Blackboard, &alpha, 512, nodes, &mut rng);
     let decision = check_consensus(&inputs, &out.outputs).expect("consensus holds");
-    println!("consensus: inputs {inputs:?} → everyone decided {decision} in {} rounds", out.rounds);
+    println!(
+        "consensus: inputs {inputs:?} → everyone decided {decision} in {} rounds",
+        out.rounds
+    );
 
     // --- a custom name-independent task: "am I holding a modal value?" ---
     // Output 1 iff your input is among the most frequent input values.

@@ -1,0 +1,112 @@
+//! Smoke tests for the `rsbt` facade: every re-exported module must
+//! resolve, and the `examples/quickstart.rs` flow must run to completion
+//! with the values the paper predicts.
+
+use rsbt::core::{eventual, probability, solvability};
+use rsbt::random::{Assignment, BitString, Realization};
+use rsbt::sim::{Execution, KnowledgeArena, Model};
+use rsbt::tasks::{projection, LeaderElection, Task};
+
+/// One symbol from each of the six re-exported crates resolves and works.
+#[test]
+fn all_reexports_resolve() {
+    // rsbt::complex
+    let mut c: rsbt::complex::Complex<u8> = rsbt::complex::Complex::new();
+    c.add_facet([rsbt::complex::Vertex::new(
+        rsbt::complex::ProcessName::new(0),
+        1u8,
+    )])
+    .unwrap();
+    assert_eq!(c.facet_count(), 1);
+
+    // rsbt::random
+    let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+    assert_eq!(alpha.k(), 2);
+
+    // rsbt::sim
+    let rho = Realization::new(vec![
+        BitString::from_bits([true]),
+        BitString::from_bits([false]),
+        BitString::from_bits([false]),
+    ])
+    .unwrap();
+    let mut arena = KnowledgeArena::new();
+    let exec = Execution::run(&Model::Blackboard, &rho, &mut arena);
+    assert_eq!(exec.consistency_partition(1).len(), 2);
+
+    // rsbt::tasks
+    assert!(LeaderElection.output_complex(3).is_symmetric());
+
+    // rsbt::core
+    assert!(solvability::solves(
+        &Model::Blackboard,
+        &rho,
+        &LeaderElection,
+        &mut arena
+    ));
+
+    // rsbt::protocols
+    use rsbt::protocols::{leader_count, Role};
+    assert_eq!(
+        leader_count(&[Some(Role::Leader), Some(Role::Follower), None]),
+        1
+    );
+}
+
+/// The quickstart example's flow, end to end, with its expected outputs.
+#[test]
+fn quickstart_flow_runs_to_completion() {
+    // 1. The task: leader election for three processes.
+    let ole = LeaderElection.output_complex(3);
+    assert_eq!(ole.facet_count(), 3);
+    assert!(ole.is_symmetric());
+
+    // 2. Figure 3: π(τ_0) is an isolated leader vertex plus a defeated edge.
+    let tau = LeaderElection::tau(3, 0);
+    let pi_tau = projection::project_facet(&tau);
+    assert_eq!(pi_tau.facet_count(), 2);
+    assert_eq!(pi_tau.isolated_vertices().len(), 1);
+
+    // 3. Symmetry broken at t = 1 solves LE (Definition 3.4).
+    let rho = Realization::new(vec![
+        BitString::from_bits([true]),
+        BitString::from_bits([false]),
+        BitString::from_bits([false]),
+    ])
+    .unwrap();
+    let mut arena = KnowledgeArena::new();
+    assert!(solvability::solves(
+        &Model::Blackboard,
+        &rho,
+        &LeaderElection,
+        &mut arena
+    ));
+
+    // 4. One singleton among k = 2 sources: p(t) = 1 − 2^{−t}.
+    let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+    for t in 1..=5 {
+        let p = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+        let expect = 1.0 - 0.5f64.powi(t as i32);
+        assert!((p - expect).abs() < 1e-12, "t={t}: {p} vs {expect}");
+    }
+
+    // 5. Theorem 4.1 / 4.2 predicates on the quickstart's three configs.
+    let cases = [
+        (vec![1usize, 2], true, true),
+        (vec![2, 2], false, false),
+        (vec![2, 3], false, true),
+    ];
+    for (sizes, bb, mp) in cases {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        assert_eq!(
+            eventual::blackboard_eventually_solvable(&alpha),
+            bb,
+            "{sizes:?}"
+        );
+        assert_eq!(
+            eventual::message_passing_worst_case_solvable(&alpha),
+            mp,
+            "{sizes:?}"
+        );
+    }
+}

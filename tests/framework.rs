@@ -53,7 +53,13 @@ fn theorem_4_2_end_to_end() {
 /// enumeration on every singleton-bearing profile.
 #[test]
 fn closed_form_matches_enumeration() {
-    for sizes in [vec![1usize, 1], vec![1, 2], vec![1, 2, 2], vec![2, 2], vec![1, 1, 2]] {
+    for sizes in [
+        vec![1usize, 1],
+        vec![1, 2],
+        vec![1, 2, 2],
+        vec![2, 2],
+        vec![1, 1, 2],
+    ] {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         for t in 1..=3usize {
             let exact = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t);
@@ -99,7 +105,11 @@ fn h_isomorphism_sweep() {
         (Model::Blackboard, 2, 3),
         (Model::Blackboard, 4, 1),
         (Model::message_passing_cyclic(4), 4, 1),
-        (Model::MessagePassing(PortNumbering::adversarial(4, 2)), 4, 2),
+        (
+            Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+            4,
+            2,
+        ),
     ] {
         let checked = iso_h::verify_facet_isomorphism(&model, n, t);
         assert_eq!(checked, 1usize << (n * t));
@@ -109,7 +119,11 @@ fn h_isomorphism_sweep() {
 /// Lemma 4.3 divisibility, full sweep over group profiles with g > 1.
 #[test]
 fn lemma_4_3_sweep() {
-    for (sizes, g) in [(vec![2usize, 2], 2usize), (vec![3, 3], 3), (vec![2, 2, 2], 2)] {
+    for (sizes, g) in [
+        (vec![2usize, 2], 2usize),
+        (vec![3, 3], 3),
+        (vec![2, 2, 2], 2),
+    ] {
         let n: usize = sizes.iter().sum();
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let model = Model::MessagePassing(PortNumbering::adversarial(n, g));
@@ -160,7 +174,13 @@ fn protocol_agrees_with_framework_message_passing() {
     use rsbt::sim::runner;
 
     let mut rng = StdRng::seed_from_u64(99);
-    for sizes in [vec![2usize, 3], vec![1, 3], vec![2, 2], vec![3, 3], vec![2, 2, 3]] {
+    for sizes in [
+        vec![2usize, 3],
+        vec![1, 3],
+        vec![2, 2],
+        vec![3, 3],
+        vec![2, 2, 3],
+    ] {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let n = alpha.n();
         let g = alpha.gcd_of_group_sizes();
@@ -196,8 +216,7 @@ fn monte_carlo_agrees_with_exact() {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let t = 3;
         let exact = probability::exact(&model, &LeaderElection, &alpha, t);
-        let est =
-            probability::monte_carlo(&model, &LeaderElection, &alpha, t, 30_000, &mut rng);
+        let est = probability::monte_carlo(&model, &LeaderElection, &alpha, t, 30_000, &mut rng);
         assert!(
             est.is_consistent_with(exact, 4.5),
             "{model} {sizes:?}: exact {exact} vs {est:?}"

@@ -1,0 +1,206 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then uses it to pick a second-stage strategy.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        if end - start == u64::MAX {
+            return rng.next_u64();
+        }
+        start + rng.below(end - start + 1)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// One boxed arm of a [`Union`].
+type Arm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// A uniform choice among boxed same-typed strategies; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    arms: Vec<Arm<V>>,
+}
+
+impl<V> Default for Union<V> {
+    fn default() -> Self {
+        Union::new()
+    }
+}
+
+impl<V> Union<V> {
+    /// Creates an empty union; generation panics until an arm is added.
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds one strategy as an equally weighted arm.
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strategy.generate(rng)));
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[arm])(rng)
+    }
+}

@@ -1,0 +1,101 @@
+//! Test-runner types: [`ProptestConfig`], [`TestRng`], [`TestCaseError`].
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+///
+/// Supports struct-update syntax, e.g.
+/// `ProptestConfig { cases: 128, ..ProptestConfig::default() }`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Base seed mixed into every property's deterministic RNG seed.
+    pub rng_seed: u64,
+    /// Upper bound on `prop_assume!` rejections before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            rng_seed: 0x5b57_2021_f6a1_9e11,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// The deterministic generator driving value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test identifier (FNV-1a hashed) XORed
+    /// with the configured base seed, so every property has its own fixed
+    /// stream.
+    pub fn deterministic(test_id: &str, base_seed: u64) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_id.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash ^ base_seed),
+        }
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let word = self.next_u64();
+            if word <= zone {
+                return word % bound;
+            }
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it is skipped.
+    Reject(String),
+    /// A `prop_assert!` failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection error.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline, API-compatible stand-in for the parts of the [`rand`] crate
+//! (0.8.x line) that the `rsbt` workspace uses.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors a minimal implementation instead of pulling the real
+//! crate from crates.io. The surface is deliberately small:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_bool`, `gen_range`;
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed` / `from_entropy`;
+//! * [`rngs::StdRng`] — a deterministic SplitMix64 generator;
+//! * [`rngs::mock::StepRng`] — the arithmetic-progression mock generator;
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`;
+//! * [`thread_rng`] — deterministic here (seeded from a fixed constant),
+//!   which is exactly what reproducible experiments want.
+//!
+//! Statistical quality is adequate for tests and experiments (SplitMix64
+//! passes BigCrush); the bit streams are *not* identical to upstream
+//! `rand`, so seeds chosen against upstream may produce different runs.
+//!
+//! [`rand`]: https://docs.rs/rand/0.8
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// The core of a random number generator: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value in the range from `rng`.
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::core::ops::Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let offset = uniform_u128_below(rng, span);
+                ((self.start as u128) + offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for ::core::ops::RangeInclusive<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                let offset = uniform_u128_below(rng, span);
+                ((start as u128) + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Uniform draw in `[0, bound)` by rejection sampling on 64-bit words
+/// (`bound` ≤ 2^64 in practice for the integer widths above).
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if bound == 1 {
+        return 0;
+    }
+    if bound.is_power_of_two() {
+        return u128::from(rng.next_u64()) & (bound - 1);
+    }
+    let zone = (u128::from(u64::MAX) + 1) - ((u128::from(u64::MAX) + 1) % bound);
+    loop {
+        let word = u128::from(rng.next_u64());
+        if word < zone {
+            return word % bound;
+        }
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_range(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` seed (SplitMix64 expansion,
+    /// as recommended by the upstream `rand` documentation).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = rngs::SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Constructs the generator from "entropy". This offline stand-in is
+    /// deliberately deterministic: it seeds from a fixed constant so that
+    /// every experiment is reproducible.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x5eed_5eed_5eed_5eed)
+    }
+}
+
+/// A deterministic stand-in for `rand::thread_rng()`.
+///
+/// Unlike upstream, every call returns a generator seeded from the same
+/// fixed constant — reproducibility is a feature here.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::mock::StepRng;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn step_rng_is_an_arithmetic_progression() {
+        let mut rng = StepRng::new(10, 3);
+        assert_eq!(rng.next_u64(), 10);
+        assert_eq!(rng.next_u64(), 13);
+        assert_eq!(rng.next_u64(), 16);
+    }
+
+    #[test]
+    fn bool_and_f64_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

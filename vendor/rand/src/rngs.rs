@@ -1,0 +1,130 @@
+//! Concrete generators: [`StdRng`], [`ThreadRng`], and the [`mock`] module.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64: the seed-expansion generator from Steele, Lea & Flood,
+/// "Fast splittable pseudorandom number generators" (OOPSLA 2014).
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's standard deterministic generator.
+///
+/// Internally xoshiro256**-style state seeded via SplitMix64. Not the same
+/// bit stream as upstream `rand::rngs::StdRng` (which is ChaCha12), but
+/// fully deterministic for a given seed.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_words(words: [u64; 4]) -> Self {
+        // All-zero state would be a fixed point; nudge it.
+        let s = if words == [0; 4] {
+            [0x9e37_79b9_7f4a_7c15, 1, 2, 3]
+        } else {
+            words
+        };
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna.
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut words = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(buf);
+        }
+        StdRng::from_words(words)
+    }
+}
+
+/// Deterministic stand-in for the thread-local generator.
+#[derive(Clone, Debug)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl Default for ThreadRng {
+    fn default() -> Self {
+        ThreadRng {
+            inner: StdRng::seed_from_u64(0x7472_6561_645f_726e),
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Mock generators for tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// A mock generator yielding an arithmetic progression of `u64`s:
+    /// `initial, initial + increment, initial + 2·increment, …` (wrapping).
+    #[derive(Clone, Debug)]
+    pub struct StepRng {
+        v: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates the generator with the given start value and step.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                v: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.increment);
+            out
+        }
+    }
+}
