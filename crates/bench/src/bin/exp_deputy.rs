@@ -12,112 +12,87 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
-use rsbt_core::{eventual, probability};
+use rsbt_bench::{fmt_sizes, run_experiment, SweepSpec, Table, TaskSpec};
 use rsbt_protocols::{DeputyRole, LeaderAndDeputyBlackboard};
 use rsbt_random::Assignment;
 use rsbt_sim::{runner, Model};
 use rsbt_tasks::{LeaderAndDeputy, Task};
+use std::process::ExitCode;
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "deputy",
         "Leader + deputy election (Section 5 future work)",
         "Fraigniaud-Gelles-Lotker 2021, Section 5",
-    );
+        |eng, rep| {
+            // Framework sweep with the unconstrained (symmetric) complex.
+            let spec = SweepSpec::new()
+                .task(TaskSpec::new(|n| {
+                    Box::new(LeaderAndDeputy::unconstrained(n))
+                }))
+                .nodes(2..=6)
+                .t_cap(3)
+                .bit_budget(16)
+                .predicate(|alpha| alpha.group_sizes().iter().filter(|&&s| s == 1).count() >= 2);
+            let rows = eng.sweep(&spec);
+            let all_match = rows.iter().all(|r| r.matches == Some(true));
+            let section = rep.section("framework sweep (unconstrained roles)");
+            section.sweep("leader-and-deputy", rows);
+            section.note("framework-derived: solvable ⟺ at least two singleton sources.");
+            section.note(format!("all profiles match: {all_match}"));
 
-    // Framework sweep with the unconstrained (symmetric) output complex.
-    let mut table = Table::new(vec![
-        "sizes",
-        "≥2 singletons",
-        "p(1)",
-        "p(2)",
-        "p(3)",
-        "limit",
-        "matches",
-    ]);
-    let mut all_match = true;
-    for n in 2..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
-            let sizes = alpha.group_sizes();
-            let task = LeaderAndDeputy::unconstrained(n);
-            let t_max = 3.min(16 / alpha.k().max(1)).max(1);
-            let series = probability::exact_series(&Model::Blackboard, &task, &alpha, t_max);
-            let limit = eventual::lemma_3_2_limit(&series);
-            let observed = limit == eventual::LimitClass::One;
-            let predicted = sizes.iter().filter(|&&s| s == 1).count() >= 2;
-            let matches = observed == predicted;
-            all_match &= matches;
-            let p_at = |t: usize| {
-                series
-                    .get(t - 1)
-                    .map(|p| fmt_p(*p))
-                    .unwrap_or_else(|| "-".into())
-            };
-            table.row(vec![
-                fmt_sizes(&sizes),
-                predicted.to_string(),
-                p_at(1),
-                p_at(2),
-                p_at(3),
-                format!("{limit:?}"),
-                matches.to_string(),
-            ]);
-        }
-    }
-    println!("framework sweep (unconstrained roles):");
-    println!("{table}");
-    println!("framework-derived: solvable ⟺ at least two singleton sources.");
-    println!("all profiles match: {all_match}\n");
-
-    // The protocol realizes the positive side.
-    const TRIALS: u64 = 100;
-    let mut proto = Table::new(vec!["sizes", "elected (L,D)", "mean rounds"]);
-    for sizes in [vec![1usize, 1, 2], vec![1, 1, 1], vec![1, 1, 4]] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let mut ok = 0u64;
-        let mut rounds = Vec::new();
-        for seed in 0..TRIALS {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let out = runner::run(
-                &Model::Blackboard,
-                &alpha,
-                512,
-                LeaderAndDeputyBlackboard::new,
-                &mut rng,
-            );
-            if out.completed {
-                let l = out
-                    .outputs
-                    .iter()
-                    .filter(|o| **o == Some(DeputyRole::Leader))
-                    .count();
-                let d = out
-                    .outputs
-                    .iter()
-                    .filter(|o| **o == Some(DeputyRole::Deputy))
-                    .count();
-                if (l, d) == (1, 1) {
-                    ok += 1;
-                    rounds.push(out.rounds);
+            // The protocol realizes the positive side.
+            const TRIALS: u64 = 100;
+            let mut proto = Table::new(vec!["sizes", "elected (L,D)", "mean rounds"]);
+            for sizes in [vec![1usize, 1, 2], vec![1, 1, 1], vec![1, 1, 4]] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let mut ok = 0u64;
+                let mut rounds = Vec::new();
+                for seed in 0..TRIALS {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let out = runner::run(
+                        &Model::Blackboard,
+                        &alpha,
+                        512,
+                        LeaderAndDeputyBlackboard::new,
+                        &mut rng,
+                    );
+                    if out.completed {
+                        let l = out
+                            .outputs
+                            .iter()
+                            .filter(|o| **o == Some(DeputyRole::Leader))
+                            .count();
+                        let d = out
+                            .outputs
+                            .iter()
+                            .filter(|o| **o == Some(DeputyRole::Deputy))
+                            .count();
+                        if (l, d) == (1, 1) {
+                            ok += 1;
+                            rounds.push(out.rounds);
+                        }
+                    }
                 }
+                let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+                proto.row(vec![
+                    fmt_sizes(&sizes),
+                    format!("{ok}/{TRIALS}"),
+                    format!("{mean:.1}"),
+                ]);
             }
-        }
-        let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
-        proto.row(vec![
-            fmt_sizes(&sizes),
-            format!("{ok}/{TRIALS}"),
-            format!("{mean:.1}"),
-        ]);
-    }
-    println!("protocol (LeaderAndDeputyBlackboard):");
-    println!("{proto}");
+            rep.section("protocol (LeaderAndDeputyBlackboard)")
+                .table(proto);
 
-    // Constrained roles break symmetry — flagged, not silently accepted.
-    let constrained =
-        rsbt_tasks::LeaderAndDeputy::new(vec![true, false, false], vec![false, true, true]);
-    println!(
-        "constrained roles (p0 leads, p1/p2 deputize): output symmetric = {} — \
-         outside the paper's symmetric framework, as Section 5 notes.",
-        constrained.is_symmetric_for(3)
-    );
+            // Constrained roles break symmetry — flagged, not silently
+            // accepted.
+            let constrained =
+                LeaderAndDeputy::new(vec![true, false, false], vec![false, true, true]);
+            rep.section("constrained roles").note(format!(
+                "constrained roles (p0 leads, p1/p2 deputize): output symmetric = {} — \
+                 outside the paper's symmetric framework, as Section 5 notes.",
+                constrained.is_symmetric_for(3)
+            ));
+        },
+    )
 }

@@ -5,9 +5,11 @@
 //! (random and adversarial ports) and confirms the stall on gcd > 1 with
 //! adversarial ports.
 
+use std::process::ExitCode;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsbt_bench::{banner, fmt_sizes, Table};
+use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_protocols::{leader_count, EuclidLeaderElection};
 use rsbt_random::Assignment;
 use rsbt_sim::runner::run;
@@ -33,71 +35,75 @@ fn trial(sizes: &[usize], adversarial: bool, seed: u64, cap: usize) -> (bool, us
     (out.completed, leader_count(&out.outputs), out.rounds)
 }
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "euclid",
         "Euclid-style leader election (Theorem 4.2, 'if' direction)",
         "Fraigniaud-Gelles-Lotker 2021, Theorem 4.2 proof (Section 4.2)",
-    );
-    const TRIALS: u64 = 100;
-    let mut table = Table::new(vec![
-        "sizes",
-        "gcd",
-        "ports",
-        "elected",
-        "leaders=1",
-        "mean rounds",
-    ]);
-    for sizes in [
-        vec![1usize, 1],
-        vec![1, 2],
-        vec![2, 3],
-        vec![3, 4],
-        vec![2, 2, 3],
-        vec![2, 3, 4],
-        vec![1, 1, 1, 1],
-    ] {
-        for adversarial in [false, true] {
-            let mut ok = 0u64;
-            let mut single = true;
-            let mut rounds = Vec::new();
-            for seed in 0..TRIALS {
-                let (done, leaders, r) = trial(&sizes, adversarial, seed, 8000);
-                if done {
-                    ok += 1;
-                    single &= leaders == 1;
-                    rounds.push(r);
+        |_eng, rep| {
+            const TRIALS: u64 = 100;
+            let mut table = Table::new(vec![
+                "sizes",
+                "gcd",
+                "ports",
+                "elected",
+                "leaders=1",
+                "mean rounds",
+            ]);
+            for sizes in [
+                vec![1usize, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![2, 2, 3],
+                vec![2, 3, 4],
+                vec![1, 1, 1, 1],
+            ] {
+                for adversarial in [false, true] {
+                    let mut ok = 0u64;
+                    let mut single = true;
+                    let mut rounds = Vec::new();
+                    for seed in 0..TRIALS {
+                        let (done, leaders, r) = trial(&sizes, adversarial, seed, 8000);
+                        if done {
+                            ok += 1;
+                            single &= leaders == 1;
+                            rounds.push(r);
+                        }
+                    }
+                    let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                    let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+                    table.row(vec![
+                        fmt_sizes(&sizes),
+                        alpha.gcd_of_group_sizes().to_string(),
+                        if adversarial { "adversarial" } else { "random" }.to_string(),
+                        format!("{ok}/{TRIALS}"),
+                        single.to_string(),
+                        format!("{mean:.1}"),
+                    ]);
                 }
             }
-            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-            let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
-            table.row(vec![
-                fmt_sizes(&sizes),
-                alpha.gcd_of_group_sizes().to_string(),
-                if adversarial { "adversarial" } else { "random" }.to_string(),
-                format!("{ok}/{TRIALS}"),
-                single.to_string(),
-                format!("{mean:.1}"),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("paper: gcd = 1 elects exactly one leader for EVERY numbering.\n");
+            let section = rep.section("election success and round counts");
+            section.table(table);
+            section.note("paper: gcd = 1 elects exactly one leader for EVERY numbering.");
 
-    // The stall side: gcd > 1, adversarial ports.
-    let mut stall = Table::new(vec!["sizes", "gcd", "elected within cap"]);
-    for sizes in [vec![2usize, 2], vec![3, 3], vec![2, 4]] {
-        let mut ok = 0u64;
-        for seed in 0..20 {
-            let (done, _, _) = trial(&sizes, true, seed, 1000);
-            ok += u64::from(done);
-        }
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        stall.row(vec![
-            fmt_sizes(&sizes),
-            alpha.gcd_of_group_sizes().to_string(),
-            format!("{ok}/20"),
-        ]);
-    }
-    println!("gcd > 1 with adversarial ports (expected 0 everywhere):");
-    println!("{stall}");
+            // The stall side: gcd > 1, adversarial ports.
+            let mut stall = Table::new(vec!["sizes", "gcd", "elected within cap"]);
+            for sizes in [vec![2usize, 2], vec![3, 3], vec![2, 4]] {
+                let mut ok = 0u64;
+                for seed in 0..20 {
+                    let (done, _, _) = trial(&sizes, true, seed, 1000);
+                    ok += u64::from(done);
+                }
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                stall.row(vec![
+                    fmt_sizes(&sizes),
+                    alpha.gcd_of_group_sizes().to_string(),
+                    format!("{ok}/20"),
+                ]);
+            }
+            rep.section("gcd > 1 with adversarial ports (expected 0 everywhere)")
+                .table(stall);
+        },
+    )
 }

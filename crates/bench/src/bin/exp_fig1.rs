@@ -5,41 +5,45 @@
 //! combinations of the two parties' first bits) and `P(2)` as 16 edges;
 //! every edge of `P(t)` "evolves into 4 possible facets of `P(t+1)`".
 
-use rsbt_bench::{banner, Table};
-use rsbt_core::protocol_complex;
-use rsbt_sim::{KnowledgeArena, Model};
+use std::process::ExitCode;
 
-fn main() {
-    banner(
+use rsbt_bench::{run_experiment, Table};
+use rsbt_core::protocol_complex;
+use rsbt_sim::Model;
+
+fn main() -> ExitCode {
+    run_experiment(
+        "fig1",
         "Figure 1: 2-party protocol complex evolution",
         "Fraigniaud-Gelles-Lotker 2021, Figure 1 (Section 3.1)",
-    );
-    let mut arena = KnowledgeArena::new();
-    let mut table = Table::new(vec!["t", "vertices", "facets(edges)", "dimension", "pure"]);
-    for t in 0..=2usize {
-        let p = protocol_complex::build(&Model::Blackboard, 2, t, &mut arena);
-        table.row(vec![
-            t.to_string(),
-            p.vertex_count().to_string(),
-            p.facet_count().to_string(),
-            format!("{:?}", p.dimension().unwrap()),
-            p.is_pure().to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!("paper:   P(0)=1 edge, P(1)=4 edges, P(2)=16 edges;");
-    println!("         each edge of P(t) evolves into 4 edges of P(t+1).");
+        |eng, rep| {
+            let arena = eng.arena();
+            let mut table = Table::new(vec!["t", "vertices", "facets(edges)", "dimension", "pure"]);
+            for t in 0..=2usize {
+                let p = protocol_complex::build(&Model::Blackboard, 2, t, arena);
+                table.row(vec![
+                    t.to_string(),
+                    p.vertex_count().to_string(),
+                    p.facet_count().to_string(),
+                    format!("{:?}", p.dimension().unwrap()),
+                    p.is_pure().to_string(),
+                ]);
+            }
+            let p1 = protocol_complex::build(&Model::Blackboard, 2, 1, arena);
+            let p2 = protocol_complex::build(&Model::Blackboard, 2, 2, arena);
+            let section = rep.section("complex growth");
+            section.table(table);
+            section.note("paper:   P(0)=1 edge, P(1)=4 edges, P(2)=16 edges;");
+            section.note("         each edge of P(t) evolves into 4 edges of P(t+1).");
+            section.note(format!(
+                "measured: ratio |P(2)|/|P(1)| = {} (expected 4)",
+                p2.facet_count() / p1.facet_count()
+            ));
 
-    // The 4-fold evolution claim, checked mechanically:
-    let p1 = protocol_complex::build(&Model::Blackboard, 2, 1, &mut arena);
-    let p2 = protocol_complex::build(&Model::Blackboard, 2, 2, &mut arena);
-    println!(
-        "measured: ratio |P(2)|/|P(1)| = {} (expected 4)",
-        p2.facet_count() / p1.facet_count()
-    );
-
-    println!("\nP(1) facets (knowledge ids relative to a shared arena):");
-    for f in p1.facets() {
-        println!("  dim {}: {:?}", f.dimension(), f);
-    }
+            let facets = rep.section("P(1) facets (knowledge ids relative to a shared arena)");
+            for f in p1.facets() {
+                facets.note(format!("  dim {}: {:?}", f.dimension(), f));
+            }
+        },
+    )
 }

@@ -4,32 +4,40 @@
 //! The paper draws `R(0)` as a single triangle `(⊥, ⊥, ⊥)` and `R(1)` as
 //! the 8 triangles `(w, b, r) ∈ {0,1}^3` on 6 vertices.
 
-use rsbt_bench::{banner, Table};
+use std::process::ExitCode;
+
+use rsbt_bench::{run_experiment, Table};
 use rsbt_core::realization_complex;
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "fig2",
         "Figure 2: realization complexes R(0), R(1), n = 3",
         "Fraigniaud-Gelles-Lotker 2021, Figure 2 (Section 3.3)",
-    );
-    let mut table = Table::new(vec!["t", "vertices", "facets", "dimension", "pure"]);
-    for t in 0..=1usize {
-        let r = realization_complex::full(3, t);
-        table.row(vec![
-            t.to_string(),
-            r.vertex_count().to_string(),
-            r.facet_count().to_string(),
-            format!("{}", r.dimension().unwrap()),
-            r.is_pure().to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!("paper:   R(0) = 1 triangle on 3 vertices; R(1) = 8 triangles on 6 vertices.");
+        |_eng, rep| {
+            let mut table = Table::new(vec!["t", "vertices", "facets", "dimension", "pure"]);
+            for t in 0..=1usize {
+                let r = realization_complex::full(3, t);
+                table.row(vec![
+                    t.to_string(),
+                    r.vertex_count().to_string(),
+                    r.facet_count().to_string(),
+                    format!("{}", r.dimension().unwrap()),
+                    r.is_pure().to_string(),
+                ]);
+            }
+            let section = rep.section("complex sizes");
+            section.table(table);
+            section.note(
+                "paper:   R(0) = 1 triangle on 3 vertices; R(1) = 8 triangles on 6 vertices.",
+            );
 
-    let r1 = realization_complex::full(3, 1);
-    println!("\nR(1) facets (w = p0's bit, b = p1's, r = p2's):");
-    for f in r1.facets() {
-        let bits: Vec<String> = f.vertices().map(|v| v.value().to_string()).collect();
-        println!("  ({})", bits.join(", "));
-    }
+            let r1 = realization_complex::full(3, 1);
+            let facets = rep.section("R(1) facets (w = p0's bit, b = p1's, r = p2's)");
+            for f in r1.facets() {
+                let bits: Vec<String> = f.vertices().map(|v| v.value().to_string()).collect();
+                facets.note(format!("  ({})", bits.join(", ")));
+            }
+        },
+    )
 }

@@ -5,50 +5,60 @@
 //! `π(O_LE)` as three isolated leader vertices plus three defeated edges;
 //! `π(τ_1)` is the edge `{(2,0),(3,0)}` plus the isolated vertex `(1,1)`.
 
-use rsbt_bench::banner;
+use std::process::ExitCode;
+
+use rsbt_bench::run_experiment;
 use rsbt_complex::{connectivity, homology};
 use rsbt_tasks::{projection, LeaderElection, Task};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "fig3",
         "Figure 3: O_LE and π(O_LE), n = 3",
         "Fraigniaud-Gelles-Lotker 2021, Figure 3 (Section 3.3)",
-    );
-    let ole = LeaderElection.output_complex(3);
-    println!(
-        "O_LE: {} facets, dimension {:?}, symmetric = {}",
-        ole.facet_count(),
-        ole.dimension(),
-        ole.is_symmetric()
-    );
-    for f in ole.facets() {
-        println!("  τ: {f}");
-    }
-    println!("Betti numbers of O_LE: {:?}", homology::betti_numbers(&ole));
+        |_eng, rep| {
+            let ole = LeaderElection.output_complex(3);
+            let section = rep.section("O_LE");
+            section.note(format!(
+                "O_LE: {} facets, dimension {:?}, symmetric = {}",
+                ole.facet_count(),
+                ole.dimension(),
+                ole.is_symmetric()
+            ));
+            for f in ole.facets() {
+                section.note(format!("  τ: {f}"));
+            }
+            section.note(format!(
+                "Betti numbers of O_LE: {:?}",
+                homology::betti_numbers(&ole)
+            ));
 
-    let pi = projection::project_complex(&ole);
-    println!(
-        "\nπ(O_LE): {} facets, dimension {:?}",
-        pi.facet_count(),
-        pi.dimension()
-    );
-    for f in pi.facets() {
-        println!("  {f}");
-    }
-    println!(
-        "isolated leader vertices: {} (paper: 3)",
-        pi.isolated_vertices().len()
-    );
-    println!(
-        "connected components of π(O_LE): {} ",
-        connectivity::components(&pi).len()
-    );
+            let pi = projection::project_complex(&ole);
+            let proj = rep.section("π(O_LE)");
+            proj.note(format!(
+                "π(O_LE): {} facets, dimension {:?}",
+                pi.facet_count(),
+                pi.dimension()
+            ));
+            for f in pi.facets() {
+                proj.note(format!("  {f}"));
+            }
+            proj.note(format!(
+                "isolated leader vertices: {} (paper: 3)",
+                pi.isolated_vertices().len()
+            ));
+            proj.note(format!(
+                "connected components of π(O_LE): {}",
+                connectivity::components(&pi).len()
+            ));
 
-    println!("\nπ(τ_0) (the paper's π(τ_1), 0-indexed here):");
-    let tau0 = LeaderElection::tau(3, 0);
-    let pt = projection::project_facet(&tau0);
-    for f in pt.facets() {
-        println!("  {f}");
-    }
-    println!("paper: an isolated node (leader) and an edge (the defeated pair).");
+            let tau0 = LeaderElection::tau(3, 0);
+            let pt = projection::project_facet(&tau0);
+            let facet = rep.section("π(τ_0) (the paper's π(τ_1), 0-indexed here)");
+            for f in pt.facets() {
+                facet.note(format!("  {f}"));
+            }
+            facet.note("paper: an isolated node (leader) and an edge (the defeated pair).");
+        },
+    )
 }

@@ -9,91 +9,96 @@
 //!    Definition 3.4 on `π̃(ρ)`, and the fast combinatorial criterion —
 //!    agree on every facet (Lemma 3.5).
 
-use rsbt_bench::{banner, Table};
+use std::process::ExitCode;
+
+use rsbt_bench::{run_experiment, Table};
 use rsbt_core::{iso_h, solvability};
 use rsbt_random::Realization;
-use rsbt_sim::{KnowledgeArena, Model, PortNumbering};
+use rsbt_sim::{Model, PortNumbering};
 use rsbt_tasks::{KLeaderElection, LeaderElection};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "fig4_lemma35",
         "Figure 4 / Lemma 3.5: h-isomorphism and solvability equivalence",
         "Fraigniaud-Gelles-Lotker 2021, Figure 4, Lemma 3.5 (Section 3)",
-    );
-
-    let mut t1 = Table::new(vec!["model", "n", "t", "facets checked", "h bijective"]);
-    let cases: Vec<(Model, usize, usize)> = vec![
-        (Model::Blackboard, 2, 2),
-        (Model::Blackboard, 2, 3),
-        (Model::Blackboard, 3, 1),
-        (Model::Blackboard, 3, 2),
-        (Model::message_passing_cyclic(3), 3, 2),
-        (
-            Model::MessagePassing(PortNumbering::adversarial(4, 2)),
-            4,
-            1,
-        ),
-    ];
-    for (model, n, t) in &cases {
-        let checked = iso_h::verify_facet_isomorphism(model, *n, *t);
-        t1.row(vec![
-            model.to_string(),
-            n.to_string(),
-            t.to_string(),
-            checked.to_string(),
-            "yes".to_string(),
-        ]);
-    }
-    println!("{t1}");
-
-    let mut t2 = Table::new(vec![
-        "model",
-        "task",
-        "n",
-        "t",
-        "realizations",
-        "def3.1=def3.4=fast",
-    ]);
-    let le = LeaderElection;
-    let two = KLeaderElection::new(2);
-    for (model, n, t) in &cases {
-        let mut arena = KnowledgeArena::new();
-        let mut agree = true;
-        let mut count = 0usize;
-        for rho in Realization::enumerate_all(*n, *t) {
-            let fast = solvability::solves(model, &rho, &le, &mut arena);
-            let proj = solvability::solves_via_projection(model, &rho, &le, &mut arena);
-            let d31 = solvability::solves_via_definition_3_1(model, &rho, &le, &mut arena);
-            agree &= fast == proj && fast == d31;
-            count += 1;
-        }
-        t2.row(vec![
-            model.to_string(),
-            "LE".into(),
-            n.to_string(),
-            t.to_string(),
-            count.to_string(),
-            agree.to_string(),
-        ]);
-        if *n >= 2 {
-            let mut agree2 = true;
-            let mut count2 = 0usize;
-            for rho in Realization::enumerate_all(*n, *t) {
-                let fast = solvability::solves(model, &rho, &two, &mut arena);
-                let proj = solvability::solves_via_projection(model, &rho, &two, &mut arena);
-                agree2 &= fast == proj;
-                count2 += 1;
+        |eng, rep| {
+            let cases: Vec<(Model, usize, usize)> = vec![
+                (Model::Blackboard, 2, 2),
+                (Model::Blackboard, 2, 3),
+                (Model::Blackboard, 3, 1),
+                (Model::Blackboard, 3, 2),
+                (Model::message_passing_cyclic(3), 3, 2),
+                (
+                    Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+                    4,
+                    1,
+                ),
+            ];
+            let mut t1 = Table::new(vec!["model", "n", "t", "facets checked", "h bijective"]);
+            for (model, n, t) in &cases {
+                let checked = iso_h::verify_facet_isomorphism(model, *n, *t);
+                t1.row(vec![
+                    model.to_string(),
+                    n.to_string(),
+                    t.to_string(),
+                    checked.to_string(),
+                    "yes".to_string(),
+                ]);
             }
-            t2.row(vec![
-                model.to_string(),
-                "2-LE".into(),
-                n.to_string(),
-                t.to_string(),
-                count2.to_string(),
-                agree2.to_string(),
+            rep.section("h : P(t) → R(t) facet isomorphism").table(t1);
+
+            let mut t2 = Table::new(vec![
+                "model",
+                "task",
+                "n",
+                "t",
+                "realizations",
+                "def3.1=def3.4=fast",
             ]);
-        }
-    }
-    println!("{t2}");
-    println!("paper: Lemma 3.5 states the equivalence; every row must read `true`.");
+            let le = LeaderElection;
+            let two = KLeaderElection::new(2);
+            let arena = eng.arena();
+            for (model, n, t) in &cases {
+                let mut agree = true;
+                let mut count = 0usize;
+                for rho in Realization::enumerate_all(*n, *t) {
+                    let fast = solvability::solves(model, &rho, &le, arena);
+                    let proj = solvability::solves_via_projection(model, &rho, &le, arena);
+                    let d31 = solvability::solves_via_definition_3_1(model, &rho, &le, arena);
+                    agree &= fast == proj && fast == d31;
+                    count += 1;
+                }
+                t2.row(vec![
+                    model.to_string(),
+                    "LE".into(),
+                    n.to_string(),
+                    t.to_string(),
+                    count.to_string(),
+                    agree.to_string(),
+                ]);
+                if *n >= 2 {
+                    let mut agree2 = true;
+                    let mut count2 = 0usize;
+                    for rho in Realization::enumerate_all(*n, *t) {
+                        let fast = solvability::solves(model, &rho, &two, arena);
+                        let proj = solvability::solves_via_projection(model, &rho, &two, arena);
+                        agree2 &= fast == proj;
+                        count2 += 1;
+                    }
+                    t2.row(vec![
+                        model.to_string(),
+                        "2-LE".into(),
+                        n.to_string(),
+                        t.to_string(),
+                        count2.to_string(),
+                        agree2.to_string(),
+                    ]);
+                }
+            }
+            let section = rep.section("Lemma 3.5 solvability equivalence");
+            section.table(t2);
+            section.note("paper: Lemma 3.5 states the equivalence; every row must read `true`.");
+        },
+    )
 }

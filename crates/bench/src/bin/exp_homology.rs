@@ -8,11 +8,13 @@
 //! mechanical content of the paper's "a single facet has a trivial
 //! topological structure / the union loses the information" discussion.
 
-use rsbt_bench::{banner, Table};
+use std::process::ExitCode;
+
+use rsbt_bench::{run_experiment, Table};
 use rsbt_complex::homology;
 use rsbt_core::{consistency, realization_complex};
 use rsbt_random::Assignment;
-use rsbt_sim::{KnowledgeArena, Model};
+use rsbt_sim::Model;
 use rsbt_tasks::{projection, LeaderElection, Task, WeakSymmetryBreaking};
 
 fn betti_str(b: &[usize]) -> String {
@@ -20,90 +22,94 @@ fn betti_str(b: &[usize]) -> String {
     format!("[{}]", cells.join(","))
 }
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "homology",
         "Betti numbers of the paper's complexes",
         "structural backdrop of Fraigniaud-Gelles-Lotker 2021, Section 3",
-    );
-    let mut table = Table::new(vec!["complex", "n", "t", "facets", "betti (mod 2)"]);
+        |eng, rep| {
+            let mut table = Table::new(vec!["complex", "n", "t", "facets", "betti (mod 2)"]);
 
-    for n in 2..=4usize {
-        let r1 = realization_complex::full(n, 1);
-        table.row(vec![
-            "R(t)".into(),
-            n.to_string(),
-            "1".into(),
-            r1.facet_count().to_string(),
-            betti_str(&homology::betti_numbers(&r1)),
-        ]);
-    }
-    let r22 = realization_complex::full(2, 2);
-    table.row(vec![
-        "R(t)".into(),
-        "2".into(),
-        "2".into(),
-        r22.facet_count().to_string(),
-        betti_str(&homology::betti_numbers(&r22)),
-    ]);
-
-    for n in 2..=4usize {
-        let ole = LeaderElection.output_complex(n);
-        table.row(vec![
-            "O_LE".into(),
-            n.to_string(),
-            "-".into(),
-            ole.facet_count().to_string(),
-            betti_str(&homology::betti_numbers(&ole)),
-        ]);
-        let pi = projection::project_complex(&ole);
-        table.row(vec![
-            "π(O_LE)".into(),
-            n.to_string(),
-            "-".into(),
-            pi.facet_count().to_string(),
-            betti_str(&homology::betti_numbers(&pi)),
-        ]);
-    }
-
-    for n in 2..=4usize {
-        let wsb = WeakSymmetryBreaking.output_complex(n);
-        table.row(vec![
-            "O_WSB".into(),
-            n.to_string(),
-            "-".into(),
-            wsb.facet_count().to_string(),
-            betti_str(&homology::betti_numbers(&wsb)),
-        ]);
-    }
-
-    let mut arena = KnowledgeArena::new();
-    for (label, alpha) in [
-        ("π̃(R(t)) shared", Assignment::shared(3)),
-        ("π̃(R(t)) private", Assignment::private(3)),
-        (
-            "π̃(R(t)) [1,2]",
-            Assignment::from_group_sizes(&[1, 2]).unwrap(),
-        ),
-    ] {
-        for t in 1..=2usize {
-            let u = consistency::pi_tilde_of_support(&Model::Blackboard, &alpha, t, &mut arena);
+            for n in 2..=4usize {
+                let r1 = realization_complex::full(n, 1);
+                table.row(vec![
+                    "R(t)".into(),
+                    n.to_string(),
+                    "1".into(),
+                    r1.facet_count().to_string(),
+                    betti_str(&homology::betti_numbers(&r1)),
+                ]);
+            }
+            let r22 = realization_complex::full(2, 2);
             table.row(vec![
-                label.into(),
-                "3".into(),
-                t.to_string(),
-                u.facet_count().to_string(),
-                betti_str(&homology::betti_numbers(&u)),
+                "R(t)".into(),
+                "2".into(),
+                "2".into(),
+                r22.facet_count().to_string(),
+                betti_str(&homology::betti_numbers(&r22)),
             ]);
-        }
-    }
 
-    println!("{table}");
-    println!("readings:");
-    println!(" * R(1) is the octahedral (n−1)-sphere: betti [1,0,…,1];");
-    println!(" * π(O_LE) = n isolated leaders + the boundary complex of the");
-    println!("   defeated simplex: betti [n+1, 0, …, 1] for n ≥ 3;");
-    println!(" * the union π̃(R(t)) is PURE and has no isolated vertices even");
-    println!("   when individual π̃(ρ) do — the union destroys exactly the");
-    println!("   structure solvability needs, which is why Definition 3.4 works");
-    println!("   facet by facet.");
+            for n in 2..=4usize {
+                let ole = LeaderElection.output_complex(n);
+                table.row(vec![
+                    "O_LE".into(),
+                    n.to_string(),
+                    "-".into(),
+                    ole.facet_count().to_string(),
+                    betti_str(&homology::betti_numbers(&ole)),
+                ]);
+                let pi = projection::project_complex(&ole);
+                table.row(vec![
+                    "π(O_LE)".into(),
+                    n.to_string(),
+                    "-".into(),
+                    pi.facet_count().to_string(),
+                    betti_str(&homology::betti_numbers(&pi)),
+                ]);
+            }
+
+            for n in 2..=4usize {
+                let wsb = WeakSymmetryBreaking.output_complex(n);
+                table.row(vec![
+                    "O_WSB".into(),
+                    n.to_string(),
+                    "-".into(),
+                    wsb.facet_count().to_string(),
+                    betti_str(&homology::betti_numbers(&wsb)),
+                ]);
+            }
+
+            let arena = eng.arena();
+            for (label, alpha) in [
+                ("π̃(R(t)) shared", Assignment::shared(3)),
+                ("π̃(R(t)) private", Assignment::private(3)),
+                (
+                    "π̃(R(t)) [1,2]",
+                    Assignment::from_group_sizes(&[1, 2]).unwrap(),
+                ),
+            ] {
+                for t in 1..=2usize {
+                    let u = consistency::pi_tilde_of_support(&Model::Blackboard, &alpha, t, arena);
+                    table.row(vec![
+                        label.into(),
+                        "3".into(),
+                        t.to_string(),
+                        u.facet_count().to_string(),
+                        betti_str(&homology::betti_numbers(&u)),
+                    ]);
+                }
+            }
+
+            let section = rep.section("Betti numbers");
+            section.table(table);
+            section.note("readings:");
+            section.note(" * R(1) is the octahedral (n−1)-sphere: betti [1,0,…,1];");
+            section.note(" * π(O_LE) = n isolated leaders + the boundary complex of the");
+            section.note("   defeated simplex: betti [n+1, 0, …, 1] for n ≥ 3;");
+            section.note(" * the union π̃(R(t)) is PURE and has no isolated vertices even");
+            section.note("   when individual π̃(ρ) do — the union destroys exactly the");
+            section.note("   structure solvability needs, which is why Definition 3.4 works");
+            section.note("   facet by facet.");
+        },
+    )
 }

@@ -5,69 +5,74 @@
 //! Also shows the converse side: non-adversarial numberings violate the
 //! divisibility, which is exactly why Theorem 4.2 needs the worst case.
 
-use rsbt_bench::{banner, fmt_sizes, Table};
+use std::process::ExitCode;
+
+use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_core::consistency;
 use rsbt_random::{Assignment, Realization};
-use rsbt_sim::{KnowledgeArena, Model, PortNumbering};
+use rsbt_sim::{Model, PortNumbering};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "lem43",
         "Lemma 4.3: g divides every consistency-class size (adversarial ports)",
         "Fraigniaud-Gelles-Lotker 2021, Lemma 4.3 (Section 4.2)",
-    );
-    let mut table = Table::new(vec!["sizes", "g", "t", "classes checked", "violations"]);
-    for (sizes, g) in [
-        (vec![2usize, 2], 2usize),
-        (vec![2, 4], 2),
-        (vec![3, 3], 3),
-        (vec![4, 4], 4),
-        (vec![2, 2, 2], 2),
-        (vec![6], 6),
-    ] {
-        let n: usize = sizes.iter().sum();
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let model = Model::MessagePassing(PortNumbering::adversarial(n, g));
-        let mut arena = KnowledgeArena::new();
-        for t in 1..=3.min(14 / sizes.len()) {
-            let mut checked = 0usize;
-            let mut violations = 0usize;
-            for rho in Realization::enumerate_consistent(&alpha, t) {
-                for size in consistency::class_sizes(&model, &rho, &mut arena) {
-                    checked += 1;
-                    if size % g != 0 {
-                        violations += 1;
+        |eng, rep| {
+            let arena = eng.arena();
+            let mut table = Table::new(vec!["sizes", "g", "t", "classes checked", "violations"]);
+            for (sizes, g) in [
+                (vec![2usize, 2], 2usize),
+                (vec![2, 4], 2),
+                (vec![3, 3], 3),
+                (vec![4, 4], 4),
+                (vec![2, 2, 2], 2),
+                (vec![6], 6),
+            ] {
+                let n: usize = sizes.iter().sum();
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let model = Model::MessagePassing(PortNumbering::adversarial(n, g));
+                for t in 1..=3.min(14 / sizes.len()) {
+                    let mut checked = 0usize;
+                    let mut violations = 0usize;
+                    for rho in Realization::enumerate_consistent(&alpha, t) {
+                        for size in consistency::class_sizes(&model, &rho, arena) {
+                            checked += 1;
+                            if size % g != 0 {
+                                violations += 1;
+                            }
+                        }
                     }
+                    table.row(vec![
+                        fmt_sizes(&sizes),
+                        g.to_string(),
+                        t.to_string(),
+                        checked.to_string(),
+                        violations.to_string(),
+                    ]);
                 }
             }
-            table.row(vec![
-                fmt_sizes(&sizes),
-                g.to_string(),
-                t.to_string(),
-                checked.to_string(),
-                violations.to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("paper: zero violations in every row.\n");
+            let section = rep.section("divisibility check");
+            section.table(table);
+            section.note("paper: zero violations in every row.");
 
-    // Converse: the cyclic numbering breaks divisibility.
-    let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
-    let model = Model::message_passing_cyclic(4);
-    let mut arena = KnowledgeArena::new();
-    let mut broken = 0usize;
-    let mut total = 0usize;
-    for rho in Realization::enumerate_consistent(&alpha, 3) {
-        total += 1;
-        if consistency::class_sizes(&model, &rho, &mut arena)
-            .iter()
-            .any(|s| s % 2 != 0)
-        {
-            broken += 1;
-        }
-    }
-    println!(
-        "cyclic ports, sizes [2,2], t = 3: {broken}/{total} realizations have an \
-         odd class — the invariant is specific to the adversarial numbering."
-    );
+            // Converse: the cyclic numbering breaks divisibility.
+            let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+            let model = Model::message_passing_cyclic(4);
+            let mut broken = 0usize;
+            let mut total = 0usize;
+            for rho in Realization::enumerate_consistent(&alpha, 3) {
+                total += 1;
+                if consistency::class_sizes(&model, &rho, arena)
+                    .iter()
+                    .any(|s| s % 2 != 0)
+                {
+                    broken += 1;
+                }
+            }
+            rep.section("converse (cyclic ports)").note(format!(
+                "cyclic ports, sizes [2,2], t = 3: {broken}/{total} realizations have an \
+                 odd class — the invariant is specific to the adversarial numbering."
+            ));
+        },
+    )
 }

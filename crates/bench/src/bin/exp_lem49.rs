@@ -7,66 +7,74 @@
 //! evolve round by round — the subtractive-Euclid shape driving the
 //! leader-election algorithm.
 
-use rsbt_bench::{banner, fmt_sizes, Table};
+use std::process::ExitCode;
+
+use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_core::evolution;
 use rsbt_random::{Assignment, Realization};
-use rsbt_sim::{KnowledgeArena, Model, PortNumbering};
+use rsbt_sim::{Model, PortNumbering};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "lem49",
         "Lemma 4.9: backward projection maps are simplicial",
         "Fraigniaud-Gelles-Lotker 2021, Lemma 4.9 (Section 4.2)",
-    );
-    let mut table = Table::new(vec!["model", "n", "t", "(ρ ≺ ρ′) pairs", "all simplicial"]);
-    let mut arena = KnowledgeArena::new();
-    for (model, n, t) in [
-        (Model::Blackboard, 2usize, 2usize),
-        (Model::Blackboard, 3, 1),
-        (Model::message_passing_cyclic(3), 3, 1),
-        (
-            Model::MessagePassing(PortNumbering::adversarial(4, 2)),
-            4,
-            1,
-        ),
-    ] {
-        let checked = evolution::verify_lemma_4_9(&model, n, t, &mut arena);
-        table.row(vec![
-            model.to_string(),
-            n.to_string(),
-            t.to_string(),
-            checked.to_string(),
-            "yes".to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!("paper: the map exists and is simplicial for every succession.\n");
+        |eng, rep| {
+            let arena = eng.arena();
+            let mut table = Table::new(vec!["model", "n", "t", "(ρ ≺ ρ′) pairs", "all simplicial"]);
+            for (model, n, t) in [
+                (Model::Blackboard, 2usize, 2usize),
+                (Model::Blackboard, 3, 1),
+                (Model::message_passing_cyclic(3), 3, 1),
+                (
+                    Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+                    4,
+                    1,
+                ),
+            ] {
+                let checked = evolution::verify_lemma_4_9(&model, n, t, arena);
+                table.row(vec![
+                    model.to_string(),
+                    n.to_string(),
+                    t.to_string(),
+                    checked.to_string(),
+                    "yes".to_string(),
+                ]);
+            }
+            let section = rep.section("simpliciality of backward maps");
+            section.table(table);
+            section.note("paper: the map exists and is simplicial for every succession.");
 
-    // Profile evolution: distribution of class-size profiles over time for
-    // the [2,3] assignment (gcd 1) under adversarial ports.
-    println!("consistency-class profiles over time, sizes [2,3], adversarial ports (g=1):");
-    let alpha = Assignment::from_group_sizes(&[2, 3]).unwrap();
-    let model = Model::MessagePassing(PortNumbering::adversarial(5, 1));
-    for t in 1..=3usize {
-        let mut profile_counts: std::collections::BTreeMap<Vec<usize>, usize> =
-            std::collections::BTreeMap::new();
-        let mut total = 0usize;
-        for rho in Realization::enumerate_consistent(&alpha, t) {
-            let profile = evolution::dimension_profile(&model, &rho, &mut arena);
-            *profile_counts.entry(profile).or_default() += 1;
-            total += 1;
-        }
-        print!("  t={t}:");
-        for (profile, count) in &profile_counts {
-            print!(
-                "  {}×{}",
-                fmt_sizes(profile),
-                format_args!("{:.0}%", 100.0 * *count as f64 / total as f64)
+            // Profile evolution: distribution of class-size profiles over
+            // time for the [2,3] assignment (gcd 1) under adversarial ports.
+            let profiles = rep.section(
+                "consistency-class profiles over time, sizes [2,3], adversarial ports (g=1)",
             );
-        }
-        println!();
-    }
-    println!();
-    println!("reading: profiles refine over time; a profile containing 1 means an");
-    println!("isolated vertex in π̃(ρ) — a leader. With gcd = 1 the singleton");
-    println!("profiles absorb all the probability as t grows (Theorem 4.2).");
+            let alpha = Assignment::from_group_sizes(&[2, 3]).unwrap();
+            let model = Model::MessagePassing(PortNumbering::adversarial(5, 1));
+            for t in 1..=3usize {
+                let mut profile_counts: std::collections::BTreeMap<Vec<usize>, usize> =
+                    std::collections::BTreeMap::new();
+                let mut total = 0usize;
+                for rho in Realization::enumerate_consistent(&alpha, t) {
+                    let profile = evolution::dimension_profile(&model, &rho, arena);
+                    *profile_counts.entry(profile).or_default() += 1;
+                    total += 1;
+                }
+                let mut line = format!("  t={t}:");
+                for (profile, count) in &profile_counts {
+                    line.push_str(&format!(
+                        "  {}×{:.0}%",
+                        fmt_sizes(profile),
+                        100.0 * *count as f64 / total as f64
+                    ));
+                }
+                profiles.note(line);
+            }
+            profiles.note("");
+            profiles.note("reading: profiles refine over time; a profile containing 1 means an");
+            profiles.note("isolated vertex in π̃(ρ) — a leader. With gcd = 1 the singleton");
+            profiles.note("profiles absorb all the probability as t grows (Theorem 4.2).");
+        },
+    )
 }

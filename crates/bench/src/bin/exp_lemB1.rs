@@ -2,61 +2,68 @@
 //! every realization has probability either 0 (α-inconsistent) or exactly
 //! `2^{−t·k}` — all positive-probability global states are equiprobable.
 
-use rsbt_bench::{banner, fmt_sizes, Table};
+use std::process::ExitCode;
+
+use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_random::{Assignment, Realization};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "lemB1",
         "Lemma B.1: equiprobability of positive-probability realizations",
         "Fraigniaud-Gelles-Lotker 2021, Lemma B.1 (Appendix B)",
-    );
-    let mut table = Table::new(vec![
-        "sizes",
-        "t",
-        "realizations",
-        "positive",
-        "each =2^-tk",
-        "sum",
-    ]);
-    for sizes in [
-        vec![1usize],
-        vec![2],
-        vec![1, 1],
-        vec![2, 1],
-        vec![2, 2],
-        vec![1, 1, 1],
-    ] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let n = alpha.n();
-        for t in 1..=2usize {
-            if n * t > 12 {
-                continue;
-            }
-            let expected = 0.5f64.powi((t * alpha.k()) as i32);
-            let mut positive = 0usize;
-            let mut total = 0usize;
-            let mut sum = 0.0;
-            let mut all_expected = true;
-            for rho in Realization::enumerate_all(n, t) {
-                let p = rho.probability(&alpha);
-                total += 1;
-                sum += p;
-                if p > 0.0 {
-                    positive += 1;
-                    all_expected &= (p - expected).abs() < 1e-15;
+        |_eng, rep| {
+            let mut table = Table::new(vec![
+                "sizes",
+                "t",
+                "realizations",
+                "positive",
+                "each =2^-tk",
+                "sum",
+            ]);
+            for sizes in [
+                vec![1usize],
+                vec![2],
+                vec![1, 1],
+                vec![2, 1],
+                vec![2, 2],
+                vec![1, 1, 1],
+            ] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let n = alpha.n();
+                for t in 1..=2usize {
+                    if n * t > 12 {
+                        continue;
+                    }
+                    let expected = 0.5f64.powi((t * alpha.k()) as i32);
+                    let mut positive = 0usize;
+                    let mut total = 0usize;
+                    let mut sum = 0.0;
+                    let mut all_expected = true;
+                    for rho in Realization::enumerate_all(n, t) {
+                        let p = rho.probability(&alpha);
+                        total += 1;
+                        sum += p;
+                        if p > 0.0 {
+                            positive += 1;
+                            all_expected &= (p - expected).abs() < 1e-15;
+                        }
+                    }
+                    table.row(vec![
+                        fmt_sizes(&sizes),
+                        t.to_string(),
+                        total.to_string(),
+                        positive.to_string(),
+                        all_expected.to_string(),
+                        format!("{sum:.6}"),
+                    ]);
                 }
             }
-            table.row(vec![
-                fmt_sizes(&sizes),
-                t.to_string(),
-                total.to_string(),
-                positive.to_string(),
-                all_expected.to_string(),
-                format!("{sum:.6}"),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("paper: `positive` = 2^(t·k); every positive probability equals 2^(−t·k);");
-    println!("probabilities over R(t) sum to 1.");
+            let section = rep.section("equiprobability over R(t)");
+            section.table(table);
+            section
+                .note("paper: `positive` = 2^(t·k); every positive probability equals 2^(−t·k);");
+            section.note("probabilities over R(t) sum to 1.");
+        },
+    )
 }

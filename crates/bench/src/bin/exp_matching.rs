@@ -2,9 +2,11 @@
 //! matching-size invariants (Lemma 4.8), and round-count distribution as
 //! a function of the group sizes.
 
+use std::process::ExitCode;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsbt_bench::{banner, Table};
+use rsbt_bench::{run_experiment, Table};
 use rsbt_protocols::matching::{CreateMatching, MatchStatus};
 use rsbt_random::Assignment;
 use rsbt_sim::runner::run_nodes;
@@ -49,52 +51,56 @@ fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize
     (true, out.rounds)
 }
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "matching",
         "Algorithm 1: CreateMatching",
         "Fraigniaud-Gelles-Lotker 2021, Algorithm 1 + Lemma 4.8 (Section 4.2)",
-    );
-    const TRIALS: u64 = 200;
-    let mut table = Table::new(vec![
-        "(|A|,|B|)",
-        "sources",
-        "success",
-        "mean rounds",
-        "min",
-        "max",
-    ]);
-    for (a, b) in [(1usize, 1usize), (1, 4), (2, 3), (3, 3), (3, 5), (4, 8)] {
-        for shared in [true, false] {
-            let mut rounds = Vec::new();
-            let mut ok = 0u64;
-            for seed in 0..TRIALS {
-                let (success, r) = run_once(a, b, shared, seed * 7 + a as u64);
-                if success {
-                    ok += 1;
-                    rounds.push(r);
+        |_eng, rep| {
+            const TRIALS: u64 = 200;
+            let mut table = Table::new(vec![
+                "(|A|,|B|)",
+                "sources",
+                "success",
+                "mean rounds",
+                "min",
+                "max",
+            ]);
+            for (a, b) in [(1usize, 1usize), (1, 4), (2, 3), (3, 3), (3, 5), (4, 8)] {
+                for shared in [true, false] {
+                    let mut rounds = Vec::new();
+                    let mut ok = 0u64;
+                    for seed in 0..TRIALS {
+                        let (success, r) = run_once(a, b, shared, seed * 7 + a as u64);
+                        if success {
+                            ok += 1;
+                            rounds.push(r);
+                        }
+                    }
+                    let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+                    table.row(vec![
+                        format!("({a},{b})"),
+                        if shared { "2 shared" } else { "private" }.to_string(),
+                        format!("{ok}/{TRIALS}"),
+                        format!("{mean:.1}"),
+                        rounds
+                            .iter()
+                            .min()
+                            .map(usize::to_string)
+                            .unwrap_or_default(),
+                        rounds
+                            .iter()
+                            .max()
+                            .map(usize::to_string)
+                            .unwrap_or_default(),
+                    ]);
                 }
             }
-            let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
-            table.row(vec![
-                format!("({a},{b})"),
-                if shared { "2 shared" } else { "private" }.to_string(),
-                format!("{ok}/{TRIALS}"),
-                format!("{mean:.1}"),
-                rounds
-                    .iter()
-                    .min()
-                    .map(usize::to_string)
-                    .unwrap_or_default(),
-                rounds
-                    .iter()
-                    .max()
-                    .map(usize::to_string)
-                    .unwrap_or_default(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("paper: the matching always completes (Lemma 4.8: every iteration");
-    println!("matches ≥ 1 pair), matching exactly |A| nodes of B; shared group");
-    println!("sources — identical random draws — do not break the procedure.");
+            let section = rep.section("matching trials");
+            section.table(table);
+            section.note("paper: the matching always completes (Lemma 4.8: every iteration");
+            section.note("matches ≥ 1 pair), matching exactly |A| nodes of B; shared group");
+            section.note("sources — identical random draws — do not break the procedure.");
+        },
+    )
 }

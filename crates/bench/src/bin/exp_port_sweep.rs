@@ -9,8 +9,9 @@
 //! the gcd-1 configuration `[1, 3]` every numbering must give positive
 //! probability.
 
-use rsbt_bench::{banner, fmt_p, Table};
-use rsbt_core::probability;
+use std::process::ExitCode;
+
+use rsbt_bench::{fmt_p, run_experiment, Table};
 use rsbt_random::Assignment;
 use rsbt_sim::{Model, PortNumbering};
 use rsbt_tasks::LeaderElection;
@@ -53,52 +54,60 @@ fn all_numberings(n: usize) -> Vec<PortNumbering> {
     tables.into_iter().map(PortNumbering::from_table).collect()
 }
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "port_sweep",
         "Port-numbering sweep: the worst case of Theorem 4.2, exhaustively",
         "Fraigniaud-Gelles-Lotker 2021, Theorem 4.2 / Lemma 4.3 (n = 4)",
-    );
-    let numberings = all_numberings(4);
-    println!("enumerated {} numberings on 4 nodes\n", numberings.len());
+        |eng, rep| {
+            let numberings = all_numberings(4);
+            let intro = rep.section("exhaustive numbering sweep");
+            intro.note(format!(
+                "enumerated {} numberings on 4 nodes",
+                numberings.len()
+            ));
 
-    let mut table = Table::new(vec![
-        "sizes",
-        "gcd",
-        "t",
-        "min p(t)",
-        "max p(t)",
-        "#dead numberings",
-        "adversarial dead",
-    ]);
-    for (sizes, t) in [(vec![2usize, 2], 2usize), (vec![1, 3], 2)] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let g = alpha.gcd_of_group_sizes() as usize;
-        let mut min_p = f64::INFINITY;
-        let mut max_p: f64 = 0.0;
-        let mut dead = 0usize;
-        for ports in &numberings {
-            let model = Model::MessagePassing(ports.clone());
-            let p = probability::exact(&model, &LeaderElection, &alpha, t);
-            min_p = min_p.min(p);
-            max_p = max_p.max(p);
-            if p == 0.0 {
-                dead += 1;
+            let mut table = Table::new(vec![
+                "sizes",
+                "gcd",
+                "t",
+                "min p(t)",
+                "max p(t)",
+                "#dead numberings",
+                "adversarial dead",
+            ]);
+            for (sizes, t) in [(vec![2usize, 2], 2usize), (vec![1, 3], 2)] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let g = alpha.gcd_of_group_sizes() as usize;
+                let mut min_p = f64::INFINITY;
+                let mut max_p: f64 = 0.0;
+                let mut dead = 0usize;
+                for ports in &numberings {
+                    let model = Model::MessagePassing(ports.clone());
+                    let p = eng.exact(&model, &LeaderElection, &alpha, t);
+                    min_p = min_p.min(p);
+                    max_p = max_p.max(p);
+                    if p == 0.0 {
+                        dead += 1;
+                    }
+                }
+                let adv = Model::MessagePassing(PortNumbering::adversarial(4, g));
+                let adv_p = eng.exact(&adv, &LeaderElection, &alpha, t);
+                table.row(vec![
+                    format!("{sizes:?}"),
+                    g.to_string(),
+                    t.to_string(),
+                    fmt_p(min_p),
+                    fmt_p(max_p),
+                    dead.to_string(),
+                    (adv_p == min_p && (g == 1 || adv_p == 0.0)).to_string(),
+                ]);
             }
-        }
-        let adv = Model::MessagePassing(PortNumbering::adversarial(4, g));
-        let adv_p = probability::exact(&adv, &LeaderElection, &alpha, t);
-        table.row(vec![
-            format!("{sizes:?}"),
-            g.to_string(),
-            t.to_string(),
-            fmt_p(min_p),
-            fmt_p(max_p),
-            dead.to_string(),
-            (adv_p == min_p && (g == 1 || adv_p == 0.0)).to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!("paper: for gcd > 1 the minimum over numberings is 0 (Lemma 4.3");
-    println!("exhibits a witness); for gcd = 1 EVERY numbering has p(t) > 0");
-    println!("(Theorem 4.2 'if'). The adversarial construction attains the min.");
+            let section = rep.section("worst case over all numberings");
+            section.table(table);
+            section.note("paper: for gcd > 1 the minimum over numberings is 0 (Lemma 4.3");
+            section.note("exhibits a witness); for gcd = 1 EVERY numbering has p(t) > 0");
+            section.note("(Theorem 4.2 'if'). The adversarial construction attains the min.");
+        },
+    )
 }

@@ -5,82 +5,89 @@
 //! reduction on top of both election protocols and checks agreement +
 //! validity on every trial.
 
+use std::process::ExitCode;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rsbt_bench::{banner, fmt_sizes, Table};
+use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_protocols::consensus::{check_consensus, consensus_node};
 use rsbt_protocols::{BlackboardLeaderElection, EuclidLeaderElection};
 use rsbt_random::Assignment;
 use rsbt_sim::runner::run_nodes;
 use rsbt_sim::{Model, PortNumbering};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "reduction",
         "Theorem C.1: name-independent tasks via leader election",
         "Fraigniaud-Gelles-Lotker 2021, Appendix C",
-    );
-    const TRIALS: u64 = 100;
-    let mut table = Table::new(vec!["model", "sizes", "task", "valid runs", "mean rounds"]);
+        |_eng, rep| {
+            const TRIALS: u64 = 100;
+            let mut table = Table::new(vec!["model", "sizes", "task", "valid runs", "mean rounds"]);
 
-    // Blackboard consensus.
-    for sizes in [vec![1usize, 1, 1], vec![1, 3]] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let mut ok = 0u64;
-        let mut rounds = Vec::new();
-        for seed in 0..TRIALS {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let inputs: Vec<u64> = (0..alpha.n()).map(|_| rng.gen_range(0..10)).collect();
-            let nodes: Vec<_> = inputs
-                .iter()
-                .map(|&v| consensus_node(BlackboardLeaderElection::new(), v))
-                .collect();
-            let out = run_nodes(&Model::Blackboard, &alpha, 512, nodes, &mut rng);
-            if out.completed && check_consensus(&inputs, &out.outputs).is_ok() {
-                ok += 1;
-                rounds.push(out.rounds);
+            // Blackboard consensus.
+            for sizes in [vec![1usize, 1, 1], vec![1, 3]] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let mut ok = 0u64;
+                let mut rounds = Vec::new();
+                for seed in 0..TRIALS {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let inputs: Vec<u64> = (0..alpha.n()).map(|_| rng.gen_range(0..10)).collect();
+                    let nodes: Vec<_> = inputs
+                        .iter()
+                        .map(|&v| consensus_node(BlackboardLeaderElection::new(), v))
+                        .collect();
+                    let out = run_nodes(&Model::Blackboard, &alpha, 512, nodes, &mut rng);
+                    if out.completed && check_consensus(&inputs, &out.outputs).is_ok() {
+                        ok += 1;
+                        rounds.push(out.rounds);
+                    }
+                }
+                let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+                table.row(vec![
+                    "blackboard".into(),
+                    fmt_sizes(&sizes),
+                    "consensus(min)".into(),
+                    format!("{ok}/{TRIALS}"),
+                    format!("{mean:.1}"),
+                ]);
             }
-        }
-        let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
-        table.row(vec![
-            "blackboard".into(),
-            fmt_sizes(&sizes),
-            "consensus(min)".into(),
-            format!("{ok}/{TRIALS}"),
-            format!("{mean:.1}"),
-        ]);
-    }
 
-    // Message-passing consensus over correlated sources.
-    for sizes in [vec![2usize, 3], vec![1, 1, 1]] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let k = sizes.len();
-        let mut ok = 0u64;
-        let mut rounds = Vec::new();
-        for seed in 0..TRIALS {
-            let mut rng = StdRng::seed_from_u64(seed + 1000);
-            let ports = PortNumbering::random(alpha.n(), &mut rng);
-            let inputs: Vec<u64> = (0..alpha.n()).map(|_| rng.gen_range(0..10)).collect();
-            let nodes: Vec<_> = inputs
-                .iter()
-                .map(|&v| consensus_node(EuclidLeaderElection::new(k), v))
-                .collect();
-            let out = run_nodes(&Model::MessagePassing(ports), &alpha, 8000, nodes, &mut rng);
-            if out.completed && check_consensus(&inputs, &out.outputs).is_ok() {
-                ok += 1;
-                rounds.push(out.rounds);
+            // Message-passing consensus over correlated sources.
+            for sizes in [vec![2usize, 3], vec![1, 1, 1]] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let k = sizes.len();
+                let mut ok = 0u64;
+                let mut rounds = Vec::new();
+                for seed in 0..TRIALS {
+                    let mut rng = StdRng::seed_from_u64(seed + 1000);
+                    let ports = PortNumbering::random(alpha.n(), &mut rng);
+                    let inputs: Vec<u64> = (0..alpha.n()).map(|_| rng.gen_range(0..10)).collect();
+                    let nodes: Vec<_> = inputs
+                        .iter()
+                        .map(|&v| consensus_node(EuclidLeaderElection::new(k), v))
+                        .collect();
+                    let out =
+                        run_nodes(&Model::MessagePassing(ports), &alpha, 8000, nodes, &mut rng);
+                    if out.completed && check_consensus(&inputs, &out.outputs).is_ok() {
+                        ok += 1;
+                        rounds.push(out.rounds);
+                    }
+                }
+                let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
+                table.row(vec![
+                    "message-passing".into(),
+                    fmt_sizes(&sizes),
+                    "consensus(min)".into(),
+                    format!("{ok}/{TRIALS}"),
+                    format!("{mean:.1}"),
+                ]);
             }
-        }
-        let mean = rounds.iter().sum::<usize>() as f64 / rounds.len().max(1) as f64;
-        table.row(vec![
-            "message-passing".into(),
-            fmt_sizes(&sizes),
-            "consensus(min)".into(),
-            format!("{ok}/{TRIALS}"),
-            format!("{mean:.1}"),
-        ]);
-    }
 
-    println!("{table}");
-    println!("paper: whenever leader election is solvable, every name-independent");
-    println!("task is; agreement and validity hold on every completed run.");
+            let section = rep.section("consensus through the reduction");
+            section.table(table);
+            section.note("paper: whenever leader election is solvable, every name-independent");
+            section.note("task is; agreement and validity hold on every completed run.");
+        },
+    )
 }

@@ -2,7 +2,7 @@
 //! eventually solvable iff some source feeds exactly one node.
 //!
 //! Three sections:
-//! 1. the solvability table over every group-size profile of `n ≤ 6`
+//! 1. the solvability sweep over every group-size profile of `n ≤ 6`
 //!    nodes (exact `p(t)` vs the `∃ n_i = 1` predicate);
 //! 2. the convergence series `p(t)` against the paper's closed forms
 //!    (`S_1` probability and the `1 − (k−1)/2^t` lower bound);
@@ -10,111 +10,89 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
+use rsbt_bench::{fmt_p, fmt_sizes, run_experiment, SweepSpec, Table, TaskSpec};
 use rsbt_core::{bounds, eventual, probability};
 use rsbt_random::Assignment;
 use rsbt_sim::Model;
 use rsbt_tasks::LeaderElection;
+use std::process::ExitCode;
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "thm41",
         "Theorem 4.1: blackboard leader election ⟺ ∃ i: n_i = 1",
         "Fraigniaud-Gelles-Lotker 2021, Theorem 4.1 (Section 4.1)",
-    );
+        |eng, rep| {
+            // Section 1: solvability over all profiles of n ≤ 6
+            // (bit budget 18 keeps exact enumeration feasible: k·t ≤ 18).
+            let spec = SweepSpec::new()
+                .task(TaskSpec::fixed(LeaderElection))
+                .nodes(1..=6)
+                .t_cap(3)
+                .bit_budget(18)
+                .predicate(eventual::blackboard_eventually_solvable);
+            let rows = eng.sweep(&spec);
+            let all_match = rows.iter().all(|r| r.matches == Some(true));
+            let section = rep.section("solvability sweep (predicted = ∃ n_i = 1)");
+            section.sweep("theorem 4.1", rows);
+            section.note(format!(
+                "paper: limit is One exactly when ∃ n_i = 1; every row must match. \
+                 all_match = {all_match}"
+            ));
 
-    // Section 1: solvability over all profiles of n ≤ 6.
-    let mut table = Table::new(vec![
-        "sizes",
-        "∃ n_i=1",
-        "p(1)",
-        "p(2)",
-        "p(3)",
-        "limit",
-        "matches thm",
-    ]);
-    let mut all_match = true;
-    for n in 1..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
-            let sizes = alpha.group_sizes();
-            // Keep exact enumeration feasible: k·t ≤ 18.
-            let t_max = 3.min(18 / alpha.k().max(1));
-            let series =
-                probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, t_max);
-            let predicted = eventual::blackboard_eventually_solvable(&alpha);
-            let limit = eventual::lemma_3_2_limit(&series);
-            let observed_solvable = limit == eventual::LimitClass::One;
-            let matches = observed_solvable == predicted;
-            all_match &= matches;
-            let p_at = |t: usize| {
-                series
-                    .get(t - 1)
-                    .map(|p| fmt_p(*p))
-                    .unwrap_or_else(|| "-".into())
-            };
-            table.row(vec![
-                fmt_sizes(&sizes),
-                predicted.to_string(),
-                p_at(1),
-                p_at(2),
-                p_at(3),
-                format!("{limit:?}"),
-                matches.to_string(),
+            // Section 2: convergence vs closed forms for sizes [1, 2, 2].
+            let alpha = Assignment::from_group_sizes(&[1, 2, 2]).unwrap();
+            let k = alpha.k();
+            let series = eng.exact_series(&Model::Blackboard, &LeaderElection, &alpha, 6);
+            let mut table = Table::new(vec![
+                "t",
+                "exact p(t)",
+                "S1 closed form",
+                "1-(k-1)/2^t bound",
             ]);
-        }
-    }
-    println!("{table}");
-    println!("paper: limit is One exactly when ∃ n_i = 1; every row must match. all_match = {all_match}\n");
+            for (i, &exact) in series.iter().enumerate() {
+                let t = i + 1;
+                table.row(vec![
+                    t.to_string(),
+                    fmt_p(exact),
+                    fmt_p(bounds::s1_probability(k, t)),
+                    fmt_p(bounds::theorem_4_1_lower_bound(k, t)),
+                ]);
+            }
+            let conv = rep.section("convergence for sizes [1,2,2] (k = 3)");
+            conv.table(table);
+            conv.note("paper: exact ≥ S1 ≥ bound; all three approach 1.");
 
-    // Section 2: convergence vs closed forms for sizes [1, 2, 2] (k = 3).
-    let alpha = Assignment::from_group_sizes(&[1, 2, 2]).unwrap();
-    let k = alpha.k();
-    let mut series = Table::new(vec![
-        "t",
-        "exact p(t)",
-        "S1 closed form",
-        "1-(k-1)/2^t bound",
-    ]);
-    for t in 1..=6usize {
-        let exact = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t);
-        series.row(vec![
-            t.to_string(),
-            fmt_p(exact),
-            fmt_p(bounds::s1_probability(k, t)),
-            fmt_p(bounds::theorem_4_1_lower_bound(k, t)),
-        ]);
-    }
-    println!("convergence for sizes [1,2,2] (k = 3):");
-    println!("{series}");
-    println!("paper: exact ≥ S1 ≥ bound; all three approach 1.\n");
-
-    // Section 3: Monte-Carlo cross-check.
-    let mut rng = StdRng::seed_from_u64(2021);
-    let mut mc = Table::new(vec!["sizes", "t", "exact", "monte-carlo", "|Δ|/stderr"]);
-    for sizes in [vec![1usize, 1], vec![1, 2], vec![1, 2, 2], vec![2, 2]] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let t = 4;
-        let exact = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t);
-        let est = probability::monte_carlo(
-            &Model::Blackboard,
-            &LeaderElection,
-            &alpha,
-            t,
-            50_000,
-            &mut rng,
-        );
-        let z = if est.std_error > 0.0 {
-            (est.p - exact).abs() / est.std_error
-        } else {
-            0.0
-        };
-        mc.row(vec![
-            fmt_sizes(&sizes),
-            t.to_string(),
-            fmt_p(exact),
-            fmt_p(est.p),
-            format!("{z:.2}"),
-        ]);
-    }
-    println!("Monte-Carlo cross-check (50k samples):");
-    println!("{mc}");
+            // Section 3: Monte-Carlo cross-check.
+            let mut rng = StdRng::seed_from_u64(2021);
+            let mut mc = Table::new(vec!["sizes", "t", "exact", "monte-carlo", "|Δ|/stderr"]);
+            for sizes in [vec![1usize, 1], vec![1, 2], vec![1, 2, 2], vec![2, 2]] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let t = 4;
+                let exact = eng.exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+                let est = probability::monte_carlo(
+                    &Model::Blackboard,
+                    &LeaderElection,
+                    &alpha,
+                    t,
+                    50_000,
+                    &mut rng,
+                );
+                let z = if est.std_error > 0.0 {
+                    (est.p - exact).abs() / est.std_error
+                } else {
+                    0.0
+                };
+                mc.row(vec![
+                    fmt_sizes(&sizes),
+                    t.to_string(),
+                    fmt_p(exact),
+                    fmt_p(est.p),
+                    format!("{z:.2}"),
+                ]);
+            }
+            rep.section("Monte-Carlo cross-check (50k samples)")
+                .table(mc);
+        },
+    )
 }

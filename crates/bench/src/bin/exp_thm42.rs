@@ -9,101 +9,72 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
-use rsbt_core::{eventual, probability};
+use rsbt_bench::{fmt_p, fmt_sizes, run_experiment, ModelSpec, SweepSpec, Table, TaskSpec};
+use rsbt_core::eventual;
 use rsbt_random::Assignment;
 use rsbt_sim::{Model, PortNumbering};
 use rsbt_tasks::LeaderElection;
+use std::process::ExitCode;
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "thm42",
         "Theorem 4.2: message-passing LE ⟺ gcd(n_1..n_k) = 1 (worst case)",
         "Fraigniaud-Gelles-Lotker 2021, Theorem 4.2, Lemma 4.3 (Section 4.2)",
-    );
+        |eng, rep| {
+            // Section 1: adversarial ports (the Lemma 4.3 numbering for the
+            // assignment's actual gcd; nodes are ordered by group already).
+            let spec = SweepSpec::new()
+                .model(ModelSpec::adversarial_ports())
+                .task(TaskSpec::fixed(LeaderElection))
+                .nodes(2..=6)
+                .t_cap(3)
+                .bit_budget(16)
+                .predicate(eventual::message_passing_worst_case_solvable);
+            let rows = eng.sweep(&spec);
+            let all_match = rows.iter().all(|r| r.matches == Some(true));
+            let section = rep.section("adversarial ports (Lemma 4.3 numbering)");
+            section.sweep("theorem 4.2", rows);
+            section.note(format!(
+                "paper: p(t) ≡ 0 iff gcd > 1. all_match = {all_match}"
+            ));
 
-    // Section 1: adversarial ports.
-    let mut table = Table::new(vec![
-        "sizes",
-        "gcd",
-        "predicted",
-        "p(1)",
-        "p(2)",
-        "p(3)",
-        "limit",
-        "matches thm",
-    ]);
-    let mut all_match = true;
-    for n in 2..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
-            let sizes = alpha.group_sizes();
-            let g = alpha.gcd_of_group_sizes() as usize;
-            // Order nodes by group (from_group_sizes already does) and use
-            // the Lemma 4.3 numbering for the actual gcd.
-            let ports = PortNumbering::adversarial(n, g);
-            let model = Model::MessagePassing(ports);
-            let t_max = 3.min(16 / alpha.k().max(1)).max(1);
-            let series = probability::exact_series(&model, &LeaderElection, &alpha, t_max);
-            let predicted = eventual::message_passing_worst_case_solvable(&alpha);
-            let limit = eventual::lemma_3_2_limit(&series);
-            let observed = limit == eventual::LimitClass::One;
-            let matches = observed == predicted;
-            all_match &= matches;
-            let p_at = |t: usize| {
-                series
-                    .get(t - 1)
-                    .map(|p| fmt_p(*p))
-                    .unwrap_or_else(|| "-".into())
-            };
-            table.row(vec![
-                fmt_sizes(&sizes),
-                g.to_string(),
-                predicted.to_string(),
-                p_at(1),
-                p_at(2),
-                p_at(3),
-                format!("{limit:?}"),
-                matches.to_string(),
-            ]);
-        }
-    }
-    println!("adversarial ports (Lemma 4.3 numbering):");
-    println!("{table}");
-    println!("paper: p(t) ≡ 0 iff gcd > 1. all_match = {all_match}\n");
-
-    // Section 2: random-ports ablation for gcd > 1 profiles.
-    let mut rng = StdRng::seed_from_u64(42);
-    let mut ablation = Table::new(vec!["sizes", "gcd", "ports", "p(2)", "p(3)", "note"]);
-    for sizes in [vec![2usize, 2], vec![3, 3], vec![2, 4]] {
-        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
-        let n = alpha.n();
-        let g = alpha.gcd_of_group_sizes() as usize;
-        for (label, ports) in [
-            ("adversarial", PortNumbering::adversarial(n, g)),
-            ("random", PortNumbering::random(n, &mut rng)),
-            ("cyclic", PortNumbering::cyclic(n)),
-        ] {
-            let model = Model::MessagePassing(ports);
-            let p2 = probability::exact(&model, &LeaderElection, &alpha, 2);
-            let p3 = probability::exact(&model, &LeaderElection, &alpha, 3);
-            let note = if label == "adversarial" {
-                "worst case: must be 0"
-            } else if p3 > 0.0 {
-                "average case can solve"
-            } else {
-                "this numbering also symmetric"
-            };
-            ablation.row(vec![
-                fmt_sizes(&sizes),
-                g.to_string(),
-                label.to_string(),
-                fmt_p(p2),
-                fmt_p(p3),
-                note.to_string(),
-            ]);
-        }
-    }
-    println!("port-numbering ablation (gcd > 1 profiles):");
-    println!("{ablation}");
-    println!("paper: Theorem 4.2 quantifies over the WORST numbering; random");
-    println!("numberings may (and typically do) break the symmetry anyway.");
+            // Section 2: random-ports ablation for gcd > 1 profiles.
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut ablation = Table::new(vec!["sizes", "gcd", "ports", "p(2)", "p(3)", "note"]);
+            for sizes in [vec![2usize, 2], vec![3, 3], vec![2, 4]] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let n = alpha.n();
+                let g = alpha.gcd_of_group_sizes() as usize;
+                for (label, ports) in [
+                    ("adversarial", PortNumbering::adversarial(n, g)),
+                    ("random", PortNumbering::random(n, &mut rng)),
+                    ("cyclic", PortNumbering::cyclic(n)),
+                ] {
+                    let model = Model::MessagePassing(ports);
+                    let p2 = eng.exact(&model, &LeaderElection, &alpha, 2);
+                    let p3 = eng.exact(&model, &LeaderElection, &alpha, 3);
+                    let note = if label == "adversarial" {
+                        "worst case: must be 0"
+                    } else if p3 > 0.0 {
+                        "average case can solve"
+                    } else {
+                        "this numbering also symmetric"
+                    };
+                    ablation.row(vec![
+                        fmt_sizes(&sizes),
+                        g.to_string(),
+                        label.to_string(),
+                        fmt_p(p2),
+                        fmt_p(p3),
+                        note.to_string(),
+                    ]);
+                }
+            }
+            let abl = rep.section("port-numbering ablation (gcd > 1 profiles)");
+            abl.table(ablation);
+            abl.note("paper: Theorem 4.2 quantifies over the WORST numbering; random");
+            abl.note("numberings may (and typically do) break the symmetry anyway.");
+        },
+    )
 }

@@ -8,68 +8,44 @@
 //! isolated — i.e. there is a source with `n_i = 2`, or two sources with
 //! `n_i = n_j = 1`.
 
-use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
-use rsbt_core::{eventual, probability};
+use std::process::ExitCode;
+
+use rsbt_bench::{run_experiment, SweepSpec, TaskSpec};
 use rsbt_random::Assignment;
-use rsbt_sim::Model;
 use rsbt_tasks::KLeaderElection;
 
 /// Framework-derived blackboard condition for exactly-2 leaders: some
 /// union of groups of total size 2 must be separable, and separability of
 /// groups is automatic (distinct sources eventually diverge), so the
 /// condition is: ∃ i: n_i = 2, or ∃ i ≠ j: n_i = n_j = 1.
-fn conjecture_blackboard_2le(sizes: &[usize]) -> bool {
+fn conjecture_blackboard_2le(alpha: &Assignment) -> bool {
+    let sizes = alpha.group_sizes();
     let singletons = sizes.iter().filter(|&&s| s == 1).count();
     sizes.contains(&2) || singletons >= 2
 }
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "two_leader",
         "2-leader election characterization (Section 1.2 teaser)",
         "Fraigniaud-Gelles-Lotker 2021, Section 1.2",
-    );
-    let task = KLeaderElection::new(2);
-    let mut table = Table::new(vec![
-        "sizes",
-        "conjecture",
-        "p(1)",
-        "p(2)",
-        "p(3)",
-        "limit",
-        "matches",
-    ]);
-    let mut all_match = true;
-    for n in 2..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
-            let sizes = alpha.group_sizes();
-            let t_max = 3.min(16 / alpha.k().max(1)).max(1);
-            let series = probability::exact_series(&Model::Blackboard, &task, &alpha, t_max);
-            let limit = eventual::lemma_3_2_limit(&series);
-            let observed = limit == eventual::LimitClass::One;
-            let predicted = conjecture_blackboard_2le(&sizes);
-            let matches = observed == predicted;
-            all_match &= matches;
-            let p_at = |t: usize| {
-                series
-                    .get(t - 1)
-                    .map(|p| fmt_p(*p))
-                    .unwrap_or_else(|| "-".into())
-            };
-            table.row(vec![
-                fmt_sizes(&sizes),
-                predicted.to_string(),
-                p_at(1),
-                p_at(2),
-                p_at(3),
-                format!("{limit:?}"),
-                matches.to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("framework-derived characterization (blackboard 2-LE):");
-    println!("  solvable ⟺ ∃ n_i = 2, or at least two singleton sources.");
-    println!("all profiles match the conjecture: {all_match}");
-    println!("\nThe paper invites the reader to derive this directly and compare —");
-    println!("here the framework produces it mechanically from exact p(t) series.");
+        |eng, rep| {
+            let spec = SweepSpec::new()
+                .task(TaskSpec::fixed(KLeaderElection::new(2)))
+                .nodes(2..=6)
+                .t_cap(3)
+                .bit_budget(16)
+                .predicate(conjecture_blackboard_2le);
+            let rows = eng.sweep(&spec);
+            let all_match = rows.iter().all(|r| r.matches == Some(true));
+            let section = rep.section("blackboard 2-LE vs the framework conjecture");
+            section.sweep("2-leader election", rows);
+            section.note("framework-derived characterization (blackboard 2-LE):");
+            section.note("  solvable ⟺ ∃ n_i = 2, or at least two singleton sources.");
+            section.note(format!("all profiles match the conjecture: {all_match}"));
+            section.note("");
+            section.note("The paper invites the reader to derive this directly and compare —");
+            section.note("here the framework produces it mechanically from exact p(t) series.");
+        },
+    )
 }

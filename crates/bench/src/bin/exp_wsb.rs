@@ -7,58 +7,32 @@
 //! sides output different bits) — strictly weaker than leader election's
 //! `∃ n_i = 1`.
 
-use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
-use rsbt_core::{eventual, probability};
-use rsbt_random::Assignment;
-use rsbt_sim::Model;
+use std::process::ExitCode;
+
+use rsbt_bench::{run_experiment, SweepSpec, TaskSpec};
 use rsbt_tasks::WeakSymmetryBreaking;
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "wsb",
         "Weak symmetry breaking: framework-derived characterization",
         "companion task; cf. Fraigniaud-Gelles-Lotker 2021 Section 1.1 and [HKR14]",
-    );
-    let mut table = Table::new(vec![
-        "sizes",
-        "k≥2 (conj)",
-        "p(1)",
-        "p(2)",
-        "p(3)",
-        "limit",
-        "matches",
-    ]);
-    let mut all_match = true;
-    for n in 2..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
-            let sizes = alpha.group_sizes();
-            let t_max = 3.min(16 / alpha.k().max(1)).max(1);
-            let series =
-                probability::exact_series(&Model::Blackboard, &WeakSymmetryBreaking, &alpha, t_max);
-            let limit = eventual::lemma_3_2_limit(&series);
-            let observed = limit == eventual::LimitClass::One;
-            let predicted = alpha.k() >= 2;
-            let matches = observed == predicted;
-            all_match &= matches;
-            let p_at = |t: usize| {
-                series
-                    .get(t - 1)
-                    .map(|p| fmt_p(*p))
-                    .unwrap_or_else(|| "-".into())
-            };
-            table.row(vec![
-                fmt_sizes(&sizes),
-                predicted.to_string(),
-                p_at(1),
-                p_at(2),
-                p_at(3),
-                format!("{limit:?}"),
-                matches.to_string(),
-            ]);
-        }
-    }
-    println!("{table}");
-    println!("framework-derived: blackboard WSB is eventually solvable ⟺ k ≥ 2.");
-    println!("all profiles match: {all_match}");
-    println!("\ncontrast: leader election needs ∃ n_i = 1 — e.g. sizes [2,2] solve");
-    println!("WSB but not LE, exhibiting the strict separation between the tasks.");
+        |eng, rep| {
+            let spec = SweepSpec::new()
+                .task(TaskSpec::fixed(WeakSymmetryBreaking))
+                .nodes(2..=6)
+                .t_cap(3)
+                .bit_budget(16)
+                .predicate(|alpha| alpha.k() >= 2);
+            let rows = eng.sweep(&spec);
+            let all_match = rows.iter().all(|r| r.matches == Some(true));
+            let section = rep.section("blackboard WSB sweep (predicted = k ≥ 2)");
+            section.sweep("weak symmetry breaking", rows);
+            section.note("framework-derived: blackboard WSB is eventually solvable ⟺ k ≥ 2.");
+            section.note(format!("all profiles match: {all_match}"));
+            section.note("");
+            section.note("contrast: leader election needs ∃ n_i = 1 — e.g. sizes [2,2] solve");
+            section.note("WSB but not LE, exhibiting the strict separation between the tasks.");
+        },
+    )
 }

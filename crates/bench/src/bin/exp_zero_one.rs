@@ -2,45 +2,31 @@
 //! configuration, `Pr[P(t) solves O | α]` is monotone in `t` and its limit
 //! is 0 or 1 — never anything in between.
 
-use rsbt_bench::{banner, fmt_p, fmt_sizes, Table};
-use rsbt_core::{eventual, probability};
-use rsbt_random::Assignment;
-use rsbt_sim::Model;
-use rsbt_tasks::{KLeaderElection, LeaderElection, Task};
+use std::process::ExitCode;
 
-fn run_task<T: Task>(task: &T, table: &mut Table, monotone_ok: &mut bool) {
-    for n in 2..=5usize {
-        for alpha in Assignment::enumerate_profiles(n) {
-            let t_max = 4.min(16 / alpha.k().max(1)).max(1);
-            let series = probability::exact_series(&Model::Blackboard, task, &alpha, t_max);
-            let monotone = series.windows(2).all(|w| w[1] >= w[0] - 1e-12);
-            *monotone_ok &= monotone;
-            let limit = eventual::lemma_3_2_limit(&series);
-            table.row(vec![
-                task.name(),
-                fmt_sizes(&alpha.group_sizes()),
-                series
-                    .iter()
-                    .map(|p| fmt_p(*p))
-                    .collect::<Vec<_>>()
-                    .join(" "),
-                monotone.to_string(),
-                format!("{limit:?}"),
-            ]);
-        }
-    }
-}
+use rsbt_bench::{run_experiment, SweepSpec, TaskSpec};
+use rsbt_tasks::{KLeaderElection, LeaderElection};
 
-fn main() {
-    banner(
+fn main() -> ExitCode {
+    run_experiment(
+        "zero_one",
         "Lemma 3.2: zero-one law for eventual solvability",
         "Fraigniaud-Gelles-Lotker 2021, Lemma 3.2 (Section 3.2)",
-    );
-    let mut table = Table::new(vec!["task", "sizes", "p(1..t)", "monotone", "limit"]);
-    let mut monotone_ok = true;
-    run_task(&LeaderElection, &mut table, &mut monotone_ok);
-    run_task(&KLeaderElection::new(2), &mut table, &mut monotone_ok);
-    println!("{table}");
-    println!("paper: every series is monotone and its limit classifies as Zero or One");
-    println!("(positive probability at any t forces limit 1). monotone_ok = {monotone_ok}");
+        |eng, rep| {
+            let spec = SweepSpec::new()
+                .task(TaskSpec::fixed(LeaderElection))
+                .task(TaskSpec::fixed(KLeaderElection::new(2)))
+                .nodes(2..=5)
+                .t_cap(4)
+                .bit_budget(16);
+            let rows = eng.sweep(&spec);
+            let monotone_ok = rows.iter().all(|r| r.is_monotone());
+            let section = rep.section("p(1..t) series over all profiles");
+            section.sweep("zero-one law", rows);
+            section.note("paper: every series is monotone and its limit classifies as Zero or One");
+            section.note(format!(
+                "(positive probability at any t forces limit 1). monotone_ok = {monotone_ok}"
+            ));
+        },
+    )
 }

@@ -1,15 +1,32 @@
-//! Shared helpers for the experiment binaries.
+//! Shared sweep engine and helpers for the experiment binaries.
 //!
 //! Every figure and theorem of the paper has a binary under `src/bin/`
 //! (run with `cargo run -p rsbt-bench --bin <exp> --release`); the
 //! performance benches live under `benches/`. See the workspace `README.md`
 //! for the full experiment list and `DESIGN.md` §4 for the ablations the
 //! benches measure.
+//!
+//! All binaries are thin declarative wrappers over one harness:
+//! [`run_experiment`] parses the shared CLI (`--json <path>`,
+//! `--threads <n>`), hands the bin a [`SweepEngine`] (memoizing
+//! probability cache plus parallel fan-out) and a [`Report`] (text
+//! rendering plus `rsbt-bench-report/v1` JSON), prints the text form, and
+//! writes the schema-validated JSON when requested.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+pub mod sweep;
+
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+pub use crate::report::{Json, Report, Section, SCHEMA};
+pub use crate::sweep::{
+    default_threads, standard_table, ModelSpec, SweepEngine, SweepRow, SweepSpec, TaskSpec,
+};
 
 /// A minimal fixed-width text table for experiment output.
 ///
@@ -54,6 +71,16 @@ impl Table {
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The column headers (used by the JSON report serializer).
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows (used by the JSON report serializer).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 }
 
@@ -102,6 +129,92 @@ pub fn banner(title: &str, paper_ref: &str) {
     println!();
 }
 
+/// Parsed command-line options shared by every `exp_*` binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Write the machine-readable report here (`--json <path>`).
+    pub json: Option<PathBuf>,
+    /// Worker-thread override (`--threads <n>`).
+    pub threads: Option<usize>,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+/// Parses the shared experiment CLI from an argument iterator (exposed for
+/// tests; binaries go through [`run_experiment`]).
+///
+/// # Errors
+///
+/// A usage message on unknown flags or malformed values.
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<ExpArgs, String> {
+    let mut out = ExpArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = args.next().ok_or("--json needs a file path")?;
+                out.json = Some(PathBuf::from(path));
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a number")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number, got '{n}'"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                out.threads = Some(n);
+            }
+            "--help" | "-h" => out.help = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// The common entry point of every experiment binary: parses the shared
+/// CLI, runs `body` with a [`SweepEngine`] and an empty [`Report`], prints
+/// the report's text rendering, and — with `--json <path>` — writes the
+/// schema-validated `rsbt-bench-report/v1` document.
+pub fn run_experiment<F>(experiment: &str, title: &str, paper_ref: &str, body: F) -> ExitCode
+where
+    F: FnOnce(&mut SweepEngine, &mut Report),
+{
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: {experiment} [--json <path>] [--threads <n>]");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        println!("{experiment} — {title}");
+        println!("usage: {experiment} [--json <path>] [--threads <n>]");
+        println!("  --json <path>   also write the {SCHEMA} JSON report");
+        println!("  --threads <n>   sweep worker threads (default: min(cores, 8))");
+        return ExitCode::SUCCESS;
+    }
+    let threads = args.threads.unwrap_or_else(default_threads);
+    let mut engine = SweepEngine::new(threads);
+    let mut rep = Report::new(experiment, title, paper_ref);
+    rep.set_threads(threads);
+    let start = std::time::Instant::now();
+    body(&mut engine, &mut rep);
+    rep.set_elapsed_ms(start.elapsed().as_millis() as u64);
+    let (hits, misses, points) = engine.cache_stats();
+    rep.set_cache_stats(hits, misses, points);
+    print!("{}", rep.render_text());
+    if let Some(path) = &args.json {
+        if let Err(e) = rep.write_json(path) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote JSON report to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +236,22 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_p(0.5), "0.500000");
         assert_eq!(fmt_sizes(&[1, 2]), "[1,2]");
+    }
+
+    fn args(list: &[&str]) -> Result<ExpArgs, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn cli_parsing() {
+        assert_eq!(args(&[]), Ok(ExpArgs::default()));
+        let parsed = args(&["--json", "out.json", "--threads", "3"]).unwrap();
+        assert_eq!(parsed.json, Some(PathBuf::from("out.json")));
+        assert_eq!(parsed.threads, Some(3));
+        assert!(args(&["--help"]).unwrap().help);
+        assert!(args(&["--threads"]).is_err());
+        assert!(args(&["--threads", "0"]).is_err());
+        assert!(args(&["--threads", "x"]).is_err());
+        assert!(args(&["--nope"]).is_err());
     }
 }

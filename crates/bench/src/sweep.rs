@@ -1,0 +1,612 @@
+//! The declarative parallel sweep engine behind every `exp_*` binary.
+//!
+//! The paper's results are verified by exhaustive sweeps over
+//! `(model × task × α × t)`. [`SweepSpec`] describes such a sweep
+//! declaratively; [`SweepEngine`] executes it with three shared
+//! mechanisms the hand-rolled per-bin loops never had:
+//!
+//! * **memoization** — every exact probability point goes through one
+//!   process-wide [`rsbt_core::probability::Cache`], so overlapping points
+//!   across report sections (and across specs in one binary) are computed
+//!   once;
+//! * **parallel fan-out** — uncached points are computed on
+//!   [`rsbt_sim::pool::map_with_arena`] workers (per-worker arenas, the
+//!   pattern proven bit-identical by `probability::exact_parallel`) and
+//!   merged back in deterministic point order, never completion order;
+//! * **incremental series** — each worker reuses one arena across its
+//!   whole chunk, so a `p(1..t_max)` series extends shared knowledge
+//!   prefixes instead of re-interning them per `t`.
+//!
+//! The engine's numbers are bit-identical to serial
+//! [`rsbt_core::probability::exact`] (asserted by the determinism tests in
+//! `tests/engine.rs`).
+
+use std::ops::RangeInclusive;
+
+use rsbt_core::eventual::{self, LimitClass};
+use rsbt_core::probability::{self, Cache};
+use rsbt_random::Assignment;
+use rsbt_sim::{pool, KnowledgeArena, Model, PortNumbering};
+use rsbt_tasks::Task;
+
+use crate::report::Json;
+use crate::Table;
+use crate::{fmt_p, fmt_sizes};
+
+/// A model family, instantiated per assignment (port numberings depend on
+/// `n` and, for the adversarial construction, on `gcd(n_1..n_k)`).
+pub struct ModelSpec {
+    label: String,
+    make: Box<dyn Fn(&Assignment) -> Model + Send + Sync>,
+}
+
+impl ModelSpec {
+    /// The anonymous shared blackboard.
+    pub fn blackboard() -> Self {
+        ModelSpec::custom("blackboard", |_| Model::Blackboard)
+    }
+
+    /// Message passing with the canonical cyclic numbering.
+    pub fn cyclic_ports() -> Self {
+        ModelSpec::custom("cyclic ports", |alpha| {
+            Model::message_passing_cyclic(alpha.n())
+        })
+    }
+
+    /// Message passing with the Lemma 4.3 adversarial numbering for the
+    /// assignment's actual `gcd(n_1..n_k)`.
+    pub fn adversarial_ports() -> Self {
+        ModelSpec::custom("adversarial ports", |alpha| {
+            Model::MessagePassing(PortNumbering::adversarial(
+                alpha.n(),
+                alpha.gcd_of_group_sizes() as usize,
+            ))
+        })
+    }
+
+    /// An arbitrary labeled model constructor.
+    pub fn custom<S, F>(label: S, make: F) -> Self
+    where
+        S: Into<String>,
+        F: Fn(&Assignment) -> Model + Send + Sync + 'static,
+    {
+        ModelSpec {
+            label: label.into(),
+            make: Box::new(make),
+        }
+    }
+}
+
+/// A task family, instantiated per system size `n` (tasks like
+/// `LeaderAndDeputy::unconstrained(n)` depend on `n`; fixed tasks ignore
+/// it).
+pub struct TaskSpec {
+    make: Box<dyn Fn(usize) -> Box<dyn Task + Send + Sync> + Send + Sync>,
+}
+
+impl TaskSpec {
+    /// A task family from an explicit per-`n` constructor.
+    pub fn new<F>(make: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn Task + Send + Sync> + Send + Sync + 'static,
+    {
+        TaskSpec {
+            make: Box::new(make),
+        }
+    }
+
+    /// A size-independent task, cloned for every sweep point.
+    pub fn fixed<T: Task + Clone + Send + Sync + 'static>(task: T) -> Self {
+        TaskSpec::new(move |_| Box::new(task.clone()))
+    }
+}
+
+/// A thread-safe predicate over assignments (filters and theorem checks).
+type AlphaPredicate = Box<dyn Fn(&Assignment) -> bool + Send + Sync>;
+
+/// A declarative sweep: `models × tasks × group-size profiles of
+/// `n ∈ n_range` × t ∈ 1..=t_max(α)`, with `t_max(α) =
+/// clamp(t_cap, bit_budget / k(α))` keeping every point inside the exact
+/// enumerator's `2^{k·t}` budget.
+pub struct SweepSpec {
+    models: Vec<ModelSpec>,
+    tasks: Vec<TaskSpec>,
+    n_range: RangeInclusive<usize>,
+    t_cap: usize,
+    bit_budget: usize,
+    filter: Option<AlphaPredicate>,
+    predicate: Option<AlphaPredicate>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new()
+    }
+}
+
+impl SweepSpec {
+    /// A spec with the bins' common defaults: blackboard, `n ∈ 2..=6`,
+    /// `t ≤ 3`, 16 enumeration bits — no tasks yet.
+    pub fn new() -> Self {
+        SweepSpec {
+            models: Vec::new(),
+            tasks: Vec::new(),
+            n_range: 2..=6,
+            t_cap: 3,
+            bit_budget: 16,
+            filter: None,
+            predicate: None,
+        }
+    }
+
+    /// Adds a model family (defaults to blackboard if none added).
+    pub fn model(mut self, model: ModelSpec) -> Self {
+        self.models.push(model);
+        self
+    }
+
+    /// Adds a task family.
+    pub fn task(mut self, task: TaskSpec) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Sets the range of node counts swept.
+    pub fn nodes(mut self, n_range: RangeInclusive<usize>) -> Self {
+        self.n_range = n_range;
+        self
+    }
+
+    /// Sets the cap on the series length `t_max`.
+    pub fn t_cap(mut self, t_cap: usize) -> Self {
+        self.t_cap = t_cap;
+        self
+    }
+
+    /// Sets the exact-enumeration bit budget (`k·t ≤ bit_budget`).
+    pub fn bit_budget(mut self, bit_budget: usize) -> Self {
+        self.bit_budget = bit_budget;
+        self
+    }
+
+    /// Restricts the sweep to assignments accepted by `filter`.
+    pub fn filter<F>(mut self, filter: F) -> Self
+    where
+        F: Fn(&Assignment) -> bool + Send + Sync + 'static,
+    {
+        self.filter = Some(Box::new(filter));
+        self
+    }
+
+    /// Attaches the theorem's predicted eventual-solvability predicate;
+    /// every row then carries `predicted` and `matches` columns.
+    pub fn predicate<F>(mut self, predicate: F) -> Self
+    where
+        F: Fn(&Assignment) -> bool + Send + Sync + 'static,
+    {
+        self.predicate = Some(Box::new(predicate));
+        self
+    }
+
+    /// The series length for one assignment under this spec's budget.
+    pub fn t_max(&self, alpha: &Assignment) -> usize {
+        self.t_cap.min(self.bit_budget / alpha.k().max(1)).max(1)
+    }
+}
+
+/// One sweep point's result: the exact `p(1..t_max)` series for a
+/// `(model, task, α)` triple plus its zero-one-law classification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Model label from the [`ModelSpec`].
+    pub model: String,
+    /// Task name ([`Task::name`]).
+    pub task: String,
+    /// Group sizes `n_1..n_k` of the assignment.
+    pub sizes: Vec<usize>,
+    /// Node count `n`.
+    pub n: usize,
+    /// Source count `k`.
+    pub k: usize,
+    /// `gcd(n_1..n_k)` (Theorem 4.2's quantity).
+    pub gcd: u64,
+    /// Exact probabilities `p(1), …, p(t_max)`.
+    pub series: Vec<f64>,
+    /// Zero-one-law classification of the series.
+    pub limit: LimitClass,
+    /// The spec predicate's verdict, when one was attached.
+    pub predicted: Option<bool>,
+    /// Whether the observed limit matches `predicted`.
+    pub matches: Option<bool>,
+}
+
+impl SweepRow {
+    /// Whether the series is monotone non-decreasing (Lemma 3.2 requires
+    /// it; exposed so bins can assert it per row).
+    pub fn is_monotone(&self) -> bool {
+        self.series.windows(2).all(|w| w[1] >= w[0] - 1e-12)
+    }
+
+    /// `p(t)` formatted for a table cell, `-` when beyond the series.
+    pub fn p_at(&self, t: usize) -> String {
+        self.series
+            .get(t - 1)
+            .map(|p| fmt_p(*p))
+            .unwrap_or_else(|| "-".into())
+    }
+
+    /// The limit classification as a short string.
+    pub fn limit_str(&self) -> String {
+        format!("{:?}", self.limit)
+    }
+
+    /// The typed JSON object for the report schema.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("model".to_string(), Json::Str(self.model.clone())),
+            ("task".to_string(), Json::Str(self.task.clone())),
+            (
+                "sizes".to_string(),
+                Json::Arr(self.sizes.iter().map(|&s| Json::Int(s as i64)).collect()),
+            ),
+            ("n".to_string(), Json::Int(self.n as i64)),
+            ("k".to_string(), Json::Int(self.k as i64)),
+            ("gcd".to_string(), Json::Int(self.gcd as i64)),
+            (
+                "series".to_string(),
+                Json::Arr(self.series.iter().map(|&p| Json::Num(p)).collect()),
+            ),
+            ("limit".to_string(), Json::Str(self.limit_str())),
+        ];
+        if let Some(p) = self.predicted {
+            pairs.push(("predicted".to_string(), Json::Bool(p)));
+        }
+        if let Some(m) = self.matches {
+            pairs.push(("matches".to_string(), Json::Bool(m)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// The standard text rendering of sweep rows: model/task columns only when
+/// they vary, `p(1..4)` capped, predicted/matches only when present.
+pub fn standard_table(rows: &[SweepRow]) -> Table {
+    let varies = |f: fn(&SweepRow) -> &str| rows.windows(2).any(|w| f(&w[0]) != f(&w[1]));
+    let show_model = varies(|r| &r.model);
+    let show_task = varies(|r| &r.task);
+    let show_predicted = rows.iter().any(|r| r.predicted.is_some());
+    let series_cols = rows
+        .iter()
+        .map(|r| r.series.len())
+        .max()
+        .unwrap_or(0)
+        .min(4);
+    let mut headers = Vec::new();
+    if show_model {
+        headers.push("model".to_string());
+    }
+    if show_task {
+        headers.push("task".to_string());
+    }
+    headers.push("sizes".to_string());
+    headers.push("gcd".to_string());
+    if show_predicted {
+        headers.push("predicted".to_string());
+    }
+    for t in 1..=series_cols {
+        headers.push(format!("p({t})"));
+    }
+    headers.push("limit".to_string());
+    if show_predicted {
+        headers.push("matches".to_string());
+    }
+    let mut table = Table::new(headers);
+    for r in rows {
+        let mut cells = Vec::new();
+        if show_model {
+            cells.push(r.model.clone());
+        }
+        if show_task {
+            cells.push(r.task.clone());
+        }
+        cells.push(fmt_sizes(&r.sizes));
+        cells.push(r.gcd.to_string());
+        if show_predicted {
+            cells.push(
+                r.predicted
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        for t in 1..=series_cols {
+            cells.push(r.p_at(t));
+        }
+        cells.push(r.limit_str());
+        if show_predicted {
+            cells.push(
+                r.matches
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// One expanded sweep point, ready for a worker.
+struct Point {
+    model: Model,
+    model_label: String,
+    task: Box<dyn Task + Send + Sync>,
+    alpha: Assignment,
+    t_max: usize,
+    predicted: Option<bool>,
+}
+
+/// The executor: a probability cache, a shared arena for serial one-off
+/// evaluations, and a worker budget for sweep fan-out.
+pub struct SweepEngine {
+    threads: usize,
+    cache: Cache,
+    arena: KnowledgeArena,
+    sweep_hits: u64,
+    sweep_misses: u64,
+}
+
+/// The default worker count: available parallelism, capped at 8 (sweep
+/// points are short; beyond that spawn overhead dominates).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+impl SweepEngine {
+    /// Creates an engine with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        SweepEngine {
+            threads,
+            cache: Cache::new(),
+            arena: KnowledgeArena::new(),
+            sweep_hits: 0,
+            sweep_misses: 0,
+        }
+    }
+
+    /// The worker count sweeps fan out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's shared knowledge arena, for bins running their own
+    /// enumeration checks (interning stays amortized across sections).
+    pub fn arena(&mut self) -> &mut KnowledgeArena {
+        &mut self.arena
+    }
+
+    /// Total cached points / hits / misses across every evaluation path.
+    pub fn cache_stats(&self) -> (u64, u64, usize) {
+        (
+            self.cache.hits() + self.sweep_hits,
+            self.cache.misses() + self.sweep_misses,
+            self.cache.len(),
+        )
+    }
+
+    /// Cached exact `Pr[S(t) | α]` (serial path, engine arena).
+    pub fn exact<T: Task + ?Sized>(
+        &mut self,
+        model: &Model,
+        task: &T,
+        alpha: &Assignment,
+        t: usize,
+    ) -> f64 {
+        probability::exact_cached(&mut self.cache, model, task, alpha, t, &mut self.arena)
+    }
+
+    /// Cached exact series `p(1..t_max)` (serial path, engine arena).
+    pub fn exact_series<T: Task + ?Sized>(
+        &mut self,
+        model: &Model,
+        task: &T,
+        alpha: &Assignment,
+        t_max: usize,
+    ) -> Vec<f64> {
+        probability::exact_series_cached(
+            &mut self.cache,
+            model,
+            task,
+            alpha,
+            t_max,
+            &mut self.arena,
+        )
+    }
+
+    /// Executes a declarative sweep: expands the spec, answers cached
+    /// points from memory, fans uncached points out over per-worker-arena
+    /// threads, merges deterministically, and returns one row per
+    /// `(task, model, α)` triple in expansion order.
+    pub fn sweep(&mut self, spec: &SweepSpec) -> Vec<SweepRow> {
+        let default_model = [ModelSpec::blackboard()];
+        let models: &[ModelSpec] = if spec.models.is_empty() {
+            &default_model
+        } else {
+            &spec.models
+        };
+        assert!(!spec.tasks.is_empty(), "sweep spec needs at least one task");
+
+        let mut points = Vec::new();
+        for tspec in &spec.tasks {
+            for mspec in models {
+                for n in spec.n_range.clone() {
+                    for alpha in Assignment::iter_profiles(n) {
+                        if spec.filter.as_ref().is_some_and(|f| !f(&alpha)) {
+                            continue;
+                        }
+                        points.push(Point {
+                            model: (mspec.make)(&alpha),
+                            model_label: mspec.label.clone(),
+                            task: (tspec.make)(n),
+                            t_max: spec.t_max(&alpha),
+                            predicted: spec.predicate.as_ref().map(|p| p(&alpha)),
+                            alpha,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Split cached from uncached at per-t granularity: a point whose
+        // prefix was already warmed (e.g. by an earlier `exact()` call)
+        // only dispatches its missing suffix, and the hit/miss statistics
+        // count exactly what was answered from memory vs computed.
+        let mut missing: Vec<(&Point, Vec<usize>)> = Vec::new();
+        for p in &points {
+            let missing_ts: Vec<usize> = (1..=p.t_max)
+                .filter(|&t| {
+                    self.cache
+                        .peek(&p.model, p.task.as_ref(), &p.alpha, t)
+                        .is_none()
+                })
+                .collect();
+            self.sweep_hits += (p.t_max - missing_ts.len()) as u64;
+            self.sweep_misses += missing_ts.len() as u64;
+            if !missing_ts.is_empty() {
+                missing.push((p, missing_ts));
+            }
+        }
+
+        // Parallel fan-out with per-worker arenas; a worker's arena is
+        // reused across its whole chunk (incremental interning).
+        let computed = pool::map_with_arena(&missing, self.threads, |arena, (p, ts)| {
+            ts.iter()
+                .map(|&t| {
+                    probability::exact_with_arena(&p.model, p.task.as_ref(), &p.alpha, t, arena)
+                })
+                .collect::<Vec<f64>>()
+        });
+
+        // Deterministic merge: point order, never completion order.
+        for ((p, ts), values) in missing.iter().zip(&computed) {
+            for (&t, &v) in ts.iter().zip(values) {
+                self.cache.insert(&p.model, p.task.as_ref(), &p.alpha, t, v);
+            }
+        }
+
+        points
+            .iter()
+            .map(|p| {
+                let series: Vec<f64> = (1..=p.t_max)
+                    .map(|t| {
+                        self.cache
+                            .peek(&p.model, p.task.as_ref(), &p.alpha, t)
+                            .expect("merged above")
+                    })
+                    .collect();
+                let limit = eventual::lemma_3_2_limit(&series);
+                let matches = p.predicted.map(|pred| pred == (limit == LimitClass::One));
+                SweepRow {
+                    model: p.model_label.clone(),
+                    task: p.task.name(),
+                    sizes: p.alpha.group_sizes().to_vec(),
+                    n: p.alpha.n(),
+                    k: p.alpha.k(),
+                    gcd: p.alpha.gcd_of_group_sizes(),
+                    series,
+                    limit,
+                    predicted: p.predicted,
+                    matches,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_tasks::LeaderElection;
+
+    fn le_spec() -> SweepSpec {
+        SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(2..=5)
+            .predicate(eventual::blackboard_eventually_solvable)
+    }
+
+    #[test]
+    fn sweep_matches_theorem_4_1() {
+        let mut engine = SweepEngine::new(2);
+        let rows = engine.sweep(&le_spec());
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.matches == Some(true)));
+        assert!(rows.iter().all(|r| r.is_monotone()));
+    }
+
+    #[test]
+    fn second_sweep_is_fully_cached() {
+        let mut engine = SweepEngine::new(2);
+        let first = engine.sweep(&le_spec());
+        let (_, misses_after_first, points) = engine.cache_stats();
+        let second = engine.sweep(&le_spec());
+        let (hits, misses, points_after) = engine.cache_stats();
+        assert_eq!(first, second, "replay must be bit-identical");
+        assert_eq!(misses, misses_after_first, "no new computation");
+        assert_eq!(points, points_after);
+        assert!(hits >= misses_after_first);
+    }
+
+    #[test]
+    fn standard_table_hides_constant_columns() {
+        let mut engine = SweepEngine::new(1);
+        let rows = engine.sweep(&le_spec());
+        let table = standard_table(&rows);
+        let text = table.to_string();
+        assert!(!text.contains("blackboard"), "constant model column hidden");
+        assert!(text.contains("predicted"));
+        assert!(text.contains("matches"));
+    }
+
+    #[test]
+    fn partially_cached_points_only_compute_missing_suffix() {
+        // Warm t = 1, 2 of the [2,1] profile through the serial path.
+        let mut engine = SweepEngine::new(2);
+        let alpha = Assignment::from_group_sizes(&[2, 1]).unwrap();
+        engine.exact(&Model::Blackboard, &LeaderElection, &alpha, 1);
+        engine.exact(&Model::Blackboard, &LeaderElection, &alpha, 2);
+        let (_, misses_before, _) = engine.cache_stats();
+        assert_eq!(misses_before, 2);
+
+        // Profiles of n = 3: [3], [2,1], [1,1,1], each with t_max = 3.
+        let spec = SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(3..=3)
+            .t_cap(3)
+            .bit_budget(12);
+        let rows = engine.sweep(&spec);
+        let (hits, misses, points) = engine.cache_stats();
+        assert_eq!(hits, 2, "warmed prefix answered from memory");
+        assert_eq!(misses, 2 + 7, "only the 7 uncached points computed");
+        assert_eq!(points, 9);
+
+        // And the suffix-only path is bit-identical to a cold engine.
+        let cold = SweepEngine::new(2).sweep(&spec);
+        assert_eq!(rows, cold);
+    }
+
+    #[test]
+    fn t_max_respects_bit_budget() {
+        let spec = SweepSpec::new().t_cap(5).bit_budget(12);
+        let a = Assignment::from_group_sizes(&[1, 1, 1, 1]).unwrap(); // k=4
+        assert_eq!(spec.t_max(&a), 3);
+        let b = Assignment::shared(4); // k=1
+        assert_eq!(spec.t_max(&b), 5);
+    }
+}

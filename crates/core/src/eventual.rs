@@ -135,7 +135,7 @@ mod tests {
     fn blackboard_solvable_implies_mp_solvable() {
         // ∃ n_i = 1 ⇒ gcd = 1: the blackboard condition is strictly
         // stronger, matching the intuition that ports only help.
-        for alpha in Assignment::enumerate_profiles(6) {
+        for alpha in Assignment::iter_profiles(6) {
             if blackboard_eventually_solvable(&alpha) {
                 assert!(message_passing_worst_case_solvable(&alpha));
             }

@@ -5,6 +5,8 @@
 //! (all equiprobable by Lemma B.1); a Monte-Carlo estimator covers the
 //! regimes where exact enumeration is out of reach.
 
+use std::collections::HashMap;
+
 use rand::Rng;
 use rsbt_random::{Assignment, Realization};
 use rsbt_sim::{KnowledgeArena, Model};
@@ -35,7 +37,27 @@ pub const MAX_EXACT_BITS: usize = 26;
 /// let p = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, 1);
 /// assert!((p - 0.5).abs() < 1e-12);
 /// ```
-pub fn exact<T: Task>(model: &Model, task: &T, alpha: &Assignment, t: usize) -> f64 {
+pub fn exact<T: Task + ?Sized>(model: &Model, task: &T, alpha: &Assignment, t: usize) -> f64 {
+    exact_with_arena(model, task, alpha, t, &mut KnowledgeArena::new())
+}
+
+/// [`exact`] with a caller-provided [`KnowledgeArena`].
+///
+/// Interning is content-addressed, so reusing one arena across many
+/// enumeration points (a whole `p(1..t_max)` series, or a sweep worker's
+/// chunk) produces bit-identical probabilities while skipping the
+/// re-interning of shared knowledge prefixes.
+///
+/// # Panics
+///
+/// Same conditions as [`exact`].
+pub fn exact_with_arena<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    arena: &mut KnowledgeArena,
+) -> f64 {
     let bits = alpha.k() * t;
     assert!(
         bits <= MAX_EXACT_BITS,
@@ -44,11 +66,10 @@ pub fn exact<T: Task>(model: &Model, task: &T, alpha: &Assignment, t: usize) -> 
     if let Some(p) = model.ports() {
         assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
     }
-    let mut arena = KnowledgeArena::new();
     let mut solved = 0u64;
     let mut total = 0u64;
     for rho in Realization::enumerate_consistent(alpha, t) {
-        if solvability::solves(model, &rho, task, &mut arena) {
+        if solvability::solves(model, &rho, task, arena) {
             solved += 1;
         }
         total += 1;
@@ -57,13 +78,144 @@ pub fn exact<T: Task>(model: &Model, task: &T, alpha: &Assignment, t: usize) -> 
 }
 
 /// The series `p(1), …, p(t_max)` of exact success probabilities.
-pub fn exact_series<T: Task>(
+///
+/// One [`KnowledgeArena`] is shared across the whole series: the `t`-round
+/// knowledge values extend the `t − 1`-round ones, so rebuilding a fresh
+/// arena per prefix (the old behavior) re-interned every shared prefix
+/// `t_max` times. Results are bit-identical to calling [`exact`] per `t`
+/// (asserted by test).
+pub fn exact_series<T: Task + ?Sized>(
     model: &Model,
     task: &T,
     alpha: &Assignment,
     t_max: usize,
 ) -> Vec<f64> {
-    (1..=t_max).map(|t| exact(model, task, alpha, t)).collect()
+    exact_series_with_arena(model, task, alpha, t_max, &mut KnowledgeArena::new())
+}
+
+/// [`exact_series`] with a caller-provided [`KnowledgeArena`].
+pub fn exact_series_with_arena<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    arena: &mut KnowledgeArena,
+) -> Vec<f64> {
+    (1..=t_max)
+        .map(|t| exact_with_arena(model, task, alpha, t, arena))
+        .collect()
+}
+
+/// Memoization cache for exact sweep points.
+///
+/// Keyed by `(model, task name, canonical α source labels, t)` — the full
+/// identity of one exact-probability evaluation. Overlapping sweep points
+/// (the same profile appearing across bins, rounds, and report sections)
+/// are computed once per process.
+///
+/// The task name is part of the key, so [`Task::name`] must uniquely
+/// identify the task's output-complex family (all in-tree tasks do; e.g.
+/// `KLeaderElection` embeds `k` and constrained `LeaderAndDeputy` variants
+/// embed their constraint masks).
+#[derive(Clone, Debug, Default)]
+pub struct Cache {
+    map: HashMap<(Model, String, Vec<usize>, usize), f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Cache::default()
+    }
+
+    /// The number of distinct sweep points stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no point has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// How many lookups were answered from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// How many lookups had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up a point without computing; does not touch hit statistics.
+    pub fn peek<T: Task + ?Sized>(
+        &self,
+        model: &Model,
+        task: &T,
+        alpha: &Assignment,
+        t: usize,
+    ) -> Option<f64> {
+        self.map
+            .get(&(model.clone(), task.name(), alpha.sources().to_vec(), t))
+            .copied()
+    }
+
+    /// Inserts a precomputed point (used by parallel sweep engines that
+    /// compute misses out-of-band and merge deterministically).
+    pub fn insert<T: Task + ?Sized>(
+        &mut self,
+        model: &Model,
+        task: &T,
+        alpha: &Assignment,
+        t: usize,
+        p: f64,
+    ) {
+        self.map
+            .insert((model.clone(), task.name(), alpha.sources().to_vec(), t), p);
+    }
+}
+
+/// Cached [`exact`]: answers from `cache` when possible, otherwise computes
+/// via [`exact_with_arena`] and memoizes.
+///
+/// # Panics
+///
+/// Same conditions as [`exact`].
+pub fn exact_cached<T: Task + ?Sized>(
+    cache: &mut Cache,
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    arena: &mut KnowledgeArena,
+) -> f64 {
+    let key = (model.clone(), task.name(), alpha.sources().to_vec(), t);
+    if let Some(&p) = cache.map.get(&key) {
+        cache.hits += 1;
+        return p;
+    }
+    cache.misses += 1;
+    let p = exact_with_arena(model, task, alpha, t, arena);
+    cache.map.insert(key, p);
+    p
+}
+
+/// Cached [`exact_series`]: each prefix `t` is memoized individually, so a
+/// longer series extends a shorter one without recomputing shared prefixes.
+pub fn exact_series_cached<T: Task + ?Sized>(
+    cache: &mut Cache,
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    arena: &mut KnowledgeArena,
+) -> Vec<f64> {
+    (1..=t_max)
+        .map(|t| exact_cached(cache, model, task, alpha, t, arena))
+        .collect()
 }
 
 /// Exact `Pr[S(t) | α]` computed on `threads` OS threads, each with its
@@ -296,5 +448,105 @@ mod tests {
     fn exact_budget_guard() {
         let alpha = Assignment::private(7);
         let _ = exact(&Model::Blackboard, &LeaderElection, &alpha, 4);
+    }
+
+    #[test]
+    fn shared_arena_series_bit_identical_to_per_t_path() {
+        // The incremental series (one arena for all prefixes) must agree
+        // bit-for-bit with a fresh arena per t, on both models.
+        for model in [Model::Blackboard, Model::message_passing_cyclic(4)] {
+            for sizes in [vec![1usize, 3], vec![2, 2], vec![1, 1, 2]] {
+                let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+                let series = exact_series(&model, &LeaderElection, &alpha, 3);
+                for (i, &p) in series.iter().enumerate() {
+                    let fresh = exact(&model, &LeaderElection, &alpha, i + 1);
+                    assert!(
+                        p.to_bits() == fresh.to_bits(),
+                        "{model} {sizes:?} t={}: {p} vs {fresh}",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_replays_bit_identical_values() {
+        let mut cache = Cache::new();
+        let mut arena = KnowledgeArena::new();
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let first = exact_series_cached(
+            &mut cache,
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            4,
+            &mut arena,
+        );
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 4);
+        // A longer series extends the cached prefix: 4 hits + 2 misses.
+        let longer = exact_series_cached(
+            &mut cache,
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            6,
+            &mut arena,
+        );
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 6);
+        assert_eq!(&longer[..4], &first[..]);
+        for (i, &p) in longer.iter().enumerate() {
+            let fresh = exact(&Model::Blackboard, &LeaderElection, &alpha, i + 1);
+            assert_eq!(p.to_bits(), fresh.to_bits(), "t={}", i + 1);
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_model_task_and_alpha() {
+        let mut cache = Cache::new();
+        let mut arena = KnowledgeArena::new();
+        let a12 = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let a111 = Assignment::from_group_sizes(&[1, 1, 1]).unwrap();
+        let two = KLeaderElection::new(2);
+        let mp = Model::message_passing_cyclic(3);
+        let points: Vec<f64> = vec![
+            exact_cached(
+                &mut cache,
+                &Model::Blackboard,
+                &LeaderElection,
+                &a12,
+                2,
+                &mut arena,
+            ),
+            exact_cached(
+                &mut cache,
+                &Model::Blackboard,
+                &LeaderElection,
+                &a111,
+                2,
+                &mut arena,
+            ),
+            exact_cached(&mut cache, &Model::Blackboard, &two, &a111, 2, &mut arena),
+            exact_cached(&mut cache, &mp, &LeaderElection, &a111, 2, &mut arena),
+        ];
+        assert_eq!(cache.len(), 4, "four distinct keys, no collisions");
+        assert_eq!(cache.misses(), 4);
+        // Replays hit and agree.
+        assert_eq!(
+            exact_cached(&mut cache, &mp, &LeaderElection, &a111, 2, &mut arena).to_bits(),
+            points[3].to_bits()
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(
+            cache.peek(&Model::Blackboard, &LeaderElection, &a12, 2),
+            Some(points[0])
+        );
+        assert_eq!(
+            cache.peek(&Model::Blackboard, &LeaderElection, &a12, 3),
+            None
+        );
     }
 }

@@ -14,6 +14,11 @@ use crate::gcd;
 /// same partition of nodes compare equal iff their ordered source labels
 /// agree after canonicalization.
 ///
+/// Group structure (sizes and members per source) is precomputed at
+/// construction, so the accessors used inside `2^{k·t}` enumeration loops
+/// ([`Assignment::group_sizes`], [`Assignment::groups`]) return borrowed
+/// slices instead of allocating.
+///
 /// # Example
 ///
 /// ```
@@ -22,7 +27,7 @@ use crate::gcd;
 /// let alpha = Assignment::from_sources(vec![7, 7, 3])?; // canonicalized
 /// assert_eq!(alpha.source_of(0), 0);
 /// assert_eq!(alpha.source_of(2), 1);
-/// assert_eq!(alpha.group_sizes(), vec![2, 1]);
+/// assert_eq!(alpha.group_sizes(), &[2, 1]);
 /// assert!(alpha.has_singleton_group()); // Theorem 4.1's condition
 /// # Ok::<(), rsbt_random::RandomError>(())
 /// ```
@@ -31,9 +36,45 @@ pub struct Assignment {
     /// `source[i]` = canonical source index of node `i`, in `0..k`.
     source: Vec<usize>,
     k: usize,
+    /// Cached group sizes `n_1, …, n_k` (canonical source order).
+    sizes: Vec<usize>,
+    /// Nodes sorted by group: `members[offsets[s]..offsets[s+1]]` is the
+    /// (ascending) node list of group `s`.
+    members: Vec<usize>,
+    /// `k + 1` cumulative boundaries into `members`.
+    offsets: Vec<usize>,
 }
 
 impl Assignment {
+    /// Builds from an already-canonical source vector, precomputing the
+    /// group structure. All public constructors funnel through here.
+    fn from_canonical(source: Vec<usize>, k: usize) -> Self {
+        let mut sizes = vec![0usize; k];
+        for &s in &source {
+            sizes[s] += 1;
+        }
+        let mut offsets = Vec::with_capacity(k + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for &sz in &sizes {
+            acc += sz;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut members = vec![0usize; source.len()];
+        for (i, &s) in source.iter().enumerate() {
+            members[cursor[s]] = i;
+            cursor[s] += 1;
+        }
+        Assignment {
+            source,
+            k,
+            sizes,
+            members,
+            offsets,
+        }
+    }
+
     /// Builds an assignment from raw per-node source labels, renumbering
     /// sources in order of first appearance.
     ///
@@ -57,7 +98,7 @@ impl Assignment {
             source.push(idx);
         }
         let k = canonical.len();
-        Ok(Assignment { source, k })
+        Ok(Assignment::from_canonical(source, k))
     }
 
     /// Builds the assignment with the given group sizes `n_1, …, n_k`:
@@ -79,10 +120,7 @@ impl Assignment {
         for (s, &size) in sizes.iter().enumerate() {
             source.extend(std::iter::repeat_n(s, size));
         }
-        Ok(Assignment {
-            source,
-            k: sizes.len(),
-        })
+        Ok(Assignment::from_canonical(source, sizes.len()))
     }
 
     /// Private randomness: every node has its own source (`k = n`).
@@ -92,10 +130,7 @@ impl Assignment {
     /// Panics if `n == 0`.
     pub fn private(n: usize) -> Self {
         assert!(n > 0, "assignment needs at least one node");
-        Assignment {
-            source: (0..n).collect(),
-            k: n,
-        }
+        Assignment::from_canonical((0..n).collect(), n)
     }
 
     /// Shared randomness: all nodes wired to the same source (`k = 1`).
@@ -105,10 +140,7 @@ impl Assignment {
     /// Panics if `n == 0`.
     pub fn shared(n: usize) -> Self {
         assert!(n > 0, "assignment needs at least one node");
-        Assignment {
-            source: vec![0; n],
-            k: 1,
-        }
+        Assignment::from_canonical(vec![0; n], 1)
     }
 
     /// The number of nodes `n`.
@@ -135,22 +167,25 @@ impl Assignment {
         &self.source
     }
 
-    /// The group sizes `n_1, …, n_k` in canonical source order.
-    pub fn group_sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![0usize; self.k];
-        for &s in &self.source {
-            sizes[s] += 1;
-        }
-        sizes
+    /// The group sizes `n_1, …, n_k` in canonical source order (borrowed
+    /// from the cache built at construction — no allocation).
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.sizes
     }
 
-    /// The nodes of each group, in canonical source order.
-    pub fn groups(&self) -> Vec<Vec<usize>> {
-        let mut groups = vec![Vec::new(); self.k];
-        for (i, &s) in self.source.iter().enumerate() {
-            groups[s].push(i);
-        }
-        groups
+    /// The (ascending) nodes of group `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k()`.
+    pub fn group(&self, s: usize) -> &[usize] {
+        &self.members[self.offsets[s]..self.offsets[s + 1]]
+    }
+
+    /// The nodes of each group, in canonical source order, as borrowed
+    /// slices (no allocation).
+    pub fn groups(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        (0..self.k).map(move |s| self.group(s))
     }
 
     /// Whether two nodes share a randomness source.
@@ -160,70 +195,131 @@ impl Assignment {
 
     /// Theorem 4.1's condition: does some source feed exactly one node?
     pub fn has_singleton_group(&self) -> bool {
-        self.group_sizes().contains(&1)
+        self.sizes.contains(&1)
     }
 
     /// Theorem 4.2's quantity: `gcd(n_1, …, n_k)`.
     pub fn gcd_of_group_sizes(&self) -> u64 {
-        let sizes: Vec<u64> = self.group_sizes().iter().map(|&s| s as u64).collect();
+        let sizes: Vec<u64> = self.sizes.iter().map(|&s| s as u64).collect();
         gcd::gcd_many(&sizes)
     }
 
-    /// Enumerates every randomness-configuration on `n` nodes, i.e. every
-    /// set partition of `[n]` (via restricted-growth strings). There are
-    /// Bell(n) of them (e.g. 203 for `n = 6`).
+    /// Lazily enumerates every randomness-configuration on `n` nodes, i.e.
+    /// every set partition of `[n]` (via restricted-growth strings). There
+    /// are Bell(n) of them (e.g. 203 for `n = 6`), so the streaming form
+    /// matters: sweeps can filter and early-exit without materializing the
+    /// whole family.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn enumerate_all(n: usize) -> Vec<Assignment> {
+    pub fn iter_all(n: usize) -> AllAssignments {
         assert!(n > 0, "assignment needs at least one node");
-        let mut out = Vec::new();
-        let mut rgs = vec![0usize; n];
-        loop {
-            out.push(Assignment {
-                source: rgs.clone(),
-                k: rgs.iter().copied().max().unwrap() + 1,
-            });
-            // Next restricted-growth string.
-            let mut i = n;
-            loop {
-                if i == 1 {
-                    return out;
-                }
-                i -= 1;
-                let cap = rgs[..i].iter().copied().max().unwrap() + 1;
-                if rgs[i] < cap {
-                    rgs[i] += 1;
-                    for slot in rgs.iter_mut().skip(i + 1) {
-                        *slot = 0;
-                    }
-                    break;
-                }
-            }
+        AllAssignments {
+            rgs: Some(vec![0usize; n]),
         }
     }
 
-    /// Enumerates one representative per *group-size profile* (unordered
-    /// multiset of `n_i`): the integer partitions of `n`. Sufficient for
-    /// solvability sweeps because both theorems depend only on the sizes.
-    pub fn enumerate_profiles(n: usize) -> Vec<Assignment> {
+    /// Lazily enumerates one representative per *group-size profile*
+    /// (unordered multiset of `n_i`): the integer partitions of `n` in
+    /// descending lexicographic order. Sufficient for solvability sweeps
+    /// because both theorems depend only on the sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn iter_profiles(n: usize) -> Profiles {
         assert!(n > 0, "assignment needs at least one node");
-        let mut out = Vec::new();
-        let mut current = Vec::new();
-        fn rec(remaining: usize, max: usize, current: &mut Vec<usize>, out: &mut Vec<Assignment>) {
-            if remaining == 0 {
-                out.push(Assignment::from_group_sizes(current).expect("nonempty parts"));
-                return;
+        Profiles {
+            parts: Some(vec![n]),
+        }
+    }
+
+    /// Materialized form of [`Assignment::iter_all`] (compatibility
+    /// wrapper; prefer the iterator in sweep loops).
+    pub fn enumerate_all(n: usize) -> Vec<Assignment> {
+        Assignment::iter_all(n).collect()
+    }
+
+    /// Materialized form of [`Assignment::iter_profiles`] (compatibility
+    /// wrapper; prefer the iterator in sweep loops).
+    pub fn enumerate_profiles(n: usize) -> Vec<Assignment> {
+        Assignment::iter_profiles(n).collect()
+    }
+}
+
+/// Streaming enumeration of all set partitions of `[n]` (restricted-growth
+/// strings), yielded as canonical [`Assignment`]s. Created by
+/// [`Assignment::iter_all`].
+#[derive(Clone, Debug)]
+pub struct AllAssignments {
+    /// The next restricted-growth string to yield; `None` when exhausted.
+    rgs: Option<Vec<usize>>,
+}
+
+impl Iterator for AllAssignments {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        let rgs = self.rgs.as_mut()?;
+        let out = Assignment::from_canonical(
+            rgs.clone(),
+            rgs.iter().copied().max().expect("nonempty") + 1,
+        );
+        // Advance to the next restricted-growth string.
+        let n = rgs.len();
+        let mut i = n;
+        loop {
+            if i == 1 {
+                self.rgs = None;
+                break;
             }
-            for part in (1..=remaining.min(max)).rev() {
-                current.push(part);
-                rec(remaining - part, part, current, out);
-                current.pop();
+            i -= 1;
+            let cap = rgs[..i].iter().copied().max().expect("nonempty") + 1;
+            if rgs[i] < cap {
+                rgs[i] += 1;
+                for slot in rgs.iter_mut().skip(i + 1) {
+                    *slot = 0;
+                }
+                break;
             }
         }
-        rec(n, n, &mut current, &mut out);
-        out
+        Some(out)
+    }
+}
+
+/// Streaming enumeration of the integer partitions of `n` (descending
+/// lexicographic order), yielded as canonical [`Assignment`]s. Created by
+/// [`Assignment::iter_profiles`].
+#[derive(Clone, Debug)]
+pub struct Profiles {
+    /// The next partition (parts in non-increasing order); `None` when
+    /// exhausted.
+    parts: Option<Vec<usize>>,
+}
+
+impl Iterator for Profiles {
+    type Item = Assignment;
+
+    fn next(&mut self) -> Option<Assignment> {
+        let parts = self.parts.as_mut()?;
+        let out = Assignment::from_group_sizes(parts).expect("nonempty parts");
+        // Advance: decrement the rightmost part > 1 and re-fill greedily.
+        match parts.iter().rposition(|&p| p > 1) {
+            None => self.parts = None,
+            Some(i) => {
+                let mut rem: usize = parts[i + 1..].iter().sum::<usize>() + 1;
+                parts.truncate(i + 1);
+                parts[i] -= 1;
+                let cap = parts[i];
+                while rem > 0 {
+                    let p = cap.min(rem);
+                    parts.push(p);
+                    rem -= p;
+                }
+            }
+        }
+        Some(out)
     }
 }
 
@@ -258,10 +354,23 @@ mod tests {
         let a = Assignment::from_group_sizes(&[2, 3, 1]).unwrap();
         assert_eq!(a.n(), 6);
         assert_eq!(a.k(), 3);
-        assert_eq!(a.group_sizes(), vec![2, 3, 1]);
-        assert_eq!(a.groups()[1], vec![2, 3, 4]);
+        assert_eq!(a.group_sizes(), &[2, 3, 1]);
+        assert_eq!(a.group(1), &[2, 3, 4]);
+        assert_eq!(a.groups().count(), 3);
         assert!(a.same_source(2, 4));
         assert!(!a.same_source(0, 2));
+    }
+
+    #[test]
+    fn groups_cached_for_interleaved_sources() {
+        // Non-contiguous groups: nodes 0 and 2 share source 0.
+        let a = Assignment::from_sources(vec![4, 7, 4, 1]).unwrap();
+        assert_eq!(a.group_sizes(), &[2, 1, 1]);
+        assert_eq!(a.group(0), &[0, 2]);
+        assert_eq!(a.group(1), &[1]);
+        assert_eq!(a.group(2), &[3]);
+        let collected: Vec<&[usize]> = a.groups().collect();
+        assert_eq!(collected, vec![&[0usize, 2][..], &[1], &[3]]);
     }
 
     #[test]
@@ -324,6 +433,70 @@ mod tests {
         }
     }
 
+    /// The pre-refactor materializing enumerator (restricted-growth
+    /// strings, recursive-free loop), kept verbatim as an independent
+    /// reference for the streaming iterator.
+    fn reference_enumerate_all(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut rgs = vec![0usize; n];
+        loop {
+            out.push(rgs.clone());
+            let mut i = n;
+            loop {
+                if i == 1 {
+                    return out;
+                }
+                i -= 1;
+                let cap = rgs[..i].iter().copied().max().unwrap() + 1;
+                if rgs[i] < cap {
+                    rgs[i] += 1;
+                    for slot in rgs.iter_mut().skip(i + 1) {
+                        *slot = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The pre-refactor recursive partition enumerator, kept verbatim as
+    /// an independent reference for the streaming iterator.
+    fn reference_enumerate_profiles(n: usize) -> Vec<Vec<usize>> {
+        fn rec(remaining: usize, max: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if remaining == 0 {
+                out.push(current.clone());
+                return;
+            }
+            for part in (1..=remaining.min(max)).rev() {
+                current.push(part);
+                rec(remaining - part, part, current, out);
+                current.pop();
+            }
+        }
+        let mut out = Vec::new();
+        rec(n, n, &mut Vec::new(), &mut out);
+        out
+    }
+
+    #[test]
+    fn iter_all_matches_reference_enumeration() {
+        for n in 1..=7 {
+            let lazy: Vec<Vec<usize>> = Assignment::iter_all(n)
+                .map(|a| a.sources().to_vec())
+                .collect();
+            assert_eq!(lazy, reference_enumerate_all(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn iter_all_is_streaming() {
+        // Taking a prefix must not require materializing Bell(12) ≈ 4.2M
+        // assignments: just check it terminates fast and yields valid ones.
+        let prefix: Vec<Assignment> = Assignment::iter_all(12).take(10).collect();
+        assert_eq!(prefix.len(), 10);
+        assert!(prefix.iter().all(|a| a.n() == 12));
+    }
+
     #[test]
     fn enumerate_profiles_counts_integer_partitions() {
         // Partition numbers p(n): 1, 2, 3, 5, 7, 11.
@@ -332,6 +505,33 @@ mod tests {
             let n = i + 1;
             assert_eq!(Assignment::enumerate_profiles(n).len(), p, "p({n})");
         }
+    }
+
+    #[test]
+    fn iter_profiles_matches_reference_enumeration() {
+        for n in 1..=9 {
+            let lazy: Vec<Vec<usize>> = Assignment::iter_profiles(n)
+                .map(|a| a.group_sizes().to_vec())
+                .collect();
+            assert_eq!(lazy, reference_enumerate_profiles(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn iter_profiles_descending_lexicographic() {
+        let profiles: Vec<Vec<usize>> = Assignment::iter_profiles(4)
+            .map(|a| a.group_sizes().to_vec())
+            .collect();
+        assert_eq!(
+            profiles,
+            vec![
+                vec![4],
+                vec![3, 1],
+                vec![2, 2],
+                vec![2, 1, 1],
+                vec![1, 1, 1, 1]
+            ]
+        );
     }
 
     #[test]

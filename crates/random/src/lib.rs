@@ -41,7 +41,7 @@ mod error;
 pub mod gcd;
 mod realization;
 
-pub use crate::assignment::Assignment;
+pub use crate::assignment::{AllAssignments, Assignment, Profiles};
 pub use crate::bits::{BitString, MAX_BITS};
 pub use crate::error::RandomError;
 pub use crate::realization::Realization;

@@ -85,7 +85,7 @@ impl Realization {
         if alpha.n() != self.n() {
             return false;
         }
-        alpha.groups().iter().all(|group| {
+        alpha.groups().all(|group| {
             group
                 .windows(2)
                 .all(|w| self.strings[w[0]] == self.strings[w[1]])

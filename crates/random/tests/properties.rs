@@ -40,9 +40,13 @@ proptest! {
         prop_assert_eq!(sizes.len(), alpha.k());
         prop_assert_eq!(sizes.iter().sum::<usize>(), alpha.n());
         prop_assert!(sizes.iter().all(|&s| s >= 1));
-        let groups = alpha.groups();
-        let total: usize = groups.iter().map(Vec::len).sum();
+        let total: usize = alpha.groups().map(<[usize]>::len).sum();
         prop_assert_eq!(total, alpha.n());
+        // The cached members cover each node exactly once, grouped by source.
+        for (s, group) in alpha.groups().enumerate() {
+            prop_assert_eq!(group.len(), alpha.group_sizes()[s]);
+            prop_assert!(group.iter().all(|&i| alpha.source_of(i) == s));
+        }
     }
 
     /// gcd of group sizes divides every group size and n.
@@ -50,7 +54,7 @@ proptest! {
     fn gcd_divides(alpha in arb_assignment(8)) {
         let g = alpha.gcd_of_group_sizes();
         prop_assert!(g >= 1);
-        for s in alpha.group_sizes() {
+        for &s in alpha.group_sizes() {
             prop_assert_eq!(s as u64 % g, 0);
         }
         prop_assert_eq!(alpha.n() as u64 % g, 0);

@@ -44,6 +44,7 @@
 mod execution;
 mod knowledge;
 mod model;
+pub mod pool;
 pub mod ports;
 pub mod runner;
 pub mod stats;

@@ -10,7 +10,7 @@ use crate::ports::PortNumbering;
 /// parameterized by a concrete [`PortNumbering`], because knowledge — and
 /// hence solvability — depends on it (Theorem 4.2 quantifies over the worst
 /// case).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Model {
     /// Shared anonymous blackboard: everyone sees every message, senders
     /// are anonymous, board order is lexicographic.

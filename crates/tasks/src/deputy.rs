@@ -103,7 +103,23 @@ impl LeaderAndDeputy {
 
 impl Task for LeaderAndDeputy {
     fn name(&self) -> String {
-        "leader-and-deputy".into()
+        // The name doubles as a memoization key (`rsbt_core::probability`
+        // caches on it), so constrained variants must not alias the
+        // unconstrained task.
+        if self.may_lead.iter().all(|&b| b) && self.may_deputy.iter().all(|&b| b) {
+            "leader-and-deputy".into()
+        } else {
+            let enc = |v: &[bool]| {
+                v.iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>()
+            };
+            format!(
+                "leader-and-deputy[L:{},D:{}]",
+                enc(&self.may_lead),
+                enc(&self.may_deputy)
+            )
+        }
     }
 
     /// # Panics

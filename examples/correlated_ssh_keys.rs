@@ -15,13 +15,14 @@ use rsbt::core::eventual;
 use rsbt::protocols::{leader_count, BlackboardLeaderElection};
 use rsbt::random::Assignment;
 use rsbt::sim::{runner, Model};
+use rsbt_bench::Table;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2015); // the year of [Mat15]
     let devices = 5;
+    let mut table = Table::new(vec!["seed pool", "fleets elected", "provably stuck"]);
 
     for key_pool in [2usize, 3, 100] {
-        println!("--- firmware image with a pool of {key_pool} distinct seeds ---");
         let mut ok = 0;
         let mut impossible = 0;
         const FLEETS: usize = 50;
@@ -45,11 +46,14 @@ fn main() {
             assert_eq!(leader_count(&out.outputs), 1);
             ok += 1;
         }
-        println!(
-            "  {ok}/{FLEETS} fleets elected a coordinator; {impossible} fleets were \
-             provably stuck (no device had a unique seed)."
-        );
+        table.row(vec![
+            key_pool.to_string(),
+            format!("{ok}/{FLEETS}"),
+            impossible.to_string(),
+        ]);
     }
+    println!("fleets of {devices} devices, seeds drawn from a shared firmware pool:\n");
+    print!("{table}");
     println!();
     println!("Takeaway: duplicated randomness is not a performance problem but a");
     println!("*computability* problem — with no unique source, no algorithm can");

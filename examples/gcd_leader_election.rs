@@ -12,8 +12,9 @@ use rand::SeedableRng;
 use rsbt::protocols::{leader_count, EuclidLeaderElection};
 use rsbt::random::Assignment;
 use rsbt::sim::{runner, Model, PortNumbering};
+use rsbt_bench::{fmt_sizes, Table};
 
-fn demo(sizes: &[usize], adversarial: bool, rng: &mut StdRng) {
+fn demo(sizes: &[usize], adversarial: bool, rng: &mut StdRng, table: &mut Table) {
     let alpha = Assignment::from_group_sizes(sizes).unwrap();
     let n = alpha.n();
     let g = alpha.gcd_of_group_sizes();
@@ -31,39 +32,44 @@ fn demo(sizes: &[usize], adversarial: bool, rng: &mut StdRng) {
         rng,
     );
     let kind = if adversarial { "adversarial" } else { "random" };
-    if out.completed {
-        println!(
-            "  sizes {sizes:?} (gcd {g}), {kind} ports: elected {} leader in {} rounds",
+    let outcome = if out.completed {
+        format!(
+            "elected {} leader in {} rounds",
             leader_count(&out.outputs),
             out.rounds
-        );
+        )
     } else {
-        println!(
-            "  sizes {sizes:?} (gcd {g}), {kind} ports: STUCK after {} rounds (as predicted)",
-            out.rounds
-        );
-    }
+        format!("STUCK after {} rounds (as predicted)", out.rounds)
+    };
+    table.row(vec![
+        fmt_sizes(sizes),
+        g.to_string(),
+        kind.to_string(),
+        outcome,
+    ]);
 }
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
+    let mut table = Table::new(vec!["sizes", "gcd", "ports", "outcome"]);
 
-    println!("gcd = 1: solvable for EVERY numbering (Theorem 4.2, 'if'):");
     for sizes in [vec![2usize, 3], vec![3, 4], vec![2, 2, 3]] {
-        demo(&sizes, false, &mut rng);
-        demo(&sizes, true, &mut rng);
+        demo(&sizes, false, &mut rng, &mut table);
+        demo(&sizes, true, &mut rng, &mut table);
     }
-
-    println!("\ngcd > 1: the adversarial numbering defeats every algorithm");
-    println!("(Theorem 4.2, 'only if', via Lemma 4.3):");
     for sizes in [vec![2usize, 2], vec![3, 3]] {
-        demo(&sizes, true, &mut rng);
+        demo(&sizes, true, &mut rng, &mut table);
     }
+    demo(&[2, 2], false, &mut rng, &mut table);
 
-    println!("\ngcd > 1 with *random* ports: the Euclid algorithm only exploits");
-    println!("randomness groups, so it stalls here too —");
-    demo(&[2, 2], false, &mut rng);
-    println!("— yet the topological framework shows a full-information protocol");
-    println!("CAN often elect under random numberings (run exp_thm42's ablation):");
-    println!("Theorem 4.2's impossibility is specifically about the worst case.");
+    println!("Euclid-style message-passing leader election (Theorem 4.2):\n");
+    print!("{table}");
+    println!();
+    println!("gcd = 1 rows: solvable for EVERY numbering (Theorem 4.2, 'if').");
+    println!("gcd > 1 + adversarial: the numbering defeats every algorithm");
+    println!("(Theorem 4.2, 'only if', via Lemma 4.3).");
+    println!("gcd > 1 + random: the Euclid algorithm only exploits randomness");
+    println!("groups, so it stalls here too — yet the topological framework shows");
+    println!("a full-information protocol CAN often elect under random numberings");
+    println!("(run exp_thm42's ablation): the impossibility is about the worst case.");
 }

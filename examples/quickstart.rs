@@ -44,14 +44,11 @@ fn main() {
     println!("\nrealization {rho} solves LE: {solved}");
 
     // 4. Probabilities: one singleton source among k = 2 sources gives
-    //    p(t) = 1 − 2^{−t}.
+    //    p(t) = 1 − 2^{−t}. The whole series shares one knowledge arena.
     let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
     print!("\nPr[S(t) | α] for sizes [1,2]:");
-    for t in 1..=5 {
-        print!(
-            " {:.4}",
-            probability::exact(&Model::Blackboard, &LeaderElection, &alpha, t)
-        );
+    for p in probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, 5) {
+        print!(" {p:.4}");
     }
     println!();
 

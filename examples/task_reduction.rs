@@ -12,10 +12,12 @@ use rsbt::protocols::reduction::{TableSolver, ViaLeader};
 use rsbt::protocols::BlackboardLeaderElection;
 use rsbt::random::Assignment;
 use rsbt::sim::{runner, Model};
+use rsbt_bench::Table;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let alpha = Assignment::private(4);
+    let mut table = Table::new(vec!["task", "inputs", "outputs", "rounds"]);
 
     // --- consensus ---
     let inputs = [12u64, 7, 31, 7];
@@ -25,10 +27,12 @@ fn main() {
         .collect();
     let out = runner::run_nodes(&Model::Blackboard, &alpha, 512, nodes, &mut rng);
     let decision = check_consensus(&inputs, &out.outputs).expect("consensus holds");
-    println!(
-        "consensus: inputs {inputs:?} → everyone decided {decision} in {} rounds",
-        out.rounds
-    );
+    table.row(vec![
+        "consensus(min)".into(),
+        format!("{inputs:?}"),
+        format!("everyone decided {decision}"),
+        out.rounds.to_string(),
+    ]);
 
     // --- a custom name-independent task: "am I holding a modal value?" ---
     // Output 1 iff your input is among the most frequent input values.
@@ -49,13 +53,21 @@ fn main() {
         .map(|&v| ViaLeader::new(BlackboardLeaderElection::new(), v, solver.clone()))
         .collect();
     let out = runner::run_nodes(&Model::Blackboard, &alpha, 512, nodes, &mut rng);
-    println!(
-        "modal-value task: inputs {inputs:?} → outputs {:?}",
-        out.outputs
-            .iter()
-            .map(|o| o.expect("decided"))
-            .collect::<Vec<_>>()
-    );
+    table.row(vec![
+        "modal-value".into(),
+        format!("{inputs:?}"),
+        format!(
+            "{:?}",
+            out.outputs
+                .iter()
+                .map(|o| o.expect("decided"))
+                .collect::<Vec<_>>()
+        ),
+        out.rounds.to_string(),
+    ]);
+
+    println!("name-independent tasks via the Appendix C reduction:\n");
+    print!("{table}");
     println!();
     println!("Both tasks ran as: elect a leader → publish inputs → leader");
     println!("publishes an input→output table → everyone reads off its output.");

@@ -12,7 +12,7 @@ use rsbt::tasks::{KLeaderElection, LeaderElection, Task};
 #[test]
 fn theorem_4_1_end_to_end() {
     for n in 1..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
+        for alpha in Assignment::iter_profiles(n) {
             let t_max = 3.min(15 / alpha.k().max(1)).max(1);
             let series =
                 probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, t_max);
@@ -31,7 +31,7 @@ fn theorem_4_1_end_to_end() {
 #[test]
 fn theorem_4_2_end_to_end() {
     for n in 2..=6usize {
-        for alpha in Assignment::enumerate_profiles(n) {
+        for alpha in Assignment::iter_profiles(n) {
             let g = alpha.gcd_of_group_sizes() as usize;
             let model = Model::MessagePassing(PortNumbering::adversarial(n, g));
             let t_max = 2.min(14 / alpha.k().max(1)).max(1);
@@ -145,7 +145,7 @@ fn protocol_agrees_with_framework_blackboard() {
 
     let mut rng = StdRng::seed_from_u64(77);
     for n in 2..=5usize {
-        for alpha in Assignment::enumerate_profiles(n) {
+        for alpha in Assignment::iter_profiles(n) {
             let solvable = eventual::blackboard_eventually_solvable(&alpha);
             let out = runner::run(
                 &Model::Blackboard,
