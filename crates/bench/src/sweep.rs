@@ -13,9 +13,11 @@
 //!   [`rsbt_sim::pool::map_with_arena`] workers (per-worker arenas, the
 //!   pattern proven bit-identical by `probability::exact_parallel`) and
 //!   merged back in deterministic point order, never completion order;
-//! * **incremental series** — each worker reuses one arena across its
-//!   whole chunk, so a `p(1..t_max)` series extends shared knowledge
-//!   prefixes instead of re-interning them per `t`.
+//! * **one-pass series** — a worker computes each point's whole
+//!   `p(1..t_max)` series from a *single* execution-tree traversal
+//!   (`rsbt_core::engine` tallies solved nodes at every depth), and its
+//!   arena persists across the chunk so shared knowledge prefixes are
+//!   interned once.
 //!
 //! The engine's numbers are bit-identical to serial
 //! [`rsbt_core::probability::exact`] (asserted by the determinism tests in
@@ -339,6 +341,9 @@ struct Point {
     model: Model,
     model_label: String,
     task: Box<dyn Task + Send + Sync>,
+    /// [`Task::name`] computed once at expansion, so the per-`t` cache
+    /// lookups below are allocation-free.
+    task_name: String,
     alpha: Assignment,
     t_max: usize,
     predicted: Option<bool>,
@@ -450,10 +455,12 @@ impl SweepEngine {
                         if spec.filter.as_ref().is_some_and(|f| !f(&alpha)) {
                             continue;
                         }
+                        let task = (tspec.make)(n);
                         points.push(Point {
                             model: (mspec.make)(&alpha),
                             model_label: mspec.label.clone(),
-                            task: (tspec.make)(n),
+                            task_name: task.name(),
+                            task,
                             t_max: spec.t_max(&alpha),
                             predicted: spec.predicate.as_ref().map(|p| p(&alpha)),
                             alpha,
@@ -466,13 +473,15 @@ impl SweepEngine {
         // Split cached from uncached at per-t granularity: a point whose
         // prefix was already warmed (e.g. by an earlier `exact()` call)
         // only dispatches its missing suffix, and the hit/miss statistics
-        // count exactly what was answered from memory vs computed.
+        // count exactly what was answered from memory vs computed. The
+        // lookups borrow every key component (`peek_named`) — no
+        // allocation per probed `t`.
         let mut missing: Vec<(&Point, Vec<usize>)> = Vec::new();
         for p in &points {
             let missing_ts: Vec<usize> = (1..=p.t_max)
                 .filter(|&t| {
                     self.cache
-                        .peek(&p.model, p.task.as_ref(), &p.alpha, t)
+                        .peek_named(&p.model, &p.task_name, p.alpha.sources(), t)
                         .is_none()
                 })
                 .collect();
@@ -483,20 +492,31 @@ impl SweepEngine {
             }
         }
 
-        // Parallel fan-out with per-worker arenas; a worker's arena is
-        // reused across its whole chunk (incremental interning).
+        // Parallel fan-out with per-worker arenas: each worker runs ONE
+        // execution-tree traversal per point (deep enough for the deepest
+        // missing t), reading the whole series off the per-depth tallies —
+        // never one enumeration per t.
         let computed = pool::map_with_arena(&missing, self.threads, |arena, (p, ts)| {
-            ts.iter()
-                .map(|&t| {
-                    probability::exact_with_arena(&p.model, p.task.as_ref(), &p.alpha, t, arena)
-                })
-                .collect::<Vec<f64>>()
+            let deepest = *ts.last().expect("missing points have at least one t");
+            probability::exact_series_with_arena(
+                &p.model,
+                p.task.as_ref(),
+                &p.alpha,
+                deepest,
+                arena,
+            )
         });
 
         // Deterministic merge: point order, never completion order.
-        for ((p, ts), values) in missing.iter().zip(&computed) {
-            for (&t, &v) in ts.iter().zip(values) {
-                self.cache.insert(&p.model, p.task.as_ref(), &p.alpha, t, v);
+        for ((p, ts), series) in missing.iter().zip(&computed) {
+            for &t in ts {
+                self.cache.insert_named(
+                    &p.model,
+                    &p.task_name,
+                    p.alpha.sources(),
+                    t,
+                    series[t - 1],
+                );
             }
         }
 
@@ -506,7 +526,7 @@ impl SweepEngine {
                 let series: Vec<f64> = (1..=p.t_max)
                     .map(|t| {
                         self.cache
-                            .peek(&p.model, p.task.as_ref(), &p.alpha, t)
+                            .peek_named(&p.model, &p.task_name, p.alpha.sources(), t)
                             .expect("merged above")
                     })
                     .collect();
@@ -514,7 +534,7 @@ impl SweepEngine {
                 let matches = p.predicted.map(|pred| pred == (limit == LimitClass::One));
                 SweepRow {
                     model: p.model_label.clone(),
-                    task: p.task.name(),
+                    task: p.task_name.clone(),
                     sizes: p.alpha.group_sizes().to_vec(),
                     n: p.alpha.n(),
                     k: p.alpha.k(),

@@ -1,0 +1,437 @@
+//! The prefix-sharing enumeration engine: one shared execution tree
+//! instead of `2^{k·t}` independent re-simulations.
+//!
+//! [`probability::exact`](crate::probability::exact) asks how many of the
+//! `2^{k·t}` equiprobable realizations (Lemma B.1) solve a task. The
+//! leaf-by-leaf path re-runs all `t` rounds of knowledge construction per
+//! realization even though realizations sharing a round prefix share the
+//! whole execution prefix. This module walks the **execution tree**
+//! instead: nodes at depth `s` are the `2^{k·s}` round-`s` knowledge
+//! vectors, children are the `2^k` per-round source-bit extensions
+//! (tree order — [`Realization::from_tree_index`]), and the DFS carries
+//! the time-`s` knowledge-id vector as its state. Each tree node costs
+//! *one* round of interning, so the total round-work over a full
+//! traversal is `Σ_{s≤t} 2^{k·s} = 2^{k·t}·(1 + 1/(2^k − 1))` versus
+//! `t·2^{k·t}` — and a whole `p(1..t_max)` series falls out of a single
+//! traversal by tallying solved nodes at every depth.
+//!
+//! Two further structural savings ride on the tree:
+//!
+//! * **Partition-signature memoization** ([`SolvabilityMemo`]): the
+//!   verdict of [`solves_execution`](crate::solvability::solves_execution)
+//!   depends only on the *consistency partition* of the knowledge vector,
+//!   and there are at most Bell(`n`) partitions of `[n]` — so the facet
+//!   search runs once per distinct partition, not once per node.
+//! * **Monotone subtree pruning**: extending an execution only refines
+//!   its consistency partition (equal round-`t` knowledge forces equal
+//!   round-`t − 1` knowledge), and a facet monochromatic on a partition
+//!   is monochromatic on every refinement. Hence a solving node's entire
+//!   subtree solves, and the DFS tallies it wholesale (`2^{k·(d−s)}`
+//!   descendants per deeper depth `d`) without descending — the counts
+//!   are *exactly* those of the exhaustive walk, for every task.
+//!
+//! Parallelism is top-level-subtree sharding: prefixes at a small depth
+//! `D` are split into contiguous ranges (`[`solved_counts_shard`]`), each
+//! worker re-derives its prefix paths (negligible: `2^{k·D} ≈` worker
+//! count) and owns a tree node iff it owns the node's leftmost prefix, so
+//! per-depth tallies sum to the serial traversal's exactly.
+
+use rsbt_complex::{Complex, ProcessName};
+use rsbt_random::{Assignment, BitString, Realization};
+use rsbt_sim::{FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper};
+use rsbt_tasks::Task;
+
+/// Memoized solvability verdicts, keyed by the canonical consistency
+/// partition (first-occurrence class labels of the knowledge-id vector).
+///
+/// Verdicts are a pure function of `(partition, output complex)`: the
+/// memo must not be reused across tasks or system sizes. Lookups on the
+/// hit path are allocation-free (the label buffer is reused and hashed as
+/// a borrowed slice).
+#[derive(Clone, Debug, Default)]
+pub struct SolvabilityMemo {
+    verdicts: FxHashMap<Vec<u8>, bool>,
+    /// Scratch: canonical class label per node.
+    labels: Vec<u8>,
+    /// Scratch: the distinct ids, in first-appearance order.
+    seen: Vec<KnowledgeId>,
+    /// Scratch: the representative (first) node of each class.
+    reps: Vec<ProcessName>,
+}
+
+impl SolvabilityMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        SolvabilityMemo::default()
+    }
+
+    /// The number of distinct partitions whose verdict has been computed
+    /// (bounded by Bell(`n`)).
+    pub fn entries(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Whether a knowledge vector solves the task with output complex
+    /// `output` — the criterion of
+    /// [`solves_execution`](crate::solvability::solves_execution) (some
+    /// facet monochromatic on every consistency class), memoized on the
+    /// partition signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() > 255`, or if a facet of `output` does not
+    /// cover every process name.
+    pub fn solves(&mut self, ids: &[KnowledgeId], output: &Complex<u64>) -> bool {
+        assert!(ids.len() <= u8::MAX as usize, "too many nodes for labels");
+        self.labels.clear();
+        self.seen.clear();
+        self.reps.clear();
+        for (i, &id) in ids.iter().enumerate() {
+            match self.seen.iter().position(|&s| s == id) {
+                Some(class) => self.labels.push(class as u8),
+                None => {
+                    self.labels.push(self.seen.len() as u8);
+                    self.seen.push(id);
+                    self.reps.push(ProcessName::new(i as u32));
+                }
+            }
+        }
+        if let Some(&verdict) = self.verdicts.get(self.labels.as_slice()) {
+            return verdict;
+        }
+        let verdict = output.facets().any(|tau| {
+            self.labels.iter().enumerate().all(|(i, &class)| {
+                let rep = tau
+                    .value_of(self.reps[class as usize])
+                    .expect("facet covers all names");
+                tau.value_of(ProcessName::new(i as u32)) == Some(rep)
+            })
+        });
+        self.verdicts.insert(self.labels.clone(), verdict);
+        verdict
+    }
+}
+
+/// Per-depth solved-node tallies from one shared traversal:
+/// `counts[d − 1]` is the number of depth-`d` tree nodes (equivalently,
+/// time-`d` realizations) that solve `task`, for `d ∈ 1..=t_max` — i.e.
+/// `p(d) = counts[d − 1] / 2^{k·d}` for the whole series at once.
+///
+/// # Panics
+///
+/// Panics if `k·t_max > 62`, or on a model/assignment node mismatch.
+pub fn solved_counts<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    arena: &mut KnowledgeArena,
+) -> Vec<u64> {
+    let output = task.output_complex(alpha.n());
+    let mut memo = SolvabilityMemo::new();
+    solved_counts_shard(model, &output, alpha, t_max, 0, 0, 1, arena, &mut memo)
+}
+
+/// The sharded form of [`solved_counts`]: processes the contiguous range
+/// `[lo, hi)` of depth-`shard_depth` tree prefixes (tree order), tallying
+/// a node iff this shard owns the node's leftmost prefix. Summing the
+/// returned vectors over a partition of `[0, 2^{k·shard_depth})` yields
+/// exactly the serial [`solved_counts`].
+///
+/// `shard_depth = 0, [lo, hi) = [0, 1)` is the whole tree. Workers pass
+/// their own `arena` and `memo` (interning is content-addressed, so
+/// per-worker arenas reproduce the serial verdicts bit-for-bit).
+///
+/// # Panics
+///
+/// Panics if `shard_depth > t_max`, `hi > 2^{k·shard_depth}`, `k·t_max >
+/// 62`, or on a model/assignment node mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn solved_counts_shard(
+    model: &Model,
+    output: &Complex<u64>,
+    alpha: &Assignment,
+    t_max: usize,
+    shard_depth: usize,
+    lo: u64,
+    hi: u64,
+    arena: &mut KnowledgeArena,
+    memo: &mut SolvabilityMemo,
+) -> Vec<u64> {
+    let k = alpha.k();
+    let n = alpha.n();
+    assert!(shard_depth <= t_max, "shard depth beyond the tree");
+    assert!(k * t_max <= 62, "2^(k*t) enumeration too large");
+    assert!(
+        hi <= 1u64 << (k * shard_depth),
+        "prefix range out of bounds"
+    );
+    if let Some(p) = model.ports() {
+        assert_eq!(p.n(), n, "model/assignment node mismatch");
+    }
+    let counts = vec![0u64; t_max];
+    if t_max == 0 || lo >= hi {
+        return counts;
+    }
+    let mut walker = TreeWalker {
+        stepper: RoundStepper::new(model, n),
+        memo,
+        output,
+        alpha,
+        k,
+        t_max,
+        counts,
+    };
+    // levels[d] holds the knowledge-id vector of the current depth-d node.
+    let mut levels: Vec<Vec<KnowledgeId>> = (0..=t_max).map(|_| Vec::with_capacity(n)).collect();
+    levels[0] = (0..n).map(|_| arena.initial(None)).collect();
+    let digit_mask = (1u64 << k) - 1;
+    for prefix in lo..hi {
+        // Re-derive the path root → prefix node (rounds 1..=shard_depth).
+        let mut solved_at = None;
+        for r in 1..=shard_depth {
+            let digit = prefix >> ((shard_depth - r) * k) & digit_mask;
+            let (before, after) = levels.split_at_mut(r);
+            walker.stepper.step(
+                arena,
+                &before[r - 1],
+                |i| digit >> alpha.source_of(i) & 1 == 1,
+                &mut after[0],
+            );
+            // This shard owns the depth-r ancestor iff `prefix` is its
+            // leftmost (all-zero-suffix) prefix.
+            let owned = prefix & ((1u64 << ((shard_depth - r) * k)) - 1) == 0;
+            if owned && walker.memo.solves(&levels[r], output) {
+                walker.counts[r - 1] += 1;
+                if r == shard_depth {
+                    solved_at = Some(r);
+                }
+            }
+        }
+        if shard_depth == 0 {
+            // Whole-tree mode: the root (depth 0, all `⊥`) is not tallied
+            // (the series starts at t = 1), but if it solves, monotonicity
+            // covers the entire tree wholesale.
+            if walker.memo.solves(&levels[0], output) {
+                for d in 1..=t_max {
+                    walker.counts[d - 1] += 1u64 << (k * d);
+                }
+                continue;
+            }
+        }
+        match solved_at {
+            // Monotone pruning at the shard root: every extension solves.
+            Some(r) => {
+                for d in r + 1..=t_max {
+                    walker.counts[d - 1] += 1u64 << (k * (d - r));
+                }
+            }
+            None if shard_depth < t_max => {
+                walker.dfs(arena, shard_depth, &mut levels[shard_depth..]);
+            }
+            None => {}
+        }
+    }
+    walker.counts
+}
+
+/// The DFS state shared across one shard's traversal.
+struct TreeWalker<'a> {
+    stepper: RoundStepper,
+    memo: &'a mut SolvabilityMemo,
+    output: &'a Complex<u64>,
+    alpha: &'a Assignment,
+    k: usize,
+    t_max: usize,
+    counts: Vec<u64>,
+}
+
+impl TreeWalker<'_> {
+    /// Expands the node whose knowledge vector is `levels[0]` (at `depth`,
+    /// known not to solve): steps each of the `2^k` children into
+    /// `levels[1]`, tallies, prunes solving subtrees, recurses otherwise.
+    fn dfs(&mut self, arena: &mut KnowledgeArena, depth: usize, levels: &mut [Vec<KnowledgeId>]) {
+        let (cur, rest) = levels.split_first_mut().expect("level buffers cover t_max");
+        let child_depth = depth + 1;
+        let alpha = self.alpha;
+        for digit in 0..1u64 << self.k {
+            self.stepper.step(
+                arena,
+                cur,
+                |i| digit >> alpha.source_of(i) & 1 == 1,
+                &mut rest[0],
+            );
+            if self.memo.solves(&rest[0], self.output) {
+                self.counts[child_depth - 1] += 1;
+                for d in child_depth + 1..=self.t_max {
+                    self.counts[d - 1] += 1u64 << (self.k * (d - child_depth));
+                }
+            } else if child_depth < self.t_max {
+                self.dfs(arena, child_depth, rest);
+            }
+        }
+    }
+}
+
+/// Visits every leaf of the execution tree in DFS order, yielding the
+/// leaf's tree index and its realization — built from the DFS path
+/// itself, not from the index, so this is the ground truth that the
+/// engine's traversal order equals
+/// [`Realization::enumerate_consistent`]'s (asserted by property test).
+///
+/// Diagnostic/test surface: the counting traversal ([`solved_counts`])
+/// prunes solved subtrees and never materializes realizations.
+///
+/// # Panics
+///
+/// Panics if `k·t > 62`.
+pub fn visit_leaves<F>(alpha: &Assignment, t: usize, mut f: F)
+where
+    F: FnMut(u64, &Realization),
+{
+    assert!(alpha.k() * t <= 62, "2^(k*t) enumeration too large");
+    let mut source_bits: Vec<Vec<bool>> = vec![Vec::with_capacity(t); alpha.k()];
+    let mut next_index = 0u64;
+    visit_rec(alpha, t, &mut source_bits, &mut next_index, &mut f);
+}
+
+fn visit_rec<F>(
+    alpha: &Assignment,
+    t: usize,
+    source_bits: &mut Vec<Vec<bool>>,
+    next_index: &mut u64,
+    f: &mut F,
+) where
+    F: FnMut(u64, &Realization),
+{
+    let depth = source_bits[0].len();
+    if depth == t {
+        let strings: Vec<BitString> = (0..alpha.n())
+            .map(|i| BitString::from_bits(source_bits[alpha.source_of(i)].iter().copied()))
+            .collect();
+        let rho = Realization::new(strings).expect("uniform length");
+        f(*next_index, &rho);
+        *next_index += 1;
+        return;
+    }
+    for digit in 0..1u64 << alpha.k() {
+        for (s, bits) in source_bits.iter_mut().enumerate() {
+            bits.push(digit >> s & 1 == 1);
+        }
+        visit_rec(alpha, t, source_bits, next_index, f);
+        for bits in source_bits.iter_mut() {
+            bits.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvability;
+    use rsbt_tasks::{KLeaderElection, LeaderElection, Task};
+
+    #[test]
+    fn leaf_order_matches_enumerate_consistent() {
+        // The DFS engine visits exactly 2^{kt} leaves, in the same index
+        // order as the enumerator, for every profile n ≤ 4, t ≤ 3.
+        for n in 1..=4usize {
+            for alpha in Assignment::iter_profiles(n) {
+                for t in 0..=3usize {
+                    let expected: Vec<Realization> =
+                        Realization::enumerate_consistent(&alpha, t).collect();
+                    let mut visited = Vec::new();
+                    visit_leaves(&alpha, t, |index, rho| visited.push((index, rho.clone())));
+                    assert_eq!(visited.len(), 1usize << (alpha.k() * t));
+                    for (pos, (index, rho)) in visited.iter().enumerate() {
+                        assert_eq!(*index, pos as u64, "{alpha} t={t}");
+                        assert_eq!(rho, &expected[pos], "{alpha} t={t} leaf {pos}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_never_changes_a_verdict() {
+        // The partition-signature memo must agree with the direct facet
+        // search on every realization, in both models, even when verdicts
+        // replay from the memo in arbitrary interleavings.
+        for n in 1..=4usize {
+            let models = [Model::Blackboard, Model::message_passing_cyclic(n)];
+            for model in models {
+                for task in [
+                    Box::new(LeaderElection) as Box<dyn Task>,
+                    Box::new(KLeaderElection::new(2.min(n))),
+                ] {
+                    let output = task.output_complex(n);
+                    let mut memo = SolvabilityMemo::new();
+                    let mut arena = KnowledgeArena::new();
+                    for t in 0..=2usize {
+                        for rho in Realization::enumerate_all(n, t) {
+                            let exec = rsbt_sim::Execution::run(&model, &rho, &mut arena);
+                            let direct = solvability::solves_execution(&exec, task.as_ref());
+                            let memoized = memo.solves(exec.knowledge_at(t), &output);
+                            assert_eq!(direct, memoized, "{model} n={n} t={t} {rho}");
+                        }
+                    }
+                    assert!(memo.entries() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_sum_to_the_serial_traversal() {
+        // Any contiguous partition of the depth-D prefixes reproduces the
+        // serial per-depth tallies exactly.
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let task = LeaderElection;
+        let t_max = 3;
+        for model in [Model::Blackboard, Model::message_passing_cyclic(3)] {
+            let mut arena = KnowledgeArena::new();
+            let serial = solved_counts(&model, &task, &alpha, t_max, &mut arena);
+            let output = task.output_complex(alpha.n());
+            for shard_depth in [1usize, 2] {
+                let total = 1u64 << (alpha.k() * shard_depth);
+                let cut_sets = [
+                    vec![0, total],
+                    vec![0, 1, total],
+                    vec![0, total / 2, total / 2 + 1, total],
+                ];
+                for cuts in cut_sets {
+                    let mut summed = vec![0u64; t_max];
+                    for w in cuts.windows(2) {
+                        let mut arena = KnowledgeArena::new();
+                        let mut memo = SolvabilityMemo::new();
+                        let part = solved_counts_shard(
+                            &model,
+                            &output,
+                            &alpha,
+                            t_max,
+                            shard_depth,
+                            w[0],
+                            w[1],
+                            &mut arena,
+                            &mut memo,
+                        );
+                        for (acc, c) in summed.iter_mut().zip(&part) {
+                            *acc += c;
+                        }
+                    }
+                    assert_eq!(summed, serial, "{model} depth={shard_depth} cuts={cuts:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_solving_covers_the_whole_tree() {
+        // A single node solves leader election at time 0 already, so every
+        // depth must tally full.
+        let alpha = Assignment::private(1);
+        let mut arena = KnowledgeArena::new();
+        let counts = solved_counts(&Model::Blackboard, &LeaderElection, &alpha, 4, &mut arena);
+        assert_eq!(counts, vec![2, 4, 8, 16]);
+    }
+}

@@ -17,7 +17,10 @@
 //!   and the Definition 3.1 map search on the protocol facet) which are
 //!   cross-validated in tests — a mechanical proof of Lemma 3.5 on every
 //!   instance we can enumerate;
-//! * [`probability`] — `Pr[S(t) | α]` exactly (enumeration over the
+//! * [`engine`] — the prefix-sharing execution-tree enumerator: one round
+//!   of interning per tree node instead of `t` per leaf, solvability
+//!   memoized per consistency partition, monotone subtree pruning;
+//! * [`probability`] — `Pr[S(t) | α]` exactly (engine traversal over the
 //!   `2^{kt}` source words) and by Monte-Carlo;
 //! * [`eventual`] — the eventual-solvability predicates of Theorems 4.1
 //!   and 4.2 and zero-one-law helpers (Lemma 3.2);
@@ -52,6 +55,7 @@
 
 pub mod bounds;
 pub mod consistency;
+pub mod engine;
 pub mod eventual;
 pub mod evolution;
 pub mod iso_h;

@@ -1,21 +1,26 @@
 //! `Pr[S(t) | α]`: the probability that the system solves a task by time
 //! `t` (Section 3.4).
 //!
-//! Exact values enumerate the `2^{k·t}` positive-probability realizations
-//! (all equiprobable by Lemma B.1); a Monte-Carlo estimator covers the
-//! regimes where exact enumeration is out of reach.
-
-use std::collections::HashMap;
+//! Exact values count the `2^{k·t}` positive-probability realizations
+//! (all equiprobable by Lemma B.1) that solve — computed by the
+//! prefix-sharing execution-tree engine ([`crate::engine`]), which does
+//! one round of knowledge construction per *tree node* instead of `t`
+//! rounds per leaf, memoizes solvability per consistency partition, and
+//! prunes solved subtrees wholesale. A Monte-Carlo estimator covers the
+//! regimes where even that is out of reach.
 
 use rand::Rng;
 use rsbt_random::{Assignment, Realization};
-use rsbt_sim::{KnowledgeArena, Model};
+use rsbt_sim::{pool, FxHashMap, KnowledgeArena, Model};
 use rsbt_tasks::Task;
 
+use crate::engine::{self, SolvabilityMemo};
 use crate::solvability;
 
-/// Largest `k·t` accepted by the exact enumerator (`2^26` executions).
-pub const MAX_EXACT_BITS: usize = 26;
+/// Largest `k·t` accepted by the exact enumerator (`2^30` executions —
+/// raised from `2^26` when the prefix-sharing engine replaced leaf-by-leaf
+/// re-simulation; see `DESIGN.md` §4.4 for the complexity accounting).
+pub const MAX_EXACT_BITS: usize = 30;
 
 /// Exact `Pr[S(t) | α]` by enumeration.
 ///
@@ -58,6 +63,16 @@ pub fn exact_with_arena<T: Task + ?Sized>(
     t: usize,
     arena: &mut KnowledgeArena,
 ) -> f64 {
+    check_budget(model, alpha, t);
+    if t == 0 {
+        return exact_reference(model, task, alpha, 0, arena);
+    }
+    let counts = engine::solved_counts(model, task, alpha, t, arena);
+    counts[t - 1] as f64 / (1u64 << (alpha.k() * t)) as f64
+}
+
+/// Asserts the shared preconditions of every exact entry point.
+fn check_budget(model: &Model, alpha: &Assignment, t: usize) {
     let bits = alpha.k() * t;
     assert!(
         bits <= MAX_EXACT_BITS,
@@ -66,6 +81,25 @@ pub fn exact_with_arena<T: Task + ?Sized>(
     if let Some(p) = model.ports() {
         assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
     }
+}
+
+/// The pre-engine reference path: leaf-by-leaf re-simulation over
+/// [`Realization::enumerate_consistent`], kept verbatim as the independent
+/// ground truth for the engine's bit-identity tests and the
+/// `exp_perf_enum` before/after benchmark. Not used by any production
+/// caller — prefer [`exact`] / [`exact_with_arena`].
+///
+/// # Panics
+///
+/// Same conditions as [`exact`].
+pub fn exact_reference<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    arena: &mut KnowledgeArena,
+) -> f64 {
+    check_budget(model, alpha, t);
     let mut solved = 0u64;
     let mut total = 0u64;
     for rho in Realization::enumerate_consistent(alpha, t) {
@@ -77,13 +111,32 @@ pub fn exact_with_arena<T: Task + ?Sized>(
     solved as f64 / total as f64
 }
 
+/// Reference form of [`exact_series`]: one [`exact_reference`] per `t`
+/// over a shared arena — the pre-engine cost model `Σ_t t·2^{k·t}` the
+/// `exp_perf_enum` benchmark compares against.
+///
+/// # Panics
+///
+/// Same conditions as [`exact`], applied at `t_max`.
+pub fn exact_series_reference<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    arena: &mut KnowledgeArena,
+) -> Vec<f64> {
+    (1..=t_max)
+        .map(|t| exact_reference(model, task, alpha, t, arena))
+        .collect()
+}
+
 /// The series `p(1), …, p(t_max)` of exact success probabilities.
 ///
-/// One [`KnowledgeArena`] is shared across the whole series: the `t`-round
-/// knowledge values extend the `t − 1`-round ones, so rebuilding a fresh
-/// arena per prefix (the old behavior) re-interned every shared prefix
-/// `t_max` times. Results are bit-identical to calling [`exact`] per `t`
-/// (asserted by test).
+/// A **single** execution-tree traversal produces the whole series: the
+/// engine tallies solved nodes at every depth, so `p(t)` for all `t ≤
+/// t_max` costs one walk of the depth-`t_max` tree instead of one
+/// enumeration per `t`. Results are bit-identical to calling [`exact`]
+/// per `t` (asserted by test).
 pub fn exact_series<T: Task + ?Sized>(
     model: &Model,
     task: &T,
@@ -101,8 +154,12 @@ pub fn exact_series_with_arena<T: Task + ?Sized>(
     t_max: usize,
     arena: &mut KnowledgeArena,
 ) -> Vec<f64> {
-    (1..=t_max)
-        .map(|t| exact_with_arena(model, task, alpha, t, arena))
+    check_budget(model, alpha, t_max);
+    let counts = engine::solved_counts(model, task, alpha, t_max, arena);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as f64 / (1u64 << (alpha.k() * (i + 1))) as f64)
         .collect()
 }
 
@@ -113,16 +170,30 @@ pub fn exact_series_with_arena<T: Task + ?Sized>(
 /// (the same profile appearing across bins, rounds, and report sections)
 /// are computed once per process.
 ///
+/// The key is stored as three nested maps (`model → task name → α`) whose
+/// leaves hold the per-`t` series, so **lookups borrow every component**:
+/// a hot sweep hit performs no allocation (the old flat
+/// `(Model, String, Vec<usize>, usize)` tuple key cloned the model and
+/// the source vector — two heap allocations — per lookup, hits included).
+/// The generic [`Cache::peek`] still materializes the task name once
+/// (`Task::name` returns an owned `String`); hot paths precompute the
+/// name and use [`Cache::peek_named`].
+///
 /// The task name is part of the key, so [`Task::name`] must uniquely
 /// identify the task's output-complex family (all in-tree tasks do; e.g.
 /// `KLeaderElection` embeds `k` and constrained `LeaderAndDeputy` variants
 /// embed their constraint masks).
 #[derive(Clone, Debug, Default)]
 pub struct Cache {
-    map: HashMap<(Model, String, Vec<usize>, usize), f64>,
+    /// `model → task name → α sources → p(t) at slot t`.
+    map: FxHashMap<Model, TaskMap>,
+    points: usize,
     hits: u64,
     misses: u64,
 }
+
+/// `task name → α sources → p(t) at slot t` (the inner cache levels).
+type TaskMap = FxHashMap<String, FxHashMap<Box<[usize]>, Vec<Option<f64>>>>;
 
 impl Cache {
     /// Creates an empty cache.
@@ -132,12 +203,12 @@ impl Cache {
 
     /// The number of distinct sweep points stored.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.points
     }
 
     /// Whether no point has been stored yet.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.points == 0
     }
 
     /// How many lookups were answered from memory.
@@ -158,9 +229,26 @@ impl Cache {
         alpha: &Assignment,
         t: usize,
     ) -> Option<f64> {
+        self.peek_named(model, &task.name(), alpha.sources(), t)
+    }
+
+    /// [`Cache::peek`] with every key component borrowed — the
+    /// allocation-free hot path for sweep engines that computed
+    /// `task.name()` once per point.
+    pub fn peek_named(
+        &self,
+        model: &Model,
+        task_name: &str,
+        sources: &[usize],
+        t: usize,
+    ) -> Option<f64> {
         self.map
-            .get(&(model.clone(), task.name(), alpha.sources().to_vec(), t))
+            .get(model)?
+            .get(task_name)?
+            .get(sources)?
+            .get(t)
             .copied()
+            .flatten()
     }
 
     /// Inserts a precomputed point (used by parallel sweep engines that
@@ -173,13 +261,66 @@ impl Cache {
         t: usize,
         p: f64,
     ) {
-        self.map
-            .insert((model.clone(), task.name(), alpha.sources().to_vec(), t), p);
+        self.insert_named(model, &task.name(), alpha.sources(), t, p);
+    }
+
+    /// [`Cache::insert`] with borrowed key components; allocates only for
+    /// key components not yet present.
+    pub fn insert_named(
+        &mut self,
+        model: &Model,
+        task_name: &str,
+        sources: &[usize],
+        t: usize,
+        p: f64,
+    ) {
+        // Owned key components are cloned only when absent (misses are
+        // rare relative to hits and allocate for the computation anyway).
+        if !self.map.contains_key(model) {
+            self.map.insert(model.clone(), FxHashMap::default());
+        }
+        let by_task = self.map.get_mut(model).expect("ensured above");
+        if !by_task.contains_key(task_name) {
+            by_task.insert(task_name.to_string(), FxHashMap::default());
+        }
+        let by_alpha = by_task.get_mut(task_name).expect("ensured above");
+        if !by_alpha.contains_key(sources) {
+            by_alpha.insert(Box::from(sources), Vec::new());
+        }
+        let series = by_alpha.get_mut(sources).expect("ensured above");
+        if series.len() <= t {
+            series.resize(t + 1, None);
+        }
+        if series[t].is_none() {
+            self.points += 1;
+        }
+        series[t] = Some(p);
+    }
+
+    /// Counted borrowed lookup: bumps the hit/miss statistics.
+    fn lookup_counted(
+        &mut self,
+        model: &Model,
+        task_name: &str,
+        sources: &[usize],
+        t: usize,
+    ) -> Option<f64> {
+        match self.peek_named(model, task_name, sources, t) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
     }
 }
 
 /// Cached [`exact`]: answers from `cache` when possible, otherwise computes
-/// via [`exact_with_arena`] and memoizes.
+/// via [`exact_with_arena`] and memoizes. The cache key is borrowed — no
+/// model or source-vector clone on hits.
 ///
 /// # Panics
 ///
@@ -192,19 +333,19 @@ pub fn exact_cached<T: Task + ?Sized>(
     t: usize,
     arena: &mut KnowledgeArena,
 ) -> f64 {
-    let key = (model.clone(), task.name(), alpha.sources().to_vec(), t);
-    if let Some(&p) = cache.map.get(&key) {
-        cache.hits += 1;
+    let name = task.name();
+    if let Some(p) = cache.lookup_counted(model, &name, alpha.sources(), t) {
         return p;
     }
-    cache.misses += 1;
     let p = exact_with_arena(model, task, alpha, t, arena);
-    cache.map.insert(key, p);
+    cache.insert_named(model, &name, alpha.sources(), t, p);
     p
 }
 
 /// Cached [`exact_series`]: each prefix `t` is memoized individually, so a
-/// longer series extends a shorter one without recomputing shared prefixes.
+/// longer series extends a shorter one without recomputing shared
+/// prefixes. Uncached suffixes are filled by **one** engine traversal to
+/// the deepest missing `t`, not one enumeration per missing point.
 pub fn exact_series_cached<T: Task + ?Sized>(
     cache: &mut Cache,
     model: &Model,
@@ -213,8 +354,26 @@ pub fn exact_series_cached<T: Task + ?Sized>(
     t_max: usize,
     arena: &mut KnowledgeArena,
 ) -> Vec<f64> {
-    (1..=t_max)
-        .map(|t| exact_cached(cache, model, task, alpha, t, arena))
+    let name = task.name();
+    let cached: Vec<Option<f64>> = (1..=t_max)
+        .map(|t| cache.lookup_counted(model, &name, alpha.sources(), t))
+        .collect();
+    let deepest_missing = cached.iter().rposition(Option::is_none).map(|i| i + 1);
+    let computed = match deepest_missing {
+        Some(need) => exact_series_with_arena(model, task, alpha, need, arena),
+        None => Vec::new(),
+    };
+    cached
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Some(p) => p,
+            None => {
+                let p = computed[i];
+                cache.insert_named(model, &name, alpha.sources(), i + 1, p);
+                p
+            }
+        })
         .collect()
 }
 
@@ -222,6 +381,14 @@ pub fn exact_series_cached<T: Task + ?Sized>(
 /// own knowledge arena. Produces bit-identical results to [`exact`]
 /// (verified by test); use for the larger sweeps where `2^{kt}` single-
 /// threaded enumeration dominates wall-clock time.
+///
+/// Parallelism is top-level-subtree sharding over the execution tree: the
+/// depth-`D` prefixes (smallest `D` with `2^{k·D} ≥ threads`) are split
+/// into contiguous ranges, each worker runs the prefix-sharing engine on
+/// its range with a private arena/memo
+/// ([`engine::solved_counts_shard`]), and the per-shard tallies are
+/// merged in index order via [`pool::map_with_arena`] — integer counts,
+/// so the merged probability is bit-identical to the serial walk.
 ///
 /// # Panics
 ///
@@ -237,39 +404,38 @@ where
     T: Task + Sync + ?Sized,
 {
     assert!(threads >= 1, "need at least one thread");
-    let bits = alpha.k() * t;
-    assert!(
-        bits <= MAX_EXACT_BITS,
-        "k*t = {bits} exceeds exact-enumeration budget; use monte_carlo"
-    );
-    if let Some(p) = model.ports() {
-        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    check_budget(model, alpha, t);
+    if t == 0 || threads == 1 {
+        return exact(model, task, alpha, t);
     }
-    let total: u64 = 1 << bits;
-    let chunk = total.div_ceil(threads as u64);
-    let solved: u64 = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(total);
-                scope.spawn(move || {
-                    let mut arena = KnowledgeArena::new();
-                    let mut hits = 0u64;
-                    for rho in Realization::enumerate_consistent(alpha, t)
-                        .skip(lo as usize)
-                        .take(hi.saturating_sub(lo) as usize)
-                    {
-                        if solvability::solves(model, &rho, task, &mut arena) {
-                            hits += 1;
-                        }
-                    }
-                    hits
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    let k = alpha.k();
+    let mut shard_depth = 0;
+    while shard_depth < t && (1u64 << (k * shard_depth)) < threads as u64 {
+        shard_depth += 1;
+    }
+    let prefixes: u64 = 1 << (k * shard_depth);
+    let chunk = prefixes.div_ceil(threads as u64);
+    let ranges: Vec<(u64, u64)> = (0..threads as u64)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(prefixes)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let output = task.output_complex(alpha.n());
+    let shard_counts = pool::map_with_arena(&ranges, threads, |arena, &(lo, hi)| {
+        let mut memo = SolvabilityMemo::new();
+        engine::solved_counts_shard(
+            model,
+            &output,
+            alpha,
+            t,
+            shard_depth,
+            lo,
+            hi,
+            arena,
+            &mut memo,
+        )
     });
-    solved as f64 / total as f64
+    let solved: u64 = shard_counts.iter().map(|counts| counts[t - 1]).sum();
+    solved as f64 / (1u64 << (k * t)) as f64
 }
 
 /// A Monte-Carlo estimate with its standard error.
@@ -446,8 +612,67 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds exact-enumeration budget")]
     fn exact_budget_guard() {
-        let alpha = Assignment::private(7);
+        // k·t = 32 > MAX_EXACT_BITS = 30.
+        let alpha = Assignment::private(8);
         let _ = exact(&Model::Blackboard, &LeaderElection, &alpha, 4);
+    }
+
+    #[test]
+    fn engine_bit_identical_to_reference_all_profiles() {
+        // The prefix-sharing engine must reproduce the leaf-by-leaf
+        // reference bit-for-bit: both models, every profile with n ≤ 4,
+        // t ≤ 3, every thread count — exact, series, and parallel paths.
+        let two_le = KLeaderElection::new(2);
+        let tasks: [&(dyn Task + Sync); 2] = [&LeaderElection, &two_le];
+        for n in 2..=4usize {
+            let models = [Model::Blackboard, Model::message_passing_cyclic(n)];
+            for model in &models {
+                for task in tasks {
+                    for alpha in Assignment::iter_profiles(n) {
+                        let mut ref_arena = KnowledgeArena::new();
+                        let reference =
+                            exact_series_reference(model, task, &alpha, 3, &mut ref_arena);
+                        let series = exact_series(model, task, &alpha, 3);
+                        for (i, (&p, &q)) in series.iter().zip(&reference).enumerate() {
+                            let t = i + 1;
+                            assert_eq!(p.to_bits(), q.to_bits(), "{model} {alpha} series t={t}");
+                            let single = exact(model, task, &alpha, t);
+                            assert_eq!(single.to_bits(), q.to_bits(), "{model} {alpha} t={t}");
+                            for threads in [1usize, 2, 3, 4, 8] {
+                                let par = exact_parallel(model, task, &alpha, t, threads);
+                                assert_eq!(
+                                    par.to_bits(),
+                                    q.to_bits(),
+                                    "{model} {alpha} t={t} threads={threads}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_pass_series_equals_per_t_recomputation() {
+        // One traversal to t_max vs an independent full recomputation per
+        // prefix, bit for bit (fresh arenas everywhere, so equality cannot
+        // come from shared interning state).
+        for model in [Model::Blackboard, Model::message_passing_cyclic(4)] {
+            let alpha = Assignment::from_group_sizes(&[1, 3]).unwrap();
+            let one_pass = exact_series(&model, &LeaderElection, &alpha, 4);
+            assert_eq!(one_pass.len(), 4);
+            for (i, &p) in one_pass.iter().enumerate() {
+                let fresh = exact_reference(
+                    &model,
+                    &LeaderElection,
+                    &alpha,
+                    i + 1,
+                    &mut KnowledgeArena::new(),
+                );
+                assert_eq!(p.to_bits(), fresh.to_bits(), "{model} t={}", i + 1);
+            }
+        }
     }
 
     #[test]

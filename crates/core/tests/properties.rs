@@ -117,3 +117,25 @@ proptest! {
         }
     }
 }
+
+/// The acceptance-criterion regime of the `exp_perf_enum` benchmark,
+/// replayed under tier-1: a `k·t = 16` series point where the engine's
+/// one-pass traversal must reproduce the pre-engine leaf-by-leaf
+/// reference bit for bit (2^16 realizations, 8 rounds each on the old
+/// path).
+#[test]
+fn engine_matches_reference_at_sixteen_bits() {
+    let alpha = Assignment::from_group_sizes(&[1, 3]).unwrap();
+    let reference = probability::exact_series_reference(
+        &Model::Blackboard,
+        &LeaderElection,
+        &alpha,
+        8,
+        &mut KnowledgeArena::new(),
+    );
+    let engine = probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, 8);
+    assert_eq!(engine.len(), reference.len());
+    for (i, (p, q)) in engine.iter().zip(&reference).enumerate() {
+        assert_eq!(p.to_bits(), q.to_bits(), "t={}", i + 1);
+    }
+}

@@ -44,4 +44,4 @@ mod realization;
 pub use crate::assignment::{AllAssignments, Assignment, Profiles};
 pub use crate::bits::{BitString, MAX_BITS};
 pub use crate::error::RandomError;
-pub use crate::realization::Realization;
+pub use crate::realization::{ConsistentRealizations, Realization};

@@ -129,27 +129,56 @@ impl Realization {
     /// time `t` — one per choice of the `k` source strings, `2^{k·t}` total
     /// (Lemma B.1's support).
     ///
+    /// The enumeration order is *round-major* ([tree
+    /// order](Realization::from_tree_index)): index `0` is the all-zero
+    /// realization, and realizations sharing a longer round prefix are
+    /// closer together. This is exactly the leaf order of the
+    /// prefix-sharing execution-tree DFS in `rsbt-core`, so chunking the
+    /// enumeration splits the tree into contiguous subtrees. The returned
+    /// [`ConsistentRealizations`] iterator seeks in constant time
+    /// (`Iterator::nth`, and hence `skip`, does not materialize skipped
+    /// realizations).
+    ///
     /// # Panics
     ///
     /// Panics if `k·t` exceeds 62 bits (enumeration would not fit memory
     /// long before that).
-    pub fn enumerate_consistent(
-        alpha: &Assignment,
-        t: usize,
-    ) -> impl Iterator<Item = Realization> + '_ {
+    pub fn enumerate_consistent(alpha: &Assignment, t: usize) -> ConsistentRealizations<'_> {
         let k = alpha.k();
         assert!(k * t <= 62, "2^(k*t) enumeration too large");
-        (0..1u64 << (k * t)).map(move |word| {
-            let sources: Vec<BitString> = (0..k)
-                .map(|s| BitString::from_word(word >> (s * t), t))
-                .collect();
-            Realization {
-                strings: (0..alpha.n())
-                    .map(|i| sources[alpha.source_of(i)])
-                    .collect(),
-                t,
-            }
-        })
+        ConsistentRealizations {
+            alpha,
+            t,
+            next: 0,
+            end: 1u64 << (k * t),
+        }
+    }
+
+    /// The `α`-consistent realization at *tree index* `index`: the
+    /// round-major encoding where bit `(t − r)·k + s` of `index` is the bit
+    /// emitted by source `s` in round `r` (round 1 occupies the most
+    /// significant `k`-bit digit). Equivalently, the `index`-th leaf of the
+    /// execution tree whose depth-`r` branches are the `2^k` choices of
+    /// per-round source bits, and the `index`-th item of
+    /// [`Realization::enumerate_consistent`] — reached here in `O(n + t)`
+    /// instead of by iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k·t` exceeds 62 bits or `index ≥ 2^{k·t}`.
+    pub fn from_tree_index(alpha: &Assignment, t: usize, index: u64) -> Realization {
+        let k = alpha.k();
+        assert!(k * t <= 62, "2^(k*t) enumeration too large");
+        assert!(index < 1u64 << (k * t), "tree index out of range");
+        let sources: Vec<BitString> = (0..k)
+            .map(|s| BitString::from_bits((1..=t).map(|r| index >> ((t - r) * k + s) & 1 == 1)))
+            .collect();
+        Realization {
+            strings: (0..alpha.n())
+                .map(|i| sources[alpha.source_of(i)])
+                .collect(),
+            t,
+        }
     }
 
     /// Enumerates *all* facets of `R(t)` on `n` nodes (`2^{n·t}` of them),
@@ -208,6 +237,60 @@ impl Realization {
         })
     }
 }
+
+/// Streaming enumeration of the `α`-consistent realizations at time `t`,
+/// in round-major tree order (see [`Realization::from_tree_index`]).
+/// Created by [`Realization::enumerate_consistent`].
+///
+/// Seeks in constant time: `nth`/`skip` advance the tree index without
+/// materializing the skipped realizations, so a worker reaching for the
+/// `lo`-th chunk of a `2^{k·t}` enumeration pays `O(1)`, not `O(lo)`.
+#[derive(Clone, Debug)]
+pub struct ConsistentRealizations<'a> {
+    alpha: &'a Assignment,
+    t: usize,
+    next: u64,
+    end: u64,
+}
+
+impl ConsistentRealizations<'_> {
+    /// The tree index of the realization `next` would yield (equal to the
+    /// number of items already consumed plus any seek offset).
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// Seeks directly to tree index `index` (clamped to the end); the next
+    /// item yielded is `Realization::from_tree_index(alpha, t, index)`.
+    pub fn seek(&mut self, index: u64) {
+        self.next = index.min(self.end);
+    }
+}
+
+impl Iterator for ConsistentRealizations<'_> {
+    type Item = Realization;
+
+    fn next(&mut self) -> Option<Realization> {
+        if self.next >= self.end {
+            return None;
+        }
+        let out = Realization::from_tree_index(self.alpha, self.t, self.next);
+        self.next += 1;
+        Some(out)
+    }
+
+    fn nth(&mut self, n: usize) -> Option<Realization> {
+        self.next = self.next.saturating_add(n as u64);
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.end - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ConsistentRealizations<'_> {}
 
 impl fmt::Display for Realization {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -291,6 +374,67 @@ mod tests {
     fn enumerate_all_counts() {
         assert_eq!(Realization::enumerate_all(3, 1).count(), 8);
         assert_eq!(Realization::enumerate_all(2, 2).count(), 16);
+    }
+
+    #[test]
+    fn tree_index_matches_enumeration_order() {
+        for sizes in [vec![1usize, 2], vec![2, 2], vec![1, 1, 1]] {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            for t in 0..=3 {
+                let all: Vec<Realization> = Realization::enumerate_consistent(&alpha, t).collect();
+                assert_eq!(all.len(), 1usize << (alpha.k() * t));
+                for (w, r) in all.iter().enumerate() {
+                    let direct = Realization::from_tree_index(&alpha, t, w as u64);
+                    assert_eq!(&direct, r, "sizes {sizes:?} t {t} index {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_order_is_round_major() {
+        // Round 1 is the most significant digit: realizations sharing a
+        // round prefix are contiguous, so the tree index bisects by the
+        // first round's source bits.
+        let alpha = Assignment::private(1); // k = 1
+        let all: Vec<Realization> = Realization::enumerate_consistent(&alpha, 2).collect();
+        let strings: Vec<String> = all.iter().map(|r| r.node(0).to_string()).collect();
+        // Indices 0,1 start with round-1 bit 0; indices 2,3 with bit 1.
+        assert_eq!(strings, vec!["00", "01", "10", "11"]);
+    }
+
+    #[test]
+    fn nth_seeks_without_iterating() {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let all: Vec<Realization> = Realization::enumerate_consistent(&alpha, 3).collect();
+        for start in [0usize, 1, 5, 17, 40, 63] {
+            let mut it = Realization::enumerate_consistent(&alpha, 3);
+            assert_eq!(it.nth(start).as_ref(), all.get(start), "start={start}");
+        }
+        // skip() rides on nth: tail from a deep offset matches the slice.
+        let tail: Vec<Realization> = Realization::enumerate_consistent(&alpha, 3)
+            .skip(60)
+            .collect();
+        assert_eq!(tail, all[60..]);
+        // Past-the-end seeks terminate cleanly.
+        assert_eq!(Realization::enumerate_consistent(&alpha, 3).nth(64), None);
+        let mut it = Realization::enumerate_consistent(&alpha, 3);
+        it.seek(9999);
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn seek_and_position_round_trip() {
+        let alpha = Assignment::from_group_sizes(&[2, 1]).unwrap();
+        let mut it = Realization::enumerate_consistent(&alpha, 2);
+        assert_eq!(it.len(), 16);
+        it.seek(7);
+        assert_eq!(it.position(), 7);
+        assert_eq!(
+            it.next().unwrap(),
+            Realization::from_tree_index(&alpha, 2, 7)
+        );
+        assert_eq!(it.len(), 8);
     }
 
     #[test]

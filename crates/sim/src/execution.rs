@@ -62,30 +62,12 @@ impl Execution {
     ) -> Execution {
         let n = rho.n();
         assert_eq!(inputs.len(), n, "one input per node");
-        if let Model::MessagePassing(p) = model {
-            assert_eq!(p.n(), n, "port numbering covers {} nodes, need {n}", p.n());
-        }
+        let mut stepper = RoundStepper::new(model, n);
         let mut ids: Vec<Vec<KnowledgeId>> = Vec::with_capacity(rho.time() + 1);
         ids.push(inputs.iter().map(|v| arena.initial(*v)).collect());
         for t in 1..=rho.time() {
-            let prev = &ids[t - 1];
             let mut now = Vec::with_capacity(n);
-            for i in 0..n {
-                let bit = rho.node(i).bit(t - 1);
-                let id = match model {
-                    Model::Blackboard => {
-                        let board: Vec<KnowledgeId> =
-                            (0..n).filter(|&j| j != i).map(|j| prev[j]).collect();
-                        arena.round_blackboard(prev[i], bit, board)
-                    }
-                    Model::MessagePassing(ports) => {
-                        let by_port: Vec<KnowledgeId> =
-                            (1..n).map(|j| prev[ports.neighbor(i, j)]).collect();
-                        arena.round_ports(prev[i], bit, by_port)
-                    }
-                };
-                now.push(id);
-            }
+            stepper.step(arena, &ids[t - 1], |i| rho.node(i).bit(t - 1), &mut now);
             ids.push(now);
         }
         Execution { ids }
@@ -136,6 +118,99 @@ impl Execution {
     /// consistency class — an isolated vertex of `π̃(ρ)`).
     pub fn has_singleton_class(&self, t: usize) -> bool {
         self.class_sizes(t).first() == Some(&1)
+    }
+}
+
+/// Advances a full-information execution by one round from a *borrowed*
+/// knowledge vector — the incremental core of [`Execution::run`] exposed
+/// for enumeration engines that walk the tree of per-round source-bit
+/// extensions and therefore never hold a whole `Realization`.
+///
+/// The stepper owns the reusable round buffers (board/port scratch), so a
+/// DFS calling [`RoundStepper::step`] once per tree node performs no
+/// allocation on arena hits.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_random::{BitString, Realization};
+/// use rsbt_sim::{Execution, KnowledgeArena, Model, RoundStepper};
+///
+/// let model = Model::Blackboard;
+/// let mut arena = KnowledgeArena::new();
+/// let mut stepper = RoundStepper::new(&model, 2);
+/// let t0 = vec![arena.initial(None), arena.initial(None)];
+/// let mut t1 = Vec::new();
+/// stepper.step(&mut arena, &t0, |i| i == 0, &mut t1); // bits (1, 0)
+///
+/// // Same ids as running the whole realization at once.
+/// let rho = Realization::new(vec![
+///     BitString::from_bits([true]),
+///     BitString::from_bits([false]),
+/// ]).unwrap();
+/// let exec = Execution::run(&model, &rho, &mut arena);
+/// assert_eq!(&t1, exec.knowledge_at(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoundStepper {
+    model: Model,
+    /// Reusable buffer for one node's heard-this-round ids.
+    scratch: Vec<KnowledgeId>,
+}
+
+impl RoundStepper {
+    /// Creates a stepper for `model` on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is message-passing with a numbering whose node
+    /// count differs from `n`.
+    pub fn new(model: &Model, n: usize) -> RoundStepper {
+        if let Model::MessagePassing(p) = model {
+            assert_eq!(p.n(), n, "port numbering covers {} nodes, need {n}", p.n());
+        }
+        RoundStepper {
+            model: model.clone(),
+            scratch: Vec::with_capacity(n.saturating_sub(1)),
+        }
+    }
+
+    /// Computes `K_i(t)` for every node from the time-`t − 1` vector
+    /// `prev` and the per-node round bits `bit(i)`, appending the ids to
+    /// `out` (cleared first). `prev` may live anywhere — a DFS stack
+    /// level, an [`Execution`] row — and is not consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev.len()` differs from the stepper's node count in the
+    /// message-passing model.
+    pub fn step<F>(
+        &mut self,
+        arena: &mut KnowledgeArena,
+        prev: &[KnowledgeId],
+        bit: F,
+        out: &mut Vec<KnowledgeId>,
+    ) where
+        F: Fn(usize) -> bool,
+    {
+        let n = prev.len();
+        out.clear();
+        for i in 0..n {
+            self.scratch.clear();
+            let id = match &self.model {
+                Model::Blackboard => {
+                    self.scratch
+                        .extend((0..n).filter(|&j| j != i).map(|j| prev[j]));
+                    arena.round_blackboard_reuse(prev[i], bit(i), &mut self.scratch)
+                }
+                Model::MessagePassing(ports) => {
+                    self.scratch
+                        .extend((1..n).map(|j| prev[ports.neighbor(i, j)]));
+                    arena.round_ports_reuse(prev[i], bit(i), &mut self.scratch)
+                }
+            };
+            out.push(id);
+        }
     }
 }
 

@@ -10,8 +10,10 @@
 //! collisions can merge distinct values, because interning compares the
 //! full node on insertion).
 
-use std::collections::HashMap;
 use std::fmt;
+use std::mem;
+
+use crate::fxhash::FxHashMap;
 
 /// Handle to an interned knowledge value inside a [`KnowledgeArena`].
 ///
@@ -93,7 +95,10 @@ pub enum KnowledgeNode {
 #[derive(Clone, Debug, Default)]
 pub struct KnowledgeArena {
     nodes: Vec<KnowledgeNode>,
-    index: HashMap<KnowledgeNode, KnowledgeId>,
+    /// Content-addressed index. Keyed by the in-tree Fx hash
+    /// ([`crate::fxhash`]): interning sits inside `2^{k·t}` enumeration
+    /// loops, where SipHash's keyed setup cost dominates the probe.
+    index: FxHashMap<KnowledgeNode, KnowledgeId>,
 }
 
 impl KnowledgeArena {
@@ -154,6 +159,66 @@ impl KnowledgeArena {
         })
     }
 
+    /// [`KnowledgeArena::round_blackboard`] from a reusable scratch buffer:
+    /// sorts `board` in place and, on an index hit (the steady state inside
+    /// enumeration loops), hands the buffer back without any allocation.
+    /// On a miss the buffer moves into the arena and comes back empty.
+    pub fn round_blackboard_reuse(
+        &mut self,
+        prev: KnowledgeId,
+        bit: bool,
+        board: &mut Vec<KnowledgeId>,
+    ) -> KnowledgeId {
+        board.sort_unstable();
+        self.round_reuse(prev, bit, board, true)
+    }
+
+    /// [`KnowledgeArena::round_ports`] from a reusable scratch buffer (same
+    /// buffer contract as [`KnowledgeArena::round_blackboard_reuse`]).
+    pub fn round_ports_reuse(
+        &mut self,
+        prev: KnowledgeId,
+        bit: bool,
+        by_port: &mut Vec<KnowledgeId>,
+    ) -> KnowledgeId {
+        self.round_reuse(prev, bit, by_port, false)
+    }
+
+    fn round_reuse(
+        &mut self,
+        prev: KnowledgeId,
+        bit: bool,
+        heard: &mut Vec<KnowledgeId>,
+        is_board: bool,
+    ) -> KnowledgeId {
+        let node = KnowledgeNode::Round {
+            prev,
+            bit,
+            heard: if is_board {
+                NeighborInfo::Board(mem::take(heard))
+            } else {
+                NeighborInfo::Ports(mem::take(heard))
+            },
+        };
+        if let Some(&id) = self.index.get(&node) {
+            // Hit: recover the caller's buffer (capacity intact).
+            let KnowledgeNode::Round {
+                heard: NeighborInfo::Board(v) | NeighborInfo::Ports(v),
+                ..
+            } = node
+            else {
+                unreachable!("constructed as Round above")
+            };
+            *heard = v;
+            heard.clear();
+            return id;
+        }
+        let id = KnowledgeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
     /// Resolves an id back to its node.
     ///
     /// # Panics
@@ -174,11 +239,16 @@ impl KnowledgeArena {
     }
 
     /// The time `t` a knowledge value covers (its recursion depth).
+    /// Iterative: knowledge chains grow with `t`, and the recursive form
+    /// cost one stack frame per round.
     pub fn depth(&self, id: KnowledgeId) -> usize {
-        match self.get(id) {
-            KnowledgeNode::Initial(_) => 0,
-            KnowledgeNode::Round { prev, .. } => 1 + self.depth(*prev),
+        let mut depth = 0;
+        let mut cur = id;
+        while let KnowledgeNode::Round { prev, .. } = self.get(cur) {
+            depth += 1;
+            cur = *prev;
         }
+        depth
     }
 
     /// The randomness string `x_i(1..t)` embedded in a knowledge value
@@ -199,11 +269,15 @@ impl KnowledgeArena {
         bits
     }
 
-    /// The input value recorded at the root of the knowledge recursion.
+    /// The input value recorded at the root of the knowledge recursion
+    /// (iterative, like [`KnowledgeArena::depth`]).
     pub fn input(&self, id: KnowledgeId) -> Option<u64> {
-        match self.get(id) {
-            KnowledgeNode::Initial(v) => *v,
-            KnowledgeNode::Round { prev, .. } => self.input(*prev),
+        let mut cur = id;
+        loop {
+            match self.get(cur) {
+                KnowledgeNode::Initial(v) => return *v,
+                KnowledgeNode::Round { prev, .. } => cur = *prev,
+            }
         }
     }
 }
@@ -251,6 +325,33 @@ mod tests {
         let r0 = a.round_blackboard(b, false, vec![b]);
         let r1 = a.round_blackboard(b, true, vec![b]);
         assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn reuse_interning_matches_owned_interning() {
+        let mut a = KnowledgeArena::new();
+        let b0 = a.initial(Some(0));
+        let b1 = a.initial(Some(1));
+        let owned_bb = a.round_blackboard(b0, true, vec![b1, b0]);
+        let owned_mp = a.round_ports(b1, false, vec![b0, b1]);
+
+        let mut buf = Vec::new();
+        // Board variant sorts, so scratch order must not matter.
+        buf.extend([b0, b1]);
+        assert_eq!(a.round_blackboard_reuse(b0, true, &mut buf), owned_bb);
+        // Hit: buffer came back (empty, capacity preserved).
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 2);
+        buf.extend([b0, b1]);
+        assert_eq!(a.round_ports_reuse(b1, false, &mut buf), owned_mp);
+
+        // Miss: a brand-new round interns identically to the owned path.
+        let before = a.len();
+        buf.clear();
+        buf.extend([b1, b1]);
+        let fresh = a.round_ports_reuse(b0, true, &mut buf);
+        assert_eq!(a.len(), before + 1);
+        assert_eq!(fresh, a.round_ports(b0, true, vec![b1, b1]));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod execution;
+pub mod fxhash;
 mod knowledge;
 mod model;
 pub mod pool;
@@ -49,7 +50,8 @@ pub mod ports;
 pub mod runner;
 pub mod stats;
 
-pub use crate::execution::Execution;
+pub use crate::execution::{Execution, RoundStepper};
+pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use crate::knowledge::{KnowledgeArena, KnowledgeId, KnowledgeNode, NeighborInfo};
 pub use crate::model::Model;
 pub use crate::ports::PortNumbering;
