@@ -12,6 +12,7 @@
 use std::process::ExitCode;
 
 use rsbt_bench::{run_experiment, Table};
+use rsbt_core::output_cache::OutputComplexCache;
 use rsbt_core::{iso_h, solvability};
 use rsbt_random::Realization;
 use rsbt_sim::{Model, PortNumbering};
@@ -58,14 +59,21 @@ fn main() -> ExitCode {
             ]);
             let le = LeaderElection;
             let two = KLeaderElection::new(2);
+            // Take-or-build output complexes once per (task, n): these
+            // loops evaluate thousands of realizations per pair.
+            let mut cache = OutputComplexCache::new();
             let arena = eng.arena();
             for (model, n, t) in &cases {
                 let mut agree = true;
                 let mut count = 0usize;
                 for rho in Realization::enumerate_all(*n, *t) {
                     let fast = solvability::solves(model, &rho, &le, arena);
-                    let proj = solvability::solves_via_projection(model, &rho, &le, arena);
-                    let d31 = solvability::solves_via_definition_3_1(model, &rho, &le, arena);
+                    let proj = solvability::solves_via_projection_cached(
+                        model, &rho, &le, arena, &mut cache,
+                    );
+                    let d31 = solvability::solves_via_definition_3_1_cached(
+                        model, &rho, &le, arena, &mut cache,
+                    );
                     agree &= fast == proj && fast == d31;
                     count += 1;
                 }
@@ -82,7 +90,9 @@ fn main() -> ExitCode {
                     let mut count2 = 0usize;
                     for rho in Realization::enumerate_all(*n, *t) {
                         let fast = solvability::solves(model, &rho, &two, arena);
-                        let proj = solvability::solves_via_projection(model, &rho, &two, arena);
+                        let proj = solvability::solves_via_projection_cached(
+                            model, &rho, &two, arena, &mut cache,
+                        );
                         agree2 &= fast == proj;
                         count2 += 1;
                     }

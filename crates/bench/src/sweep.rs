@@ -459,7 +459,7 @@ impl SweepEngine {
                         points.push(Point {
                             model: (mspec.make)(&alpha),
                             model_label: mspec.label.clone(),
-                            task_name: task.name(),
+                            task_name: task.name().into_owned(),
                             task,
                             t_max: spec.t_max(&alpha),
                             predicted: spec.predicate.as_ref().map(|p| p(&alpha)),

@@ -156,11 +156,7 @@ impl<V: Value> Complex<V> {
     /// The count is exponential in facet dimension; intended for the small
     /// complexes of this workspace.
     pub fn simplices(&self) -> Vec<Simplex<V>> {
-        let set: BTreeSet<Simplex<V>> = self
-            .facets
-            .iter()
-            .flat_map(|f| f.faces().into_iter())
-            .collect();
+        let set: BTreeSet<Simplex<V>> = self.facets.iter().flat_map(Simplex::faces).collect();
         set.into_iter().collect()
     }
 
@@ -169,7 +165,7 @@ impl<V: Value> Complex<V> {
         let set: BTreeSet<Simplex<V>> = self
             .facets
             .iter()
-            .flat_map(|f| f.faces_of_dimension(d).into_iter())
+            .flat_map(|f| f.faces_of_dimension(d))
             .collect();
         set.into_iter().collect()
     }

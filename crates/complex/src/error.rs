@@ -14,6 +14,9 @@ pub enum ComplexError {
     /// Two vertices of one simplex carried the same process name with
     /// different values (complexes are properly colored).
     DuplicateName(ProcessName),
+    /// A facet handed to a dense table does not cover the expected
+    /// contiguous name range `0..n` (it misses this name).
+    MissingName(ProcessName),
     /// A vertex map was queried on a vertex outside its domain.
     VertexNotInDomain,
     /// A vertex map does not preserve simplices (it is not simplicial).
@@ -28,6 +31,12 @@ impl fmt::Display for ComplexError {
             ComplexError::EmptySimplex => write!(f, "simplex must be non-empty"),
             ComplexError::DuplicateName(n) => {
                 write!(f, "simplex contains two vertices named {n}")
+            }
+            ComplexError::MissingName(n) => {
+                write!(
+                    f,
+                    "facet does not cover process name {n} (dense tables need 0..n)"
+                )
             }
             ComplexError::VertexNotInDomain => {
                 write!(f, "vertex map queried outside its domain")
@@ -49,6 +58,7 @@ mod tests {
         let variants = [
             ComplexError::EmptySimplex,
             ComplexError::DuplicateName(ProcessName::new(1)),
+            ComplexError::MissingName(ProcessName::new(2)),
             ComplexError::VertexNotInDomain,
             ComplexError::NotSimplicial,
             ComplexError::NotNamePreserving,

@@ -1,0 +1,293 @@
+//! Dense facet storage for full-support chromatic complexes.
+//!
+//! Every output complex in this workspace is *full-support*: each facet
+//! carries exactly one value per process name `0..n`. [`Simplex`] stores
+//! such a facet as a sorted `Vec<Vertex<u64>>` and answers `value_of` by
+//! binary search — fine for one facet, wasteful when a solvability check
+//! scans hundreds of facets per verdict. [`FacetTable`] stores the same
+//! information densely: one flat `u32` buffer holding, for every facet, a
+//! name-indexed row of *palette codes* (indices into the sorted list of
+//! distinct `u64` values). Lookups are `O(1)` array reads, two cells of
+//! one row compare with a single `u32` comparison, and the whole table
+//! lives in two allocations regardless of facet count.
+//!
+//! Construction canonicalizes: the palette is sorted, rows are sorted
+//! lexicographically and deduplicated. Two tables built from the same
+//! facet *set* — in any order, from streams or from a [`Complex`] — are
+//! therefore equal and hash identically (`#[derive(Hash)]` over the dense
+//! buffers). Conversions back to [`Simplex`]/[`Complex`] are lossless.
+
+use crate::complex::Complex;
+use crate::error::ComplexError;
+use crate::simplex::Simplex;
+use crate::vertex::{ProcessName, Vertex};
+
+/// A dense, canonical store for the facets of a full-support chromatic
+/// complex over names `0..n` with `u64` values.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::{Complex, FacetTable, ProcessName, Vertex};
+///
+/// // O_LE for n = 2: facets {(0,1),(1,0)} and {(0,0),(1,1)}.
+/// let mut ole: Complex<u64> = Complex::new();
+/// for leader in 0..2u32 {
+///     ole.add_facet((0..2u32).map(|i| {
+///         Vertex::new(ProcessName::new(i), u64::from(i == leader))
+///     }))?;
+/// }
+/// let table = FacetTable::from_complex(&ole)?;
+/// assert_eq!(table.facet_count(), 2);
+/// assert_eq!(table.n(), 2);
+/// assert_eq!(table.value_of(0, ProcessName::new(0)), 0); // rows sorted
+/// assert_eq!(table.to_complex(), ole); // lossless
+/// # Ok::<(), rsbt_complex::ComplexError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FacetTable {
+    /// Number of names (row width); every facet covers `0..n`.
+    n: usize,
+    /// Sorted distinct values; row cells index into this palette.
+    palette: Vec<u64>,
+    /// Facet-major flat buffer of palette codes, `facet_count * n` cells,
+    /// rows sorted lexicographically and deduplicated.
+    rows: Vec<u32>,
+}
+
+impl FacetTable {
+    /// Builds a table from a stream of full-support facets over `0..n`,
+    /// without materializing a [`Complex`].
+    ///
+    /// Duplicate facets collapse; the result is canonical regardless of
+    /// stream order.
+    ///
+    /// # Errors
+    ///
+    /// [`ComplexError::MissingName`] if a facet does not cover exactly the
+    /// names `0..n`.
+    pub fn from_facets<I>(n: usize, facets: I) -> Result<Self, ComplexError>
+    where
+        I: IntoIterator<Item = Simplex<u64>>,
+    {
+        // Pass 1: dense u64 rows (checking full support) + palette values.
+        let mut raw: Vec<u64> = Vec::new();
+        for facet in facets {
+            if facet.len() != n {
+                let missing = (0..n as u32)
+                    .map(ProcessName::new)
+                    .find(|&p| facet.value_of(p).is_none())
+                    .unwrap_or_else(|| ProcessName::new(n as u32));
+                return Err(ComplexError::MissingName(missing));
+            }
+            for (i, v) in facet.vertices().enumerate() {
+                // Sorted distinct names of the right count are exactly 0..n.
+                if v.name().index() != i as u32 {
+                    return Err(ComplexError::MissingName(ProcessName::new(i as u32)));
+                }
+                raw.push(*v.value());
+            }
+        }
+        let mut palette: Vec<u64> = raw.clone();
+        palette.sort_unstable();
+        palette.dedup();
+        // Pass 2: encode rows as palette codes (order-preserving, so
+        // lexicographic order by code equals lexicographic order by value),
+        // then canonicalize the row set.
+        let mut rows: Vec<u32> = raw
+            .iter()
+            .map(|v| palette.binary_search(v).expect("value in palette") as u32)
+            .collect();
+        if n > 0 {
+            let mut indexed: Vec<&[u32]> = rows.chunks_exact(n).collect();
+            indexed.sort_unstable();
+            indexed.dedup();
+            rows = indexed.concat();
+        }
+        Ok(FacetTable { n, palette, rows })
+    }
+
+    /// Builds a table from a [`Complex`] whose facets all cover the same
+    /// contiguous name range `0..n` (with `n` inferred from the complex).
+    ///
+    /// # Errors
+    ///
+    /// [`ComplexError::MissingName`] if the complex is impure or its names
+    /// are not contiguous from 0.
+    pub fn from_complex(k: &Complex<u64>) -> Result<Self, ComplexError> {
+        let n = k
+            .names()
+            .last()
+            .map(|p| p.index() as usize + 1)
+            .unwrap_or(0);
+        FacetTable::from_facets(n, k.facets().cloned())
+    }
+
+    /// The number of names (the width of every row).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The number of (distinct) facets stored.
+    pub fn facet_count(&self) -> usize {
+        self.rows.len().checked_div(self.n).unwrap_or(0)
+    }
+
+    /// Whether the table holds no facets.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sorted distinct values the rows index into.
+    pub fn palette(&self) -> &[u64] {
+        &self.palette
+    }
+
+    /// The dense code row of facet `f` (`n` palette codes, name-indexed).
+    ///
+    /// Codes are order-preserving: comparing two cells compares the
+    /// underlying values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= facet_count()`.
+    pub fn row(&self, f: usize) -> &[u32] {
+        &self.rows[f * self.n..(f + 1) * self.n]
+    }
+
+    /// `O(1)` value lookup: the value facet `f` assigns to `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` or `name` is out of range.
+    pub fn value_of(&self, f: usize, name: ProcessName) -> u64 {
+        self.palette[self.rows[f * self.n + name.index() as usize] as usize]
+    }
+
+    /// Iterates over the dense code rows in canonical order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.rows.chunks_exact(self.n.max(1))
+    }
+
+    /// Reconstructs facet `f` as a [`Simplex`] (lossless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= facet_count()`.
+    pub fn facet_simplex(&self, f: usize) -> Simplex<u64> {
+        Simplex::from_vertices(
+            self.row(f).iter().enumerate().map(|(i, &code)| {
+                Vertex::new(ProcessName::new(i as u32), self.palette[code as usize])
+            }),
+        )
+        .expect("dense rows have distinct names")
+    }
+
+    /// Reconstructs the whole complex (lossless: full-support facets of
+    /// equal dimension never absorb each other).
+    pub fn to_complex(&self) -> Complex<u64> {
+        (0..self.facet_count())
+            .map(|f| self.facet_simplex(f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: u32, value: u64) -> Vertex<u64> {
+        Vertex::new(ProcessName::new(name), value)
+    }
+
+    fn facet(vals: &[u64]) -> Simplex<u64> {
+        Simplex::from_vertices(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &x)| v(i as u32, x))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_lookup_matches_simplex_lookup() {
+        let facets = vec![facet(&[7, 0, 7]), facet(&[0, 7, 9]), facet(&[9, 9, 0])];
+        let table = FacetTable::from_facets(3, facets.clone()).unwrap();
+        assert_eq!(table.facet_count(), 3);
+        assert_eq!(table.palette(), &[0, 7, 9]);
+        for f in 0..table.facet_count() {
+            let s = table.facet_simplex(f);
+            assert!(facets.contains(&s), "row {f} round-trips to an input");
+            for i in 0..3u32 {
+                let p = ProcessName::new(i);
+                assert_eq!(Some(&table.value_of(f, p)), s.value_of(p));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_across_insertion_orders_and_sources() {
+        let a = vec![facet(&[1, 0, 0]), facet(&[0, 1, 0]), facet(&[0, 0, 1])];
+        let mut b = a.clone();
+        b.reverse();
+        b.push(facet(&[0, 1, 0])); // duplicate collapses
+        let ta = FacetTable::from_facets(3, a.clone()).unwrap();
+        let tb = FacetTable::from_facets(3, b).unwrap();
+        assert_eq!(ta, tb);
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&ta), s.hash_one(&tb));
+        let from_complex = FacetTable::from_complex(&Complex::from_simplices(a)).unwrap();
+        assert_eq!(ta, from_complex);
+    }
+
+    #[test]
+    fn complex_round_trip_is_lossless() {
+        let facets = vec![
+            facet(&[1, 0, 0, 1]),
+            facet(&[0, 0, 1, 1]),
+            facet(&[2, 2, 2, 2]),
+        ];
+        let k = Complex::from_simplices(facets);
+        let table = FacetTable::from_complex(&k).unwrap();
+        assert_eq!(table.to_complex(), k);
+    }
+
+    #[test]
+    fn rejects_partial_support() {
+        let short = Simplex::from_vertices(vec![v(0, 1), v(2, 0)]).unwrap();
+        let err = FacetTable::from_facets(3, vec![short]).unwrap_err();
+        assert!(matches!(err, ComplexError::MissingName(p) if p.index() == 1));
+        // Wrong length is caught too.
+        let err = FacetTable::from_facets(4, vec![facet(&[1, 0, 0])]).unwrap_err();
+        assert!(matches!(err, ComplexError::MissingName(_)));
+    }
+
+    #[test]
+    fn from_complex_rejects_impure_support() {
+        let mut k = Complex::new();
+        k.add_simplex(facet(&[1, 0, 0]));
+        k.add_simplex(Simplex::from_vertices(vec![v(0, 5), v(1, 5)]).unwrap());
+        assert!(FacetTable::from_complex(&k).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = FacetTable::from_facets(3, Vec::new()).unwrap();
+        assert!(table.is_empty());
+        assert_eq!(table.facet_count(), 0);
+        assert_eq!(table.rows().count(), 0);
+        assert!(table.to_complex().is_empty());
+        let from_empty = FacetTable::from_complex(&Complex::new()).unwrap();
+        assert!(from_empty.is_empty());
+    }
+
+    #[test]
+    fn row_cells_compare_like_values() {
+        let table = FacetTable::from_facets(3, vec![facet(&[5, 5, 9])]).unwrap();
+        let row = table.row(0);
+        assert_eq!(row[0], row[1]);
+        assert!(row[2] > row[0], "codes are order-preserving");
+    }
+}

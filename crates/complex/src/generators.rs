@@ -120,11 +120,105 @@ pub fn octahedral_sphere(d: usize) -> Complex<u64> {
     c
 }
 
+/// Lazy enumeration of the `len`-element index subsets of `0..n`, in
+/// lexicographic combination order — the shared advance logic behind
+/// [`Simplex::faces_of_dimension`](crate::Simplex::faces_of_dimension)
+/// and the `k`-subset facet generators in `rsbt-tasks`.
+///
+/// Yields `C(n, len)` subsets; in particular `Combinations::new(n, 0)`
+/// yields the single empty subset.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_complex::generators::Combinations;
+/// let pairs: Vec<Vec<usize>> = Combinations::new(3, 2).collect();
+/// assert_eq!(pairs, vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Combinations {
+    n: usize,
+    /// Current combination (ascending indices).
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    /// Starts the enumeration of `len`-subsets of `0..n`.
+    pub fn new(n: usize, len: usize) -> Self {
+        Combinations {
+            n,
+            idx: (0..len).collect(),
+            done: len > n,
+        }
+    }
+
+    /// An already-exhausted enumeration (yields nothing).
+    pub fn empty() -> Self {
+        Combinations {
+            n: 0,
+            idx: Vec::new(),
+            done: true,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.idx.clone();
+        let len = self.idx.len();
+        let mut i = len;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.idx[i] != i + self.n - len {
+                self.idx[i] += 1;
+                for j in i + 1..len {
+                    self.idx[j] = self.idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::connectivity;
     use crate::homology;
+
+    #[test]
+    fn combinations_counts_are_binomial() {
+        fn binomial(n: usize, k: usize) -> usize {
+            if k > n {
+                return 0;
+            }
+            (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
+        }
+        for n in 0..=6 {
+            for len in 0..=7 {
+                let all: Vec<Vec<usize>> = Combinations::new(n, len).collect();
+                assert_eq!(all.len(), binomial(n, len), "n={n} len={len}");
+                // Strictly increasing within, lexicographic across.
+                for c in &all {
+                    assert!(c.windows(2).all(|w| w[0] < w[1]));
+                    assert!(c.iter().all(|&i| i < n));
+                }
+                assert!(all.windows(2).all(|w| w[0] < w[1]), "n={n} len={len}");
+            }
+        }
+        assert_eq!(Combinations::empty().count(), 0);
+    }
 
     #[test]
     fn solid_simplices_are_acyclic() {

@@ -8,6 +8,9 @@
 //!   identity (color) of a processing node and the *value* is its local state;
 //! * [`Simplex`] and [`Complex`]: abstract simplicial complexes stored by
 //!   their facets (maximal simplices);
+//! * [`FacetTable`]: a dense, canonical facet store for full-support
+//!   complexes (one value per name `0..n`), with `O(1)` value lookup —
+//!   the hot-path representation behind `rsbt_core`'s solvability scans;
 //! * combinatorial operators ([`ops`]): induced subcomplexes, star, link,
 //!   skeleton, join, union;
 //! * [`connectivity`]: connected components of the 1-skeleton;
@@ -46,6 +49,7 @@
 mod complex;
 pub mod connectivity;
 mod error;
+mod facet_table;
 pub mod generators;
 pub mod homology;
 pub mod iso;
@@ -59,5 +63,6 @@ mod vertex;
 
 pub use crate::complex::Complex;
 pub use crate::error::ComplexError;
-pub use crate::simplex::Simplex;
+pub use crate::facet_table::FacetTable;
+pub use crate::simplex::{Faces, Simplex, SubsetsOfLen};
 pub use crate::vertex::{ProcessName, Value, Vertex};

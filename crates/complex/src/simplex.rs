@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::error::ComplexError;
+use crate::generators::Combinations;
 use crate::vertex::{ProcessName, Value, Vertex};
 
 /// A non-empty, properly colored set of vertices.
@@ -129,66 +130,105 @@ impl<V: Value> Simplex<V> {
     }
 
     /// Enumerates every non-empty face of the simplex (`2^{dim+1} − 1` of
-    /// them), in subset-mask order.
+    /// them), lazily, in subset-mask order. Each face is built only when
+    /// the iterator reaches it — nothing is materialized up front.
     ///
     /// # Panics
     ///
     /// Panics if the simplex has more than 62 vertices (mask overflow); the
     /// complexes in this workspace are orders of magnitude smaller.
-    pub fn faces(&self) -> Vec<Simplex<V>> {
+    pub fn faces(&self) -> Faces<'_, V> {
         let k = self.vertices.len();
         assert!(k <= 62, "face enumeration limited to 62 vertices");
-        let mut out = Vec::with_capacity((1usize << k) - 1);
-        for mask in 1u64..(1u64 << k) {
-            let vs: Vec<Vertex<V>> = (0..k)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| self.vertices[i].clone())
-                .collect();
-            out.push(Simplex { vertices: vs });
+        Faces {
+            simplex: self,
+            mask: 1,
+            end: 1u64 << k,
         }
-        out
     }
 
-    /// Enumerates the faces of exactly dimension `d` (i.e. `d+1` vertices).
-    pub fn faces_of_dimension(&self, d: usize) -> Vec<Simplex<V>> {
+    /// Enumerates the faces of exactly dimension `d` (i.e. `d+1` vertices),
+    /// lazily, in combination order.
+    pub fn faces_of_dimension(&self, d: usize) -> SubsetsOfLen<'_, V> {
         self.subsets_of_len(d + 1)
     }
 
-    /// The boundary: all faces of codimension 1. Empty for a 0-simplex.
-    pub fn boundary(&self) -> Vec<Simplex<V>> {
+    /// The boundary: all faces of codimension 1, lazily. Empty for a
+    /// 0-simplex.
+    pub fn boundary(&self) -> SubsetsOfLen<'_, V> {
         if self.dimension() == 0 {
-            return Vec::new();
+            return self.subsets_of_len(0);
         }
         self.subsets_of_len(self.vertices.len() - 1)
     }
 
-    fn subsets_of_len(&self, len: usize) -> Vec<Simplex<V>> {
-        if len == 0 || len > self.vertices.len() {
-            return Vec::new();
+    fn subsets_of_len(&self, len: usize) -> SubsetsOfLen<'_, V> {
+        SubsetsOfLen {
+            simplex: self,
+            // A simplex has no empty face, so len == 0 yields nothing
+            // (Combinations::new(_, 0) would yield the empty subset).
+            combinations: if len == 0 {
+                Combinations::empty()
+            } else {
+                Combinations::new(self.vertices.len(), len)
+            },
         }
-        let mut out = Vec::new();
-        let mut idx: Vec<usize> = (0..len).collect();
-        loop {
-            out.push(Simplex {
-                vertices: idx.iter().map(|&i| self.vertices[i].clone()).collect(),
-            });
-            // next combination
-            let k = self.vertices.len();
-            let mut i = len;
-            loop {
-                if i == 0 {
-                    return out;
-                }
-                i -= 1;
-                if idx[i] != i + k - len {
-                    idx[i] += 1;
-                    for j in i + 1..len {
-                        idx[j] = idx[j - 1] + 1;
-                    }
-                    break;
-                }
-            }
+    }
+}
+
+/// Lazy iterator over every non-empty face of a simplex, in subset-mask
+/// order (see [`Simplex::faces`]).
+#[derive(Clone, Debug)]
+pub struct Faces<'a, V> {
+    simplex: &'a Simplex<V>,
+    mask: u64,
+    end: u64,
+}
+
+impl<V: Value> Iterator for Faces<'_, V> {
+    type Item = Simplex<V>;
+
+    fn next(&mut self) -> Option<Simplex<V>> {
+        if self.mask >= self.end {
+            return None;
         }
+        let mask = self.mask;
+        self.mask += 1;
+        let vertices: Vec<Vertex<V>> = (0..self.simplex.vertices.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| self.simplex.vertices[i].clone())
+            .collect();
+        Some(Simplex { vertices })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.end - self.mask) as usize;
+        (left, Some(left))
+    }
+}
+
+impl<V: Value> ExactSizeIterator for Faces<'_, V> {}
+
+/// Lazy iterator over the faces with a fixed vertex count, in combination
+/// order (see [`Simplex::faces_of_dimension`] and [`Simplex::boundary`]):
+/// [`Combinations`] over the vertex indices, mapped to sub-simplices.
+#[derive(Clone, Debug)]
+pub struct SubsetsOfLen<'a, V> {
+    simplex: &'a Simplex<V>,
+    combinations: Combinations,
+}
+
+impl<V: Value> Iterator for SubsetsOfLen<'_, V> {
+    type Item = Simplex<V>;
+
+    fn next(&mut self) -> Option<Simplex<V>> {
+        let idx = self.combinations.next()?;
+        Some(Simplex {
+            vertices: idx
+                .iter()
+                .map(|&i| self.simplex.vertices[i].clone())
+                .collect(),
+        })
     }
 }
 
@@ -261,16 +301,17 @@ mod tests {
     fn faces_count_matches_powerset() {
         let sx = s(vec![v(0, 1), v(1, 0), v(2, 0)]);
         assert_eq!(sx.faces().len(), 7);
-        assert_eq!(sx.faces_of_dimension(1).len(), 3);
-        assert_eq!(sx.faces_of_dimension(0).len(), 3);
-        assert_eq!(sx.faces_of_dimension(2).len(), 1);
-        assert_eq!(sx.faces_of_dimension(3).len(), 0);
+        assert_eq!(sx.faces().count(), 7);
+        assert_eq!(sx.faces_of_dimension(1).count(), 3);
+        assert_eq!(sx.faces_of_dimension(0).count(), 3);
+        assert_eq!(sx.faces_of_dimension(2).count(), 1);
+        assert_eq!(sx.faces_of_dimension(3).count(), 0);
     }
 
     #[test]
     fn boundary_of_edge_is_two_points() {
         let e = s(vec![v(0, 1), v(1, 0)]);
-        let b = e.boundary();
+        let b: Vec<_> = e.boundary().collect();
         assert_eq!(b.len(), 2);
         assert!(b.iter().all(|f| f.dimension() == 0));
     }
@@ -278,7 +319,7 @@ mod tests {
     #[test]
     fn boundary_of_point_is_empty() {
         let p = s(vec![v(0, 1)]);
-        assert!(p.boundary().is_empty());
+        assert_eq!(p.boundary().count(), 0);
     }
 
     #[test]

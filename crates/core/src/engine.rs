@@ -20,8 +20,13 @@
 //! * **Partition-signature memoization** ([`SolvabilityMemo`]): the
 //!   verdict of [`solves_execution`](crate::solvability::solves_execution)
 //!   depends only on the *consistency partition* of the knowledge vector,
-//!   and there are at most Bell(`n`) partitions of `[n]` — so the facet
-//!   search runs once per distinct partition, not once per node.
+//!   and there are at most Bell(`n`) partitions of `[n]` — so the verdict
+//!   computes once per distinct partition, not once per node. The
+//!   computation itself is allocation-free: the task's closed-form
+//!   [`Task::solves_partition`] when it has one, else a scan of the
+//!   dense [`FacetTable`] the run-owned [`TaskKernel`] carries (built
+//!   once per `(task, n)` by streaming `Task::facet_stream` — the output
+//!   complex is never materialized, let alone per node).
 //! * **Monotone subtree pruning**: extending an execution only refines
 //!   its consistency partition (equal round-`t` knowledge forces equal
 //!   round-`t − 1` knowledge), and a facet monochromatic on a partition
@@ -36,10 +41,60 @@
 //! count) and owns a tree node iff it owns the node's leftmost prefix, so
 //! per-depth tallies sum to the serial traversal's exactly.
 
-use rsbt_complex::{Complex, ProcessName};
+use rsbt_complex::FacetTable;
 use rsbt_random::{Assignment, BitString, Realization};
 use rsbt_sim::{FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper};
 use rsbt_tasks::Task;
+
+use crate::output_cache::build_output_table;
+use crate::solvability;
+
+/// Everything a traversal needs to decide solvability for one
+/// `(task, n)` pair: the task (for its closed-form
+/// [`Task::solves_partition`]) and, for tasks without one, the dense
+/// [`FacetTable`] of its output complex (the fallback scan). Built once
+/// per run — never per tree node — and assembled from borrowed parts, so
+/// the parallel sharding path shares one table across workers. Tasks
+/// with a closed form carry no table at all
+/// ([`TaskKernel::closed_form_only`]): the output complex is never
+/// materialized in any form for them.
+#[derive(Debug)]
+pub struct TaskKernel<'a, T: Task + ?Sized> {
+    task: &'a T,
+    table: Option<&'a FacetTable>,
+}
+
+impl<'a, T: Task + ?Sized> TaskKernel<'a, T> {
+    /// Assembles a kernel from a task and its (already built) dense
+    /// output table.
+    pub fn new(task: &'a T, table: &'a FacetTable) -> Self {
+        TaskKernel {
+            task,
+            table: Some(table),
+        }
+    }
+
+    /// A kernel for a task whose [`Task::solves_partition`] always
+    /// answers — no fallback table is carried.
+    pub fn closed_form_only(task: &'a T) -> Self {
+        TaskKernel { task, table: None }
+    }
+
+    /// The dense output table the fallback scan runs over, if one was
+    /// attached.
+    pub fn table(&self) -> Option<&FacetTable> {
+        self.table
+    }
+}
+
+// Manual impls: `derive` would bound `T: Clone`/`T: Copy`.
+impl<T: Task + ?Sized> Clone for TaskKernel<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Task + ?Sized> Copy for TaskKernel<'_, T> {}
 
 /// Memoized solvability verdicts, keyed by the canonical consistency
 /// partition (first-occurrence class labels of the knowledge-id vector).
@@ -47,7 +102,11 @@ use rsbt_tasks::Task;
 /// Verdicts are a pure function of `(partition, output complex)`: the
 /// memo must not be reused across tasks or system sizes. Lookups on the
 /// hit path are allocation-free (the label buffer is reused and hashed as
-/// a borrowed slice).
+/// a borrowed slice) — and so are misses: the verdict comes from the
+/// task's closed-form [`Task::solves_partition`] when it has one, else
+/// from a scan of the kernel's dense [`FacetTable`] (`O(1)` lookups, one
+/// `u32` compare per cell; the only allocation is the memo insertion
+/// itself, once per distinct partition).
 #[derive(Clone, Debug, Default)]
 pub struct SolvabilityMemo {
     verdicts: FxHashMap<Vec<u8>, bool>,
@@ -56,7 +115,10 @@ pub struct SolvabilityMemo {
     /// Scratch: the distinct ids, in first-appearance order.
     seen: Vec<KnowledgeId>,
     /// Scratch: the representative (first) node of each class.
-    reps: Vec<ProcessName>,
+    reps: Vec<usize>,
+    memo_hits: u64,
+    closed_form_verdicts: u64,
+    dense_scan_verdicts: u64,
 }
 
 impl SolvabilityMemo {
@@ -71,17 +133,37 @@ impl SolvabilityMemo {
         self.verdicts.len()
     }
 
-    /// Whether a knowledge vector solves the task with output complex
-    /// `output` — the criterion of
+    /// How many queries were answered from the partition memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// How many verdicts came from the task's closed form
+    /// ([`Task::solves_partition`]).
+    pub fn closed_form_verdicts(&self) -> u64 {
+        self.closed_form_verdicts
+    }
+
+    /// How many verdicts fell back to the dense facet scan.
+    pub fn dense_scan_verdicts(&self) -> u64 {
+        self.dense_scan_verdicts
+    }
+
+    /// Whether a knowledge vector solves the kernel's task — the
+    /// criterion of
     /// [`solves_execution`](crate::solvability::solves_execution) (some
     /// facet monochromatic on every consistency class), memoized on the
-    /// partition signature.
+    /// partition signature. Misses dispatch to the closed form first and
+    /// the dense scan otherwise.
     ///
     /// # Panics
     ///
-    /// Panics if `ids.len() > 255`, or if a facet of `output` does not
-    /// cover every process name.
-    pub fn solves(&mut self, ids: &[KnowledgeId], output: &Complex<u64>) -> bool {
+    /// Panics if `ids.len() > 255`.
+    pub fn solves<T: Task + ?Sized>(
+        &mut self,
+        ids: &[KnowledgeId],
+        kernel: &TaskKernel<'_, T>,
+    ) -> bool {
         assert!(ids.len() <= u8::MAX as usize, "too many nodes for labels");
         self.labels.clear();
         self.seen.clear();
@@ -92,21 +174,27 @@ impl SolvabilityMemo {
                 None => {
                     self.labels.push(self.seen.len() as u8);
                     self.seen.push(id);
-                    self.reps.push(ProcessName::new(i as u32));
+                    self.reps.push(i);
                 }
             }
         }
         if let Some(&verdict) = self.verdicts.get(self.labels.as_slice()) {
+            self.memo_hits += 1;
             return verdict;
         }
-        let verdict = output.facets().any(|tau| {
-            self.labels.iter().enumerate().all(|(i, &class)| {
-                let rep = tau
-                    .value_of(self.reps[class as usize])
-                    .expect("facet covers all names");
-                tau.value_of(ProcessName::new(i as u32)) == Some(rep)
-            })
-        });
+        let verdict = match kernel.task.solves_partition(&self.labels) {
+            Some(v) => {
+                self.closed_form_verdicts += 1;
+                v
+            }
+            None => {
+                self.dense_scan_verdicts += 1;
+                let table = kernel
+                    .table
+                    .expect("tasks without a closed form carry a dense table");
+                solvability::facet_scan(table, &self.labels, &self.reps)
+            }
+        };
         self.verdicts.insert(self.labels.clone(), verdict);
         verdict
     }
@@ -127,9 +215,26 @@ pub fn solved_counts<T: Task + ?Sized>(
     t_max: usize,
     arena: &mut KnowledgeArena,
 ) -> Vec<u64> {
-    let output = task.output_complex(alpha.n());
+    let table = fallback_table(task, alpha.n());
+    let kernel = match table.as_ref() {
+        Some(table) => TaskKernel::new(task, table),
+        None => TaskKernel::closed_form_only(task),
+    };
     let mut memo = SolvabilityMemo::new();
-    solved_counts_shard(model, &output, alpha, t_max, 0, 0, 1, arena, &mut memo)
+    solved_counts_shard(model, &kernel, alpha, t_max, 0, 0, 1, arena, &mut memo)
+}
+
+/// Builds the dense output table only when `task` has no closed-form
+/// verdict (probed on one partition — the trait contract makes
+/// `solves_partition` uniformly `Some`/`None` per `(task, n)`). The probe
+/// uses the all-one-class partition, so it panics exactly where
+/// `output_complex(n)` would on an undefined `n`.
+pub fn fallback_table<T: Task + ?Sized>(task: &T, n: usize) -> Option<FacetTable> {
+    if task.solves_partition(&vec![0u8; n]).is_some() {
+        None
+    } else {
+        Some(build_output_table(task, n))
+    }
 }
 
 /// The sharded form of [`solved_counts`]: processes the contiguous range
@@ -147,9 +252,9 @@ pub fn solved_counts<T: Task + ?Sized>(
 /// Panics if `shard_depth > t_max`, `hi > 2^{k·shard_depth}`, `k·t_max >
 /// 62`, or on a model/assignment node mismatch.
 #[allow(clippy::too_many_arguments)]
-pub fn solved_counts_shard(
+pub fn solved_counts_shard<T: Task + ?Sized>(
     model: &Model,
-    output: &Complex<u64>,
+    kernel: &TaskKernel<'_, T>,
     alpha: &Assignment,
     t_max: usize,
     shard_depth: usize,
@@ -176,7 +281,7 @@ pub fn solved_counts_shard(
     let mut walker = TreeWalker {
         stepper: RoundStepper::new(model, n),
         memo,
-        output,
+        kernel,
         alpha,
         k,
         t_max,
@@ -201,7 +306,7 @@ pub fn solved_counts_shard(
             // This shard owns the depth-r ancestor iff `prefix` is its
             // leftmost (all-zero-suffix) prefix.
             let owned = prefix & ((1u64 << ((shard_depth - r) * k)) - 1) == 0;
-            if owned && walker.memo.solves(&levels[r], output) {
+            if owned && walker.memo.solves(&levels[r], kernel) {
                 walker.counts[r - 1] += 1;
                 if r == shard_depth {
                     solved_at = Some(r);
@@ -212,7 +317,7 @@ pub fn solved_counts_shard(
             // Whole-tree mode: the root (depth 0, all `⊥`) is not tallied
             // (the series starts at t = 1), but if it solves, monotonicity
             // covers the entire tree wholesale.
-            if walker.memo.solves(&levels[0], output) {
+            if walker.memo.solves(&levels[0], kernel) {
                 for d in 1..=t_max {
                     walker.counts[d - 1] += 1u64 << (k * d);
                 }
@@ -236,17 +341,17 @@ pub fn solved_counts_shard(
 }
 
 /// The DFS state shared across one shard's traversal.
-struct TreeWalker<'a> {
+struct TreeWalker<'a, T: Task + ?Sized> {
     stepper: RoundStepper,
     memo: &'a mut SolvabilityMemo,
-    output: &'a Complex<u64>,
+    kernel: &'a TaskKernel<'a, T>,
     alpha: &'a Assignment,
     k: usize,
     t_max: usize,
     counts: Vec<u64>,
 }
 
-impl TreeWalker<'_> {
+impl<T: Task + ?Sized> TreeWalker<'_, T> {
     /// Expands the node whose knowledge vector is `levels[0]` (at `depth`,
     /// known not to solve): steps each of the `2^k` children into
     /// `levels[1]`, tallies, prunes solving subtrees, recurses otherwise.
@@ -261,7 +366,7 @@ impl TreeWalker<'_> {
                 |i| digit >> alpha.source_of(i) & 1 == 1,
                 &mut rest[0],
             );
-            if self.memo.solves(&rest[0], self.output) {
+            if self.memo.solves(&rest[0], self.kernel) {
                 self.counts[child_depth - 1] += 1;
                 for d in child_depth + 1..=self.t_max {
                     self.counts[d - 1] += 1u64 << (self.k * (d - child_depth));
@@ -354,9 +459,10 @@ mod tests {
 
     #[test]
     fn memo_never_changes_a_verdict() {
-        // The partition-signature memo must agree with the direct facet
-        // search on every realization, in both models, even when verdicts
-        // replay from the memo in arbitrary interleavings.
+        // The partition-signature memo (closed form + dense scan) must
+        // agree with the PR 3 reference facet search on every realization,
+        // in both models, even when verdicts replay from the memo in
+        // arbitrary interleavings.
         for n in 1..=4usize {
             let models = [Model::Blackboard, Model::message_passing_cyclic(n)];
             for model in models {
@@ -364,21 +470,83 @@ mod tests {
                     Box::new(LeaderElection) as Box<dyn Task>,
                     Box::new(KLeaderElection::new(2.min(n))),
                 ] {
-                    let output = task.output_complex(n);
+                    let table = build_output_table(task.as_ref(), n);
+                    let kernel = TaskKernel::new(task.as_ref(), &table);
                     let mut memo = SolvabilityMemo::new();
                     let mut arena = KnowledgeArena::new();
                     for t in 0..=2usize {
                         for rho in Realization::enumerate_all(n, t) {
                             let exec = rsbt_sim::Execution::run(&model, &rho, &mut arena);
-                            let direct = solvability::solves_execution(&exec, task.as_ref());
-                            let memoized = memo.solves(exec.knowledge_at(t), &output);
+                            let direct =
+                                solvability::solves_execution_reference(&exec, task.as_ref());
+                            let memoized = memo.solves(exec.knowledge_at(t), &kernel);
                             assert_eq!(direct, memoized, "{model} n={n} t={t} {rho}");
                         }
                     }
                     assert!(memo.entries() > 0);
+                    // Built-ins answer in closed form; the dense scan
+                    // never runs for them.
+                    assert_eq!(memo.closed_form_verdicts(), memo.entries() as u64);
+                    assert_eq!(memo.dense_scan_verdicts(), 0);
+                    assert!(memo.memo_hits() > 0);
                 }
             }
         }
+    }
+
+    /// A task with no closed form, to pin the dense-scan fallback.
+    struct OpaqueLeaderElection;
+
+    impl Task for OpaqueLeaderElection {
+        fn name(&self) -> std::borrow::Cow<'static, str> {
+            std::borrow::Cow::Borrowed("opaque-leader-election")
+        }
+
+        fn output_complex(&self, n: usize) -> rsbt_complex::Complex<u64> {
+            LeaderElection.output_complex(n)
+        }
+    }
+
+    #[test]
+    fn fallback_table_built_only_without_closed_form() {
+        // Built-ins answer in closed form → no table, no output-complex
+        // materialization anywhere on the engine path.
+        assert!(fallback_table(&LeaderElection, 4).is_none());
+        assert!(fallback_table(&KLeaderElection::new(2), 4).is_none());
+        // Tasks without a closed form get the dense table.
+        assert!(fallback_table(&OpaqueLeaderElection, 4).is_some());
+    }
+
+    #[test]
+    fn dense_scan_fallback_matches_closed_form() {
+        // The same output complex through solves_partition (LeaderElection)
+        // and through the dense fallback (OpaqueLeaderElection) must tally
+        // identically, and the opaque task must actually hit the scan.
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let counts_closed = solved_counts(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            3,
+            &mut KnowledgeArena::new(),
+        );
+        let table = build_output_table(&OpaqueLeaderElection, alpha.n());
+        let kernel = TaskKernel::new(&OpaqueLeaderElection, &table);
+        let mut memo = SolvabilityMemo::new();
+        let counts_scanned = solved_counts_shard(
+            &Model::Blackboard,
+            &kernel,
+            &alpha,
+            3,
+            0,
+            0,
+            1,
+            &mut KnowledgeArena::new(),
+            &mut memo,
+        );
+        assert_eq!(counts_closed, counts_scanned);
+        assert!(memo.dense_scan_verdicts() > 0);
+        assert_eq!(memo.closed_form_verdicts(), 0);
     }
 
     #[test]
@@ -391,7 +559,8 @@ mod tests {
         for model in [Model::Blackboard, Model::message_passing_cyclic(3)] {
             let mut arena = KnowledgeArena::new();
             let serial = solved_counts(&model, &task, &alpha, t_max, &mut arena);
-            let output = task.output_complex(alpha.n());
+            let table = build_output_table(&task, alpha.n());
+            let kernel = TaskKernel::new(&task, &table);
             for shard_depth in [1usize, 2] {
                 let total = 1u64 << (alpha.k() * shard_depth);
                 let cut_sets = [
@@ -406,7 +575,7 @@ mod tests {
                         let mut memo = SolvabilityMemo::new();
                         let part = solved_counts_shard(
                             &model,
-                            &output,
+                            &kernel,
                             &alpha,
                             t_max,
                             shard_depth,

@@ -9,7 +9,12 @@
 //! * **Theorem 4.2 (message passing, worst-case ports)**: solvable ⟺
 //!   `gcd(n_1, …, n_k) = 1`.
 
-use rsbt_random::Assignment;
+use rsbt_random::{Assignment, Realization};
+use rsbt_sim::{KnowledgeArena, Model};
+use rsbt_tasks::Task;
+
+use crate::output_cache::OutputComplexCache;
+use crate::solvability;
 
 /// Theorem 4.1: eventual solvability of leader election in the blackboard
 /// model.
@@ -87,6 +92,46 @@ pub fn lemma_3_2_limit(series: &[f64]) -> LimitClass {
     }
 }
 
+/// A Lemma 3.2 *witness*: the first α-consistent realization with
+/// `time ≤ t_max` that solves `task`, if one exists.
+///
+/// Any such realization has probability `2^{-k·t} > 0`, so by Lemma 3.2
+/// its existence alone certifies `lim Pr[S(t) | α] = 1` — no probability
+/// series needs computing. `None` means no enumerable witness up to
+/// `t_max` (limit 0 if `t_max` is large enough to be conclusive for the
+/// task, cf. Theorems 4.1/4.2).
+///
+/// The search loops [`solvability::solves_with_cache`] over
+/// [`Realization::enumerate_consistent`], so the task's facet table is
+/// taken-or-built once via `cache`, never per candidate.
+///
+/// # Panics
+///
+/// Panics if `alpha.k() · t_max` exceeds
+/// [`crate::probability::MAX_EXACT_BITS`], or on a model/assignment node
+/// mismatch.
+pub fn lemma_3_2_certificate<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    arena: &mut KnowledgeArena,
+    cache: &mut OutputComplexCache,
+) -> Option<Realization> {
+    assert!(
+        alpha.k() * t_max <= crate::probability::MAX_EXACT_BITS,
+        "k*t_max = {} exceeds exact-enumeration budget",
+        alpha.k() * t_max
+    );
+    if let Some(p) = model.ports() {
+        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    }
+    (1..=t_max).find_map(|t| {
+        Realization::enumerate_consistent(alpha, t)
+            .find(|rho| solvability::solves_with_cache(model, rho, task, arena, cache))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +207,57 @@ mod tests {
     #[should_panic(expected = "at least one probability")]
     fn empty_series_rejected() {
         let _ = classify_limit(&[], 0.01);
+    }
+
+    #[test]
+    fn certificate_agrees_with_theorem_4_1() {
+        // A witness exists exactly for the Theorem 4.1-solvable profiles,
+        // and it really solves: the witness search IS the 'if' direction.
+        use rsbt_tasks::LeaderElection;
+        let mut arena = KnowledgeArena::new();
+        let mut cache = OutputComplexCache::new();
+        for n in 1..=4usize {
+            for alpha in Assignment::iter_profiles(n) {
+                let witness = lemma_3_2_certificate(
+                    &Model::Blackboard,
+                    &LeaderElection,
+                    &alpha,
+                    3,
+                    &mut arena,
+                    &mut cache,
+                );
+                assert_eq!(
+                    witness.is_some(),
+                    blackboard_eventually_solvable(&alpha),
+                    "{alpha}"
+                );
+                if let Some(rho) = witness {
+                    assert!(rho.is_consistent_with(&alpha));
+                    assert!(solvability::solves(
+                        &Model::Blackboard,
+                        &rho,
+                        &LeaderElection,
+                        &mut arena
+                    ));
+                }
+            }
+        }
+        // LE has a closed-form verdict: the sweep never builds a table.
+        assert_eq!(cache.builds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds exact-enumeration budget")]
+    fn certificate_budget_guard() {
+        use rsbt_tasks::LeaderElection;
+        let alpha = Assignment::private(8); // k = 8
+        let _ = lemma_3_2_certificate(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            4,
+            &mut KnowledgeArena::new(),
+            &mut OutputComplexCache::new(),
+        );
     }
 }

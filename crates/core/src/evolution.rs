@@ -5,8 +5,11 @@
 use rsbt_complex::{maps::VertexMap, Vertex};
 use rsbt_random::{BitString, Realization};
 use rsbt_sim::{KnowledgeArena, Model};
+use rsbt_tasks::Task;
 
 use crate::consistency;
+use crate::output_cache::OutputComplexCache;
+use crate::solvability;
 
 /// All one-round extensions `ρ′ ≻ ρ` (Definition 4.6) — one per
 /// assignment of fresh bits to the `n` nodes. Only those consistent with
@@ -117,6 +120,34 @@ pub fn can_reach_singleton(
         .any(|succ| can_reach_singleton(model, succ, extra_rounds - 1, arena))
 }
 
+/// Task-generic reachability: whether some successor chain of `rho`
+/// (within `extra_rounds` rounds, exhaustive over the raw `2^n`-ary
+/// successor tree) reaches a solving realization. Generalizes
+/// [`can_reach_singleton`] — for leader election the two predicates
+/// coincide, since LE solves exactly at a singleton class.
+///
+/// Solvability is checked through `cache`
+/// ([`solvability::solves_with_cache`]), so the exponential successor
+/// search builds the task's facet table once, not per visited node.
+pub fn can_reach_solving<T: Task + ?Sized>(
+    model: &Model,
+    rho: &Realization,
+    task: &T,
+    extra_rounds: usize,
+    arena: &mut KnowledgeArena,
+    cache: &mut OutputComplexCache,
+) -> bool {
+    if solvability::solves_with_cache(model, rho, task, arena, cache) {
+        return true;
+    }
+    if extra_rounds == 0 {
+        return false;
+    }
+    one_round_successors(rho)
+        .iter()
+        .any(|succ| can_reach_solving(model, succ, task, extra_rounds - 1, arena, cache))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +208,51 @@ mod tests {
                 assert!(after >= before, "{r} → {s}");
             }
         }
+    }
+
+    #[test]
+    fn can_reach_solving_generalizes_can_reach_singleton() {
+        // For leader election, "solves" == "has a singleton class", so the
+        // task-generic search must agree with the dimension-profile one on
+        // every enumerable start state and horizon.
+        use rsbt_tasks::{LeaderElection, WeakSymmetryBreaking};
+        let mut arena = KnowledgeArena::new();
+        let mut cache = OutputComplexCache::new();
+        for r in Realization::enumerate_all(3, 1) {
+            for extra in 0..=2usize {
+                assert_eq!(
+                    can_reach_solving(
+                        &Model::Blackboard,
+                        &r,
+                        &LeaderElection,
+                        extra,
+                        &mut arena,
+                        &mut cache
+                    ),
+                    can_reach_singleton(&Model::Blackboard, &r, extra, &mut arena),
+                    "{r} extra={extra}"
+                );
+            }
+        }
+        // WSB is weaker than LE: everything splitting into ≥ 2 classes
+        // solves, so from equal strings one extra round always suffices.
+        let r = rho(&["0", "0", "0"]);
+        assert!(!can_reach_solving(
+            &Model::Blackboard,
+            &r,
+            &WeakSymmetryBreaking,
+            0,
+            &mut arena,
+            &mut cache
+        ));
+        assert!(can_reach_solving(
+            &Model::Blackboard,
+            &r,
+            &WeakSymmetryBreaking,
+            1,
+            &mut arena,
+            &mut cache
+        ));
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod eventual;
 pub mod evolution;
 pub mod iso_h;
+pub mod output_cache;
 pub mod probability;
 pub mod protocol_complex;
 pub mod realization_complex;

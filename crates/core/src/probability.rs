@@ -14,7 +14,8 @@ use rsbt_random::{Assignment, Realization};
 use rsbt_sim::{pool, FxHashMap, KnowledgeArena, Model};
 use rsbt_tasks::Task;
 
-use crate::engine::{self, SolvabilityMemo};
+use crate::engine::{self, SolvabilityMemo, TaskKernel};
+use crate::output_cache::OutputComplexCache;
 use crate::solvability;
 
 /// Largest `k·t` accepted by the exact enumerator (`2^30` executions —
@@ -86,7 +87,10 @@ fn check_budget(model: &Model, alpha: &Assignment, t: usize) {
 /// The pre-engine reference path: leaf-by-leaf re-simulation over
 /// [`Realization::enumerate_consistent`], kept verbatim as the independent
 /// ground truth for the engine's bit-identity tests and the
-/// `exp_perf_enum` before/after benchmark. Not used by any production
+/// `exp_perf_enum` before/after benchmark — including the old per-leaf
+/// solvability cost model ([`solvability::solves_reference`] rebuilds the
+/// output complex and scans it per realization, exactly as `solves` did
+/// before the dense/closed-form rewrite). Not used by any production
 /// caller — prefer [`exact`] / [`exact_with_arena`].
 ///
 /// # Panics
@@ -103,7 +107,7 @@ pub fn exact_reference<T: Task + ?Sized>(
     let mut solved = 0u64;
     let mut total = 0u64;
     for rho in Realization::enumerate_consistent(alpha, t) {
-        if solvability::solves(model, &rho, task, arena) {
+        if solvability::solves_reference(model, &rho, task, arena) {
             solved += 1;
         }
         total += 1;
@@ -419,12 +423,19 @@ where
         .map(|w| (w * chunk, ((w + 1) * chunk).min(prefixes)))
         .filter(|(lo, hi)| lo < hi)
         .collect();
-    let output = task.output_complex(alpha.n());
+    // At most one dense table for the run (none when the task's closed
+    // form answers), shared read-only across workers; each worker
+    // assembles its borrowed kernel and owns its memo.
+    let table = engine::fallback_table(task, alpha.n());
     let shard_counts = pool::map_with_arena(&ranges, threads, |arena, &(lo, hi)| {
+        let kernel = match table.as_ref() {
+            Some(table) => TaskKernel::new(task, table),
+            None => TaskKernel::closed_form_only(task),
+        };
         let mut memo = SolvabilityMemo::new();
         engine::solved_counts_shard(
             model,
-            &output,
+            &kernel,
             alpha,
             t,
             shard_depth,
@@ -474,10 +485,12 @@ pub fn monte_carlo<T: Task, R: Rng + ?Sized>(
         assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
     }
     let mut arena = KnowledgeArena::new();
+    // One dense table for all samples (take-or-build, never per draw).
+    let mut cache = OutputComplexCache::new();
     let mut solved = 0usize;
     for _ in 0..samples {
         let rho = Realization::sample(alpha, t, rng);
-        if solvability::solves(model, &rho, task, &mut arena) {
+        if solvability::solves_with_cache(model, &rho, task, &mut arena, &mut cache) {
             solved += 1;
         }
     }

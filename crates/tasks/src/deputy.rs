@@ -9,9 +9,11 @@
 //! exercised on it; the `is_symmetric_for` check correctly reports when the
 //! constraints break symmetry.
 
+use std::borrow::Cow;
+
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
-use crate::task::Task;
+use crate::task::{FacetStream, Task};
 
 /// Output value for the elected leader in [`LeaderAndDeputy`].
 pub const ROLE_LEADER: u64 = 2;
@@ -102,23 +104,23 @@ impl LeaderAndDeputy {
 }
 
 impl Task for LeaderAndDeputy {
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         // The name doubles as a memoization key (`rsbt_core::probability`
         // caches on it), so constrained variants must not alias the
         // unconstrained task.
         if self.may_lead.iter().all(|&b| b) && self.may_deputy.iter().all(|&b| b) {
-            "leader-and-deputy".into()
+            Cow::Borrowed("leader-and-deputy")
         } else {
             let enc = |v: &[bool]| {
                 v.iter()
                     .map(|&b| if b { '1' } else { '0' })
                     .collect::<String>()
             };
-            format!(
+            Cow::Owned(format!(
                 "leader-and-deputy[L:{},D:{}]",
                 enc(&self.may_lead),
                 enc(&self.may_deputy)
-            )
+            ))
         }
     }
 
@@ -127,20 +129,54 @@ impl Task for LeaderAndDeputy {
     /// Panics if `n` differs from the constraint vectors' length, or if no
     /// valid (leader, deputy) pair exists.
     fn output_complex(&self, n: usize) -> Complex<u64> {
+        self.facet_stream(n).collect()
+    }
+
+    /// Lazily enumerates the admissible `(leader, deputy)` facets in
+    /// leader-major order.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Task::output_complex`]: the constraint check
+    /// runs eagerly (it is `O(n²)` on booleans), so an impossible
+    /// constraint set panics before the first facet is demanded.
+    fn facet_stream(&self, n: usize) -> FacetStream<'_> {
         assert_eq!(n, self.n(), "constraints defined for {} nodes", self.n());
-        let mut c = Complex::new();
-        for leader in 0..n {
-            for deputy in 0..n {
-                if let Some(f) = self.facet_for(leader, deputy) {
-                    c.add_simplex(f);
-                }
-            }
-        }
         assert!(
-            !c.is_empty(),
+            (0..n).any(|l| (0..n).any(|d| l != d && self.may_lead[l] && self.may_deputy[d])),
             "role constraints admit no (leader, deputy) pair"
         );
-        c
+        Box::new((0..n).flat_map(move |leader| {
+            (0..n).filter_map(move |deputy| self.facet_for(leader, deputy))
+        }))
+    }
+
+    /// Closed form: leader and deputy carry distinct non-follower roles,
+    /// so a facet is class-monochromatic iff its leader and deputy each
+    /// form a *singleton* class and everyone else (all followers — always
+    /// permitted) fills the rest. Hence: two distinct singleton classes
+    /// `{i}`, `{j}` with `may_lead[i]` and `may_deputy[j]`.
+    fn solves_partition(&self, labels: &[u8]) -> Option<bool> {
+        let n = self.n();
+        assert_eq!(
+            labels.len(),
+            n,
+            "constraints defined for {} nodes",
+            self.n()
+        );
+        // Panic-parity with `output_complex`/`facet_stream`: an impossible
+        // constraint set must not silently read as "unsolvable".
+        assert!(
+            (0..n).any(|l| (0..n).any(|d| l != d && self.may_lead[l] && self.may_deputy[d])),
+            "role constraints admit no (leader, deputy) pair"
+        );
+        // Singleton classes, identified by their unique member.
+        let singleton = |i: usize| labels.iter().filter(|&&l| l == labels[i]).count() == 1;
+        Some((0..n).any(|i| {
+            self.may_lead[i]
+                && singleton(i)
+                && (0..n).any(|j| j != i && self.may_deputy[j] && singleton(j))
+        }))
     }
 }
 
@@ -193,6 +229,15 @@ mod tests {
         let t = LeaderAndDeputy::new(vec![true, false], vec![true, false]);
         // Only node 0 may hold either role, but roles must differ.
         let _ = t.output_complex(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no (leader, deputy) pair")]
+    fn impossible_constraints_panic_in_closed_form_too() {
+        // Panic-parity: the closed form must refuse the same constraint
+        // sets `output_complex` refuses, not report "unsolvable".
+        let t = LeaderAndDeputy::new(vec![true, false], vec![true, false]);
+        let _ = t.solves_partition(&[0, 1]);
     }
 
     #[test]

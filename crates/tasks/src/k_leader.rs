@@ -6,10 +6,13 @@
 //! so `rsbt-core` can run that exercise mechanically (see the
 //! `exp_two_leader` experiment).
 
+use std::borrow::Cow;
+
+use rsbt_complex::generators::Combinations;
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
 use crate::leader::{DEFEATED, LEADER};
-use crate::task::Task;
+use crate::task::{class_sizes, FacetStream, Task};
 
 /// The exactly-`k`-leaders task.
 ///
@@ -69,36 +72,53 @@ impl KLeaderElection {
 }
 
 impl Task for KLeaderElection {
-    fn name(&self) -> String {
-        format!("{}-leader-election", self.k)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("{}-leader-election", self.k))
     }
 
     /// # Panics
     ///
     /// Panics if `k > n` (no valid outputs exist).
     fn output_complex(&self, n: usize) -> Complex<u64> {
+        self.facet_stream(n).collect()
+    }
+
+    /// Lazily enumerates the `C(n, k)` leader sets in combination order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n` (no valid outputs exist).
+    fn facet_stream(&self, n: usize) -> FacetStream<'_> {
         assert!(self.k <= n, "cannot elect {} leaders among {n}", self.k);
-        let mut c = Complex::new();
-        // Enumerate k-subsets of [n].
-        let mut subset: Vec<usize> = (0..self.k).collect();
-        loop {
-            c.add_simplex(self.facet_for(n, &subset));
-            // Next combination.
-            let mut i = self.k;
-            loop {
-                if i == 0 {
-                    return c;
-                }
-                i -= 1;
-                if subset[i] != i + n - self.k {
-                    subset[i] += 1;
-                    for j in i + 1..self.k {
-                        subset[j] = subset[j - 1] + 1;
-                    }
-                    break;
+        let task = *self;
+        Box::new(Combinations::new(n, self.k).map(move |subset| task.facet_for(n, &subset)))
+    }
+
+    /// Closed form: a facet elects a leader set `S` with `|S| = k`; `S` is
+    /// class-monochromatic iff it is a union of whole classes. So the task
+    /// solves iff some subset of the class sizes sums to exactly `k` — a
+    /// subset-sum over at most `n` parts, decided by a dense DP instead of
+    /// a `C(n, k)`-facet scan.
+    fn solves_partition(&self, labels: &[u8]) -> Option<bool> {
+        let n = labels.len();
+        assert!(self.k <= n, "cannot elect {} leaders among {n}", self.k);
+        let (sizes, _) = class_sizes(labels);
+        // Stack DP table: labels are u8, so n ≤ usize::from(u8::MAX) + 1
+        // and k ≤ n fits in 256 slots — no allocation on the verdict path.
+        let mut reachable = [false; 257];
+        reachable[0] = true;
+        for &s in sizes.iter().filter(|&&s| s > 0) {
+            let s = s as usize;
+            if s > self.k {
+                continue;
+            }
+            for total in (s..=self.k).rev() {
+                if reachable[total - s] {
+                    reachable[total] = true;
                 }
             }
         }
+        Some(reachable[self.k])
     }
 }
 

@@ -1,8 +1,10 @@
 //! Leader election: the output complex `O_LE`.
 
+use std::borrow::Cow;
+
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
-use crate::task::Task;
+use crate::task::{class_sizes, FacetStream, Task};
 
 /// Output value of the elected leader.
 pub const LEADER: u64 = 1;
@@ -47,17 +49,29 @@ impl LeaderElection {
 }
 
 impl Task for LeaderElection {
-    fn name(&self) -> String {
-        "leader-election".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("leader-election")
     }
 
     fn output_complex(&self, n: usize) -> Complex<u64> {
+        self.facet_stream(n).collect()
+    }
+
+    fn facet_stream(&self, n: usize) -> FacetStream<'_> {
         assert!(n >= 1, "leader election needs at least one node");
-        let mut c = Complex::new();
-        for leader in 0..n {
-            c.add_simplex(LeaderElection::tau(n, leader));
-        }
-        c
+        Box::new((0..n).map(move |leader| LeaderElection::tau(n, leader)))
+    }
+
+    /// Closed form: some facet `τ_i` is class-monochromatic iff the class
+    /// of the elected `i` is the singleton `{i}` — i.e. iff the partition
+    /// has a singleton class (Theorem 4.1's combinatorial core).
+    fn solves_partition(&self, labels: &[u8]) -> Option<bool> {
+        assert!(
+            !labels.is_empty(),
+            "leader election needs at least one node"
+        );
+        let (sizes, _) = class_sizes(labels);
+        Some(sizes.contains(&1))
     }
 }
 

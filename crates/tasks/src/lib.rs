@@ -48,5 +48,5 @@ mod wsb;
 pub use crate::deputy::LeaderAndDeputy;
 pub use crate::k_leader::KLeaderElection;
 pub use crate::leader::{LeaderElection, DEFEATED, LEADER};
-pub use crate::task::Task;
+pub use crate::task::{FacetStream, Task};
 pub use crate::wsb::WeakSymmetryBreaking;

@@ -1,8 +1,13 @@
 //! The task abstraction: a family of output complexes indexed by `n`.
 
+use std::borrow::Cow;
+
 use rsbt_complex::{Complex, Simplex};
 
 use crate::projection;
+
+/// A boxed lazy facet iterator (the return type of [`Task::facet_stream`]).
+pub type FacetStream<'a> = Box<dyn Iterator<Item = Simplex<u64>> + 'a>;
 
 /// An input-free task, defined by its output complex for each system size.
 ///
@@ -14,9 +19,30 @@ use crate::projection;
 /// tasks violating this (such as [`crate::LeaderAndDeputy`] with
 /// heterogeneous role constraints) are provided as explicitly-flagged
 /// extensions.
+///
+/// # Solvability hooks
+///
+/// A realization solves a task iff some facet of the output complex is
+/// monochromatic on every consistency class (Definition 3.4 forced into
+/// its combinatorial form: name preservation pins the simplicial map
+/// `δ(i, x_i) = (i, τ_i)`, and simpliciality is exactly
+/// class-monochromaticity). Two optional hooks let `rsbt_core` decide
+/// that without ever materializing the output complex:
+///
+/// * [`Task::facet_stream`] yields the facets lazily (the built-in tasks
+///   override it with closed generators), so callers can build a dense
+///   [`rsbt_complex::FacetTable`] straight from the stream;
+/// * [`Task::solves_partition`] answers the verdict in closed form from
+///   the consistency partition alone — `O(n)`-ish instead of a scan over
+///   every facet. Returning `None` (the default) falls back to the scan.
 pub trait Task {
     /// A short human-readable task name (for experiment tables).
-    fn name(&self) -> String;
+    ///
+    /// The name doubles as a memoization key in `rsbt_core`, so it must
+    /// uniquely identify the task's output-complex family. Fixed tasks
+    /// return `Cow::Borrowed` (no allocation per call); parameterized
+    /// tasks encode their parameters.
+    fn name(&self) -> Cow<'static, str>;
 
     /// The output complex `O` for `n` processes.
     ///
@@ -26,6 +52,50 @@ pub trait Task {
     /// `k`-leader election with `k > n`).
     fn output_complex(&self, n: usize) -> Complex<u64>;
 
+    /// The facets of `O` for `n` processes, as a lazy stream.
+    ///
+    /// Must yield exactly the facet set of [`Task::output_complex`] (in
+    /// any order; duplicates are tolerated by the dense-table consumer).
+    /// The default collects from `output_complex`; implementations
+    /// override it with a direct generator so no [`Complex`] is ever
+    /// built on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Task::output_complex`].
+    fn facet_stream(&self, n: usize) -> FacetStream<'_> {
+        Box::new(
+            self.output_complex(n)
+                .facets()
+                .cloned()
+                .collect::<Vec<_>>()
+                .into_iter(),
+        )
+    }
+
+    /// Closed-form solvability from a consistency partition, if this task
+    /// has one.
+    ///
+    /// `labels[i]` is the class label of process `i` (`labels.len() = n`);
+    /// labels are arbitrary `u8` tags — equal label ⟺ same class. The
+    /// verdict must equal "some facet of `output_complex(n)` holds a
+    /// single value on every class". Return `None` (the default) when no
+    /// closed form is known; callers then scan the facets.
+    ///
+    /// For a fixed task value and `n`, the result must be uniformly
+    /// `Some(_)` or uniformly `None` across all partitions: callers probe
+    /// one partition per run to decide whether the dense fallback table
+    /// needs building at all.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic exactly where [`Task::output_complex`] would
+    /// (e.g. `k > n`), so both paths agree on the defined domain.
+    fn solves_partition(&self, labels: &[u8]) -> Option<bool> {
+        let _ = labels;
+        None
+    }
+
     /// Whether the output complex for `n` processes is symmetric (stable
     /// under name permutations), the paper's admissibility condition.
     fn is_symmetric_for(&self, n: usize) -> bool {
@@ -33,18 +103,42 @@ pub trait Task {
     }
 
     /// The projected facets `{ π(τ) : τ facet of O }` (Definition 3.4's
-    /// codomains). Provided for all tasks via [`projection::project_facet`].
-    fn projected_facets(&self, n: usize) -> Vec<Complex<u64>> {
-        self.output_complex(n)
-            .facets()
-            .map(projection::project_facet)
-            .collect()
+    /// codomains), as a lazy stream over [`Task::facet_stream`].
+    fn projected_facets(&self, n: usize) -> Box<dyn Iterator<Item = Complex<u64>> + '_> {
+        Box::new(
+            self.facet_stream(n)
+                .map(|tau| projection::project_facet(&tau)),
+        )
     }
 
-    /// The facets of the output complex (convenience accessor).
-    fn facets(&self, n: usize) -> Vec<Simplex<u64>> {
-        self.output_complex(n).facets().cloned().collect()
+    /// [`Task::projected_facets`], collected (convenience for tests).
+    fn projected_facets_vec(&self, n: usize) -> Vec<Complex<u64>> {
+        self.projected_facets(n).collect()
     }
+
+    /// [`Task::facet_stream`], collected (convenience for tests).
+    fn facets_vec(&self, n: usize) -> Vec<Simplex<u64>> {
+        self.facet_stream(n).collect()
+    }
+}
+
+/// Helper for closed-form verdicts: the number of members of each class,
+/// indexed by label, plus the class count. Allocation-free (labels are
+/// `u8`, so 256 counters cover every partition).
+pub(crate) fn class_sizes(labels: &[u8]) -> ([u32; 256], usize) {
+    assert!(
+        labels.len() <= 256,
+        "closed-form verdicts support at most 256 nodes"
+    );
+    let mut sizes = [0u32; 256];
+    let mut classes = 0usize;
+    for &l in labels {
+        if sizes[l as usize] == 0 {
+            classes += 1;
+        }
+        sizes[l as usize] += 1;
+    }
+    (sizes, classes)
 }
 
 #[cfg(test)]
@@ -56,8 +150,8 @@ mod tests {
     struct Constant;
 
     impl Task for Constant {
-        fn name(&self) -> String {
-            "constant".into()
+        fn name(&self) -> Cow<'static, str> {
+            Cow::Borrowed("constant")
         }
 
         fn output_complex(&self, n: usize) -> Complex<u64> {
@@ -72,10 +166,28 @@ mod tests {
     fn defaults_work() {
         let t = Constant;
         assert!(t.is_symmetric_for(3));
-        assert_eq!(t.facets(3).len(), 1);
-        let proj = t.projected_facets(3);
+        assert_eq!(t.facets_vec(3).len(), 1);
+        assert_eq!(t.facet_stream(3).count(), 1);
+        assert_eq!(t.solves_partition(&[0, 0, 1]), None, "no closed form");
+        let proj = t.projected_facets_vec(3);
         assert_eq!(proj.len(), 1);
         // All values equal: projection is the whole facet.
         assert_eq!(proj[0].dimension(), Some(2));
+    }
+
+    #[test]
+    fn default_stream_matches_output_complex() {
+        let t = Constant;
+        let from_stream: Complex<u64> = t.facet_stream(4).collect();
+        assert_eq!(from_stream, t.output_complex(4));
+    }
+
+    #[test]
+    fn class_size_helper_counts() {
+        let (sizes, classes) = class_sizes(&[0, 2, 0, 2, 2]);
+        assert_eq!(classes, 2);
+        assert_eq!(sizes[0], 2);
+        assert_eq!(sizes[2], 3);
+        assert_eq!(sizes[1], 0);
     }
 }

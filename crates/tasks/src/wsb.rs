@@ -8,9 +8,11 @@
 //! `k ≥ 2` — two sources eventually diverge, and the two sides output
 //! different bits — in contrast to leader election's `∃ n_i = 1`.
 
+use std::borrow::Cow;
+
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
-use crate::task::Task;
+use crate::task::{class_sizes, FacetStream, Task};
 
 /// The weak-symmetry-breaking task.
 ///
@@ -49,8 +51,8 @@ impl WeakSymmetryBreaking {
 }
 
 impl Task for WeakSymmetryBreaking {
-    fn name(&self) -> String {
-        "weak-symmetry-breaking".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("weak-symmetry-breaking")
     }
 
     /// # Panics
@@ -58,13 +60,34 @@ impl Task for WeakSymmetryBreaking {
     /// Panics for `n < 2`: a single node cannot break symmetry with
     /// itself.
     fn output_complex(&self, n: usize) -> Complex<u64> {
+        self.facet_stream(n).collect()
+    }
+
+    /// Lazily enumerates the `2^n − 2` non-constant bit assignments in
+    /// mask order.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 2` (undefined) and `n > 62` (mask overflow).
+    fn facet_stream(&self, n: usize) -> FacetStream<'_> {
         assert!(n >= 2, "weak symmetry breaking needs n ≥ 2");
-        let mut c = Complex::new();
-        for mask in 1u64..(1 << n) - 1 {
-            let ones: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
-            c.add_simplex(WeakSymmetryBreaking::facet_for(n, &ones).expect("non-constant"));
-        }
-        c
+        assert!(n <= 62, "facet enumeration limited to 62 nodes");
+        Box::new((1u64..(1 << n) - 1).map(move |mask| {
+            Simplex::from_vertices(
+                (0..n).map(|i| Vertex::new(ProcessName::new(i as u32), mask >> i & 1)),
+            )
+            .expect("distinct names")
+        }))
+    }
+
+    /// Closed form: a facet is a non-constant bit assignment; it is
+    /// class-monochromatic iff the 1-side is a union of classes. A proper
+    /// non-empty union of classes exists iff there are at least two
+    /// classes — the `k ≥ 2` characterization the module docs cite.
+    fn solves_partition(&self, labels: &[u8]) -> Option<bool> {
+        assert!(labels.len() >= 2, "weak symmetry breaking needs n ≥ 2");
+        let (_, classes) = class_sizes(labels);
+        Some(classes >= 2)
     }
 }
 

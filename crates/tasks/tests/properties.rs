@@ -1,0 +1,222 @@
+//! Property tests for the closed-form partition verdicts.
+//!
+//! Every built-in task overrides `Task::solves_partition`; these tests pin
+//! each closed form to the ground truth it compresses — "some facet of
+//! `output_complex(n)` holds a single value on every class" — on random
+//! partitions for `n ≤ 6`, plus fixed vectors for the subtle cases.
+
+use proptest::prelude::*;
+use rsbt_complex::ProcessName;
+use rsbt_tasks::{KLeaderElection, LeaderAndDeputy, LeaderElection, Task, WeakSymmetryBreaking};
+
+/// The facet-scan ground truth for a partition given as per-node labels.
+fn scan_verdict<T: Task + ?Sized>(task: &T, labels: &[u8]) -> bool {
+    task.output_complex(labels.len()).facets().any(|tau| {
+        (0..labels.len()).all(|i| {
+            let rep = (0..labels.len())
+                .find(|&j| labels[j] == labels[i])
+                .expect("i matches itself");
+            tau.value_of(ProcessName::new(i as u32)) == tau.value_of(ProcessName::new(rep as u32))
+        })
+    })
+}
+
+fn assert_closed_form_matches<T: Task + ?Sized>(task: &T, labels: &[u8]) {
+    let closed = task
+        .solves_partition(labels)
+        .expect("built-in tasks have closed forms");
+    let scanned = scan_verdict(task, labels);
+    assert_eq!(
+        closed,
+        scanned,
+        "{} diverges from the facet scan on labels {labels:?}",
+        task.name()
+    );
+}
+
+/// Strategy: a partition of `2..=6` nodes as arbitrary per-node labels
+/// (labels need not be canonical — only equality matters).
+fn arb_labels() -> impl Strategy<Value = Vec<u8>> {
+    (2usize..=6).prop_flat_map(|n| proptest::collection::vec(0u8..6, n..=n))
+}
+
+proptest! {
+    // Fixed RNG configuration so tier-1 is deterministic in CI (same
+    // convention as the other proptest suites in this workspace).
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        rng_seed: 0x5253_4254, // "RSBT"
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn leader_election_closed_form(labels in arb_labels()) {
+        assert_closed_form_matches(&LeaderElection, &labels);
+    }
+
+    #[test]
+    fn k_leader_closed_form(labels in arb_labels(), k in 1usize..=6) {
+        let k = k.min(labels.len());
+        assert_closed_form_matches(&KLeaderElection::new(k), &labels);
+    }
+
+    #[test]
+    fn wsb_closed_form(labels in arb_labels()) {
+        assert_closed_form_matches(&WeakSymmetryBreaking, &labels);
+    }
+
+    #[test]
+    fn unconstrained_deputy_closed_form(labels in arb_labels()) {
+        assert_closed_form_matches(&LeaderAndDeputy::unconstrained(labels.len()), &labels);
+    }
+
+    #[test]
+    fn constrained_deputy_closed_form(
+        labels in arb_labels(),
+        lead_mask in 1u8..63,
+        deputy_mask in 1u8..63,
+    ) {
+        let n = labels.len();
+        let lead: Vec<bool> = (0..n).map(|i| lead_mask >> i & 1 == 1).collect();
+        let deputy: Vec<bool> = (0..n).map(|i| deputy_mask >> i & 1 == 1).collect();
+        // Skip constraint sets with no admissible pair (output_complex
+        // panics there by contract).
+        let admissible = (0..n).any(|l| (0..n).any(|d| l != d && lead[l] && deputy[d]));
+        prop_assume!(admissible);
+        assert_closed_form_matches(&LeaderAndDeputy::new(lead, deputy), &labels);
+    }
+}
+
+/// The k-leader verdict is a genuine subset-sum, not a threshold check:
+/// class sizes [3, 3, 2] reach 2, 3, 5, 6, 8 — but neither 4 nor 7.
+#[test]
+fn k_leader_subset_sum_pins_tricky_partition() {
+    // 8 nodes, classes {0,1,2}, {3,4,5}, {6,7}.
+    let labels = [0u8, 0, 0, 1, 1, 1, 2, 2];
+    for (k, expect) in [
+        (2, true),
+        (3, true),
+        (4, false), // between min and max class-sum, yet unreachable
+        (5, true),
+        (6, true),
+        (7, false),
+        (8, true),
+    ] {
+        let task = KLeaderElection::new(k);
+        assert_eq!(
+            task.solves_partition(&labels),
+            Some(expect),
+            "k={k} on sizes [3,3,2]"
+        );
+        assert_eq!(scan_verdict(&task, &labels), expect, "scan k={k}");
+    }
+}
+
+/// Labels are compared by equality only — non-canonical labelings must
+/// give the same verdict as their canonical form.
+#[test]
+fn non_canonical_labels_are_equivalent() {
+    let canonical = [0u8, 1, 1, 2];
+    let scrambled = [5u8, 3, 3, 0];
+    for task in [
+        Box::new(LeaderElection) as Box<dyn Task>,
+        Box::new(KLeaderElection::new(2)),
+        Box::new(WeakSymmetryBreaking),
+        Box::new(LeaderAndDeputy::unconstrained(4)),
+    ] {
+        assert_eq!(
+            task.solves_partition(&canonical),
+            task.solves_partition(&scrambled),
+            "{}",
+            task.name()
+        );
+    }
+}
+
+/// Independent ground truth for the facet streams: the expected facet
+/// sets built from first principles (bit-mask enumeration and explicit
+/// role vertices — a different algorithm than the streams' combination
+/// generators, and independent of `output_complex`, which is itself
+/// defined as `facet_stream(n).collect()` since the streaming rewrite).
+#[test]
+fn facet_streams_match_first_principles() {
+    use rsbt_complex::{Simplex, Vertex};
+    use std::collections::BTreeSet;
+    type Case = (Box<dyn Task>, BTreeSet<Simplex<u64>>);
+    let facet_from_values = |values: Vec<u64>| {
+        Simplex::from_vertices(
+            values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| Vertex::new(ProcessName::new(i as u32), v)),
+        )
+        .expect("distinct names")
+    };
+    for n in 1..=6usize {
+        let mut cases: Vec<Case> = Vec::new();
+        // Leader election: value vectors with exactly one 1.
+        cases.push((
+            Box::new(LeaderElection),
+            (0..n)
+                .map(|leader| facet_from_values((0..n).map(|i| u64::from(i == leader)).collect()))
+                .collect(),
+        ));
+        // k-leader election: masks with popcount k (vs the stream's
+        // lexicographic combination walk).
+        for k in 1..=n {
+            cases.push((
+                Box::new(KLeaderElection::new(k)),
+                (0u64..1 << n)
+                    .filter(|m| m.count_ones() as usize == k)
+                    .map(|m| facet_from_values((0..n).map(|i| m >> i & 1).collect()))
+                    .collect(),
+            ));
+        }
+        if n >= 2 {
+            // WSB: every non-constant bit vector.
+            cases.push((
+                Box::new(WeakSymmetryBreaking),
+                (1u64..(1 << n) - 1)
+                    .map(|m| facet_from_values((0..n).map(|i| m >> i & 1).collect()))
+                    .collect(),
+            ));
+            // Leader-and-deputy: explicit role vectors per ordered pair.
+            cases.push((
+                Box::new(LeaderAndDeputy::unconstrained(n)),
+                (0..n)
+                    .flat_map(|l| (0..n).filter(move |&d| d != l).map(move |d| (l, d)))
+                    .map(|(l, d)| {
+                        facet_from_values(
+                            (0..n)
+                                .map(|i| {
+                                    if i == l {
+                                        2 // ROLE_LEADER
+                                    } else if i == d {
+                                        1 // ROLE_DEPUTY
+                                    } else {
+                                        0 // ROLE_FOLLOWER
+                                    }
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+        for (task, expected) in cases {
+            let streamed: Vec<Simplex<u64>> = task.facets_vec(n);
+            let streamed_set: BTreeSet<Simplex<u64>> = streamed.iter().cloned().collect();
+            assert_eq!(streamed_set, expected, "{} n={n}", task.name());
+            assert_eq!(
+                streamed.len(),
+                expected.len(),
+                "{} n={n}: streams are duplicate-free",
+                task.name()
+            );
+            // And output_complex (= collected stream) stores the same set.
+            let complex_facets: BTreeSet<Simplex<u64>> =
+                task.output_complex(n).facets().cloned().collect();
+            assert_eq!(complex_facets, expected, "{} n={n}", task.name());
+        }
+    }
+}

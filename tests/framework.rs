@@ -84,12 +84,19 @@ fn lemma_3_5_equivalence_sweep() {
     let le = LeaderElection;
     let three = KLeaderElection::new(3);
     let mut arena = KnowledgeArena::new();
+    // One output complex per task across the whole sweep (the cached
+    // definition-search variants take-or-build instead of rebuilding).
+    let mut cache = rsbt::core::output_cache::OutputComplexCache::new();
     for model in &models {
         for rho in Realization::enumerate_all(3, 2) {
             for task in [&le as &dyn Task, &three] {
                 let fast = solvability::solves(model, &rho, task, &mut arena);
-                let proj = solvability::solves_via_projection(model, &rho, task, &mut arena);
-                let d31 = solvability::solves_via_definition_3_1(model, &rho, task, &mut arena);
+                let proj = solvability::solves_via_projection_cached(
+                    model, &rho, task, &mut arena, &mut cache,
+                );
+                let d31 = solvability::solves_via_definition_3_1_cached(
+                    model, &rho, task, &mut arena, &mut cache,
+                );
                 assert_eq!(fast, proj, "{model} {rho} {}", task.name());
                 assert_eq!(fast, d31, "{model} {rho} {}", task.name());
             }
