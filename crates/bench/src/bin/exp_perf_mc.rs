@@ -1,0 +1,415 @@
+//! Experiment `perf_mc` — the deterministic parallel Monte-Carlo
+//! subsystem, validated and benchmarked:
+//!
+//! 1. **cross-validation** — estimates against exact enumeration on an
+//!    exact-reachable grid, agreement within the z = 4 Wilson interval
+//!    asserted in-process;
+//! 2. **thread invariance** — the estimate is asserted bit-identical for
+//!    `threads ∈ {1, 2, 4, 8}` (per-sample RNG streams keyed by sample
+//!    index, contiguous sample sharding, integer merges);
+//! 3. **performance** — the serial pre-kernel reference
+//!    (`monte_carlo_reference`: one `Realization`, one full `Execution`
+//!    trace, and one consistency partition allocated per sample) versus
+//!    the serial kernel and the parallel kernel
+//!    (`RoundStepper` + `SolvabilityMemo`, allocation-free steps,
+//!    first-solving-round early exit), with a ≥ 5× floor asserted for
+//!    the parallel kernel;
+//! 4. **beyond the exact wall** — the first committed data past
+//!    `k·t > MAX_EXACT_BITS = 30`: LE / 2-LE / 3-LE / WSB series at
+//!    `n ∈ {16, 24}` up to `t = 32` through the sweep engine's
+//!    estimator mode, plus adaptive-stopping marquee points.
+//!
+//! The verdict-path counters are asserted in-process: built-in tasks
+//! answer in closed form, the dense fallback never runs.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsbt_bench::{fmt_p, fmt_sizes, run_experiment, McSweep, RowMode, SweepSpec, Table, TaskSpec};
+use rsbt_core::probability::{self, AdaptiveConfig, Estimate, McStats, MAX_EXACT_BITS};
+use rsbt_random::Assignment;
+use rsbt_sim::Model;
+use rsbt_tasks::{KLeaderElection, LeaderElection, Task, WeakSymmetryBreaking};
+
+/// The exact-reachable cross-validation grid: `(task, sizes, t)` with
+/// `k·t` well inside the enumeration budget.
+fn validation_grid() -> Vec<(Box<dyn Task + Send + Sync>, Vec<usize>, usize)> {
+    vec![
+        (Box::new(LeaderElection), vec![1, 2], 6),
+        (Box::new(LeaderElection), vec![1, 2, 2], 5),
+        (Box::new(LeaderElection), vec![2, 2], 8),
+        (Box::new(KLeaderElection::new(2)), vec![2, 2], 8),
+        (Box::new(KLeaderElection::new(2)), vec![1, 1, 2], 5),
+        (Box::new(WeakSymmetryBreaking), vec![2, 2], 8),
+        (Box::new(WeakSymmetryBreaking), vec![1, 3], 6),
+    ]
+}
+
+const VALIDATION_SAMPLES: usize = 30_000;
+const VALIDATION_SEED: u64 = 2021;
+
+fn cross_validation(
+    eng: &mut rsbt_bench::SweepEngine,
+    table: &mut Table,
+    stats: &mut McStats,
+) -> usize {
+    let threads = eng.threads();
+    let mut points = 0;
+    for (task, sizes, t) in validation_grid() {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let exact = eng.exact(&Model::Blackboard, task.as_ref(), &alpha, t);
+        let (est, st) = probability::monte_carlo_parallel_with_stats(
+            &Model::Blackboard,
+            task.as_ref(),
+            &alpha,
+            t,
+            VALIDATION_SAMPLES,
+            VALIDATION_SEED,
+            threads,
+        );
+        stats.merge(&st);
+        let consistent = est.is_consistent_with(exact, 4.0);
+        assert!(
+            consistent,
+            "{} {sizes:?} t={t}: exact {exact} outside the z=4 Wilson interval \
+             [{}, {}] of {est:?}",
+            task.name(),
+            est.wilson(4.0).0,
+            est.wilson(4.0).1,
+        );
+        points += 1;
+        table.row(vec![
+            task.name().into_owned(),
+            fmt_sizes(&sizes),
+            t.to_string(),
+            fmt_p(exact),
+            fmt_p(est.p),
+            fmt_p(est.ci_lo),
+            fmt_p(est.ci_hi),
+            consistent.to_string(),
+        ]);
+    }
+    points
+}
+
+fn thread_invariance(table: &mut Table) {
+    for (task, sizes, t) in [
+        (
+            Box::new(LeaderElection) as Box<dyn Task + Send + Sync>,
+            vec![1usize, 2, 2],
+            5usize,
+        ),
+        (Box::new(WeakSymmetryBreaking), vec![2, 2], 8),
+    ] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let mut estimates: Vec<(usize, Estimate)> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let est = probability::monte_carlo_parallel(
+                &Model::Blackboard,
+                task.as_ref(),
+                &alpha,
+                t,
+                VALIDATION_SAMPLES,
+                VALIDATION_SEED,
+                threads,
+            );
+            estimates.push((threads, est));
+        }
+        let (_, first) = estimates[0];
+        for &(threads, est) in &estimates {
+            assert_eq!(
+                est,
+                first,
+                "{} {sizes:?}: estimate differs at threads={threads}",
+                task.name()
+            );
+        }
+        table.row(vec![
+            task.name().into_owned(),
+            fmt_sizes(&sizes),
+            t.to_string(),
+            estimates
+                .iter()
+                .map(|(th, _)| th.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+            format!("{}/{}", first.solved, first.samples),
+            "true".into(),
+        ]);
+    }
+}
+
+/// Times one estimator call in milliseconds. The first (discarded) run
+/// warms the allocator: the reference path cycles hundreds of megabytes
+/// of arena through the heap, and whichever estimator runs next would
+/// otherwise absorb the page-fault bill for it (measured ~5× inflation),
+/// corrupting the comparison.
+fn time_ms<F: Fn() -> Estimate>(f: F) -> (Estimate, f64) {
+    let _ = f();
+    let start = Instant::now();
+    let est = f();
+    (est, start.elapsed().as_secs_f64() * 1e3)
+}
+
+const PERF_SAMPLES: usize = 20_000;
+
+fn performance(table: &mut Table, threads: usize) -> f64 {
+    let mut min_parallel_speedup = f64::INFINITY;
+    for (task, sizes, t) in [
+        (
+            Box::new(LeaderElection) as Box<dyn Task + Send + Sync>,
+            vec![1usize, 15],
+            24usize,
+        ),
+        (Box::new(WeakSymmetryBreaking), vec![5, 5], 24),
+    ] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let bits = alpha.k() * t;
+        let (ref_est, ref_ms) = time_ms(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            probability::monte_carlo_reference(
+                &Model::Blackboard,
+                task.as_ref(),
+                &alpha,
+                t,
+                PERF_SAMPLES,
+                &mut rng,
+            )
+        });
+        let (kernel_est, kernel_ms) = time_ms(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            probability::monte_carlo(
+                &Model::Blackboard,
+                task.as_ref(),
+                &alpha,
+                t,
+                PERF_SAMPLES,
+                &mut rng,
+            )
+        });
+        assert_eq!(
+            kernel_est,
+            ref_est,
+            "{} {sizes:?}: kernel and reference must be bit-identical from \
+             equal generator states",
+            task.name()
+        );
+        let (_, parallel_ms) = time_ms(|| {
+            probability::monte_carlo_parallel(
+                &Model::Blackboard,
+                task.as_ref(),
+                &alpha,
+                t,
+                PERF_SAMPLES,
+                7,
+                threads,
+            )
+        });
+        let kernel_speedup = ref_ms / kernel_ms.max(1e-6);
+        let parallel_speedup = ref_ms / parallel_ms.max(1e-6);
+        min_parallel_speedup = min_parallel_speedup.min(parallel_speedup);
+        table.row(vec![
+            task.name().into_owned(),
+            fmt_sizes(&sizes),
+            t.to_string(),
+            bits.to_string(),
+            format!("{ref_ms:.1}"),
+            format!("{kernel_ms:.1}"),
+            format!("{parallel_ms:.1}"),
+            format!("{kernel_speedup:.1}"),
+            format!("{parallel_speedup:.1}"),
+        ]);
+    }
+    assert!(
+        min_parallel_speedup >= 5.0,
+        "acceptance: parallel kernel must be >= 5x over the serial \
+         reference (measured {min_parallel_speedup:.1}x)"
+    );
+    min_parallel_speedup
+}
+
+/// The beyond-the-wall scenario sweeps: every row here has
+/// `k·t_cap > MAX_EXACT_BITS`, i.e. the exact engine cannot produce it.
+fn scenario_spec(n: usize) -> SweepSpec {
+    SweepSpec::new()
+        .task(TaskSpec::fixed(LeaderElection))
+        .task(TaskSpec::fixed(KLeaderElection::new(2)))
+        .task(TaskSpec::fixed(KLeaderElection::new(3)))
+        .task(TaskSpec::fixed(WeakSymmetryBreaking))
+        .nodes(n..=n)
+        .t_cap(32)
+        .bit_budget(MAX_EXACT_BITS)
+        .filter(|alpha| alpha.k() == 2)
+        .mc(McSweep {
+            samples: 4_096,
+            seed: 0x5253_4254,
+        })
+}
+
+fn adaptive_marquee(table: &mut Table, threads: usize, stats: &mut McStats) {
+    let cfg = AdaptiveConfig {
+        target_half_width: 5e-3,
+        max_samples: 1 << 18,
+        batch: 1 << 13,
+    };
+    for (task, sizes, t) in [
+        (
+            Box::new(LeaderElection) as Box<dyn Task + Send + Sync>,
+            vec![1usize, 23],
+            32usize,
+        ),
+        (Box::new(KLeaderElection::new(3)), vec![1, 2, 21], 32),
+        (Box::new(WeakSymmetryBreaking), vec![12, 12], 32),
+    ] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        let bits = alpha.k() * t;
+        assert!(bits > MAX_EXACT_BITS, "marquee points live past the wall");
+        let (est, st) = probability::monte_carlo_adaptive(
+            &Model::Blackboard,
+            task.as_ref(),
+            &alpha,
+            t,
+            &cfg,
+            2021,
+            threads,
+        );
+        stats.merge(&st);
+        assert!(
+            est.half_width() <= cfg.target_half_width || est.samples == cfg.max_samples,
+            "adaptive loop must meet the target or exhaust the cap"
+        );
+        table.row(vec![
+            task.name().into_owned(),
+            fmt_sizes(&sizes),
+            t.to_string(),
+            bits.to_string(),
+            est.samples.to_string(),
+            fmt_p(est.p),
+            fmt_p(est.ci_lo),
+            fmt_p(est.ci_hi),
+        ]);
+    }
+}
+
+fn main() -> ExitCode {
+    run_experiment(
+        "perf_mc",
+        "Deterministic parallel Monte-Carlo: validation, invariance, speedup, and the regime past k*t = 30",
+        "DESIGN.md section 4.6 (stream splitting, Wilson intervals, adaptive stopping); Lemma B.1",
+        |eng, rep| {
+            let threads = eng.threads();
+            let mut stats = McStats::default();
+
+            let mut table = Table::new(vec![
+                "task", "sizes", "t", "exact", "mc", "ci_lo", "ci_hi", "consistent",
+            ]);
+            let points = cross_validation(eng, &mut table, &mut stats);
+            let section = rep.section("cross-validation against exact enumeration");
+            section.table(table);
+            section.note(format!(
+                "{points} grid points, {VALIDATION_SAMPLES} samples each: the exact value \
+                 is asserted inside the z = 4 Wilson interval in-process"
+            ));
+
+            let mut table = Table::new(vec![
+                "task",
+                "sizes",
+                "t",
+                "threads",
+                "solved/samples",
+                "bit_identical",
+            ]);
+            thread_invariance(&mut table);
+            let section = rep.section("thread-count invariance");
+            section.table(table);
+            section.note(
+                "sample i always draws from StreamRng(seed, i); workers shard contiguous \
+                 index ranges and merge integer counts - the estimate is asserted \
+                 bit-identical for threads in {1, 2, 4, 8}",
+            );
+
+            let mut table = Table::new(vec![
+                "task",
+                "sizes",
+                "t",
+                "k*t",
+                "ref_ms",
+                "kernel_ms",
+                "parallel_ms",
+                "kernel_speedup",
+                "parallel_speedup",
+            ]);
+            let min_speedup = performance(&mut table, threads);
+            let section = rep.section("sampling kernel: reference vs kernel vs parallel");
+            section.table(table);
+            section.note(
+                "reference = Realization + full Execution trace + consistency partition \
+                 per sample; kernel = RoundStepper + partition memo, allocation-free, \
+                 stops at the first solving round (monotonicity)",
+            );
+            section.note(format!(
+                "minimum parallel-kernel speedup over the serial reference: \
+                 {min_speedup:.1}x (acceptance floor 5x; worker threads: {threads})"
+            ));
+
+            for n in [16usize, 24] {
+                let rows = eng.sweep(&scenario_spec(n));
+                assert!(!rows.is_empty());
+                assert!(
+                    rows.iter()
+                        .all(|r| r.mode == RowMode::Mc && r.k * r.series.len() > MAX_EXACT_BITS),
+                    "every scenario row must live past the exact wall"
+                );
+                assert!(
+                    rows.iter().all(|r| r.is_monotone()),
+                    "common-random-numbers series must be monotone"
+                );
+                let section = rep.section(format!(
+                    "beyond the exact wall: n = {n}, two-source profiles, t <= 32"
+                ));
+                section.sweep(format!("mc series at n = {n}"), rows);
+                section.note(format!(
+                    "k*t reaches 64 > MAX_EXACT_BITS = {MAX_EXACT_BITS}: first data the \
+                     repository has ever produced past exact-enumeration reach \
+                     (4096 samples per row, one sampling pass per series)"
+                ));
+            }
+
+            let mut table = Table::new(vec![
+                "task", "sizes", "t", "k*t", "samples", "p", "ci_lo", "ci_hi",
+            ]);
+            adaptive_marquee(&mut table, threads, &mut stats);
+            let section = rep.section("adaptive stopping at n = 24, t = 32");
+            section.table(table);
+            section.note(
+                "batches of 8192 until the 95% Wilson half-width is <= 5e-3 (cap 2^18); \
+                 the sample count is a pure function of the spec, so the estimate stays \
+                 deterministic and thread-invariant",
+            );
+            section.note(
+                "the zero-one law pins p(32) to an extreme, so these rows are exactly \
+                 the p = 1 edge where the old std_error check was vacuous - the Wilson \
+                 upper/lower bounds stay finite and informative",
+            );
+
+            let sweep_stats = eng.mc_stats();
+            stats.merge(&sweep_stats);
+            assert!(
+                stats.closed_form_verdicts > 0,
+                "acceptance: the closed-form path must be exercised in MC mode"
+            );
+            assert_eq!(
+                stats.dense_scan_verdicts, 0,
+                "built-in tasks must never fall back to the dense scan"
+            );
+            rep.section("verdict-path counters").note(format!(
+                "closed_form_verdicts={} dense_scan_verdicts={} memo_hits={} \
+                 (all Monte-Carlo verdicts in this run went closed-form-first; the \
+                 dense fallback is reserved for tasks without a closed form)",
+                stats.closed_form_verdicts, stats.dense_scan_verdicts, stats.memo_hits
+            ));
+        },
+    )
+}

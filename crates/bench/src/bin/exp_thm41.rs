@@ -63,9 +63,21 @@ fn main() -> ExitCode {
             conv.table(table);
             conv.note("paper: exact ≥ S1 ≥ bound; all three approach 1.");
 
-            // Section 3: Monte-Carlo cross-check.
+            // Section 3: Monte-Carlo cross-check. Consistency is judged
+            // against the Wilson score interval: the old z-score column
+            // was vacuous on the [2,2] row, where p̂ = 0 makes std_error
+            // exactly 0 and |Δ|/stderr degenerates to 0-or-∞.
             let mut rng = StdRng::seed_from_u64(2021);
-            let mut mc = Table::new(vec!["sizes", "t", "exact", "monte-carlo", "|Δ|/stderr"]);
+            let mut mc = Table::new(vec![
+                "sizes",
+                "t",
+                "exact",
+                "monte-carlo",
+                "wilson 99.99% lo",
+                "wilson 99.99% hi",
+                "consistent",
+            ]);
+            let mut all_consistent = true;
             for sizes in [vec![1usize, 1], vec![1, 2], vec![1, 2, 2], vec![2, 2]] {
                 let alpha = Assignment::from_group_sizes(&sizes).unwrap();
                 let t = 4;
@@ -78,21 +90,29 @@ fn main() -> ExitCode {
                     50_000,
                     &mut rng,
                 );
-                let z = if est.std_error > 0.0 {
-                    (est.p - exact).abs() / est.std_error
-                } else {
-                    0.0
-                };
+                let (lo, hi) = est.wilson(4.0);
+                let consistent = est.is_consistent_with(exact, 4.0);
+                all_consistent &= consistent;
                 mc.row(vec![
                     fmt_sizes(&sizes),
                     t.to_string(),
                     fmt_p(exact),
                     fmt_p(est.p),
-                    format!("{z:.2}"),
+                    fmt_p(lo),
+                    fmt_p(hi),
+                    consistent.to_string(),
                 ]);
             }
-            rep.section("Monte-Carlo cross-check (50k samples)")
-                .table(mc);
+            assert!(
+                all_consistent,
+                "every exact value must fall inside its Wilson interval"
+            );
+            let section = rep.section("Monte-Carlo cross-check (50k samples)");
+            section.table(mc);
+            section.note(
+                "consistency = exact value inside the z = 4 Wilson interval; informative \
+                 even on the p = 0 row [2,2], where the old std_error check was vacuous",
+            );
         },
     )
 }

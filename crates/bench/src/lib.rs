@@ -23,9 +23,10 @@ use std::fmt::Display;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-pub use crate::report::{Json, Report, Section, SCHEMA};
+pub use crate::report::{Json, Report, Section, SCHEMA, SCHEMA_V1};
 pub use crate::sweep::{
-    default_threads, standard_table, ModelSpec, SweepEngine, SweepRow, SweepSpec, TaskSpec,
+    default_threads, standard_table, McRow, McSweep, ModelSpec, RowMode, SweepEngine, SweepRow,
+    SweepSpec, TaskSpec,
 };
 
 /// A minimal fixed-width text table for experiment output.

@@ -1,5 +1,6 @@
 //! Structured experiment reports: human-readable text and a stable,
-//! machine-readable JSON schema (`rsbt-bench-report/v1`).
+//! machine-readable JSON schema (`rsbt-bench-report/v2`, with a
+//! v1-compat validation path for pre-estimator baselines).
 //!
 //! Every `exp_*` binary builds a [`Report`] through the sweep-engine
 //! harness ([`crate::run_experiment`]); `--json <path>` serializes it. The
@@ -8,6 +9,13 @@
 //! deterministic: object keys keep insertion order and floats are written
 //! in shortest round-trip form, so committed `BENCH_*.json` baselines diff
 //! cleanly across PRs.
+//!
+//! **v2 over v1**: sweep rows carry a `mode` field (`"exact"` or
+//! `"mc"`), and Monte-Carlo rows add `samples`, `seed`, `ci_lo`, and
+//! `ci_hi` (per-`t` Wilson bounds parallel to `series`). v1 documents —
+//! exact-only rows, no `mode` — still [`validate`] (the parser never
+//! depended on the schema tag), so earlier committed baselines remain
+//! readable.
 
 use std::fmt::Write as _;
 use std::io;
@@ -16,8 +24,13 @@ use std::path::Path;
 use crate::sweep::SweepRow;
 use crate::Table;
 
-/// The identifier every report carries in its `schema` field.
-pub const SCHEMA: &str = "rsbt-bench-report/v1";
+/// The identifier every freshly-written report carries in its `schema`
+/// field.
+pub const SCHEMA: &str = "rsbt-bench-report/v2";
+
+/// The pre-estimator schema identifier; [`validate`] still accepts it
+/// (exact-only rows) so committed v1 baselines stay parseable.
+pub const SCHEMA_V1: &str = "rsbt-bench-report/v1";
 
 /// A JSON value with deterministic (insertion-ordered) objects.
 #[derive(Clone, Debug, PartialEq)]
@@ -595,7 +608,9 @@ fn table_json(t: &Table) -> Json {
     ])
 }
 
-/// Validates a document against the `rsbt-bench-report/v1` schema.
+/// Validates a document against the `rsbt-bench-report/v2` schema (or
+/// the v1 schema, for pre-estimator baselines: v1 rows must be
+/// exact-only and may not carry estimator fields).
 ///
 /// # Errors
 ///
@@ -607,9 +622,15 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             _ => Err(format!("top-level '{key}' must be a string")),
         }
     };
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
-        return Err(format!("schema field must be '{SCHEMA}'"));
-    }
+    let v1 = match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => false,
+        Some(s) if s == SCHEMA_V1 => true,
+        _ => {
+            return Err(format!(
+                "schema field must be '{SCHEMA}' (or '{SCHEMA_V1}')"
+            ))
+        }
+    };
     need_str("experiment")?;
     need_str("title")?;
     need_str("paper_ref")?;
@@ -665,7 +686,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                 .and_then(Json::as_arr)
                 .ok_or_else(|| at("sweep missing 'rows'"))?;
             for row in rows {
-                validate_sweep_row(row).map_err(|e| at(&e))?;
+                validate_sweep_row(row, v1).map_err(|e| at(&e))?;
             }
         }
         let notes = section
@@ -679,7 +700,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-fn validate_sweep_row(row: &Json) -> Result<(), String> {
+fn validate_sweep_row(row: &Json, v1: bool) -> Result<(), String> {
     for key in ["model", "task", "limit"] {
         if !matches!(row.get(key), Some(Json::Str(_))) {
             return Err(format!("sweep row missing string '{key}'"));
@@ -710,6 +731,51 @@ fn validate_sweep_row(row: &Json) -> Result<(), String> {
             if !matches!(v, Json::Bool(_) | Json::Null) {
                 return Err(format!("sweep row '{key}' must be a boolean"));
             }
+        }
+    }
+    // Estimator fields (v2): a `mode` discriminator on every row, and the
+    // Monte-Carlo companion fields on `"mc"` rows only. v1 rows are
+    // exact-only and must not carry any of them.
+    let estimator_keys = ["mode", "samples", "seed", "ci_lo", "ci_hi"];
+    if v1 {
+        for key in estimator_keys {
+            if row.get(key).is_some() {
+                return Err(format!("v1 sweep row must not carry '{key}'"));
+            }
+        }
+        return Ok(());
+    }
+    let mc = match row.get("mode").and_then(Json::as_str) {
+        Some("exact") => false,
+        Some("mc") => true,
+        _ => return Err("v2 sweep row 'mode' must be \"exact\" or \"mc\"".into()),
+    };
+    if !mc {
+        for key in ["samples", "seed", "ci_lo", "ci_hi"] {
+            if row.get(key).is_some() {
+                return Err(format!("exact sweep row must not carry '{key}'"));
+            }
+        }
+        return Ok(());
+    }
+    match row.get("samples") {
+        Some(Json::Int(s)) if *s >= 1 => {}
+        _ => return Err("mc sweep row 'samples' must be a positive integer".into()),
+    }
+    match row.get("seed").and_then(Json::as_str) {
+        Some(seed) if seed.parse::<u64>().is_ok() => {}
+        _ => return Err("mc sweep row 'seed' must be a u64 decimal string".into()),
+    }
+    for key in ["ci_lo", "ci_hi"] {
+        let bounds = row
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("mc sweep row missing '{key}'"))?;
+        if bounds.len() != series.len() {
+            return Err(format!("mc sweep row '{key}' must parallel 'series'"));
+        }
+        if !bounds.iter().all(Json::is_number) {
+            return Err(format!("mc sweep row '{key}' must be numbers"));
         }
     }
     Ok(())
@@ -792,6 +858,126 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("=== Demo experiment ==="));
         assert!(text.contains("reading guidance line"));
+    }
+
+    fn mc_row() -> Json {
+        Json::obj([
+            ("model", Json::Str("blackboard".into())),
+            ("task", Json::Str("leader-election".into())),
+            ("sizes", Json::Arr(vec![Json::Int(1), Json::Int(15)])),
+            ("n", Json::Int(16)),
+            ("k", Json::Int(2)),
+            ("gcd", Json::Int(1)),
+            ("series", Json::Arr(vec![Json::Num(0.5), Json::Num(0.75)])),
+            ("limit", Json::Str("One".into())),
+            ("mode", Json::Str("mc".into())),
+            ("samples", Json::Int(4096)),
+            ("seed", Json::Str("18446744073709551615".into())),
+            ("ci_lo", Json::Arr(vec![Json::Num(0.48), Json::Num(0.73)])),
+            ("ci_hi", Json::Arr(vec![Json::Num(0.52), Json::Num(0.77)])),
+        ])
+    }
+
+    fn doc_with_row(schema: &str, row: Json) -> Json {
+        Json::obj([
+            ("schema", Json::Str(schema.into())),
+            ("experiment", Json::Str("demo".into())),
+            ("title", Json::Str("t".into())),
+            ("paper_ref", Json::Str("r".into())),
+            ("threads", Json::Int(1)),
+            (
+                "sections",
+                Json::Arr(vec![Json::obj([
+                    ("title", Json::Str("s".into())),
+                    ("tables", Json::Arr(vec![])),
+                    (
+                        "sweeps",
+                        Json::Arr(vec![Json::obj([
+                            ("label", Json::Str("l".into())),
+                            ("rows", Json::Arr(vec![row])),
+                        ])]),
+                    ),
+                    ("notes", Json::Arr(vec![])),
+                ])]),
+            ),
+        ])
+    }
+
+    /// Strips the named keys from an object row.
+    fn without(row: &Json, keys: &[&str]) -> Json {
+        match row {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| !keys.contains(&k.as_str()))
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn v2_estimator_rows_validate() {
+        validate(&doc_with_row(SCHEMA, mc_row())).unwrap();
+        // Exact v2 rows: mode present, estimator companions absent.
+        let exact = {
+            let mut r = without(&mc_row(), &["samples", "seed", "ci_lo", "ci_hi"]);
+            if let Json::Obj(pairs) = &mut r {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "mode" {
+                        *v = Json::Str("exact".into());
+                    }
+                }
+            }
+            r
+        };
+        validate(&doc_with_row(SCHEMA, exact)).unwrap();
+    }
+
+    #[test]
+    fn v2_rejects_malformed_estimator_rows() {
+        // Missing mode.
+        let e = validate(&doc_with_row(SCHEMA, without(&mc_row(), &["mode"])));
+        assert!(e.unwrap_err().contains("mode"));
+        // mc row without samples.
+        let e = validate(&doc_with_row(SCHEMA, without(&mc_row(), &["samples"])));
+        assert!(e.unwrap_err().contains("samples"));
+        // ci bounds not parallel to the series.
+        let mut ragged = mc_row();
+        if let Json::Obj(pairs) = &mut ragged {
+            for (k, v) in pairs.iter_mut() {
+                if k == "ci_lo" {
+                    *v = Json::Arr(vec![Json::Num(0.5)]);
+                }
+            }
+        }
+        let e = validate(&doc_with_row(SCHEMA, ragged));
+        assert!(e.unwrap_err().contains("parallel"));
+        // Exact row carrying estimator fields.
+        let mut bad_exact = mc_row();
+        if let Json::Obj(pairs) = &mut bad_exact {
+            for (k, v) in pairs.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("exact".into());
+                }
+            }
+        }
+        assert!(validate(&doc_with_row(SCHEMA, bad_exact)).is_err());
+    }
+
+    #[test]
+    fn v1_documents_stay_valid_but_estimator_fields_are_rejected() {
+        // A v1 row: no mode, no estimator fields — must validate.
+        let v1_row = without(&mc_row(), &["mode", "samples", "seed", "ci_lo", "ci_hi"]);
+        validate(&doc_with_row(SCHEMA_V1, v1_row.clone())).unwrap();
+        // The same row under the v2 tag lacks `mode` — rejected.
+        assert!(validate(&doc_with_row(SCHEMA, v1_row)).is_err());
+        // A v1 document carrying v2 fields is rejected.
+        let e = validate(&doc_with_row(SCHEMA_V1, mc_row()));
+        assert!(e.unwrap_err().contains("v1"));
+        // Unknown schema tags are rejected.
+        assert!(validate(&doc_with_row("rsbt-bench-report/v3", mc_row())).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use std::ops::RangeInclusive;
 
 use rsbt_core::eventual::{self, LimitClass};
-use rsbt_core::probability::{self, Cache};
+use rsbt_core::probability::{self, Cache, Estimate};
 use rsbt_random::Assignment;
 use rsbt_sim::{pool, KnowledgeArena, Model, PortNumbering};
 use rsbt_tasks::Task;
@@ -106,16 +106,33 @@ impl TaskSpec {
 /// A thread-safe predicate over assignments (filters and theorem checks).
 type AlphaPredicate = Box<dyn Fn(&Assignment) -> bool + Send + Sync>;
 
+/// The Monte-Carlo estimator configuration of a sweep
+/// ([`SweepSpec::mc`]): rows whose exact series would exceed the
+/// enumeration bit budget are estimated instead of clamped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct McSweep {
+    /// Samples per estimated point.
+    pub samples: usize,
+    /// Base seed of the per-point stream families (each point derives a
+    /// distinct deterministic seed from this plus its own identity, so
+    /// adding or reordering points never reshuffles another point's
+    /// draws).
+    pub seed: u64,
+}
+
 /// A declarative sweep: `models × tasks × group-size profiles of
 /// `n ∈ n_range` × t ∈ 1..=t_max(α)`, with `t_max(α) =
 /// clamp(t_cap, bit_budget / k(α))` keeping every point inside the exact
-/// enumerator's `2^{k·t}` budget.
+/// enumerator's `2^{k·t}` budget — unless a Monte-Carlo estimator is
+/// attached ([`SweepSpec::mc`]), in which case rows that the budget
+/// would clamp run to the full `t_cap` as estimated (`mode: "mc"`) rows.
 pub struct SweepSpec {
     models: Vec<ModelSpec>,
     tasks: Vec<TaskSpec>,
     n_range: RangeInclusive<usize>,
     t_cap: usize,
     bit_budget: usize,
+    mc: Option<McSweep>,
     filter: Option<AlphaPredicate>,
     predicate: Option<AlphaPredicate>,
 }
@@ -136,6 +153,7 @@ impl SweepSpec {
             n_range: 2..=6,
             t_cap: 3,
             bit_budget: 16,
+            mc: None,
             filter: None,
             predicate: None,
         }
@@ -171,6 +189,16 @@ impl SweepSpec {
         self
     }
 
+    /// Attaches a Monte-Carlo estimator: rows the bit budget would clamp
+    /// run to the full `t_cap` as estimated rows instead (deterministic
+    /// per-sample streams, so the sweep stays bit-identical for any
+    /// worker count).
+    pub fn mc(mut self, mc: McSweep) -> Self {
+        assert!(mc.samples > 0, "mc sweep needs at least one sample");
+        self.mc = Some(mc);
+        self
+    }
+
     /// Restricts the sweep to assignments accepted by `filter`.
     pub fn filter<F>(mut self, filter: F) -> Self
     where
@@ -194,10 +222,63 @@ impl SweepSpec {
     pub fn t_max(&self, alpha: &Assignment) -> usize {
         self.t_cap.min(self.bit_budget / alpha.k().max(1)).max(1)
     }
+
+    /// How one assignment's row is produced: `(t_max, estimated)`. Exact
+    /// rows keep the clamped [`SweepSpec::t_max`]; with an estimator
+    /// attached, any row the budget would clamp below `t_cap` instead
+    /// runs the full series by Monte-Carlo.
+    pub fn row_plan(&self, alpha: &Assignment) -> (usize, bool) {
+        let exact_reach = self.bit_budget / alpha.k().max(1);
+        match self.mc {
+            Some(_) if self.t_cap > exact_reach => (self.t_cap, true),
+            _ => (self.t_max(alpha), false),
+        }
+    }
 }
 
-/// One sweep point's result: the exact `p(1..t_max)` series for a
+/// How a sweep row's series was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowMode {
+    /// Exact enumeration through the execution-tree engine.
+    Exact,
+    /// Deterministic parallel Monte-Carlo estimation.
+    Mc,
+}
+
+impl RowMode {
+    /// The schema string (`"exact"` / `"mc"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RowMode::Exact => "exact",
+            RowMode::Mc => "mc",
+        }
+    }
+}
+
+/// The estimator companion data of a Monte-Carlo row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct McRow {
+    /// Samples drawn per series point.
+    pub samples: usize,
+    /// The row's derived stream-family seed — shared by every `t` of the
+    /// series, so sample `i` at time `t` is the `t`-round prefix of
+    /// sample `i` at any later time (common random numbers: the
+    /// estimated series is exactly monotone, and the per-`t` estimates
+    /// are positively correlated, shrinking the series' relative noise).
+    pub seed: u64,
+    /// Lower 95% Wilson bounds, parallel to `series`.
+    pub ci_lo: Vec<f64>,
+    /// Upper 95% Wilson bounds, parallel to `series`.
+    pub ci_hi: Vec<f64>,
+}
+
+/// One sweep point's result: the `p(1..t_max)` series for a
 /// `(model, task, α)` triple plus its zero-one-law classification.
+///
+/// The classification stays sound for estimated rows: any positive
+/// estimate means some sample solved, i.e. a positive-probability
+/// solving realization exists — exactly a Lemma 3.2 witness, so the
+/// limit is 1 regardless of the estimate's noise.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepRow {
     /// Model label from the [`ModelSpec`].
@@ -212,10 +293,14 @@ pub struct SweepRow {
     pub k: usize,
     /// `gcd(n_1..n_k)` (Theorem 4.2's quantity).
     pub gcd: u64,
-    /// Exact probabilities `p(1), …, p(t_max)`.
+    /// Probabilities `p(1), …, p(t_max)` (exact or estimated per `mode`).
     pub series: Vec<f64>,
     /// Zero-one-law classification of the series.
     pub limit: LimitClass,
+    /// How the series was produced.
+    pub mode: RowMode,
+    /// Estimator companion data (`mode == Mc` rows only).
+    pub mc: Option<McRow>,
     /// The spec predicate's verdict, when one was attached.
     pub predicted: Option<bool>,
     /// Whether the observed limit matches `predicted`.
@@ -259,7 +344,24 @@ impl SweepRow {
                 Json::Arr(self.series.iter().map(|&p| Json::Num(p)).collect()),
             ),
             ("limit".to_string(), Json::Str(self.limit_str())),
+            ("mode".to_string(), Json::Str(self.mode.as_str().into())),
         ];
+        if let Some(mc) = &self.mc {
+            pairs.push(("samples".to_string(), Json::Int(mc.samples as i64)));
+            // The seed is a full-range u64 (half of all FNV-derived seeds
+            // exceed i64::MAX, and JSON integers past 2^53 are hazardous
+            // for generic tooling anyway): emit it as a decimal string so
+            // the reproduction key round-trips exactly.
+            pairs.push(("seed".to_string(), Json::Str(mc.seed.to_string())));
+            pairs.push((
+                "ci_lo".to_string(),
+                Json::Arr(mc.ci_lo.iter().map(|&p| Json::Num(p)).collect()),
+            ));
+            pairs.push((
+                "ci_hi".to_string(),
+                Json::Arr(mc.ci_hi.iter().map(|&p| Json::Num(p)).collect()),
+            ));
+        }
         if let Some(p) = self.predicted {
             pairs.push(("predicted".to_string(), Json::Bool(p)));
         }
@@ -277,6 +379,7 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
     let show_model = varies(|r| &r.model);
     let show_task = varies(|r| &r.task);
     let show_predicted = rows.iter().any(|r| r.predicted.is_some());
+    let show_mode = rows.iter().any(|r| r.mode == RowMode::Mc);
     let series_cols = rows
         .iter()
         .map(|r| r.series.len())
@@ -292,6 +395,9 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
     }
     headers.push("sizes".to_string());
     headers.push("gcd".to_string());
+    if show_mode {
+        headers.push("mode".to_string());
+    }
     if show_predicted {
         headers.push("predicted".to_string());
     }
@@ -313,6 +419,9 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
         }
         cells.push(fmt_sizes(&r.sizes));
         cells.push(r.gcd.to_string());
+        if show_mode {
+            cells.push(r.mode.as_str().to_string());
+        }
         if show_predicted {
             cells.push(
                 r.predicted
@@ -346,7 +455,32 @@ struct Point {
     task_name: String,
     alpha: Assignment,
     t_max: usize,
+    /// Whether this row is estimated instead of enumerated.
+    mc: bool,
     predicted: Option<bool>,
+}
+
+/// Derives one sweep point's stream-family seed from the spec's base
+/// seed and the point's full identity (FNV-1a over the label strings and
+/// sizes, folded with the base seed). Stable across processes, thread
+/// counts, and sweep composition: adding or removing other points never
+/// changes this point's draws.
+fn point_seed(base: u64, model_label: &str, task_name: &str, sizes: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3); // FNV-1a prime
+        }
+    };
+    absorb(model_label.as_bytes());
+    absorb(&[0xff]);
+    absorb(task_name.as_bytes());
+    absorb(&[0xff]);
+    for &s in sizes {
+        absorb(&(s as u64).to_le_bytes());
+    }
+    h ^ base
 }
 
 /// The executor: a probability cache, a shared arena for serial one-off
@@ -357,6 +491,7 @@ pub struct SweepEngine {
     arena: KnowledgeArena,
     sweep_hits: u64,
     sweep_misses: u64,
+    mc_stats: probability::McStats,
 }
 
 /// The default worker count: available parallelism, capped at 8 (sweep
@@ -382,7 +517,16 @@ impl SweepEngine {
             arena: KnowledgeArena::new(),
             sweep_hits: 0,
             sweep_misses: 0,
+            mc_stats: probability::McStats::default(),
         }
+    }
+
+    /// Aggregated verdict-path counters of every estimated (Monte-Carlo)
+    /// sweep point run so far. `dense_scan_verdicts` stays zero whenever
+    /// all swept tasks carry closed forms — the `exp_perf_mc` acceptance
+    /// gate.
+    pub fn mc_stats(&self) -> probability::McStats {
+        self.mc_stats
     }
 
     /// The worker count sweeps fan out over.
@@ -456,12 +600,14 @@ impl SweepEngine {
                             continue;
                         }
                         let task = (tspec.make)(n);
+                        let (t_max, mc) = spec.row_plan(&alpha);
                         points.push(Point {
                             model: (mspec.make)(&alpha),
                             model_label: mspec.label.clone(),
                             task_name: task.name().into_owned(),
                             task,
-                            t_max: spec.t_max(&alpha),
+                            t_max,
+                            mc,
                             predicted: spec.predicate.as_ref().map(|p| p(&alpha)),
                             alpha,
                         });
@@ -477,7 +623,7 @@ impl SweepEngine {
         // lookups borrow every key component (`peek_named`) — no
         // allocation per probed `t`.
         let mut missing: Vec<(&Point, Vec<usize>)> = Vec::new();
-        for p in &points {
+        for p in points.iter().filter(|p| !p.mc) {
             let missing_ts: Vec<usize> = (1..=p.t_max)
                 .filter(|&t| {
                     self.cache
@@ -523,13 +669,18 @@ impl SweepEngine {
         points
             .iter()
             .map(|p| {
-                let series: Vec<f64> = (1..=p.t_max)
-                    .map(|t| {
-                        self.cache
-                            .peek_named(&p.model, &p.task_name, p.alpha.sources(), t)
-                            .expect("merged above")
-                    })
-                    .collect();
+                let (series, mc) = if p.mc {
+                    self.estimate_point(p, spec.mc.expect("mc points imply an mc spec"))
+                } else {
+                    let series = (1..=p.t_max)
+                        .map(|t| {
+                            self.cache
+                                .peek_named(&p.model, &p.task_name, p.alpha.sources(), t)
+                                .expect("merged above")
+                        })
+                        .collect();
+                    (series, None)
+                };
                 let limit = eventual::lemma_3_2_limit(&series);
                 let matches = p.predicted.map(|pred| pred == (limit == LimitClass::One));
                 SweepRow {
@@ -541,11 +692,42 @@ impl SweepEngine {
                     gcd: p.alpha.gcd_of_group_sizes(),
                     series,
                     limit,
+                    mode: if p.mc { RowMode::Mc } else { RowMode::Exact },
+                    mc,
                     predicted: p.predicted,
                     matches,
                 }
             })
             .collect()
+    }
+
+    /// Estimates one Monte-Carlo row's whole series in **one** sampling
+    /// pass ([`probability::monte_carlo_series_parallel`]): sample `i`
+    /// at time `t` is the prefix of sample `i` at `t + 1`, so the series
+    /// is exactly monotone, and the estimator is bit-identical for any
+    /// worker count — the row is a pure function of the spec.
+    fn estimate_point(&mut self, p: &Point, mc: McSweep) -> (Vec<f64>, Option<McRow>) {
+        let seed = point_seed(mc.seed, &p.model_label, &p.task_name, p.alpha.group_sizes());
+        let (estimates, stats): (Vec<Estimate>, _) =
+            probability::monte_carlo_series_parallel_with_stats(
+                &p.model,
+                p.task.as_ref(),
+                &p.alpha,
+                p.t_max,
+                mc.samples,
+                seed,
+                self.threads,
+            );
+        self.mc_stats.merge(&stats);
+        (
+            estimates.iter().map(|e| e.p).collect(),
+            Some(McRow {
+                samples: mc.samples,
+                seed,
+                ci_lo: estimates.iter().map(|e| e.ci_lo).collect(),
+                ci_hi: estimates.iter().map(|e| e.ci_hi).collect(),
+            }),
+        )
     }
 }
 
@@ -628,5 +810,111 @@ mod tests {
         assert_eq!(spec.t_max(&a), 3);
         let b = Assignment::shared(4); // k=1
         assert_eq!(spec.t_max(&b), 5);
+    }
+
+    /// `n = 4`, `t_cap = 4`, budget 8: `k ≤ 2` rows stay exact, `k ≥ 3`
+    /// rows overflow the budget and are estimated.
+    fn mixed_mode_spec() -> SweepSpec {
+        SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(4..=4)
+            .t_cap(4)
+            .bit_budget(8)
+            .mc(McSweep {
+                samples: 2_000,
+                seed: 7,
+            })
+            .predicate(eventual::blackboard_eventually_solvable)
+    }
+
+    #[test]
+    fn mc_mode_opens_rows_beyond_the_bit_budget() {
+        let mut engine = SweepEngine::new(2);
+        let rows = engine.sweep(&mixed_mode_spec());
+        let exact_rows: Vec<_> = rows.iter().filter(|r| r.mode == RowMode::Exact).collect();
+        let mc_rows: Vec<_> = rows.iter().filter(|r| r.mode == RowMode::Mc).collect();
+        assert!(!exact_rows.is_empty() && !mc_rows.is_empty(), "mixed modes");
+        for r in &rows {
+            assert_eq!(r.series.len(), 4, "every row runs to t_cap");
+            assert_eq!(r.mode == RowMode::Mc, r.k >= 3, "{:?}", r.sizes);
+            assert_eq!(r.mc.is_some(), r.mode == RowMode::Mc);
+            assert!(
+                r.is_monotone(),
+                "CRN series must be monotone: {:?}",
+                r.sizes
+            );
+            // Zero-one classification stays right even on estimates (a
+            // solved sample is a Lemma 3.2 witness).
+            assert_eq!(r.matches, Some(true), "{:?}", r.sizes);
+        }
+        for r in &mc_rows {
+            let mc = r.mc.as_ref().unwrap();
+            assert_eq!(mc.samples, 2_000);
+            assert_eq!(mc.ci_lo.len(), 4);
+            assert_eq!(mc.ci_hi.len(), 4);
+            for (i, &p) in r.series.iter().enumerate() {
+                assert!(
+                    mc.ci_lo[i] <= p && p <= mc.ci_hi[i],
+                    "{:?} t={}: {p} outside [{}, {}]",
+                    r.sizes,
+                    i + 1,
+                    mc.ci_lo[i],
+                    mc.ci_hi[i]
+                );
+            }
+        }
+        // Estimated points bracket the exact value where both are
+        // computable ([1,1,2] at t = 2 is inside the exact budget).
+        let r = rows
+            .iter()
+            .find(|r| r.sizes == vec![2, 1, 1] && r.mode == RowMode::Mc)
+            .expect("k = 3 row is estimated");
+        let alpha = Assignment::from_group_sizes(&[2, 1, 1]).unwrap();
+        let exact = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, 2);
+        let mc = r.mc.as_ref().unwrap();
+        assert!(
+            mc.ci_lo[1] <= exact && exact <= mc.ci_hi[1],
+            "exact {exact} outside [{}, {}]",
+            mc.ci_lo[1],
+            mc.ci_hi[1]
+        );
+        // Counters: built-in tasks never fall back to the dense scan.
+        let stats = engine.mc_stats();
+        assert!(stats.closed_form_verdicts > 0);
+        assert_eq!(stats.dense_scan_verdicts, 0);
+    }
+
+    #[test]
+    fn mc_sweep_is_thread_count_invariant() {
+        let rows1 = SweepEngine::new(1).sweep(&mixed_mode_spec());
+        for threads in [2usize, 3, 8] {
+            let rows = SweepEngine::new(threads).sweep(&mixed_mode_spec());
+            assert_eq!(rows, rows1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn point_seed_is_stable_and_injective_enough() {
+        let a = point_seed(1, "blackboard", "leader-election", &[1, 2]);
+        assert_eq!(a, point_seed(1, "blackboard", "leader-election", &[1, 2]));
+        assert_ne!(a, point_seed(2, "blackboard", "leader-election", &[1, 2]));
+        assert_ne!(a, point_seed(1, "cyclic ports", "leader-election", &[1, 2]));
+        assert_ne!(a, point_seed(1, "blackboard", "wsb", &[1, 2]));
+        assert_ne!(a, point_seed(1, "blackboard", "leader-election", &[2, 1]));
+    }
+
+    #[test]
+    fn exact_only_specs_never_estimate() {
+        // Without .mc(), the budget clamps exactly as before.
+        let spec = SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(4..=4)
+            .t_cap(4)
+            .bit_budget(8);
+        let rows = SweepEngine::new(2).sweep(&spec);
+        assert!(rows.iter().all(|r| r.mode == RowMode::Exact));
+        assert!(rows.iter().all(|r| r.mc.is_none()));
+        let k3 = rows.iter().find(|r| r.k == 3).unwrap();
+        assert_eq!(k3.series.len(), 2, "clamped to the budget");
     }
 }

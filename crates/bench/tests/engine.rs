@@ -169,3 +169,43 @@ fn json_floats_preserve_full_precision() {
         }
     }
 }
+
+/// End-to-end estimator mode: an MC-bearing sweep produces a report that
+/// validates against the v2 schema, round-trips, and is bit-identical
+/// regardless of the engine's worker count — WSB and k-LE beyond the
+/// exact budget included.
+#[test]
+fn mc_sweep_report_round_trips_and_is_deterministic() {
+    let spec = || {
+        SweepSpec::new()
+            .task(TaskSpec::fixed(WeakSymmetryBreaking))
+            .task(TaskSpec::fixed(KLeaderElection::new(2)))
+            .nodes(4..=4)
+            .t_cap(4)
+            .bit_budget(6)
+            .mc(rsbt_bench::McSweep {
+                samples: 1_000,
+                seed: 11,
+            })
+    };
+    let mut engine = SweepEngine::new(2);
+    let rows = engine.sweep(&spec());
+    assert!(
+        rows.iter().any(|r| r.mode == rsbt_bench::RowMode::Mc),
+        "budget 6 must push some rows to the estimator"
+    );
+    let again = SweepEngine::new(4).sweep(&spec());
+    assert_eq!(rows, again, "estimated rows must be thread-invariant");
+    // Built-ins never hit the dense fallback, even in estimator mode.
+    let stats = engine.mc_stats();
+    assert!(stats.closed_form_verdicts > 0);
+    assert_eq!(stats.dense_scan_verdicts, 0);
+
+    let mut rep = Report::new("mc-test", "MC engine test", "tests/engine.rs");
+    rep.set_threads(engine.threads());
+    rep.section("mc").sweep("estimated rows", rows);
+    let doc = rep.to_json();
+    report::validate(&doc).expect("v2 schema-valid");
+    let parsed = Json::parse(&doc.to_pretty_string()).expect("parses");
+    assert_eq!(parsed, doc, "emit → parse must be the identity");
+}

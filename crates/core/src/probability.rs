@@ -9,10 +9,13 @@
 //! prunes solved subtrees wholesale. A Monte-Carlo estimator covers the
 //! regimes where even that is out of reach.
 
+use rand::rngs::StreamRng;
 use rand::Rng;
-use rsbt_random::{Assignment, Realization};
-use rsbt_sim::{pool, FxHashMap, KnowledgeArena, Model};
+use rsbt_random::{Assignment, BitString, Realization};
+use rsbt_sim::{pool, FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper};
 use rsbt_tasks::Task;
+
+use rsbt_complex::FacetTable;
 
 use crate::engine::{self, SolvabilityMemo, TaskKernel};
 use crate::output_cache::OutputComplexCache;
@@ -449,30 +452,299 @@ where
     solved as f64 / (1u64 << (k * t)) as f64
 }
 
-/// A Monte-Carlo estimate with its standard error.
+/// The largest sample count the estimators accept: counts above `2^53`
+/// are no longer exactly representable as `f64`, so `solved / samples`
+/// would silently lose precision.
+pub const MAX_MC_SAMPLES: usize = 1 << 53;
+
+/// The default confidence coefficient of the committed intervals: the
+/// two-sided 95% normal quantile.
+pub const DEFAULT_Z: f64 = 1.959_963_984_540_054;
+
+/// The Wilson score interval for `solved` successes in `samples` Bernoulli
+/// trials at confidence coefficient `z` (the normal quantile).
+///
+/// Unlike the naive normal interval `p̂ ± z·sqrt(p̂(1−p̂)/n)`, the Wilson
+/// interval stays **informative at the extremes**: at `p̂ = 0` it is
+/// `[0, z²/(n+z²)]` and at `p̂ = 1` it is `[n/(n+z²), 1]` — never a
+/// zero-width point, so consistency checks against it cannot degenerate
+/// to near-exact equality.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`, `solved > samples`, or `z` is not positive
+/// and finite.
+pub fn wilson_interval(solved: u64, samples: u64, z: f64) -> (f64, f64) {
+    assert!(samples > 0, "need at least one sample");
+    assert!(solved <= samples, "more successes than samples");
+    assert!(z.is_finite() && z > 0.0, "z must be positive and finite");
+    let n = samples as f64;
+    let p = solved as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // The boundary cases are exact (at p̂ = 0, center ≡ half); pin them to
+    // the closed forms instead of leaving float residue at the endpoints.
+    let lo = if solved == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let hi = if solved == samples {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    (lo, hi)
+}
+
+/// A Monte-Carlo estimate: sample mean, standard error, and a Wilson
+/// score interval.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Estimate {
     /// Sample mean of the success indicator.
     pub p: f64,
-    /// Standard error `sqrt(p(1−p)/samples)`.
+    /// Standard error `sqrt(p(1−p)/samples)` (kept for reporting; the
+    /// consistency check uses the Wilson interval, which does not collapse
+    /// at `p ∈ {0, 1}` the way `std_error` does).
     pub std_error: f64,
     /// Number of samples drawn.
     pub samples: usize,
+    /// Number of samples that solved.
+    pub solved: u64,
+    /// Lower Wilson bound at [`DEFAULT_Z`] (95%).
+    pub ci_lo: f64,
+    /// Upper Wilson bound at [`DEFAULT_Z`] (95%).
+    pub ci_hi: f64,
 }
 
 impl Estimate {
-    /// Whether `value` lies within `z` standard errors of the estimate.
+    /// Assembles the estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`, `samples > MAX_MC_SAMPLES`, or
+    /// `solved > samples`.
+    pub fn from_counts(solved: u64, samples: usize) -> Estimate {
+        assert!(samples > 0, "need at least one sample");
+        assert!(
+            samples <= MAX_MC_SAMPLES,
+            "sample count {samples} exceeds f64-exact range 2^53"
+        );
+        assert!(solved <= samples as u64, "more successes than samples");
+        let p = solved as f64 / samples as f64;
+        let (ci_lo, ci_hi) = wilson_interval(solved, samples as u64, DEFAULT_Z);
+        Estimate {
+            p,
+            std_error: (p * (1.0 - p) / samples as f64).sqrt(),
+            samples,
+            solved,
+            ci_lo,
+            ci_hi,
+        }
+    }
+
+    /// The Wilson interval of this estimate at an explicit confidence
+    /// coefficient `z`.
+    pub fn wilson(&self, z: f64) -> (f64, f64) {
+        wilson_interval(self.solved, self.samples as u64, z)
+    }
+
+    /// Half the width of the [`DEFAULT_Z`] Wilson interval (the adaptive
+    /// stopping rule's target quantity).
+    pub fn half_width(&self) -> f64 {
+        (self.ci_hi - self.ci_lo) / 2.0
+    }
+
+    /// Whether `value` lies inside the Wilson interval at confidence
+    /// coefficient `z`.
+    ///
+    /// This replaces the old `|p − value| ≤ z·std_error` rule, which was
+    /// **vacuous at the extremes**: a sample mean of exactly 0 or 1 has
+    /// `std_error = 0`, collapsing the check to near-exact equality even
+    /// though the estimator's uncertainty is `Θ(1/samples)`, not zero.
+    /// The Wilson interval keeps its `≈ z²/samples` width there.
     pub fn is_consistent_with(&self, value: f64, z: f64) -> bool {
-        (self.p - value).abs() <= z * self.std_error + f64::EPSILON
+        let (lo, hi) = self.wilson(z);
+        lo - f64::EPSILON <= value && value <= hi + f64::EPSILON
     }
 }
 
-/// Monte-Carlo `Pr[S(t) | α]`.
+/// Kernel-path statistics of one Monte-Carlo run: how the per-sample
+/// verdicts were decided. The counters mirror [`SolvabilityMemo`]'s; for
+/// the parallel entry points they are summed across workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Verdicts answered from the partition-signature memo.
+    pub memo_hits: u64,
+    /// Verdicts computed by the task's closed form.
+    pub closed_form_verdicts: u64,
+    /// Verdicts computed by the dense facet scan (zero for every built-in
+    /// task — they all carry closed forms).
+    pub dense_scan_verdicts: u64,
+}
+
+impl McStats {
+    fn absorb(&mut self, memo: &SolvabilityMemo) {
+        self.memo_hits += memo.memo_hits();
+        self.closed_form_verdicts += memo.closed_form_verdicts();
+        self.dense_scan_verdicts += memo.dense_scan_verdicts();
+    }
+
+    /// Accumulates another run's counters (sweep engines aggregate the
+    /// stats of many estimated points).
+    pub fn merge(&mut self, other: &McStats) {
+        self.memo_hits += other.memo_hits;
+        self.closed_form_verdicts += other.closed_form_verdicts;
+        self.dense_scan_verdicts += other.dense_scan_verdicts;
+    }
+}
+
+/// Asserts the shared preconditions of every Monte-Carlo entry point.
+///
+/// Unlike the old `monte_carlo` (which checked the node count only when
+/// `model.ports()` was `Some` and accepted sample counts past the
+/// `f64`-exact range), this validates every argument up front — including
+/// the round count, which would otherwise fail deep inside
+/// [`BitString::sample`] with an unrelated message.
+fn check_mc_args(model: &Model, alpha: &Assignment, t: usize, samples: usize) {
+    assert!(samples > 0, "need at least one sample");
+    assert!(
+        samples <= MAX_MC_SAMPLES,
+        "sample count {samples} exceeds f64-exact range 2^53"
+    );
+    assert!(
+        t <= rsbt_random::MAX_BITS,
+        "t = {t} exceeds the {}-round sampling limit (one u64 word per source)",
+        rsbt_random::MAX_BITS
+    );
+    assert!(
+        alpha.n() <= u8::MAX as usize,
+        "n = {} exceeds the 255-node verdict-kernel limit",
+        alpha.n()
+    );
+    if let Some(p) = model.ports() {
+        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    }
+}
+
+/// The per-worker Monte-Carlo sampling kernel: draws the per-source bit
+/// strings, steps `t` rounds with a reused [`RoundStepper`], and decides
+/// each sample's verdict through the [`SolvabilityMemo`] (closed-form
+/// first, dense scan only for tasks without one) — no per-sample
+/// allocation after the first few samples warm the buffers.
+struct SampleKernel<'a, T: Task + ?Sized> {
+    stepper: RoundStepper,
+    kernel: TaskKernel<'a, T>,
+    alpha: &'a Assignment,
+    t: usize,
+    /// `K_i(0) = ⊥` for every node, interned once.
+    initial: Vec<KnowledgeId>,
+    /// Reused per-source strings of the current sample.
+    sources: Vec<BitString>,
+    /// Reused knowledge-vector buffers (current / next round).
+    cur: Vec<KnowledgeId>,
+    next: Vec<KnowledgeId>,
+}
+
+impl<'a, T: Task + ?Sized> SampleKernel<'a, T> {
+    fn new(
+        model: &Model,
+        kernel: TaskKernel<'a, T>,
+        alpha: &'a Assignment,
+        t: usize,
+        arena: &mut KnowledgeArena,
+    ) -> Self {
+        let n = alpha.n();
+        SampleKernel {
+            stepper: RoundStepper::new(model, n),
+            kernel,
+            alpha,
+            t,
+            initial: (0..n).map(|_| arena.initial(None)).collect(),
+            sources: Vec::with_capacity(alpha.k()),
+            cur: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+        }
+    }
+
+    /// Runs one sample drawn from `rng`: `true` iff it solves at time
+    /// `t`. Consumes the generator exactly like [`Realization::sample`]
+    /// (k `u64` draws, source order), so the verdict stream is
+    /// bit-comparable to [`monte_carlo_reference`]'s.
+    fn sample<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        memo: &mut SolvabilityMemo,
+        arena: &mut KnowledgeArena,
+    ) -> bool {
+        self.first_solving_round(rng, memo, arena).is_some()
+    }
+
+    /// Runs one sample and reports the **first** round `r ≤ t` whose
+    /// consistency partition solves (`Some(0)` when the all-`⊥` initial
+    /// partition already does, `None` when no prefix solves by `t`).
+    ///
+    /// Rounds stop at the first solving partition: extending an
+    /// execution only refines its consistency partition, so a solving
+    /// round-`r` prefix solves at every `t ≥ r` (the same monotonicity
+    /// the enumeration engine prunes subtrees with). Two consequences:
+    /// the sample's verdict at *every* time `t' ≤ t` is `first ≤ t'` —
+    /// a whole estimated series from one pass — and at large `t` in the
+    /// `p(t) → 1` regime the expected per-sample round count drops to
+    /// `O(1)`, the dominant term of the kernel's speedup over the
+    /// reference (which always steps all `t` rounds).
+    fn first_solving_round<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        memo: &mut SolvabilityMemo,
+        arena: &mut KnowledgeArena,
+    ) -> Option<usize> {
+        self.sources.clear();
+        for _ in 0..self.alpha.k() {
+            self.sources.push(BitString::sample(rng, self.t));
+        }
+        if memo.solves(&self.initial, &self.kernel) {
+            // Degenerate n = 1 style cases: the all-⊥ partition solves.
+            return Some(0);
+        }
+        self.cur.clear();
+        self.cur.extend_from_slice(&self.initial);
+        for r in 0..self.t {
+            let sources = &self.sources;
+            let alpha = self.alpha;
+            self.stepper.step(
+                arena,
+                &self.cur,
+                |i| sources[alpha.source_of(i)].bit(r),
+                &mut self.next,
+            );
+            std::mem::swap(&mut self.cur, &mut self.next);
+            if memo.solves(&self.cur, &self.kernel) {
+                return Some(r + 1);
+            }
+        }
+        None
+    }
+}
+
+/// Monte-Carlo `Pr[S(t) | α]` from a caller-provided generator.
+///
+/// Rewritten on the PR 4 verdict kernel: per-sample execution steps reuse
+/// one [`RoundStepper`] and two knowledge-vector buffers, and each
+/// verdict goes closed-form-first through a [`SolvabilityMemo`] — the
+/// old path (kept verbatim as [`monte_carlo_reference`]) allocated a
+/// `Realization`, a full `Execution` trace, and a consistency partition
+/// per sample. RNG consumption is identical to the reference's, so the
+/// two produce bit-identical estimates from equal generator states
+/// (asserted by test and by `exp_perf_mc`).
 ///
 /// # Panics
 ///
-/// Panics if `samples == 0` or on a model/assignment node mismatch.
-pub fn monte_carlo<T: Task, R: Rng + ?Sized>(
+/// Panics if `samples == 0` or exceeds [`MAX_MC_SAMPLES`], if
+/// `alpha.n() > 255`, or on a model/assignment node mismatch.
+pub fn monte_carlo<T: Task + ?Sized, R: Rng + ?Sized>(
     model: &Model,
     task: &T,
     alpha: &Assignment,
@@ -480,33 +752,420 @@ pub fn monte_carlo<T: Task, R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> Estimate {
-    assert!(samples > 0, "need at least one sample");
-    if let Some(p) = model.ports() {
-        assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
+    monte_carlo_with_stats(model, task, alpha, t, samples, rng).0
+}
+
+/// [`monte_carlo`] exposing the verdict-path statistics.
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo`].
+pub fn monte_carlo_with_stats<T: Task + ?Sized, R: Rng + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    rng: &mut R,
+) -> (Estimate, McStats) {
+    check_mc_args(model, alpha, t, samples);
+    let table = engine::fallback_table(task, alpha.n());
+    let kernel = match table.as_ref() {
+        Some(table) => TaskKernel::new(task, table),
+        None => TaskKernel::closed_form_only(task),
+    };
+    let mut arena = KnowledgeArena::new();
+    let mut memo = SolvabilityMemo::new();
+    let mut sampler = SampleKernel::new(model, kernel, alpha, t, &mut arena);
+    let mut solved = 0u64;
+    for _ in 0..samples {
+        if sampler.sample(rng, &mut memo, &mut arena) {
+            solved += 1;
+        }
     }
+    let mut stats = McStats::default();
+    stats.absorb(&memo);
+    (Estimate::from_counts(solved, samples), stats)
+}
+
+/// The pre-kernel reference path, kept verbatim: one [`Realization`]
+/// allocation, one full [`Execution`](rsbt_sim::Execution) trace, and one
+/// consistency-partition construction per sample, with the dense-table
+/// cache of PR 4. Ground truth for the kernel path's bit-identity tests
+/// and the `exp_perf_mc` before/after benchmark; not used by production
+/// callers.
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo`].
+pub fn monte_carlo_reference<T: Task + ?Sized, R: Rng + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    rng: &mut R,
+) -> Estimate {
+    check_mc_args(model, alpha, t, samples);
     let mut arena = KnowledgeArena::new();
     // One dense table for all samples (take-or-build, never per draw).
     let mut cache = OutputComplexCache::new();
-    let mut solved = 0usize;
+    let mut solved = 0u64;
     for _ in 0..samples {
         let rho = Realization::sample(alpha, t, rng);
         if solvability::solves_with_cache(model, &rho, task, &mut arena, &mut cache) {
             solved += 1;
         }
     }
-    let p = solved as f64 / samples as f64;
-    Estimate {
-        p,
-        std_error: (p * (1.0 - p) / samples as f64).sqrt(),
+    Estimate::from_counts(solved, samples)
+}
+
+/// Deterministic parallel Monte-Carlo `Pr[S(t) | α]`: sample `i` always
+/// draws from [`StreamRng`]`(seed, i)`, workers take contiguous
+/// index ranges ([`pool::map_sample_chunks`]), and the per-chunk solved
+/// counts merge by integer addition — so the estimate is **bit-identical
+/// for any `threads` value**, and equal to the serial stream-order loop
+/// (asserted by property test).
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo`], plus `threads ≥ 1`.
+pub fn monte_carlo_parallel<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Estimate
+where
+    T: Task + Sync + ?Sized,
+{
+    monte_carlo_parallel_with_stats(model, task, alpha, t, samples, seed, threads).0
+}
+
+/// [`monte_carlo_parallel`] exposing the verdict-path statistics (summed
+/// across workers).
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_parallel`].
+pub fn monte_carlo_parallel_with_stats<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> (Estimate, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    check_mc_args(model, alpha, t, samples);
+    // At most one dense table for the run (none when the task's closed
+    // form answers), shared read-only across workers.
+    let table = engine::fallback_table(task, alpha.n());
+    let (solved, stats) = sample_stream_range(
+        model,
+        task,
+        table.as_ref(),
+        alpha,
+        t,
+        seed,
+        0,
         samples,
+        threads,
+    );
+    (Estimate::from_counts(solved, samples), stats)
+}
+
+/// The estimated series `p̂(1), …, p̂(t_max)` from **one** sampling pass:
+/// each sample's first solving round decides its verdict at every `t`
+/// simultaneously (monotonicity), the Monte-Carlo mirror of the exact
+/// engine's one-traversal series.
+///
+/// Per-sample draws use stream `i` of the family keyed by `seed` with
+/// `t_max`-bit strings, so the estimate at each `t` is **bit-identical**
+/// to [`monte_carlo_parallel`]`(…, t, samples, seed, _)` (the per-source
+/// word draw does not depend on `t`; asserted by test) — at a `t_max`×
+/// lower sampling cost — and the series is exactly monotone (sample `i`
+/// at time `t` is the prefix of sample `i` at `t + 1`: common random
+/// numbers across the series).
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_parallel`], plus `t_max ≥ 1`.
+pub fn monte_carlo_series_parallel<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Estimate>
+where
+    T: Task + Sync + ?Sized,
+{
+    monte_carlo_series_parallel_with_stats(model, task, alpha, t_max, samples, seed, threads).0
+}
+
+/// [`monte_carlo_series_parallel`] exposing the verdict-path statistics.
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_series_parallel`].
+pub fn monte_carlo_series_parallel_with_stats<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> (Vec<Estimate>, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    assert!(t_max >= 1, "need at least one round");
+    check_mc_args(model, alpha, t_max, samples);
+    let table = engine::fallback_table(task, alpha.n());
+    // first_solved[r] = samples whose first solving round is exactly
+    // r + 1 (round 0 counts as round 1: solved before any bits).
+    let (chunks, stats) = fold_sample_chunks(
+        model,
+        task,
+        table.as_ref(),
+        alpha,
+        t_max,
+        seed,
+        0,
+        samples,
+        threads,
+        || vec![0u64; t_max],
+        |first_solved, first| {
+            if let Some(r) = first {
+                first_solved[r.saturating_sub(1)] += 1;
+            }
+        },
+    );
+    let mut first_solved = vec![0u64; t_max];
+    for chunk in &chunks {
+        for (acc, c) in first_solved.iter_mut().zip(chunk) {
+            *acc += c;
+        }
     }
+    // Prefix sums: solved-by-t from first-solved-at-r.
+    let mut solved = 0u64;
+    let series = first_solved
+        .iter()
+        .map(|&c| {
+            solved += c;
+            Estimate::from_counts(solved, samples)
+        })
+        .collect();
+    (series, stats)
+}
+
+/// Samples stream indices `[lo, hi)` of the family keyed by `seed` over
+/// `threads` workers; returns the solved count and merged kernel stats.
+/// `table` is the caller's dense fallback (built at most once per run —
+/// the adaptive loop reuses it across batches).
+#[allow(clippy::too_many_arguments)]
+fn sample_stream_range<T>(
+    model: &Model,
+    task: &T,
+    table: Option<&FacetTable>,
+    alpha: &Assignment,
+    t: usize,
+    seed: u64,
+    lo: usize,
+    hi: usize,
+    threads: usize,
+) -> (u64, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    let (chunks, stats) = fold_sample_chunks(
+        model,
+        task,
+        table,
+        alpha,
+        t,
+        seed,
+        lo,
+        hi - lo,
+        threads,
+        || 0u64,
+        |solved, first| {
+            if first.is_some() {
+                *solved += 1;
+            }
+        },
+    );
+    (chunks.iter().sum(), stats)
+}
+
+/// The one sharded sampling loop every parallel estimator runs on: folds
+/// the first-solving-round of each sample in `[lo, lo + count)` (streams
+/// keyed by `seed`) into a per-chunk accumulator, with the per-worker
+/// kernel/memo/sampler assembly in exactly one place — the count and
+/// series estimators differ only in their `tally`, so the stream keying
+/// and verdict dispatch that their documented bit-identity rests on
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn fold_sample_chunks<T, A, I, F>(
+    model: &Model,
+    task: &T,
+    table: Option<&FacetTable>,
+    alpha: &Assignment,
+    t: usize,
+    seed: u64,
+    lo: usize,
+    count: usize,
+    threads: usize,
+    init: I,
+    tally: F,
+) -> (Vec<A>, McStats)
+where
+    T: Task + Sync + ?Sized,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, Option<usize>) + Sync,
+{
+    let per_chunk = pool::map_sample_chunks(count, threads, |arena, range| {
+        let kernel = match table {
+            Some(table) => TaskKernel::new(task, table),
+            None => TaskKernel::closed_form_only(task),
+        };
+        let mut memo = SolvabilityMemo::new();
+        let mut sampler = SampleKernel::new(model, kernel, alpha, t, arena);
+        let mut acc = init();
+        for i in range {
+            let mut rng = StreamRng::new(seed, (lo + i) as u64);
+            tally(
+                &mut acc,
+                sampler.first_solving_round(&mut rng, &mut memo, arena),
+            );
+        }
+        let mut stats = McStats::default();
+        stats.absorb(&memo);
+        (acc, stats)
+    });
+    let mut accs = Vec::with_capacity(per_chunk.len());
+    let mut stats = McStats::default();
+    for (acc, st) in per_chunk {
+        accs.push(acc);
+        stats.merge(&st);
+    }
+    (accs, stats)
+}
+
+/// Configuration of the adaptive estimator: sample in batches until the
+/// [`DEFAULT_Z`] Wilson half-width drops to `target_half_width`, or
+/// `max_samples` is reached.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Stop when the 95% Wilson half-width is at most this.
+    pub target_half_width: f64,
+    /// Hard cap on the total sample count.
+    pub max_samples: usize,
+    /// Samples added per batch (the stopping rule is evaluated between
+    /// batches only).
+    pub batch: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            target_half_width: 5e-3,
+            max_samples: 1 << 20,
+            batch: 1 << 14,
+        }
+    }
+}
+
+/// Adaptive Monte-Carlo `Pr[S(t) | α]`: draws [`AdaptiveConfig::batch`]
+/// samples at a time (each batch parallel and deterministic) until the
+/// Wilson half-width target is met or the cap is reached.
+///
+/// **Determinism**: sample `i` always draws from stream `i`, and the
+/// stopping rule is a pure function of the running counts — so the
+/// number of samples drawn, and hence the estimate, is a pure function
+/// of `(model, task, α, t, cfg, seed)`, independent of `threads`.
+///
+/// **Why stopping does not bias the estimate in our use**: the rule
+/// stops at the first batch boundary where the *interval width* — a
+/// function of `(solved, samples)` only — meets the target. By Wald's
+/// identity `E[solved_N] = p·E[N]` for any such stopping time, so the
+/// ratio estimator's bias is `O(1/N)` — below the interval resolution at
+/// every reachable `N` (see `DESIGN.md` §4.6 for the accounting), and
+/// the committed Wilson interval at the stopping time retains its
+/// coverage for the cross-validation gates `exp_perf_mc` runs.
+///
+/// # Panics
+///
+/// Panics on the [`monte_carlo`] conditions (with `samples` read as
+/// `cfg.max_samples`), if `cfg.batch == 0`, if
+/// `cfg.target_half_width ≤ 0`, or if `threads == 0`.
+pub fn monte_carlo_adaptive<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    cfg: &AdaptiveConfig,
+    seed: u64,
+    threads: usize,
+) -> (Estimate, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    assert!(cfg.batch > 0, "batch size must be positive");
+    assert!(
+        cfg.target_half_width > 0.0,
+        "target half-width must be positive"
+    );
+    check_mc_args(model, alpha, t, cfg.max_samples);
+    // One dense fallback table for the whole adaptive run, shared across
+    // batches and workers (never rebuilt per batch).
+    let table = engine::fallback_table(task, alpha.n());
+    let mut solved = 0u64;
+    let mut samples = 0usize;
+    let mut stats = McStats::default();
+    while samples < cfg.max_samples {
+        let batch = cfg.batch.min(cfg.max_samples - samples);
+        let (s, st) = sample_stream_range(
+            model,
+            task,
+            table.as_ref(),
+            alpha,
+            t,
+            seed,
+            samples,
+            samples + batch,
+            threads,
+        );
+        solved += s;
+        stats.merge(&st);
+        samples += batch;
+        let (lo, hi) = wilson_interval(solved, samples as u64, DEFAULT_Z);
+        if (hi - lo) / 2.0 <= cfg.target_half_width {
+            break;
+        }
+    }
+    (Estimate::from_counts(solved, samples), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use rsbt_tasks::{KLeaderElection, LeaderElection};
 
     #[test]
@@ -579,6 +1238,264 @@ mod tests {
         assert!(
             est.is_consistent_with(exact_p, 4.0),
             "MC {est:?} vs exact {exact_p}"
+        );
+    }
+
+    #[test]
+    fn wilson_interval_matches_hand_computed_values() {
+        // z = 2 keeps the arithmetic exact by hand: z² = 4.
+        // p̂ = 0, n = 100: [0, 4/104].
+        let (lo, hi) = wilson_interval(0, 100, 2.0);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 4.0 / 104.0).abs() < 1e-12, "hi = {hi}");
+        // p̂ = 1, n = 100: the mirror image [100/104, 1].
+        let (lo, hi) = wilson_interval(100, 100, 2.0);
+        assert!((lo - 100.0 / 104.0).abs() < 1e-12, "lo = {lo}");
+        assert_eq!(hi, 1.0);
+        // p̂ = 1/2, n = 100: center 0.5, half-width (2/1.04)·sqrt(0.0026).
+        let (lo, hi) = wilson_interval(50, 100, 2.0);
+        let half = 2.0 / 1.04 * 0.0026f64.sqrt();
+        assert!((lo - (0.5 - half)).abs() < 1e-12, "lo = {lo}");
+        assert!((hi - (0.5 + half)).abs() < 1e-12, "hi = {hi}");
+        // Interval is always inside [0, 1] and contains p̂.
+        for (s, n) in [(0u64, 7u64), (1, 7), (6, 7), (7, 7), (500, 1000)] {
+            let (lo, hi) = wilson_interval(s, n, 3.0);
+            let p = s as f64 / n as f64;
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(lo <= p && p <= hi, "({s}, {n}): [{lo}, {hi}] ∌ {p}");
+        }
+    }
+
+    #[test]
+    fn estimate_stays_informative_at_the_extremes() {
+        // p̂ = 0: std_error is 0, but the Wilson interval is not a point —
+        // the old |p − value| ≤ z·std_error check degenerated to equality
+        // here and accepted only values within ε of 0.
+        let zero = Estimate::from_counts(0, 10_000);
+        assert_eq!(zero.std_error, 0.0);
+        assert!(zero.ci_hi > 0.0, "upper bound must stay positive");
+        assert!(zero.is_consistent_with(1e-4, 2.0), "small p is plausible");
+        assert!(!zero.is_consistent_with(0.01, 2.0), "0.01 is implausible");
+        // p̂ = 1 mirrors.
+        let one = Estimate::from_counts(10_000, 10_000);
+        assert_eq!(one.std_error, 0.0);
+        assert!(one.ci_lo < 1.0);
+        assert!(one.is_consistent_with(1.0 - 1e-4, 2.0));
+        assert!(!one.is_consistent_with(0.99, 2.0));
+        // Interior estimates keep the old behavior's spirit.
+        let half = Estimate::from_counts(5_000, 10_000);
+        assert!(half.is_consistent_with(0.5, 2.0));
+        assert!(!half.is_consistent_with(0.6, 2.0));
+        assert!(half.half_width() > 0.0);
+    }
+
+    #[test]
+    fn kernel_monte_carlo_bit_identical_to_reference() {
+        // Equal generator states must produce bit-identical estimates:
+        // the kernel path consumes the RNG exactly like the reference.
+        for (sizes, t) in [(vec![1usize, 2], 3), (vec![2, 2], 5), (vec![1, 1, 1], 2)] {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            for model in [Model::Blackboard, Model::message_passing_cyclic(alpha.n())] {
+                let mut rng_a = StdRng::seed_from_u64(99);
+                let mut rng_b = StdRng::seed_from_u64(99);
+                let kernel = monte_carlo(&model, &LeaderElection, &alpha, t, 2_000, &mut rng_a);
+                let reference =
+                    monte_carlo_reference(&model, &LeaderElection, &alpha, t, 2_000, &mut rng_b);
+                assert_eq!(kernel, reference, "{model} {sizes:?} t={t}");
+                // And the generators are left in identical states.
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_monte_carlo_is_thread_count_invariant() {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let serial =
+            monte_carlo_parallel(&Model::Blackboard, &LeaderElection, &alpha, 4, 5_000, 7, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let par = monte_carlo_parallel(
+                &Model::Blackboard,
+                &LeaderElection,
+                &alpha,
+                4,
+                5_000,
+                7,
+                threads,
+            );
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // Different seeds give different (decorrelated) estimates.
+        let other =
+            monte_carlo_parallel(&Model::Blackboard, &LeaderElection, &alpha, 4, 5_000, 8, 2);
+        assert_ne!(other.solved, serial.solved, "seed must matter");
+    }
+
+    #[test]
+    fn parallel_monte_carlo_brackets_exact_value() {
+        let alpha = Assignment::from_group_sizes(&[1, 2, 2]).unwrap();
+        let t = 4;
+        let exact_p = exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+        let (est, stats) = monte_carlo_parallel_with_stats(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            t,
+            40_000,
+            2021,
+            4,
+        );
+        assert!(
+            est.is_consistent_with(exact_p, 4.0),
+            "MC {est:?} vs exact {exact_p}"
+        );
+        // Built-in tasks decide in closed form; the dense scan never runs.
+        assert_eq!(stats.dense_scan_verdicts, 0);
+        assert!(stats.closed_form_verdicts > 0);
+        assert!(stats.memo_hits > 0, "partition memo must absorb repeats");
+    }
+
+    #[test]
+    fn adaptive_monte_carlo_stops_early_and_stays_deterministic() {
+        // Shared source: p = 0 exactly, so one batch meets any sane
+        // half-width target.
+        let alpha = Assignment::shared(3);
+        let cfg = AdaptiveConfig {
+            target_half_width: 0.01,
+            max_samples: 1 << 16,
+            batch: 1 << 12,
+        };
+        let (est, _) =
+            monte_carlo_adaptive(&Model::Blackboard, &LeaderElection, &alpha, 3, &cfg, 1, 2);
+        assert_eq!(est.samples, cfg.batch, "one batch suffices at p = 0");
+        assert_eq!(est.p, 0.0);
+        assert!(est.half_width() <= cfg.target_half_width);
+        // Thread-count invariance extends to the adaptive loop, and the
+        // result equals the fixed-size estimator at the stopped count.
+        for threads in [1usize, 3, 8] {
+            let (again, _) = monte_carlo_adaptive(
+                &Model::Blackboard,
+                &LeaderElection,
+                &alpha,
+                3,
+                &cfg,
+                1,
+                threads,
+            );
+            assert_eq!(again, est, "threads={threads}");
+        }
+        let fixed = monte_carlo_parallel(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            3,
+            est.samples,
+            1,
+            2,
+        );
+        assert_eq!(fixed, est);
+    }
+
+    #[test]
+    fn one_pass_series_equals_per_t_estimates() {
+        // The single sampling pass must reproduce each fixed-t estimate
+        // bit-for-bit (the per-source word draw does not depend on t),
+        // and the common-random-numbers series must be exactly monotone.
+        for sizes in [vec![1usize, 2], vec![2, 2], vec![1, 1, 2]] {
+            let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+            for model in [Model::Blackboard, Model::message_passing_cyclic(alpha.n())] {
+                let series =
+                    monte_carlo_series_parallel(&model, &LeaderElection, &alpha, 5, 2_000, 13, 3);
+                assert_eq!(series.len(), 5);
+                for (i, est) in series.iter().enumerate() {
+                    let per_t =
+                        monte_carlo_parallel(&model, &LeaderElection, &alpha, i + 1, 2_000, 13, 2);
+                    assert_eq!(est, &per_t, "{model} {sizes:?} t={}", i + 1);
+                }
+                for w in series.windows(2) {
+                    assert!(w[1].solved >= w[0].solved, "series must be monotone");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_monte_carlo_respects_the_cap() {
+        // A sub-resolution target can never be met: the cap must stop the
+        // loop (hard sample cap, satellite of the adaptive design).
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let cfg = AdaptiveConfig {
+            target_half_width: 1e-9,
+            max_samples: 3_000,
+            batch: 1_024,
+        };
+        let (est, _) =
+            monte_carlo_adaptive(&Model::Blackboard, &LeaderElection, &alpha, 2, &cfg, 5, 2);
+        assert_eq!(est.samples, cfg.max_samples, "cap reached exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sample")]
+    fn monte_carlo_rejects_zero_samples() {
+        let alpha = Assignment::private(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = monte_carlo(&Model::Blackboard, &LeaderElection, &alpha, 1, 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "f64-exact range")]
+    fn monte_carlo_rejects_overflowing_sample_counts() {
+        let alpha = Assignment::private(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = monte_carlo(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            1,
+            MAX_MC_SAMPLES + 1,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "round sampling limit")]
+    fn monte_carlo_rejects_oversized_round_counts() {
+        // t = 64 > MAX_BITS = 63: rejected up front with a clear message
+        // instead of panicking deep inside BitString::sample mid-run.
+        let alpha = Assignment::private(2);
+        let _ = monte_carlo_parallel(&Model::Blackboard, &LeaderElection, &alpha, 64, 10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "model/assignment node mismatch")]
+    fn monte_carlo_rejects_node_mismatch() {
+        let alpha = Assignment::private(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Model::message_passing_cyclic(4);
+        let _ = monte_carlo(&model, &LeaderElection, &alpha, 1, 10, &mut rng);
+    }
+
+    #[test]
+    fn monte_carlo_beyond_the_exact_wall() {
+        // k·t = 2·31 = 62 > MAX_EXACT_BITS: the exact engine refuses this
+        // point; the estimator covers it. Verify against the closed form
+        // p(t) = 1 − 2^{−t} for sizes [1, m] (singleton vs rest).
+        let alpha = Assignment::from_group_sizes(&[1, 15]).unwrap();
+        let t = 31;
+        assert!(alpha.k() * t > MAX_EXACT_BITS);
+        let est = monte_carlo_parallel(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            t,
+            20_000,
+            42,
+            4,
+        );
+        let closed_form = 1.0 - 0.5f64.powi(t as i32);
+        assert!(
+            est.is_consistent_with(closed_form, 4.0),
+            "{est:?} vs {closed_form}"
         );
     }
 

@@ -116,6 +116,87 @@ proptest! {
             );
         }
     }
+
+    /// StreamRng streams of one family are pairwise decorrelated: any two
+    /// distinct stream indices produce word sequences that disagree on
+    /// (essentially) every draw, and equal keys replay bit-for-bit.
+    #[test]
+    fn stream_rng_pairwise_decorrelation_smoke(
+        seed in any::<u64>(),
+        a in 0u64..1024,
+        offset in 1u64..1024,
+    ) {
+        use rand::rngs::StreamRng;
+        use rand::RngCore;
+        let b = a + offset;
+        let mut sa = StreamRng::new(seed, a);
+        let mut sb = StreamRng::new(seed, b);
+        let wa: Vec<u64> = (0..32).map(|_| sa.next_u64()).collect();
+        let wb: Vec<u64> = (0..32).map(|_| sb.next_u64()).collect();
+        prop_assert_ne!(&wa, &wb, "streams {} and {} coincide", a, b);
+        // No more than a couple of coincidental word collisions in 32
+        // draws (expected count ~ 32/2^64 ≈ 0).
+        let equal = wa.iter().zip(&wb).filter(|(x, y)| x == y).count();
+        prop_assert!(equal <= 2, "streams {} and {} share {}/32 words", a, b, equal);
+        // Replays are bit-identical.
+        let mut again = StreamRng::new(seed, a);
+        let replay: Vec<u64> = (0..32).map(|_| again.next_u64()).collect();
+        prop_assert_eq!(wa, replay);
+    }
+
+    /// The deterministic parallel estimator is bit-identical for every
+    /// thread count AND to an independently-written serial loop in stream
+    /// order whose verdicts come from the pre-kernel reference path — so
+    /// the property pins the sharding, the stream keying, and the kernel
+    /// verdicts at once.
+    #[test]
+    fn monte_carlo_parallel_thread_invariance(
+        seed in any::<u64>(),
+        sizes_idx in 0usize..4,
+        t in 1usize..5,
+    ) {
+        use rand::rngs::StreamRng;
+        let profiles: [&[usize]; 4] = [&[1, 1], &[1, 2], &[2, 2], &[1, 1, 2]];
+        let alpha = Assignment::from_group_sizes(profiles[sizes_idx]).unwrap();
+        let samples = 400usize;
+        // Independent serial ground truth: sample i from stream i, decide
+        // with the reference solvability path.
+        let mut arena = KnowledgeArena::new();
+        let mut cache = rsbt_core::output_cache::OutputComplexCache::new();
+        let mut solved = 0u64;
+        for i in 0..samples {
+            let mut rng = StreamRng::new(seed, i as u64);
+            let rho = Realization::sample(&alpha, t, &mut rng);
+            if solvability::solves_with_cache(
+                &Model::Blackboard, &rho, &LeaderElection, &mut arena, &mut cache,
+            ) {
+                solved += 1;
+            }
+        }
+        for threads in [1usize, 2, 3, 4, 8] {
+            let est = probability::monte_carlo_parallel(
+                &Model::Blackboard, &LeaderElection, &alpha, t, samples, seed, threads,
+            );
+            prop_assert_eq!(est.solved, solved, "threads={}", threads);
+            prop_assert_eq!(est.samples, samples);
+        }
+    }
+
+    /// Wilson intervals bracket the sample mean, stay inside [0, 1], and
+    /// widen monotonically in z.
+    #[test]
+    fn wilson_interval_laws(solved in 0u64..=500, extra in 0u64..500, z_idx in 0usize..3) {
+        let samples = solved + extra + 1;
+        let z = [1.0, 1.959_963_984_540_054, 4.0][z_idx];
+        let (lo, hi) = probability::wilson_interval(solved, samples, z);
+        let p = solved as f64 / samples as f64;
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= p && p <= hi, "[{}, {}] must contain {}", lo, hi, p);
+        let (lo_wide, hi_wide) = probability::wilson_interval(solved, samples, z + 0.5);
+        prop_assert!(lo_wide <= lo && hi <= hi_wide, "interval must widen in z");
+        // Never degenerate: positive width even at the extremes.
+        prop_assert!(hi > lo, "Wilson interval must have positive width");
+    }
 }
 
 /// The acceptance-criterion regime of the `exp_perf_enum` benchmark,

@@ -67,6 +67,40 @@ where
     out
 }
 
+/// Sample-sharding fan-out for Monte-Carlo estimators: splits the index
+/// range `0..total` into one contiguous chunk per worker and folds each
+/// chunk with a private [`KnowledgeArena`], merging chunk results back in
+/// index order.
+///
+/// The contract that makes sharded estimates **bit-identical for any
+/// worker count** is that `f` derives everything about sample `i` from
+/// `i` itself (e.g. an RNG stream keyed by the sample index) — never from
+/// the chunk boundaries, the worker identity, or shared mutable state.
+/// Under that contract the multiset of per-sample verdicts is a pure
+/// function of `total`, and any order-insensitive reduction of the
+/// returned per-chunk values (integer sums in practice) equals the serial
+/// loop's exactly.
+///
+/// Returns one result per non-empty chunk, ordered by chunk start; with
+/// `threads == 1` this degenerates to a single serial fold.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a worker panic.
+pub fn map_sample_chunks<R, F>(total: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut KnowledgeArena, std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    let chunk = total.div_ceil(threads).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+        .map(|w| (w * chunk).min(total)..((w + 1) * chunk).min(total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    map_with_arena(&ranges, threads, |arena, range| f(arena, range.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +143,37 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = map_with_arena(&[1u32], 0, |_, &i| i);
+    }
+
+    #[test]
+    fn sample_chunks_cover_the_range_exactly_once() {
+        for total in [0usize, 1, 2, 7, 64, 100] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let chunks = map_sample_chunks(total, threads, |_, r| r.collect::<Vec<usize>>());
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                let expect: Vec<usize> = (0..total).collect();
+                assert_eq!(flat, expect, "total={total} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_index_sums_are_thread_count_invariant() {
+        // A reduction over per-index values (the Monte-Carlo shape) must
+        // be identical for every worker count.
+        let per_index = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9) % 7;
+        let serial: u64 = (0..1000).map(per_index).sum();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let total: u64 = map_sample_chunks(1000, threads, |_, r| r.map(per_index).sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn sample_chunks_zero_threads_rejected() {
+        let _ = map_sample_chunks(4, 0, |_, r| r.len());
     }
 }

@@ -7,11 +7,15 @@
 //!
 //! * [`RngCore`] / [`Rng`] with `gen`, `gen_bool`, `gen_range`;
 //! * [`SeedableRng`] with `seed_from_u64` / `from_seed` / `from_entropy`;
-//! * [`rngs::StdRng`] — a deterministic SplitMix64 generator;
+//! * [`rngs::StdRng`] — a deterministic SplitMix64-seeded generator;
+//! * [`rngs::StreamRng`] — independent streams keyed `(seed, stream)` by
+//!   SplitMix64 seed-splitting (the Monte-Carlo layers' per-sample RNG);
 //! * [`rngs::mock::StepRng`] — the arithmetic-progression mock generator;
 //! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`;
-//! * [`thread_rng`] — deterministic here (seeded from a fixed constant),
-//!   which is exactly what reproducible experiments want.
+//! * [`thread_rng`] — deterministic here (the `i`-th call process-wide
+//!   returns stream `i` of a fixed family), which is exactly what
+//!   reproducible experiments want: distinct call sites are decorrelated,
+//!   yet a fixed call sequence replays bit-for-bit.
 //!
 //! Statistical quality is adequate for tests and experiments (SplitMix64
 //! passes BigCrush); the bit streams are *not* identical to upstream
@@ -196,12 +200,28 @@ pub trait SeedableRng: Sized {
     }
 }
 
+/// Counts [`thread_rng`] calls process-wide, so every call site gets its
+/// own decorrelated stream (the old implementation returned an
+/// identically-seeded generator on every call, which made "independent"
+/// samples at different call sites perfectly correlated).
+static THREAD_RNG_CALLS: core::sync::atomic::AtomicU64 = core::sync::atomic::AtomicU64::new(0);
+
 /// A deterministic stand-in for `rand::thread_rng()`.
 ///
-/// Unlike upstream, every call returns a generator seeded from the same
-/// fixed constant — reproducibility is a feature here.
+/// Unlike upstream, the `i`-th call (counting process-wide) returns
+/// stream `i` of a fixed [`StreamRng`](rngs::StreamRng) family: distinct
+/// calls return decorrelated streams, so two call sites no longer draw
+/// identical bits, and a fixed **call sequence** reproduces bit-for-bit.
+/// Note the caveat: when multiple threads race on this function, which
+/// caller receives which stream index depends on scheduling — replay is
+/// only guaranteed for a deterministic call order (single-threaded use,
+/// as in this workspace's doctests). Code that needs cross-thread
+/// determinism should key streams explicitly via
+/// [`StreamRng::new`](rngs::StreamRng::new), as the Monte-Carlo layers
+/// do.
 pub fn thread_rng() -> rngs::ThreadRng {
-    rngs::ThreadRng::default()
+    let call = THREAD_RNG_CALLS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+    rngs::ThreadRng::nth(call)
 }
 
 #[cfg(test)]
@@ -246,6 +266,37 @@ mod tests {
         assert_eq!(rng.next_u64(), 10);
         assert_eq!(rng.next_u64(), 13);
         assert_eq!(rng.next_u64(), 16);
+    }
+
+    #[test]
+    fn thread_rng_calls_are_decorrelated() {
+        // Regression: two thread_rng() instances must diverge — the old
+        // implementation returned identically-seeded generators, making
+        // "independent" samples at different call sites equal bit-for-bit.
+        let mut a = thread_rng();
+        let mut b = thread_rng();
+        let draws_a: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(draws_a, draws_b, "call sites must not share a stream");
+        // And each word pair should differ too (not merely a shift).
+        let equal = draws_a.iter().zip(&draws_b).filter(|(x, y)| x == y).count();
+        assert_eq!(equal, 0, "streams share {equal}/16 words");
+    }
+
+    #[test]
+    fn stream_rng_is_deterministic_per_key() {
+        use crate::rngs::StreamRng;
+        let mut a = StreamRng::new(7, 42);
+        let mut b = StreamRng::new(7, 42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Different stream index, different seed: both diverge.
+        let mut c = StreamRng::new(7, 43);
+        let mut d = StreamRng::new(8, 42);
+        let a_words: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        assert_ne!(a_words, (0..16).map(|_| c.next_u64()).collect::<Vec<_>>());
+        assert_ne!(a_words, (0..16).map(|_| d.next_u64()).collect::<Vec<_>>());
     }
 
     #[test]

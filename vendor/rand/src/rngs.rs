@@ -16,11 +16,17 @@ impl SplitMix64 {
 
     pub(crate) fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        split_mix_finalize(self.state)
     }
+}
+
+/// The SplitMix64 output finalizer (Stafford's Mix13 variant): a bijective
+/// avalanche over `u64`, also used standalone to key stream seeds.
+pub(crate) fn split_mix_finalize(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// The workspace's standard deterministic generator.
@@ -74,17 +80,72 @@ impl SeedableRng for StdRng {
     }
 }
 
+/// An independent generator stream keyed by `(seed, stream)`.
+///
+/// SplitMix64 seed-splitting: the pair is folded through the SplitMix64
+/// finalizer (`state = finalize(seed ⊕ finalize(stream + φ))`, with `φ`
+/// the 64-bit golden-ratio constant) before the usual four-word SplitMix64
+/// expansion seeds a [`StdRng`]. Two consequences the Monte-Carlo layers
+/// rely on:
+///
+/// * **determinism** — `StreamRng::new(seed, i)` is a pure function of its
+///   arguments; sample `i` draws the same bits no matter which worker
+///   thread constructs it, so sharded estimates are bit-identical for any
+///   thread count;
+/// * **decorrelation** — distinct stream indices land on unrelated
+///   SplitMix64 states (the finalizer is a full-avalanche bijection, so
+///   consecutive indices do not produce overlapping expansion windows the
+///   way `seed + i` seeding would).
+#[derive(Clone, Debug)]
+pub struct StreamRng {
+    inner: StdRng,
+}
+
+impl StreamRng {
+    /// The generator for stream `stream` of the family keyed by `seed`.
+    pub fn new(seed: u64, stream: u64) -> StreamRng {
+        let keyed = split_mix_finalize(
+            seed ^ split_mix_finalize(stream.wrapping_add(0x9e37_79b9_7f4a_7c15)),
+        );
+        let mut sm = SplitMix64::new(keyed);
+        StreamRng {
+            inner: StdRng::from_words([sm.next(), sm.next(), sm.next(), sm.next()]),
+        }
+    }
+}
+
+impl RngCore for StreamRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
 /// Deterministic stand-in for the thread-local generator.
 #[derive(Clone, Debug)]
 pub struct ThreadRng {
-    inner: StdRng,
+    inner: StreamRng,
+}
+
+/// The fixed family seed of all [`ThreadRng`] instances (kept from the
+/// original fixed-seed implementation so the family stays recognizable in
+/// reproductions).
+const THREAD_RNG_SEED: u64 = 0x7472_6561_645f_726e;
+
+impl ThreadRng {
+    /// The `call`-th generator of the process ([`crate::thread_rng`]
+    /// passes its global call counter, so successive call sites draw from
+    /// distinct, decorrelated streams while staying fully deterministic
+    /// per process).
+    pub(crate) fn nth(call: u64) -> Self {
+        ThreadRng {
+            inner: StreamRng::new(THREAD_RNG_SEED, call),
+        }
+    }
 }
 
 impl Default for ThreadRng {
     fn default() -> Self {
-        ThreadRng {
-            inner: StdRng::seed_from_u64(0x7472_6561_645f_726e),
-        }
+        ThreadRng::nth(0)
     }
 }
 
