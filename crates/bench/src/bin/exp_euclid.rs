@@ -12,10 +12,15 @@ use rand::SeedableRng;
 use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_protocols::{leader_count, EuclidLeaderElection};
 use rsbt_random::Assignment;
-use rsbt_sim::runner::run;
+use rsbt_sim::runner::{run, RunStats};
 use rsbt_sim::{Model, PortNumbering};
 
-fn trial(sizes: &[usize], adversarial: bool, seed: u64, cap: usize) -> (bool, usize, usize) {
+fn trial(
+    sizes: &[usize],
+    adversarial: bool,
+    seed: u64,
+    cap: usize,
+) -> (bool, usize, usize, RunStats) {
     let alpha = Assignment::from_group_sizes(sizes).unwrap();
     let n = alpha.n();
     let k = sizes.len();
@@ -32,7 +37,12 @@ fn trial(sizes: &[usize], adversarial: bool, seed: u64, cap: usize) -> (bool, us
         || EuclidLeaderElection::new(k),
         &mut rng,
     );
-    (out.completed, leader_count(&out.outputs), out.rounds)
+    (
+        out.completed,
+        leader_count(&out.outputs),
+        out.rounds,
+        out.stats,
+    )
 }
 
 fn main() -> ExitCode {
@@ -49,6 +59,8 @@ fn main() -> ExitCode {
                 "elected",
                 "leaders=1",
                 "mean rounds",
+                "sends/run",
+                "max msg B",
             ]);
             for sizes in [
                 vec![1usize, 1],
@@ -63,8 +75,12 @@ fn main() -> ExitCode {
                     let mut ok = 0u64;
                     let mut single = true;
                     let mut rounds = Vec::new();
+                    let mut sends = 0u64;
+                    let mut max_msg_bytes = 0usize;
                     for seed in 0..TRIALS {
-                        let (done, leaders, r) = trial(&sizes, adversarial, seed, 8000);
+                        let (done, leaders, r, stats) = trial(&sizes, adversarial, seed, 8000);
+                        sends += stats.sends;
+                        max_msg_bytes = max_msg_bytes.max(stats.max_msg_bytes);
                         if done {
                             ok += 1;
                             single &= leaders == 1;
@@ -80,6 +96,8 @@ fn main() -> ExitCode {
                         format!("{ok}/{TRIALS}"),
                         single.to_string(),
                         format!("{mean:.1}"),
+                        format!("{:.1}", sends as f64 / TRIALS as f64),
+                        max_msg_bytes.to_string(),
                     ]);
                 }
             }
@@ -92,7 +110,7 @@ fn main() -> ExitCode {
             for sizes in [vec![2usize, 2], vec![3, 3], vec![2, 4]] {
                 let mut ok = 0u64;
                 for seed in 0..20 {
-                    let (done, _, _) = trial(&sizes, true, seed, 1000);
+                    let (done, _, _, _) = trial(&sizes, true, seed, 1000);
                     ok += u64::from(done);
                 }
                 let alpha = Assignment::from_group_sizes(&sizes).unwrap();

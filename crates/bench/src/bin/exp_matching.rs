@@ -9,10 +9,10 @@ use rand::SeedableRng;
 use rsbt_bench::{run_experiment, Table};
 use rsbt_protocols::matching::{CreateMatching, MatchStatus};
 use rsbt_random::Assignment;
-use rsbt_sim::runner::run_nodes;
+use rsbt_sim::runner::{run_nodes, RunStats};
 use rsbt_sim::{Model, PortNumbering};
 
-fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize) {
+fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize, RunStats) {
     let n = a + b;
     let mut rng = StdRng::seed_from_u64(seed);
     let ports = PortNumbering::random(n, &mut rng);
@@ -35,7 +35,7 @@ fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize
     };
     let out = run_nodes(&Model::MessagePassing(ports), &alpha, 5000, nodes, &mut rng);
     if !out.completed {
-        return (false, out.rounds);
+        return (false, out.rounds, out.stats);
     }
     // Lemma 4.8 invariants.
     let matched_a = out.outputs[..a]
@@ -48,7 +48,7 @@ fn run_once(a: usize, b: usize, shared_sources: bool, seed: u64) -> (bool, usize
         .count();
     assert_eq!(matched_a, a, "all of A matched");
     assert_eq!(matched_b, a, "exactly |A| of B matched");
-    (true, out.rounds)
+    (true, out.rounds, out.stats)
 }
 
 fn main() -> ExitCode {
@@ -65,13 +65,19 @@ fn main() -> ExitCode {
                 "mean rounds",
                 "min",
                 "max",
+                "sends/run",
+                "max msg B",
             ]);
             for (a, b) in [(1usize, 1usize), (1, 4), (2, 3), (3, 3), (3, 5), (4, 8)] {
                 for shared in [true, false] {
                     let mut rounds = Vec::new();
                     let mut ok = 0u64;
+                    let mut sends = 0u64;
+                    let mut max_msg_bytes = 0usize;
                     for seed in 0..TRIALS {
-                        let (success, r) = run_once(a, b, shared, seed * 7 + a as u64);
+                        let (success, r, stats) = run_once(a, b, shared, seed * 7 + a as u64);
+                        sends += stats.sends;
+                        max_msg_bytes = max_msg_bytes.max(stats.max_msg_bytes);
                         if success {
                             ok += 1;
                             rounds.push(r);
@@ -93,6 +99,8 @@ fn main() -> ExitCode {
                             .max()
                             .map(usize::to_string)
                             .unwrap_or_default(),
+                        format!("{:.1}", sends as f64 / TRIALS as f64),
+                        max_msg_bytes.to_string(),
                     ]);
                 }
             }

@@ -13,7 +13,7 @@ use rsbt_bench::{fmt_sizes, run_experiment, Table};
 use rsbt_protocols::consensus::{check_consensus, consensus_node};
 use rsbt_protocols::{BlackboardLeaderElection, EuclidLeaderElection};
 use rsbt_random::Assignment;
-use rsbt_sim::runner::run_nodes;
+use rsbt_sim::runner::{run_nodes, RunStats};
 use rsbt_sim::{Model, PortNumbering};
 
 fn main() -> ExitCode {
@@ -23,13 +23,23 @@ fn main() -> ExitCode {
         "Fraigniaud-Gelles-Lotker 2021, Appendix C",
         |_eng, rep| {
             const TRIALS: u64 = 100;
-            let mut table = Table::new(vec!["model", "sizes", "task", "valid runs", "mean rounds"]);
+            let mut table = Table::new(vec![
+                "model",
+                "sizes",
+                "task",
+                "valid runs",
+                "mean rounds",
+                "posts/run",
+                "sends/run",
+                "max msg B",
+            ]);
 
             // Blackboard consensus.
             for sizes in [vec![1usize, 1, 1], vec![1, 3]] {
                 let alpha = Assignment::from_group_sizes(&sizes).unwrap();
                 let mut ok = 0u64;
                 let mut rounds = Vec::new();
+                let mut stats = RunStats::default();
                 for seed in 0..TRIALS {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let inputs: Vec<u64> = (0..alpha.n()).map(|_| rng.gen_range(0..10)).collect();
@@ -38,6 +48,9 @@ fn main() -> ExitCode {
                         .map(|&v| consensus_node(BlackboardLeaderElection::new(), v))
                         .collect();
                     let out = run_nodes(&Model::Blackboard, &alpha, 512, nodes, &mut rng);
+                    stats.posts += out.stats.posts;
+                    stats.sends += out.stats.sends;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(out.stats.max_msg_bytes);
                     if out.completed && check_consensus(&inputs, &out.outputs).is_ok() {
                         ok += 1;
                         rounds.push(out.rounds);
@@ -50,6 +63,9 @@ fn main() -> ExitCode {
                     "consensus(min)".into(),
                     format!("{ok}/{TRIALS}"),
                     format!("{mean:.1}"),
+                    format!("{:.1}", stats.posts as f64 / TRIALS as f64),
+                    format!("{:.1}", stats.sends as f64 / TRIALS as f64),
+                    stats.max_msg_bytes.to_string(),
                 ]);
             }
 
@@ -59,6 +75,7 @@ fn main() -> ExitCode {
                 let k = sizes.len();
                 let mut ok = 0u64;
                 let mut rounds = Vec::new();
+                let mut stats = RunStats::default();
                 for seed in 0..TRIALS {
                     let mut rng = StdRng::seed_from_u64(seed + 1000);
                     let ports = PortNumbering::random(alpha.n(), &mut rng);
@@ -69,6 +86,9 @@ fn main() -> ExitCode {
                         .collect();
                     let out =
                         run_nodes(&Model::MessagePassing(ports), &alpha, 8000, nodes, &mut rng);
+                    stats.posts += out.stats.posts;
+                    stats.sends += out.stats.sends;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(out.stats.max_msg_bytes);
                     if out.completed && check_consensus(&inputs, &out.outputs).is_ok() {
                         ok += 1;
                         rounds.push(out.rounds);
@@ -81,6 +101,9 @@ fn main() -> ExitCode {
                     "consensus(min)".into(),
                     format!("{ok}/{TRIALS}"),
                     format!("{mean:.1}"),
+                    format!("{:.1}", stats.posts as f64 / TRIALS as f64),
+                    format!("{:.1}", stats.sends as f64 / TRIALS as f64),
+                    stats.max_msg_bytes.to_string(),
                 ]);
             }
 

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod proto;
 pub mod report;
 pub mod sweep;
 
@@ -23,6 +24,7 @@ use std::fmt::Display;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+pub use crate::proto::{counters_table, ProtoMc, ProtoMcPoint};
 pub use crate::report::{Json, Report, Section, SCHEMA, SCHEMA_V1};
 pub use crate::sweep::{
     default_threads, standard_table, McRow, McSweep, ModelSpec, RowMode, SweepEngine, SweepRow,

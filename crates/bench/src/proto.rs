@@ -1,0 +1,191 @@
+//! Protocol-level Monte-Carlo rows: the choreography estimator backend
+//! ([`rsbt_protocols::choreo::McBackend`]) surfaced as
+//! `rsbt-bench-report/v2` sweep rows.
+//!
+//! Where [`crate::sweep`] estimates *task solvability* (does the
+//! knowledge structure admit a solution at time `t`?), this module
+//! estimates *protocol behaviour*: the probability that an executable,
+//! projected protocol has actually decided by round `r`, plus its
+//! per-run message/byte costs. The row shape is the same v2 schema —
+//! `series[r-1]` is the cumulative completion probability by round `r`,
+//! with per-round Wilson bounds in `ci_lo`/`ci_hi` — so existing report
+//! tooling reads protocol rows unchanged.
+//!
+//! Determinism matches the sweep engine's: every point derives its seed
+//! from the spec's base seed and the point's identity
+//! (`model label × protocol name × group sizes`), and the backend keys
+//! per-sample streams by `(seed, sample)`, never by the executing
+//! thread — a row is a pure function of the spec.
+
+use rsbt_core::eventual;
+use rsbt_protocols::choreo::{
+    Backend, Choreography, McBackend, NodeMsg, NodeOutput, ProtocolEstimate, RunJob,
+};
+use rsbt_random::Assignment;
+use rsbt_sim::net::Wire;
+use rsbt_sim::Model;
+
+use crate::sweep::{point_seed, McRow, RowMode, SweepRow};
+use crate::{fmt_sizes, Table};
+
+/// A protocol-level Monte-Carlo configuration, applied point by point via
+/// [`ProtoMc::estimate`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProtoMc {
+    /// Samples per estimated point.
+    pub samples: u64,
+    /// Base seed; each point folds in its own identity (see
+    /// [`crate::sweep::McSweep::seed`] for the derivation contract).
+    pub seed: u64,
+    /// Round cap per sample — also the emitted series length.
+    pub max_rounds: usize,
+    /// Worker threads for the sample fan-out (estimates are invariant
+    /// under this; it only sets the wall-clock).
+    pub threads: usize,
+}
+
+/// One estimated protocol point: the v2 sweep row plus the raw backend
+/// estimate (for counters and custom assertions).
+#[derive(Clone, Debug)]
+pub struct ProtoMcPoint {
+    /// The `rsbt-bench-report/v2` row (mode `"mc"`).
+    pub row: SweepRow,
+    /// The backend's full estimate, including cost counters.
+    pub estimate: ProtocolEstimate,
+}
+
+impl ProtoMc {
+    /// Estimates one `(choreography, model, α)` point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choreography does not project onto `model` — bins
+    /// pair protocols with their models statically, so a mismatch is a
+    /// bin bug, not data.
+    pub fn estimate<C>(
+        &self,
+        choreo: &C,
+        model_label: &str,
+        model: &Model,
+        alpha: &Assignment,
+    ) -> ProtoMcPoint
+    where
+        C: Choreography + Sync,
+        C::Node: Send,
+        NodeMsg<C>: Wire + Send,
+        NodeOutput<C>: Wire + Send,
+    {
+        let seed = point_seed(self.seed, model_label, choreo.name(), alpha.group_sizes());
+        let job = RunJob {
+            model,
+            alpha,
+            max_rounds: self.max_rounds,
+            seed,
+        };
+        let estimate = McBackend {
+            samples: self.samples,
+            threads: self.threads,
+        }
+        .run(choreo, &job)
+        .expect("bin pairs each protocol with a model it projects onto")
+        .into_estimate();
+        let series = estimate.series();
+        let (ci_lo, ci_hi) = (1..=self.max_rounds)
+            .map(|r| estimate.round_interval(r))
+            .unzip();
+        // A positive completion estimate is a solving-run witness, so the
+        // zero-one classification is sound on estimates (same argument as
+        // the solvability sweeps).
+        let limit = eventual::lemma_3_2_limit(&series);
+        ProtoMcPoint {
+            row: SweepRow {
+                model: model_label.into(),
+                task: choreo.name().into(),
+                sizes: alpha.group_sizes().to_vec(),
+                n: alpha.n(),
+                k: alpha.k(),
+                gcd: alpha.gcd_of_group_sizes(),
+                series,
+                limit,
+                mode: RowMode::Mc,
+                mc: Some(McRow {
+                    samples: self.samples as usize,
+                    seed,
+                    ci_lo,
+                    ci_hi,
+                }),
+                predicted: None,
+                matches: None,
+            },
+            estimate,
+        }
+    }
+}
+
+/// The per-run cost table of a batch of points: completion probability,
+/// mean rounds-to-decision, and message/byte counters averaged over all
+/// samples (posts for blackboard protocols, sends for message passing).
+pub fn counters_table(points: &[ProtoMcPoint]) -> Table {
+    let mut table = Table::new(vec![
+        "protocol",
+        "model",
+        "sizes",
+        "p(complete)",
+        "mean rounds",
+        "posts/run",
+        "sends/run",
+        "max msg B",
+    ]);
+    for p in points {
+        let est = &p.estimate;
+        let per_run = |total: u64| format!("{:.1}", total as f64 / est.samples as f64);
+        table.row(vec![
+            p.row.task.clone(),
+            p.row.model.clone(),
+            fmt_sizes(&p.row.sizes),
+            format!("{:.4}", est.p),
+            if est.successes > 0 {
+                format!("{:.1}", est.mean_rounds)
+            } else {
+                "-".into()
+            },
+            per_run(est.total_posts),
+            per_run(est.total_sends),
+            est.max_msg_bytes.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_protocols::choreo::BleChoreo;
+
+    #[test]
+    fn proto_point_is_thread_count_invariant_and_well_formed() {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let spec = ProtoMc {
+            samples: 300,
+            seed: 42,
+            max_rounds: 8,
+            threads: 1,
+        };
+        let serial = spec.estimate(&BleChoreo, "blackboard", &Model::Blackboard, &alpha);
+        let parallel = ProtoMc { threads: 4, ..spec }.estimate(
+            &BleChoreo,
+            "blackboard",
+            &Model::Blackboard,
+            &alpha,
+        );
+        assert_eq!(serial.row, parallel.row);
+        assert_eq!(serial.row.series.len(), 8);
+        assert_eq!(serial.row.mode, RowMode::Mc);
+        let mc = serial.row.mc.as_ref().unwrap();
+        assert_eq!(mc.ci_lo.len(), 8);
+        assert_eq!(mc.ci_hi.len(), 8);
+        assert!(serial.row.is_monotone(), "cumulative completion series");
+        let table = counters_table(&[serial]);
+        assert_eq!(table.len(), 1);
+    }
+}

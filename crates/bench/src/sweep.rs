@@ -465,7 +465,7 @@ struct Point {
 /// sizes, folded with the base seed). Stable across processes, thread
 /// counts, and sweep composition: adding or removing other points never
 /// changes this point's draws.
-fn point_seed(base: u64, model_label: &str, task_name: &str, sizes: &[usize]) -> u64 {
+pub(crate) fn point_seed(base: u64, model_label: &str, task_name: &str, sizes: &[usize]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
     let mut absorb = |bytes: &[u8]| {
         for &b in bytes {

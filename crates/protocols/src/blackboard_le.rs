@@ -10,6 +10,7 @@
 //! singleton source, no string is ever unique and the protocol runs
 //! forever — exactly the dichotomy of Theorem 4.1.
 
+use rsbt_sim::net::Wire;
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 use crate::role::Role;
@@ -62,8 +63,7 @@ impl Protocol for BlackboardLeaderElection {
         // The board carries everyone's strings from the previous round;
         // compare them (plus our own previous string) for uniqueness.
         if ctx.round > 1 {
-            let board = incoming.board();
-            debug_assert_eq!(board.len(), ctx.n - 1, "full participation");
+            let board = incoming.board_view().expect("runs on a blackboard");
             let mine: Vec<bool> = self.history.clone();
             let mut all: Vec<&Vec<bool>> = board.iter().collect();
             all.push(&mine);
@@ -97,6 +97,10 @@ impl Protocol for BlackboardLeaderElection {
 
     fn output(&self) -> Option<Role> {
         self.decided
+    }
+
+    fn msg_bytes(msg: &Vec<bool>) -> usize {
+        msg.wire_len()
     }
 }
 

@@ -11,6 +11,7 @@
 //! strictly stronger requirement than Theorem 4.1's single singleton,
 //! quantifying how much harder the paper's future-work task is.
 
+use rsbt_sim::net::{Wire, WireError};
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 /// Roles of the leader-and-deputy protocol.
@@ -22,6 +23,29 @@ pub enum DeputyRole {
     Deputy,
     /// Everyone else.
     Follower,
+}
+
+impl Wire for DeputyRole {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            DeputyRole::Leader => 0,
+            DeputyRole::Deputy => 1,
+            DeputyRole::Follower => 2,
+        });
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(DeputyRole::Leader),
+            1 => Ok(DeputyRole::Deputy),
+            2 => Ok(DeputyRole::Follower),
+            _ => Err(WireError::new("invalid DeputyRole tag")),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        1
+    }
 }
 
 /// The blackboard leader-and-deputy protocol (unconstrained roles).
@@ -67,7 +91,7 @@ impl Protocol for LeaderAndDeputyBlackboard {
             return Outgoing::Silent;
         }
         if ctx.round > 1 {
-            let board = incoming.board();
+            let board = incoming.board_view().expect("runs on a blackboard");
             let mine = self.history.clone();
             let mut all: Vec<&Vec<bool>> = board.iter().collect();
             all.push(&mine);
@@ -100,6 +124,10 @@ impl Protocol for LeaderAndDeputyBlackboard {
 
     fn output(&self) -> Option<DeputyRole> {
         self.decided
+    }
+
+    fn msg_bytes(msg: &Vec<bool>) -> usize {
+        msg.wire_len()
     }
 }
 

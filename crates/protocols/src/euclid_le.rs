@@ -23,6 +23,7 @@
 //! still works for *any* port numbering, which is exactly the content of
 //! Theorem 4.2.
 
+use rsbt_sim::net::{Wire, WireError};
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 use crate::role::Role;
@@ -40,6 +41,32 @@ pub enum EuclidMsg {
     AnnB,
     /// Matching: matched `A`-node announcement.
     AnnA,
+}
+
+impl Wire for EuclidMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EuclidMsg::Hist(h) => {
+                out.push(0);
+                h.encode(out);
+            }
+            EuclidMsg::Req => out.push(1),
+            EuclidMsg::Ack => out.push(2),
+            EuclidMsg::AnnB => out.push(3),
+            EuclidMsg::AnnA => out.push(4),
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(EuclidMsg::Hist(Vec::decode(buf)?)),
+            1 => Ok(EuclidMsg::Req),
+            2 => Ok(EuclidMsg::Ack),
+            3 => Ok(EuclidMsg::AnnB),
+            4 => Ok(EuclidMsg::AnnA),
+            _ => Err(WireError::new("invalid EuclidMsg tag")),
+        }
+    }
 }
 
 /// One anonymous node of the Euclid leader-election protocol.
@@ -328,16 +355,20 @@ impl Protocol for EuclidLeaderElection {
         if self.decided.is_some() {
             return Outgoing::Silent;
         }
-        let ports = incoming.ports();
+        let ports = incoming.ports_view().expect("runs under message passing");
         if self.freeze_round.is_none() {
-            self.discovery_round(ctx, ports)
+            self.discovery_round(ctx, &ports)
         } else {
-            self.matching_round(ctx, ports)
+            self.matching_round(ctx, &ports)
         }
     }
 
     fn output(&self) -> Option<Role> {
         self.decided
+    }
+
+    fn msg_bytes(msg: &EuclidMsg) -> usize {
+        msg.wire_len()
     }
 }
 

@@ -11,6 +11,7 @@
 //! of classes that can sum to `k` (for `k = 2`: a source of size 2 or two
 //! singleton sources).
 
+use rsbt_sim::net::Wire;
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 use crate::role::Role;
@@ -90,7 +91,7 @@ impl Protocol for KLeaderBlackboard {
             return Outgoing::Silent;
         }
         if ctx.round > 1 {
-            let board = incoming.board();
+            let board = incoming.board_view().expect("runs on a blackboard");
             let mine = self.history.clone();
             let mut all: Vec<&Vec<bool>> = board.iter().collect();
             all.push(&mine);
@@ -129,6 +130,10 @@ impl Protocol for KLeaderBlackboard {
 
     fn output(&self) -> Option<Role> {
         self.decided
+    }
+
+    fn msg_bytes(msg: &Vec<bool>) -> usize {
+        msg.wire_len()
     }
 }
 

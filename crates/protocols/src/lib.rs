@@ -19,9 +19,17 @@
 //! All protocols run on the [`rsbt_sim::runner`] engine, drawing their
 //! randomness through an [`rsbt_random::Assignment`] so correlated sources
 //! are modeled faithfully — the central concern of the paper.
+//!
+//! The [`choreo`] module additionally expresses every protocol as a
+//! *choreography*: one global description projected onto per-role local
+//! machines, runnable on three interchangeable backends (the in-process
+//! simulator, a parallel Monte-Carlo estimator, and real processes over
+//! local TCP).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod choreo;
 
 mod blackboard_le;
 pub mod consensus;

@@ -22,6 +22,7 @@
 //! [`crate::EuclidLeaderElection`] derives that information on-line from
 //! the nodes' randomness instead.
 
+use rsbt_sim::net::{Wire, WireError};
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 /// Messages of the matching procedure.
@@ -37,6 +38,31 @@ pub enum MatchMsg {
     AnnA,
 }
 
+impl Wire for MatchMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MatchMsg::Req => 0,
+            MatchMsg::Ack => 1,
+            MatchMsg::AnnB => 2,
+            MatchMsg::AnnA => 3,
+        });
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(MatchMsg::Req),
+            1 => Ok(MatchMsg::Ack),
+            2 => Ok(MatchMsg::AnnB),
+            3 => Ok(MatchMsg::AnnA),
+            _ => Err(WireError::new("invalid MatchMsg tag")),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        1
+    }
+}
+
 /// Final status of a node after the matching completes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MatchStatus {
@@ -46,6 +72,29 @@ pub enum MatchStatus {
     Unmatched,
     /// A node outside both groups.
     Bystander,
+}
+
+impl Wire for MatchStatus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MatchStatus::Matched => 0,
+            MatchStatus::Unmatched => 1,
+            MatchStatus::Bystander => 2,
+        });
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(MatchStatus::Matched),
+            1 => Ok(MatchStatus::Unmatched),
+            2 => Ok(MatchStatus::Bystander),
+            _ => Err(WireError::new("invalid MatchStatus tag")),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        1
+    }
 }
 
 /// Which side of the matching a node is on.
@@ -170,7 +219,7 @@ impl Protocol for CreateMatching {
             return Outgoing::Silent;
         }
         self.bit_buffer.push(ctx.bit);
-        let ports = incoming.ports();
+        let ports = incoming.ports_view().expect("runs under message passing");
         match (ctx.round - 1) % 3 {
             // R1: count AnnA from the previous block; unmatched A-nodes
             // request a random active B-port.
@@ -242,6 +291,10 @@ impl Protocol for CreateMatching {
 
     fn output(&self) -> Option<MatchStatus> {
         self.decided
+    }
+
+    fn msg_bytes(msg: &MatchMsg) -> usize {
+        msg.wire_len()
     }
 }
 

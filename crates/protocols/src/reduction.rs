@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+use rsbt_sim::net::{Wire, WireError};
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 use crate::role::Role;
@@ -36,6 +37,34 @@ pub enum ReductionMsg<M> {
     Input(u64),
     /// Phase 2: the leader's input → output table, as sorted pairs.
     Table(Vec<(u64, u64)>),
+}
+
+impl<M: Wire> Wire for ReductionMsg<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ReductionMsg::Inner(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            ReductionMsg::Input(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            ReductionMsg::Table(t) => {
+                out.push(2);
+                t.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(ReductionMsg::Inner(M::decode(buf)?)),
+            1 => Ok(ReductionMsg::Input(u64::decode(buf)?)),
+            2 => Ok(ReductionMsg::Table(Vec::decode(buf)?)),
+            _ => Err(WireError::new("invalid ReductionMsg tag")),
+        }
+    }
 }
 
 /// A node of the reduction protocol, wrapping an inner election node `L`.
@@ -79,7 +108,10 @@ impl<L: Protocol<Output = Role>> ViaLeader<L> {
     }
 }
 
-impl<L: Protocol<Output = Role>> Protocol for ViaLeader<L> {
+impl<L: Protocol<Output = Role>> Protocol for ViaLeader<L>
+where
+    L::Msg: Wire,
+{
     type Msg = ReductionMsg<L::Msg>;
     type Output = u64;
 
@@ -138,6 +170,10 @@ impl<L: Protocol<Output = Role>> Protocol for ViaLeader<L> {
 
     fn output(&self) -> Option<u64> {
         self.output
+    }
+
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        msg.wire_len()
     }
 }
 

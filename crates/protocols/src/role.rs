@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use rsbt_sim::net::{Wire, WireError};
+
 /// The outcome of a leader-election protocol at one node.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Role {
@@ -15,6 +17,27 @@ impl Role {
     /// Whether this node is the leader.
     pub fn is_leader(self) -> bool {
         self == Role::Leader
+    }
+}
+
+impl Wire for Role {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Role::Leader => 0,
+            Role::Follower => 1,
+        });
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Role::Leader),
+            1 => Ok(Role::Follower),
+            _ => Err(WireError::new("invalid Role tag")),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        1
     }
 }
 

@@ -8,6 +8,7 @@
 //! deterministic rule on the common multiset, so outputs are consistent
 //! and provably not all equal.
 
+use rsbt_sim::net::Wire;
 use rsbt_sim::runner::{Incoming, Outgoing, Protocol, RoundCtx};
 
 /// The blackboard weak-symmetry-breaking protocol. Outputs a bit.
@@ -53,7 +54,7 @@ impl Protocol for WeakSymmetryBreakingBlackboard {
             return Outgoing::Silent;
         }
         if ctx.round > 1 {
-            let board = incoming.board();
+            let board = incoming.board_view().expect("runs on a blackboard");
             let mine = self.history.clone();
             let min = board.iter().min().map_or(&mine, |m| m.min(&mine));
             let max = board.iter().max().map_or(&mine, |m| m.max(&mine));
@@ -68,6 +69,10 @@ impl Protocol for WeakSymmetryBreakingBlackboard {
 
     fn output(&self) -> Option<u8> {
         self.decided
+    }
+
+    fn msg_bytes(msg: &Vec<bool>) -> usize {
+        msg.wire_len()
     }
 }
 

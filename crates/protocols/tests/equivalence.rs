@@ -1,0 +1,400 @@
+//! Bit-identity of the choreography layer against the legacy hand-rolled
+//! nodes.
+//!
+//! For every ported protocol, the projected machine must produce a
+//! [`RunOutcome`] **identical** to the legacy node's — outputs, round
+//! count, completion flag, and message counters — under the same RNG
+//! stream. The stream is pinned two ways:
+//!
+//! * exhaustively, over every α-consistent realization with `n ≤ 4`,
+//!   `t ≤ 3` (the realization's bits replayed round-major, source-minor —
+//!   exactly the runner's draw order — then a deterministic continuation
+//!   keyed by the realization index);
+//! * statistically, over seeded `StdRng` runs long enough for the
+//!   protocols to decide.
+
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use rsbt_protocols::choreo::{
+    consensus_choreo, BleChoreo, Choreography, DeputyChoreo, EuclidChoreo, KLeaderChoreo,
+    MatchingChoreo, WsbChoreo,
+};
+use rsbt_protocols::consensus::consensus_node;
+use rsbt_protocols::matching::CreateMatching;
+use rsbt_protocols::{
+    BlackboardLeaderElection, EuclidLeaderElection, KLeaderBlackboard, LeaderAndDeputyBlackboard,
+    WeakSymmetryBreakingBlackboard,
+};
+use rsbt_random::Assignment;
+use rsbt_sim::runner::{run_nodes, run_nodes_with, Protocol, RunOutcome};
+use rsbt_sim::{Model, PortNumbering};
+
+/// Replays the bits of one enumerated realization in the runner's draw
+/// order (round-major, source-minor), then continues with a deterministic
+/// pseudorandom stream keyed by the realization index so runs terminate.
+struct TapeRng {
+    bits: Vec<bool>,
+    pos: usize,
+    cont: StdRng,
+}
+
+impl TapeRng {
+    /// The tape of the α-consistent realization at tree index `index`
+    /// (bit `(t − r)·k + s` of `index` = bit of source `s` in round `r`).
+    fn from_tree_index(k: usize, t: usize, index: u64) -> Self {
+        let bits = (1..=t)
+            .flat_map(|r| (0..k).map(move |s| index >> ((t - r) * k + s) & 1 == 1))
+            .collect();
+        TapeRng {
+            bits,
+            pos: 0,
+            cont: StdRng::seed_from_u64(index.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+}
+
+impl RngCore for TapeRng {
+    fn next_u64(&mut self) -> u64 {
+        match self.bits.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                u64::from(b)
+            }
+            None => self.cont.next_u64(),
+        }
+    }
+}
+
+/// Runs a choreography through projection + the simulator, mirroring
+/// `SimBackend` but with a caller-supplied RNG so tapes can be injected.
+fn run_choreo<C: Choreography, R: RngCore>(
+    choreo: &C,
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    rng: &mut R,
+) -> RunOutcome<<C::Node as Protocol>::Output> {
+    let projection = choreo
+        .global()
+        .project(model, alpha.n())
+        .expect("global protocol projects");
+    let nodes: Vec<C::Node> = (0..alpha.n())
+        .map(|i| choreo.node(i, model, &projection))
+        .collect();
+    run_nodes_with(model, alpha, max_rounds, nodes, rng, projection.options())
+}
+
+fn assert_same<O: PartialEq + Debug>(legacy: &RunOutcome<O>, choreo: &RunOutcome<O>, what: &str) {
+    assert_eq!(legacy.outputs, choreo.outputs, "{what}: outputs differ");
+    assert_eq!(legacy.rounds, choreo.rounds, "{what}: rounds differ");
+    assert_eq!(
+        legacy.completed, choreo.completed,
+        "{what}: completion differs"
+    );
+    assert_eq!(legacy.stats, choreo.stats, "{what}: stats differ");
+}
+
+#[test]
+fn board_elections_match_legacy_over_all_realizations() {
+    for n in 1..=4 {
+        for alpha in Assignment::iter_profiles(n) {
+            let k = alpha.k();
+            for t in 1..=3usize {
+                for index in 0..1u64 << (k * t) {
+                    let mk = |_| TapeRng::from_tree_index(k, t, index);
+                    let what = |p: &str| {
+                        format!("{p} n={n} sizes={:?} t={t} index={index}", alpha.sources())
+                    };
+
+                    let legacy = run_nodes(
+                        &Model::Blackboard,
+                        &alpha,
+                        64,
+                        (0..n).map(|_| BlackboardLeaderElection::new()).collect(),
+                        &mut mk(()),
+                    );
+                    let choreo =
+                        run_choreo(&BleChoreo, &Model::Blackboard, &alpha, 64, &mut mk(()));
+                    assert_same(&legacy, &choreo, &what("ble"));
+
+                    let legacy = run_nodes(
+                        &Model::Blackboard,
+                        &alpha,
+                        64,
+                        (0..n)
+                            .map(|_| WeakSymmetryBreakingBlackboard::new())
+                            .collect(),
+                        &mut mk(()),
+                    );
+                    let choreo =
+                        run_choreo(&WsbChoreo, &Model::Blackboard, &alpha, 64, &mut mk(()));
+                    assert_same(&legacy, &choreo, &what("wsb"));
+
+                    let legacy = run_nodes(
+                        &Model::Blackboard,
+                        &alpha,
+                        64,
+                        (0..n).map(|_| KLeaderBlackboard::new(2)).collect(),
+                        &mut mk(()),
+                    );
+                    let choreo = run_choreo(
+                        &KLeaderChoreo { k: 2 },
+                        &Model::Blackboard,
+                        &alpha,
+                        64,
+                        &mut mk(()),
+                    );
+                    assert_same(&legacy, &choreo, &what("k-leader"));
+
+                    let legacy = run_nodes(
+                        &Model::Blackboard,
+                        &alpha,
+                        64,
+                        (0..n).map(|_| LeaderAndDeputyBlackboard::new()).collect(),
+                        &mut mk(()),
+                    );
+                    let choreo =
+                        run_choreo(&DeputyChoreo, &Model::Blackboard, &alpha, 64, &mut mk(()));
+                    assert_same(&legacy, &choreo, &what("deputy"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn euclid_matches_legacy_over_all_realizations_and_port_numberings() {
+    for n in 1..=4usize {
+        for alpha in Assignment::iter_profiles(n) {
+            let k = alpha.k();
+            let mut numberings = vec![PortNumbering::cyclic(n)];
+            if n > 1 {
+                let mut prng = StdRng::seed_from_u64(n as u64);
+                numberings.push(PortNumbering::random(n, &mut prng));
+            }
+            if n == 4 {
+                numberings.push(PortNumbering::adversarial(4, 2));
+            }
+            for ports in numberings {
+                let model = Model::MessagePassing(ports);
+                for t in 1..=3usize {
+                    for index in 0..1u64 << (k * t) {
+                        let legacy = run_nodes(
+                            &model,
+                            &alpha,
+                            256,
+                            (0..n).map(|_| EuclidLeaderElection::new(k)).collect(),
+                            &mut TapeRng::from_tree_index(k, t, index),
+                        );
+                        let choreo = run_choreo(
+                            &EuclidChoreo { k },
+                            &model,
+                            &alpha,
+                            256,
+                            &mut TapeRng::from_tree_index(k, t, index),
+                        );
+                        assert_same(
+                            &legacy,
+                            &choreo,
+                            &format!(
+                                "euclid n={n} sizes={:?} t={t} index={index}",
+                                alpha.sources()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Legacy `CreateMatching` node vector for groups A = first `a`, B = next
+/// `b`, bystanders after — the same layout `MatchingChoreo` uses.
+fn legacy_matching_nodes(a: usize, b: usize, n: usize, model: &Model) -> Vec<CreateMatching> {
+    let ports = model.ports().expect("message passing");
+    (0..n)
+        .map(|i| {
+            if i < a {
+                let b_ports = (a..a + b)
+                    .map(|target| ports.port_towards(i, target))
+                    .collect();
+                CreateMatching::new_a(a, b_ports)
+            } else if i < a + b {
+                CreateMatching::new_b(a)
+            } else {
+                CreateMatching::bystander(a)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn matching_matches_legacy_over_all_realizations() {
+    for (a, b, n) in [(1, 1, 2), (1, 2, 3), (1, 1, 3), (2, 2, 4), (1, 2, 4)] {
+        for alpha in Assignment::iter_profiles(n) {
+            let k = alpha.k();
+            let mut prng = StdRng::seed_from_u64((n + a) as u64);
+            for ports in [
+                PortNumbering::cyclic(n),
+                PortNumbering::random(n, &mut prng),
+            ] {
+                let model = Model::MessagePassing(ports);
+                for t in 1..=3usize {
+                    for index in 0..1u64 << (k * t) {
+                        let legacy = run_nodes(
+                            &model,
+                            &alpha,
+                            128,
+                            legacy_matching_nodes(a, b, n, &model),
+                            &mut TapeRng::from_tree_index(k, t, index),
+                        );
+                        let choreo = run_choreo(
+                            &MatchingChoreo { a, b },
+                            &model,
+                            &alpha,
+                            128,
+                            &mut TapeRng::from_tree_index(k, t, index),
+                        );
+                        assert_same(
+                            &legacy,
+                            &choreo,
+                            &format!(
+                                "matching a={a} b={b} n={n} sizes={:?} t={t} index={index}",
+                                alpha.sources()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn consensus_reduction_matches_legacy_on_blackboard() {
+    let inputs = [7u64, 3, 9, 3];
+    for n in 1..=4usize {
+        let inputs = inputs[..n].to_vec();
+        for alpha in Assignment::iter_profiles(n) {
+            let k = alpha.k();
+            for t in 1..=3usize {
+                for index in 0..1u64 << (k * t) {
+                    let legacy = run_nodes(
+                        &Model::Blackboard,
+                        &alpha,
+                        96,
+                        inputs
+                            .iter()
+                            .map(|&v| consensus_node(BlackboardLeaderElection::new(), v))
+                            .collect(),
+                        &mut TapeRng::from_tree_index(k, t, index),
+                    );
+                    let choreo = run_choreo(
+                        &consensus_choreo(BleChoreo, inputs.clone()),
+                        &Model::Blackboard,
+                        &alpha,
+                        96,
+                        &mut TapeRng::from_tree_index(k, t, index),
+                    );
+                    assert_same(
+                        &legacy,
+                        &choreo,
+                        &format!(
+                            "consensus/bb n={n} sizes={:?} t={t} index={index}",
+                            alpha.sources()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn consensus_reduction_matches_legacy_under_message_passing() {
+    let inputs = [5u64, 5, 1, 8];
+    for n in 2..=4usize {
+        let inputs = inputs[..n].to_vec();
+        for alpha in Assignment::iter_profiles(n) {
+            let k = alpha.k();
+            let model = Model::MessagePassing(PortNumbering::cyclic(n));
+            for t in 1..=2usize {
+                for index in 0..1u64 << (k * t) {
+                    let legacy = run_nodes(
+                        &model,
+                        &alpha,
+                        256,
+                        inputs
+                            .iter()
+                            .map(|&v| consensus_node(EuclidLeaderElection::new(k), v))
+                            .collect(),
+                        &mut TapeRng::from_tree_index(k, t, index),
+                    );
+                    let choreo = run_choreo(
+                        &consensus_choreo(EuclidChoreo { k }, inputs.clone()),
+                        &model,
+                        &alpha,
+                        256,
+                        &mut TapeRng::from_tree_index(k, t, index),
+                    );
+                    assert_same(
+                        &legacy,
+                        &choreo,
+                        &format!(
+                            "consensus/mp n={n} sizes={:?} t={t} index={index}",
+                            alpha.sources()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_long_runs_agree_and_decide() {
+    // Statistical leg: long seeded runs where the protocols actually
+    // decide, so bit-identity is exercised through decision rounds too.
+    for seed in 0..8u64 {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let legacy = run_nodes(
+            &Model::Blackboard,
+            &alpha,
+            128,
+            (0..3).map(|_| BlackboardLeaderElection::new()).collect(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let choreo = run_choreo(
+            &BleChoreo,
+            &Model::Blackboard,
+            &alpha,
+            128,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert!(legacy.completed, "seed {seed}: ble should decide");
+        assert_same(&legacy, &choreo, &format!("ble seeded run {seed}"));
+
+        let alpha = Assignment::from_group_sizes(&[2, 3]).unwrap();
+        let mut prng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let ports = PortNumbering::random(5, &mut prng);
+        let model = Model::MessagePassing(ports);
+        let legacy = run_nodes(
+            &model,
+            &alpha,
+            6000,
+            (0..5).map(|_| EuclidLeaderElection::new(2)).collect(),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let choreo = run_choreo(
+            &EuclidChoreo { k: 2 },
+            &model,
+            &alpha,
+            6000,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        assert!(legacy.completed, "seed {seed}: euclid should decide");
+        assert_same(&legacy, &choreo, &format!("euclid seeded run {seed}"));
+    }
+}

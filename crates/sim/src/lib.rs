@@ -45,6 +45,7 @@ mod execution;
 pub mod fxhash;
 mod knowledge;
 mod model;
+pub mod net;
 pub mod pool;
 pub mod ports;
 pub mod runner;

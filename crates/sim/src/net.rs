@@ -1,0 +1,875 @@
+//! Real multi-process execution over local TCP.
+//!
+//! The simulator in [`crate::runner`] executes every node inside one
+//! process. This module runs the *same* [`Protocol`] state machines as
+//! genuinely separate peers — one OS process (or thread) per node —
+//! exchanging length-prefixed frames over loopback TCP, with a coordinator
+//! that replays the runner's lockstep semantics on the wire: it distributes
+//! the [`Assignment`]-derived source bits, enforces round barriers with
+//! per-round timeouts, routes posts and port messages exactly as
+//! [`crate::runner::run_nodes`] does, and collects decisions.
+//!
+//! Only `std::net` is used — the workspace is offline.
+//!
+//! # Wire format
+//!
+//! Every frame is `u32` little-endian payload length followed by the
+//! payload; payloads start with a one-byte tag:
+//!
+//! | tag | direction | payload after tag |
+//! |-----|-----------|-------------------|
+//! | `H` | node → coordinator | `u32` node index (handshake) |
+//! | `C` | coordinator → node | `u32 n`, `u32 max_rounds`, `u8` model (0 = blackboard, 1 = message passing) |
+//! | `R` | coordinator → node | `u32 round`, `u8 bit`, incoming view (`Vec<M>` board or `Vec<Option<M>>` ports) |
+//! | `O` | node → coordinator | outgoing action (tag `0..=3` mirroring [`Outgoing`]), then `Option<Output>` decision |
+//! | `F` | coordinator → node | empty — run over, node exits |
+//!
+//! Values are encoded by the [`Wire`] trait: fixed-width little-endian
+//! integers, one-byte booleans, `u32`-count-prefixed vectors, one-byte
+//! `Option` tags. `M` and `Output` are whatever the protocol's [`Wire`]
+//! impls produce.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rsbt_random::Assignment;
+
+use crate::model::Model;
+use crate::runner::{Incoming, Outgoing, Protocol, RoundCtx, RunOptions, RunOutcome, RunStats};
+
+/// Frames larger than this are rejected as malformed (16 MiB).
+pub const MAX_FRAME: usize = 16 << 20;
+
+const TAG_HELLO: u8 = b'H';
+const TAG_CONFIG: u8 = b'C';
+const TAG_ROUND: u8 = b'R';
+const TAG_REPLY: u8 = b'O';
+const TAG_FINISH: u8 = b'F';
+
+const MODEL_BOARD: u8 = 0;
+const MODEL_PORTS: u8 = 1;
+
+/// A malformed or truncated wire payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    what: &'static str,
+}
+
+impl WireError {
+    /// A decode failure described by `what`.
+    pub fn new(what: &'static str) -> Self {
+        WireError { what }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire data: {}", self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Failures of the multi-process backend.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (peer died, connection refused, …).
+    Io(io::Error),
+    /// A read deadline expired; the string names the phase (handshake or
+    /// round barrier).
+    Timeout(&'static str),
+    /// A peer sent a malformed or protocol-violating frame.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Timeout(phase) => write!(f, "timed out waiting for {phase}"),
+            NetError::Protocol(what) => write!(f, "wire protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => NetError::Timeout("socket read"),
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Protocol(e.to_string())
+    }
+}
+
+/// Self-describing binary encoding for message and output types.
+///
+/// Implemented for the primitives and containers protocol messages are
+/// built from; protocol crates implement it for their message enums. The
+/// encoding is canonical (no padding, fixed endianness), so the socket
+/// backend's byte counters are reproducible across runs and hosts.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// The encoded length in bytes (used as the wire-accurate
+    /// [`Protocol::msg_bytes`]).
+    fn wire_len(&self) -> usize {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v.len()
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::new("truncated payload"));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(take(buf, 1)?[0])
+    }
+
+    fn wire_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let b = take(buf, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn wire_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let b = take(buf, 8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn wire_len(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        usize::try_from(u64::decode(buf)?).map_err(|_| WireError::new("usize overflow"))
+    }
+
+    fn wire_len(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::new("boolean byte not 0/1")),
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        1
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let count = u32::try_from(self.len()).expect("vector too long for wire format");
+        count.encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let count = u32::decode(buf)? as usize;
+        // Each element consumes at least one byte; reject absurd counts
+        // before allocating.
+        if count > buf.len() {
+            return Err(WireError::new("vector count exceeds payload"));
+        }
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(T::decode(buf)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match take(buf, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(WireError::new("option tag not 0/1")),
+        }
+    }
+}
+
+fn encode_outgoing<M: Wire>(out: &Outgoing<M>, buf: &mut Vec<u8>) {
+    match out {
+        Outgoing::Silent => buf.push(0),
+        Outgoing::Post(m) => {
+            buf.push(1);
+            m.encode(buf);
+        }
+        Outgoing::Send(msgs) => {
+            buf.push(2);
+            let count = u32::try_from(msgs.len()).expect("too many sends");
+            count.encode(buf);
+            for (port, m) in msgs {
+                (*port as u32).encode(buf);
+                m.encode(buf);
+            }
+        }
+        Outgoing::Broadcast(m) => {
+            buf.push(3);
+            m.encode(buf);
+        }
+    }
+}
+
+fn decode_outgoing<M: Wire>(buf: &mut &[u8]) -> Result<Outgoing<M>, WireError> {
+    match take(buf, 1)?[0] {
+        0 => Ok(Outgoing::Silent),
+        1 => Ok(Outgoing::Post(M::decode(buf)?)),
+        2 => {
+            let count = u32::decode(buf)? as usize;
+            if count > buf.len() {
+                return Err(WireError::new("send count exceeds payload"));
+            }
+            let mut msgs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let port = u32::decode(buf)? as usize;
+                msgs.push((port, M::decode(buf)?));
+            }
+            Ok(Outgoing::Send(msgs))
+        }
+        3 => Ok(Outgoing::Broadcast(M::decode(buf)?)),
+        _ => Err(WireError::new("unknown outgoing tag")),
+    }
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NetError> {
+    let len = u32::try_from(payload.len()).expect("frame exceeds u32 length");
+    assert!((len as usize) <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    let mut lenb = [0u8; 4];
+    r.read_exact(&mut lenb)?;
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::Protocol(format!("oversized frame ({len} bytes)")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Accepts exactly `n` node connections and orders them by their handshake
+/// index. Polls a non-blocking listener so the handshake respects the
+/// deadline even if a worker never connects.
+fn accept_nodes(
+    listener: &TcpListener,
+    n: usize,
+    timeout: Option<Duration>,
+) -> Result<Vec<TcpStream>, NetError> {
+    listener.set_nonblocking(true)?;
+    let deadline = timeout.map(|t| Instant::now() + t);
+    let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut accepted = 0;
+    while accepted < n {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(timeout)?;
+                stream.set_nodelay(true).ok();
+                let frame = read_frame(&mut stream)?;
+                let mut buf = frame.as_slice();
+                if u8::decode(&mut buf)? != TAG_HELLO {
+                    return Err(NetError::Protocol("expected handshake frame".into()));
+                }
+                let index = u32::decode(&mut buf)? as usize;
+                if index >= n {
+                    return Err(NetError::Protocol(format!(
+                        "node index {index} out of range"
+                    )));
+                }
+                if slots[index].is_some() {
+                    return Err(NetError::Protocol(format!("duplicate node index {index}")));
+                }
+                slots[index] = Some(stream);
+                accepted += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(NetError::Timeout("node handshake"));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    listener.set_nonblocking(false)?;
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect())
+}
+
+/// Runs the coordinator half of a multi-process execution.
+///
+/// Accepts `alpha.n()` node connections on `listener`, then drives the
+/// lockstep rounds: every round it draws one bit per source from `rng`
+/// (identically to [`crate::runner::run_nodes_with`] — same seed, same
+/// outcome), ships each node its bit and its model-typed incoming view,
+/// waits for every reply (the round barrier, bounded by `timeout`), and
+/// routes the outgoing messages for the next round. Terminates when every
+/// node has decided or `max_rounds` is reached, then tells the nodes to
+/// exit.
+///
+/// `stats.max_msg_bytes` measures the *actual* encoded message bytes on
+/// the wire, so a protocol whose [`Protocol::msg_bytes`] returns
+/// [`Wire::wire_len`] reports identical stats under both backends.
+///
+/// # Panics
+///
+/// Panics when `options.full_participation` is violated (the same
+/// release-build invariant as the in-process runner).
+pub fn run_coordinator<M, O, R>(
+    listener: &TcpListener,
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    rng: &mut R,
+    options: RunOptions,
+    timeout: Option<Duration>,
+) -> Result<RunOutcome<O>, NetError>
+where
+    M: Wire + Ord + Clone + fmt::Debug,
+    O: Wire + Clone + fmt::Debug,
+    R: Rng + ?Sized,
+{
+    let n = alpha.n();
+    if let Model::MessagePassing(p) = model {
+        assert_eq!(p.n(), n, "port numbering covers {} nodes, need {n}", p.n());
+    }
+    let mut streams = accept_nodes(listener, n, timeout)?;
+
+    let model_tag = if model.is_blackboard() {
+        MODEL_BOARD
+    } else {
+        MODEL_PORTS
+    };
+    let mut config = vec![TAG_CONFIG];
+    (n as u32).encode(&mut config);
+    (max_rounds as u32).encode(&mut config);
+    config.push(model_tag);
+    for stream in &mut streams {
+        write_frame(stream, &config)?;
+    }
+
+    let mut board: Vec<(usize, M)> = Vec::new();
+    let mut mailboxes: Vec<Vec<Option<M>>> = vec![vec![None; n.saturating_sub(1)]; n];
+    let mut outputs: Vec<Option<O>> = vec![None; n];
+    let mut rounds = 0;
+    let mut stats = RunStats::default();
+    let check_participation = options.full_participation && model.is_blackboard();
+
+    for round in 1..=max_rounds {
+        rounds = round;
+        let source_bits: Vec<bool> = (0..alpha.k()).map(|_| rng.gen::<bool>()).collect();
+
+        // Ship every node its round frame first, then collect replies:
+        // nodes compute concurrently while the coordinator blocks on the
+        // slowest one (the round barrier).
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let mut payload = vec![TAG_ROUND];
+            (round as u32).encode(&mut payload);
+            source_bits[alpha.source_of(i)].encode(&mut payload);
+            match model {
+                Model::Blackboard => {
+                    let mut view: Vec<M> = board
+                        .iter()
+                        .filter(|(sender, _)| *sender != i)
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    view.sort();
+                    view.encode(&mut payload);
+                }
+                Model::MessagePassing(_) => {
+                    let slots =
+                        std::mem::replace(&mut mailboxes[i], vec![None; n.saturating_sub(1)]);
+                    slots.encode(&mut payload);
+                }
+            }
+            write_frame(stream, &payload)?;
+        }
+
+        let mut next_board: Vec<(usize, M)> = Vec::new();
+        let mut next_mailboxes: Vec<Vec<Option<M>>> = vec![vec![None; n.saturating_sub(1)]; n];
+        let mut posted = vec![false; n];
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let frame = match read_frame(stream) {
+                Err(NetError::Timeout(_)) => return Err(NetError::Timeout("round barrier reply")),
+                other => other?,
+            };
+            let mut buf = frame.as_slice();
+            if u8::decode(&mut buf)? != TAG_REPLY {
+                return Err(NetError::Protocol(format!(
+                    "node {i}: expected reply frame"
+                )));
+            }
+            let outgoing: Outgoing<M> = decode_outgoing(&mut buf)?;
+            outputs[i] = Option::<O>::decode(&mut buf)?;
+            match (outgoing, model) {
+                (Outgoing::Silent, _) => {}
+                (Outgoing::Post(m), Model::Blackboard) => {
+                    stats.posts += 1;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(m.wire_len());
+                    posted[i] = true;
+                    next_board.push((i, m));
+                }
+                (Outgoing::Send(msgs), Model::MessagePassing(ports)) => {
+                    for (port, m) in msgs {
+                        if port < 1 || port >= n {
+                            return Err(NetError::Protocol(format!(
+                                "node {i}: port {port} out of range for n={n}"
+                            )));
+                        }
+                        stats.sends += 1;
+                        stats.max_msg_bytes = stats.max_msg_bytes.max(m.wire_len());
+                        let target = ports.neighbor(i, port);
+                        let back = ports.port_towards(target, i);
+                        if next_mailboxes[target][back - 1].is_some() {
+                            return Err(NetError::Protocol(format!(
+                                "node {i}: duplicate message on edge"
+                            )));
+                        }
+                        next_mailboxes[target][back - 1] = Some(m);
+                    }
+                }
+                (Outgoing::Broadcast(m), Model::MessagePassing(ports)) => {
+                    stats.sends += n.saturating_sub(1) as u64;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(m.wire_len());
+                    for port in 1..n {
+                        let target = ports.neighbor(i, port);
+                        let back = ports.port_towards(target, i);
+                        next_mailboxes[target][back - 1] = Some(m.clone());
+                    }
+                }
+                (out, _) => {
+                    return Err(NetError::Protocol(format!(
+                        "node {i}: outgoing {out:?} does not match model {model}"
+                    )))
+                }
+            }
+        }
+        if check_participation {
+            for (i, posted_i) in posted.iter().enumerate() {
+                let undecided = outputs[i].is_none();
+                assert_eq!(
+                    *posted_i,
+                    undecided,
+                    "full participation violated in round {round}: node {i} {}",
+                    if undecided {
+                        "is undecided but did not post"
+                    } else {
+                        "has decided but posted"
+                    }
+                );
+            }
+        }
+        board = next_board;
+        mailboxes = next_mailboxes;
+
+        if outputs.iter().all(Option::is_some) {
+            break;
+        }
+    }
+
+    for stream in &mut streams {
+        write_frame(stream, &[TAG_FINISH])?;
+    }
+    let completed = outputs.iter().all(Option::is_some);
+    Ok(RunOutcome {
+        outputs,
+        rounds,
+        completed,
+        stats,
+    })
+}
+
+/// Runs the node half of a multi-process execution: connect to the
+/// coordinator at `addr`, announce `index`, then serve rounds until the
+/// coordinator signals the end of the run. Returns the node's decision.
+pub fn run_node<P>(
+    addr: SocketAddr,
+    index: usize,
+    mut node: P,
+    timeout: Option<Duration>,
+) -> Result<Option<P::Output>, NetError>
+where
+    P: Protocol,
+    P::Msg: Wire,
+    P::Output: Wire,
+{
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_nodelay(true).ok();
+
+    let mut hello = vec![TAG_HELLO];
+    (index as u32).encode(&mut hello);
+    write_frame(&mut stream, &hello)?;
+
+    let frame = read_frame(&mut stream)?;
+    let mut buf = frame.as_slice();
+    if u8::decode(&mut buf)? != TAG_CONFIG {
+        return Err(NetError::Protocol("expected config frame".into()));
+    }
+    let n = u32::decode(&mut buf)? as usize;
+    let _max_rounds = u32::decode(&mut buf)?;
+    let model_tag = u8::decode(&mut buf)?;
+    if model_tag != MODEL_BOARD && model_tag != MODEL_PORTS {
+        return Err(NetError::Protocol("unknown model tag".into()));
+    }
+
+    loop {
+        let frame = read_frame(&mut stream)?;
+        let mut buf = frame.as_slice();
+        match u8::decode(&mut buf)? {
+            TAG_ROUND => {
+                let round = u32::decode(&mut buf)? as usize;
+                let bit = bool::decode(&mut buf)?;
+                let incoming = if model_tag == MODEL_BOARD {
+                    Incoming::Board(Vec::<P::Msg>::decode(&mut buf)?)
+                } else {
+                    Incoming::Ports(Vec::<Option<P::Msg>>::decode(&mut buf)?)
+                };
+                let ctx = RoundCtx { round, bit, n };
+                let outgoing = node.round(ctx, &incoming);
+                let mut reply = vec![TAG_REPLY];
+                encode_outgoing(&outgoing, &mut reply);
+                node.output().encode(&mut reply);
+                write_frame(&mut stream, &reply)?;
+            }
+            TAG_FINISH => return Ok(node.output()),
+            _ => {
+                return Err(NetError::Protocol(
+                    "unexpected frame from coordinator".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Runs a protocol as `n` real TCP peers on loopback, one thread per node,
+/// with the coordinator on the calling thread.
+///
+/// This exercises the full wire path (handshake, round barriers, framing)
+/// inside one process; `make(i)` builds node `i`. The spawn-per-process
+/// variant lives in the choreography layer's socket backend, which shells
+/// out to worker binaries and drives this module's [`run_coordinator`].
+pub fn run_local<P, F, R>(
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    rng: &mut R,
+    options: RunOptions,
+    timeout: Option<Duration>,
+    make: F,
+) -> Result<RunOutcome<P::Output>, NetError>
+where
+    P: Protocol + Send,
+    P::Msg: Wire,
+    P::Output: Wire + Send,
+    F: Fn(usize) -> P,
+    R: Rng + ?Sized,
+{
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let n = alpha.n();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let node = make(i);
+                scope.spawn(move || run_node(addr, i, node, timeout))
+            })
+            .collect();
+        let result = run_coordinator::<P::Msg, P::Output, _>(
+            &listener, model, alpha, max_rounds, rng, options, timeout,
+        );
+        for handle in handles {
+            // Worker errors are secondary: the coordinator result already
+            // reflects any failed round.
+            let _ = handle.join();
+        }
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn roundtrip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.wire_len());
+        let mut cursor = buf.as_slice();
+        assert_eq!(T::decode(&mut cursor).unwrap(), v);
+        assert!(cursor.is_empty(), "decode consumed the whole encoding");
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(vec![true, false, true]);
+        roundtrip(vec![(3u64, 9u64), (1, 2)]);
+        roundtrip::<Vec<u64>>(vec![]);
+        roundtrip(Some(vec![1u8, 2, 3]));
+        roundtrip::<Option<u32>>(None);
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        let mut buf: &[u8] = &[2u8];
+        assert!(bool::decode(&mut buf).is_err());
+        let mut buf: &[u8] = &[0xff, 0xff, 0xff, 0xff, 1, 2];
+        assert!(
+            Vec::<u8>::decode(&mut buf).is_err(),
+            "absurd count rejected"
+        );
+        let mut buf: &[u8] = &[1, 2];
+        assert!(u32::decode(&mut buf).is_err(), "truncated int rejected");
+    }
+
+    #[test]
+    fn outgoing_roundtrips() {
+        for out in [
+            Outgoing::Silent,
+            Outgoing::Post(7u8),
+            Outgoing::Send(vec![(1, 3u8), (2, 4u8)]),
+            Outgoing::Broadcast(9u8),
+        ] {
+            let mut buf = Vec::new();
+            encode_outgoing(&out, &mut buf);
+            let mut cursor = buf.as_slice();
+            assert_eq!(decode_outgoing::<u8>(&mut cursor).unwrap(), out);
+            assert!(cursor.is_empty());
+        }
+    }
+
+    /// Round 1 post the bit, round 2 decide on the sorted board — the
+    /// blackboard smoke protocol.
+    #[derive(Default)]
+    struct PostBit {
+        decided: Option<Vec<bool>>,
+    }
+
+    impl Protocol for PostBit {
+        type Msg = bool;
+        type Output = Vec<bool>;
+
+        fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<bool>) -> Outgoing<bool> {
+            if ctx.round == 1 {
+                Outgoing::Post(ctx.bit)
+            } else {
+                if self.decided.is_none() {
+                    let board = incoming.board_view().expect("blackboard protocol");
+                    self.decided = Some(board.to_vec());
+                }
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self) -> Option<Vec<bool>> {
+            self.decided.clone()
+        }
+    }
+
+    #[test]
+    fn loopback_matches_in_process_runner() {
+        let alpha = Assignment::private(4);
+        for seed in 0..8 {
+            let mut sim_rng = StdRng::seed_from_u64(seed);
+            let sim = crate::runner::run(
+                &Model::Blackboard,
+                &alpha,
+                6,
+                PostBit::default,
+                &mut sim_rng,
+            );
+            let mut net_rng = StdRng::seed_from_u64(seed);
+            let net = run_local(
+                &Model::Blackboard,
+                &alpha,
+                6,
+                &mut net_rng,
+                RunOptions::default(),
+                Some(Duration::from_secs(10)),
+                |_| PostBit::default(),
+            )
+            .expect("loopback run");
+            assert_eq!(net.completed, sim.completed);
+            assert_eq!(net.rounds, sim.rounds);
+            assert_eq!(net.outputs, sim.outputs);
+            // bool's msg_bytes default (1) equals its wire length, so the
+            // byte counters agree across backends too.
+            assert_eq!(net.stats, sim.stats);
+        }
+    }
+
+    /// Message-passing echo over real sockets.
+    #[derive(Default)]
+    struct NetEcho {
+        got: Option<Vec<bool>>,
+    }
+
+    impl Protocol for NetEcho {
+        type Msg = bool;
+        type Output = Vec<bool>;
+
+        fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<bool>) -> Outgoing<bool> {
+            if ctx.round == 1 {
+                Outgoing::Broadcast(ctx.bit)
+            } else {
+                if self.got.is_none() {
+                    let ports = incoming.ports_view().expect("message-passing protocol");
+                    let mut bits: Vec<bool> = ports.iter().map(|m| m.unwrap()).collect();
+                    bits.sort_unstable();
+                    self.got = Some(bits);
+                }
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self) -> Option<Vec<bool>> {
+            self.got.clone()
+        }
+    }
+
+    #[test]
+    fn loopback_message_passing_matches_runner() {
+        let alpha = Assignment::private(3);
+        let model = Model::message_passing_cyclic(3);
+        let mut sim_rng = StdRng::seed_from_u64(42);
+        let sim = crate::runner::run(&model, &alpha, 4, NetEcho::default, &mut sim_rng);
+        let mut net_rng = StdRng::seed_from_u64(42);
+        let net = run_local(
+            &model,
+            &alpha,
+            4,
+            &mut net_rng,
+            RunOptions::default(),
+            Some(Duration::from_secs(10)),
+            |_| NetEcho::default(),
+        )
+        .expect("loopback run");
+        assert_eq!(net.outputs, sim.outputs);
+        assert_eq!(net.rounds, sim.rounds);
+        assert_eq!(net.stats, sim.stats);
+    }
+
+    #[test]
+    fn handshake_times_out_without_workers() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let alpha = Assignment::private(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = run_coordinator::<bool, bool, _>(
+            &listener,
+            &Model::Blackboard,
+            &alpha,
+            3,
+            &mut rng,
+            RunOptions::default(),
+            Some(Duration::from_millis(50)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Timeout(_)), "got {err:?}");
+    }
+}

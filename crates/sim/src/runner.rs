@@ -8,6 +8,7 @@
 //! faithfully.
 
 use std::fmt;
+use std::ops::Deref;
 
 use rand::Rng;
 use rsbt_random::Assignment;
@@ -38,12 +39,101 @@ pub enum Incoming<M> {
     Ports(Vec<Option<M>>),
 }
 
+/// Model-typed view of a blackboard round: the other nodes' posts from the
+/// previous round, in lexicographic order.
+///
+/// Produced by [`Incoming::board_view`]; a protocol written against this
+/// type can only ever observe blackboard input, so wiring it to the
+/// message-passing model is rejected before any round runs instead of
+/// panicking mid-execution.
+#[derive(Clone, Copy, Debug)]
+pub struct BoardView<'a, M> {
+    msgs: &'a [M],
+}
+
+impl<'a, M> BoardView<'a, M> {
+    /// Wraps a sorted board slice.
+    pub fn new(msgs: &'a [M]) -> Self {
+        BoardView { msgs }
+    }
+
+    /// The board content as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &'a [M] {
+        self.msgs
+    }
+}
+
+impl<M> Deref for BoardView<'_, M> {
+    type Target = [M];
+
+    fn deref(&self) -> &[M] {
+        self.msgs
+    }
+}
+
+/// Model-typed view of a message-passing round: `slot j - 1` holds the
+/// message (if any) that arrived through port `j`.
+///
+/// Produced by [`Incoming::ports_view`]; the dual of [`BoardView`] for the
+/// message-passing model.
+#[derive(Clone, Copy, Debug)]
+pub struct PortsView<'a, M> {
+    slots: &'a [Option<M>],
+}
+
+impl<'a, M> PortsView<'a, M> {
+    /// Wraps a per-port slot slice.
+    pub fn new(slots: &'a [Option<M>]) -> Self {
+        PortsView { slots }
+    }
+
+    /// The per-port slots as a slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &'a [Option<M>] {
+        self.slots
+    }
+}
+
+impl<M> Deref for PortsView<'_, M> {
+    type Target = [Option<M>];
+
+    fn deref(&self) -> &[Option<M>] {
+        self.slots
+    }
+}
+
 impl<M> Incoming<M> {
+    /// The blackboard view, or `None` under message passing.
+    ///
+    /// This is the non-panicking, model-typed replacement for
+    /// [`Incoming::board`]: the choreography layer's projected machines
+    /// receive a [`BoardView`] directly, so a model mismatch surfaces at
+    /// projection time rather than as a runtime panic.
+    pub fn board_view(&self) -> Option<BoardView<'_, M>> {
+        match self {
+            Incoming::Board(b) => Some(BoardView::new(b)),
+            Incoming::Ports(_) => None,
+        }
+    }
+
+    /// The per-port view, or `None` under the blackboard model.
+    ///
+    /// Non-panicking, model-typed replacement for [`Incoming::ports`].
+    pub fn ports_view(&self) -> Option<PortsView<'_, M>> {
+        match self {
+            Incoming::Ports(p) => Some(PortsView::new(p)),
+            Incoming::Board(_) => None,
+        }
+    }
+
     /// The board content; panics in the message-passing model.
     ///
     /// # Panics
     ///
     /// Panics when called on [`Incoming::Ports`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `board_view()` (model-typed, non-panicking)"
+    )]
     pub fn board(&self) -> &[M] {
         match self {
             Incoming::Board(b) => b,
@@ -56,6 +146,10 @@ impl<M> Incoming<M> {
     /// # Panics
     ///
     /// Panics when called on [`Incoming::Board`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `ports_view()` (model-typed, non-panicking)"
+    )]
     pub fn ports(&self) -> &[Option<M>] {
         match self {
             Incoming::Ports(p) => p,
@@ -96,6 +190,31 @@ pub trait Protocol {
     /// The node's decision, once made. The runner stops when every node
     /// has decided (or the round cap is hit).
     fn output(&self) -> Option<Self::Output>;
+
+    /// Size in bytes charged to one message for the [`RunStats`]
+    /// `max_msg_bytes` counter.
+    ///
+    /// Defaults to the in-memory size; protocols with a wire encoding
+    /// override this with the encoded length so simulator and socket
+    /// backends report comparable byte costs.
+    fn msg_bytes(msg: &Self::Msg) -> usize {
+        std::mem::size_of_val(msg)
+    }
+}
+
+/// Per-run communication counters, accumulated by the runner.
+///
+/// The socket backend reports the same fields measured on the real wire,
+/// so backend costs are directly comparable.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct RunStats {
+    /// Total blackboard posts across all nodes and rounds.
+    pub posts: u64,
+    /// Total point-to-point deliveries (each [`Outgoing::Send`] entry
+    /// counts once; a [`Outgoing::Broadcast`] counts `n − 1`).
+    pub sends: u64,
+    /// Largest single message, in bytes (see [`Protocol::msg_bytes`]).
+    pub max_msg_bytes: usize,
 }
 
 /// The result of running a protocol.
@@ -107,6 +226,23 @@ pub struct RunOutcome<O> {
     pub rounds: usize,
     /// Whether every node decided before the round cap.
     pub completed: bool,
+    /// Message and byte counters for the run.
+    pub stats: RunStats,
+}
+
+/// Execution options for [`run_nodes_with`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RunOptions {
+    /// Enforce the blackboard full-participation invariant in *release*
+    /// builds: in every round, each node that has not decided by the end
+    /// of the round must have posted exactly one message, and each node
+    /// that has decided must have stayed silent.
+    ///
+    /// This promotes the debug-only `debug_assert` the blackboard
+    /// protocols used to carry locally into a runner-level check. Only
+    /// meaningful under [`Model::Blackboard`]; ignored (vacuously true)
+    /// under message passing.
+    pub full_participation: bool,
 }
 
 /// Runs `n` identical nodes of protocol `P` under `model`, drawing
@@ -139,7 +275,7 @@ pub struct RunOutcome<O> {
 ///         if ctx.round == 1 {
 ///             Outgoing::Post(ctx.bit)
 ///         } else {
-///             self.decided = Some(incoming.board().to_vec());
+///             self.decided = Some(incoming.board_view().unwrap().to_vec());
 ///             Outgoing::Silent
 ///         }
 ///     }
@@ -151,6 +287,7 @@ pub struct RunOutcome<O> {
 /// let out = run(&Model::Blackboard, &alpha, 10, OneShot::default, &mut rng);
 /// assert!(out.completed);
 /// assert_eq!(out.rounds, 2);
+/// assert_eq!(out.stats.posts, 3);
 /// ```
 pub fn run<P, F, R>(
     model: &Model,
@@ -179,8 +316,32 @@ pub fn run_nodes<P, R>(
     model: &Model,
     alpha: &Assignment,
     max_rounds: usize,
+    nodes: Vec<P>,
+    rng: &mut R,
+) -> RunOutcome<P::Output>
+where
+    P: Protocol,
+    R: Rng + ?Sized,
+{
+    run_nodes_with(model, alpha, max_rounds, nodes, rng, RunOptions::default())
+}
+
+/// Like [`run_nodes`], with explicit [`RunOptions`] (the choreography
+/// layer derives the options from the projected global protocol).
+///
+/// # Panics
+///
+/// Same conditions as [`run_nodes`]; additionally panics — in release
+/// builds too — when `options.full_participation` is set under the
+/// blackboard model and a round violates the invariant documented on
+/// [`RunOptions::full_participation`].
+pub fn run_nodes_with<P, R>(
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
     mut nodes: Vec<P>,
     rng: &mut R,
+    options: RunOptions,
 ) -> RunOutcome<P::Output>
 where
     P: Protocol,
@@ -198,6 +359,9 @@ where
     let mut board: Vec<(usize, P::Msg)> = Vec::new();
     let mut mailboxes: Vec<Vec<Option<P::Msg>>> = vec![vec![None; n.saturating_sub(1)]; n];
     let mut rounds = 0;
+    let mut stats = RunStats::default();
+    let check_participation = options.full_participation && model.is_blackboard();
+    let mut posted = vec![false; n];
 
     for round in 1..=max_rounds {
         rounds = round;
@@ -205,6 +369,7 @@ where
         let source_bits: Vec<bool> = (0..alpha.k()).map(|_| rng.gen::<bool>()).collect();
         let mut next_board: Vec<(usize, P::Msg)> = Vec::new();
         let mut next_mailboxes: Vec<Vec<Option<P::Msg>>> = vec![vec![None; n.saturating_sub(1)]; n];
+        posted.fill(false);
 
         for (i, node) in nodes.iter_mut().enumerate() {
             let ctx = RoundCtx {
@@ -229,10 +394,17 @@ where
             };
             match (node.round(ctx, &incoming), model) {
                 (Outgoing::Silent, _) => {}
-                (Outgoing::Post(m), Model::Blackboard) => next_board.push((i, m)),
+                (Outgoing::Post(m), Model::Blackboard) => {
+                    stats.posts += 1;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
+                    posted[i] = true;
+                    next_board.push((i, m));
+                }
                 (Outgoing::Send(msgs), Model::MessagePassing(ports)) => {
                     for (port, m) in msgs {
                         assert!(port >= 1 && port < n, "port {port} out of range for n={n}");
+                        stats.sends += 1;
+                        stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
                         let target = ports.neighbor(i, port);
                         let back = ports.port_towards(target, i);
                         assert!(
@@ -243,6 +415,8 @@ where
                     }
                 }
                 (Outgoing::Broadcast(m), Model::MessagePassing(ports)) => {
+                    stats.sends += n.saturating_sub(1) as u64;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
                     for port in 1..n {
                         let target = ports.neighbor(i, port);
                         let back = ports.port_towards(target, i);
@@ -250,6 +424,21 @@ where
                     }
                 }
                 (out, _) => panic!("outgoing message {out:?} does not match model {model}"),
+            }
+        }
+        if check_participation {
+            for (i, node) in nodes.iter().enumerate() {
+                let undecided = node.output().is_none();
+                assert_eq!(
+                    posted[i],
+                    undecided,
+                    "full participation violated in round {round}: node {i} {}",
+                    if undecided {
+                        "is undecided but did not post"
+                    } else {
+                        "has decided but posted"
+                    }
+                );
             }
         }
         board = next_board;
@@ -260,6 +449,7 @@ where
                 outputs: nodes.iter().map(Protocol::output).collect(),
                 rounds,
                 completed: true,
+                stats,
             };
         }
     }
@@ -267,6 +457,7 @@ where
         outputs: nodes.iter().map(Protocol::output).collect(),
         rounds,
         completed: nodes.iter().all(|nd| nd.output().is_some()),
+        stats,
     }
 }
 
@@ -292,7 +483,7 @@ mod tests {
                 Outgoing::Post(ctx.bit)
             } else {
                 if self.seen.is_none() {
-                    let board = incoming.board();
+                    let board = incoming.board_view().expect("blackboard protocol");
                     let distinct = board.windows(2).filter(|w| w[0] != w[1]).count() + 1;
                     self.seen = Some(if board.is_empty() { 0 } else { distinct });
                 }
@@ -333,6 +524,18 @@ mod tests {
         assert!(saw_diff, "independent bits differ with probability 7/8");
     }
 
+    #[test]
+    fn stats_count_posts_and_bytes() {
+        let alpha = Assignment::private(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run(&Model::Blackboard, &alpha, 5, BitCounter::default, &mut rng);
+        assert!(out.completed);
+        // Round 1: four posts; round 2: everyone decides silently.
+        assert_eq!(out.stats.posts, 4);
+        assert_eq!(out.stats.sends, 0);
+        assert_eq!(out.stats.max_msg_bytes, std::mem::size_of::<bool>());
+    }
+
     /// Message-passing echo: round 1 send bit on every port; round 2 decide
     /// on the multiset of received bits.
     #[derive(Default)]
@@ -349,7 +552,8 @@ mod tests {
                 Outgoing::Broadcast(ctx.bit)
             } else {
                 if self.got.is_none() {
-                    let mut bits: Vec<bool> = incoming.ports().iter().map(|m| m.unwrap()).collect();
+                    let ports = incoming.ports_view().expect("message-passing protocol");
+                    let mut bits: Vec<bool> = ports.iter().map(|m| m.unwrap()).collect();
                     bits.sort_unstable();
                     self.got = Some(bits);
                 }
@@ -377,6 +581,9 @@ mod tests {
         for o in &out.outputs {
             assert_eq!(o.as_ref().unwrap().len(), 2);
         }
+        // Three broadcasts over two ports each.
+        assert_eq!(out.stats.sends, 6);
+        assert_eq!(out.stats.posts, 0);
     }
 
     /// Directed send: node sends its bit only through port 1 and records
@@ -395,7 +602,8 @@ mod tests {
                 Outgoing::Send(vec![(1, 7u8)])
             } else {
                 if self.got.is_none() {
-                    self.got = Some(incoming.ports().iter().flatten().count());
+                    let ports = incoming.ports_view().expect("message-passing protocol");
+                    self.got = Some(ports.iter().flatten().count());
                 }
                 Outgoing::Silent
             }
@@ -421,6 +629,7 @@ mod tests {
         // With cyclic ports every node's port 1 hits its successor: each
         // node receives exactly one message.
         assert!(out.outputs.iter().all(|o| *o == Some(1)));
+        assert_eq!(out.stats.sends, 4);
     }
 
     /// A protocol that never decides — runner must time out gracefully.
@@ -472,5 +681,45 @@ mod tests {
             || BadPost,
             &mut rng,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "full participation violated")]
+    fn full_participation_catches_silent_undecided_node() {
+        // `Mute` never decides and never posts: under the invariant this
+        // must abort in round 1 — in release builds too (plain `assert`).
+        let alpha = Assignment::shared(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let nodes = vec![Mute, Mute, Mute];
+        let _ = run_nodes_with(
+            &Model::Blackboard,
+            &alpha,
+            3,
+            nodes,
+            &mut rng,
+            RunOptions {
+                full_participation: true,
+            },
+        );
+    }
+
+    #[test]
+    fn full_participation_accepts_conforming_protocol() {
+        // BitCounter posts while undecided and is silent once decided, so
+        // the invariant holds in every round.
+        let alpha = Assignment::private(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let nodes = (0..4).map(|_| BitCounter::default()).collect();
+        let out = run_nodes_with(
+            &Model::Blackboard,
+            &alpha,
+            5,
+            nodes,
+            &mut rng,
+            RunOptions {
+                full_participation: true,
+            },
+        );
+        assert!(out.completed);
     }
 }
