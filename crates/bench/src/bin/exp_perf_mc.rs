@@ -10,17 +10,27 @@
 //! 3. **performance** — the serial pre-kernel reference
 //!    (`monte_carlo_reference`: one `Realization`, one full `Execution`
 //!    trace, and one consistency partition allocated per sample) versus
-//!    the serial kernel and the parallel kernel
+//!    the serial kernel, the parallel kernel
 //!    (`RoundStepper` + `SolvabilityMemo`, allocation-free steps,
-//!    first-solving-round early exit), with a ≥ 5× floor asserted for
-//!    the parallel kernel;
-//! 4. **beyond the exact wall** — the first committed data past
+//!    first-solving-round early exit), and the **bit-sliced kernel**
+//!    (`monte_carlo_bitsliced`: 64 samples per `u64` lane word, verdicts
+//!    from a compiled `VerdictPlan`), with ≥ 5× floors asserted for the
+//!    parallel kernel over the reference *and* for the bit-sliced kernel
+//!    over the parallel (PR 5) kernel;
+//! 4. **lane bit-identity** — `monte_carlo_bitsliced` is asserted
+//!    bit-identical to `monte_carlo_parallel` for the same
+//!    `(seed, samples)` across `threads ∈ {1, 2, 4, 8}` and
+//!    non-multiple-of-64 sample counts (lane `l` of word `w` is exactly
+//!    stream `w·64 + l`), series included;
+//! 5. **beyond the exact wall** — the first committed data past
 //!    `k·t > MAX_EXACT_BITS = 30`: LE / 2-LE / 3-LE / WSB series at
 //!    `n ∈ {16, 24}` up to `t = 32` through the sweep engine's
-//!    estimator mode, plus adaptive-stopping marquee points.
+//!    estimator mode (now dispatched bit-sliced), plus adaptive-stopping
+//!    marquee points.
 //!
 //! The verdict-path counters are asserted in-process: built-in tasks
-//! answer in closed form, the dense fallback never runs.
+//! answer in closed form or through compiled lane plans — the dense
+//! fallback never runs and no lane is ever peeled.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -155,8 +165,9 @@ fn time_ms<F: Fn() -> Estimate>(f: F) -> (Estimate, f64) {
 
 const PERF_SAMPLES: usize = 20_000;
 
-fn performance(table: &mut Table, threads: usize) -> f64 {
+fn performance(table: &mut Table, threads: usize, samples: usize, seed: u64) -> (f64, f64) {
     let mut min_parallel_speedup = f64::INFINITY;
+    let mut min_bitsliced_speedup = f64::INFINITY;
     for (task, sizes, t) in [
         (
             Box::new(LeaderElection) as Box<dyn Task + Send + Sync>,
@@ -168,24 +179,24 @@ fn performance(table: &mut Table, threads: usize) -> f64 {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         let bits = alpha.k() * t;
         let (ref_est, ref_ms) = time_ms(|| {
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = StdRng::seed_from_u64(seed);
             probability::monte_carlo_reference(
                 &Model::Blackboard,
                 task.as_ref(),
                 &alpha,
                 t,
-                PERF_SAMPLES,
+                samples,
                 &mut rng,
             )
         });
         let (kernel_est, kernel_ms) = time_ms(|| {
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = StdRng::seed_from_u64(seed);
             probability::monte_carlo(
                 &Model::Blackboard,
                 task.as_ref(),
                 &alpha,
                 t,
-                PERF_SAMPLES,
+                samples,
                 &mut rng,
             )
         });
@@ -196,20 +207,39 @@ fn performance(table: &mut Table, threads: usize) -> f64 {
              equal generator states",
             task.name()
         );
-        let (_, parallel_ms) = time_ms(|| {
+        let (parallel_est, parallel_ms) = time_ms(|| {
             probability::monte_carlo_parallel(
                 &Model::Blackboard,
                 task.as_ref(),
                 &alpha,
                 t,
-                PERF_SAMPLES,
-                7,
+                samples,
+                seed,
                 threads,
             )
         });
-        let kernel_speedup = ref_ms / kernel_ms.max(1e-6);
+        let (bitsliced_est, bitsliced_ms) = time_ms(|| {
+            probability::monte_carlo_bitsliced(
+                &Model::Blackboard,
+                task.as_ref(),
+                &alpha,
+                t,
+                samples,
+                seed,
+                threads,
+            )
+        });
+        assert_eq!(
+            bitsliced_est,
+            parallel_est,
+            "{} {sizes:?}: bit-sliced and parallel kernels must be \
+             bit-identical on the same (seed, samples)",
+            task.name()
+        );
         let parallel_speedup = ref_ms / parallel_ms.max(1e-6);
+        let bitsliced_speedup = parallel_ms / bitsliced_ms.max(1e-6);
         min_parallel_speedup = min_parallel_speedup.min(parallel_speedup);
+        min_bitsliced_speedup = min_bitsliced_speedup.min(bitsliced_speedup);
         table.row(vec![
             task.name().into_owned(),
             fmt_sizes(&sizes),
@@ -218,8 +248,9 @@ fn performance(table: &mut Table, threads: usize) -> f64 {
             format!("{ref_ms:.1}"),
             format!("{kernel_ms:.1}"),
             format!("{parallel_ms:.1}"),
-            format!("{kernel_speedup:.1}"),
+            format!("{bitsliced_ms:.2}"),
             format!("{parallel_speedup:.1}"),
+            format!("{bitsliced_speedup:.1}"),
         ]);
     }
     assert!(
@@ -227,7 +258,93 @@ fn performance(table: &mut Table, threads: usize) -> f64 {
         "acceptance: parallel kernel must be >= 5x over the serial \
          reference (measured {min_parallel_speedup:.1}x)"
     );
-    min_parallel_speedup
+    assert!(
+        min_bitsliced_speedup >= 5.0,
+        "acceptance: bit-sliced kernel must be >= 5x over the PR 5 \
+         parallel kernel (measured {min_bitsliced_speedup:.1}x)"
+    );
+    (min_parallel_speedup, min_bitsliced_speedup)
+}
+
+/// Acceptance: `monte_carlo_bitsliced` estimates (and whole series) are
+/// bit-identical to the PR 5 scalar kernel for the same `(seed, samples)`
+/// across thread counts and lane fills — including counts straddling
+/// word boundaries. Returns the merged lane-path statistics.
+fn bitsliced_identity(table: &mut Table, samples: usize, seed: u64, stats: &mut McStats) {
+    for (task, sizes, t) in [
+        (
+            Box::new(LeaderElection) as Box<dyn Task + Send + Sync>,
+            vec![1usize, 2, 2],
+            5usize,
+        ),
+        (Box::new(WeakSymmetryBreaking), vec![2, 2], 8),
+    ] {
+        let alpha = Assignment::from_group_sizes(&sizes).unwrap();
+        for count in [1usize, 63, 65, samples] {
+            let reference = probability::monte_carlo_parallel(
+                &Model::Blackboard,
+                task.as_ref(),
+                &alpha,
+                t,
+                count,
+                seed,
+                1,
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let (est, st) = probability::monte_carlo_bitsliced_with_stats(
+                    &Model::Blackboard,
+                    task.as_ref(),
+                    &alpha,
+                    t,
+                    count,
+                    seed,
+                    threads,
+                );
+                stats.merge(&st);
+                assert_eq!(
+                    est,
+                    reference,
+                    "{} {sizes:?} samples={count}: bit-sliced estimate differs \
+                     at threads={threads}",
+                    task.name()
+                );
+            }
+            table.row(vec![
+                task.name().into_owned(),
+                fmt_sizes(&sizes),
+                t.to_string(),
+                count.to_string(),
+                "1/2/4/8".into(),
+                format!("{}/{}", reference.solved, reference.samples),
+                "true".into(),
+            ]);
+        }
+        // Whole-series identity on a word-straddling count.
+        let scalar_series = probability::monte_carlo_series_parallel(
+            &Model::Blackboard,
+            task.as_ref(),
+            &alpha,
+            t,
+            130,
+            seed,
+            1,
+        );
+        let sliced_series = probability::monte_carlo_bitsliced_series(
+            &Model::Blackboard,
+            task.as_ref(),
+            &alpha,
+            t,
+            130,
+            seed,
+            4,
+        );
+        assert_eq!(
+            sliced_series,
+            scalar_series,
+            "{} {sizes:?}: series must be bit-identical",
+            task.name()
+        );
+    }
 }
 
 /// The beyond-the-wall scenario sweeps: every row here has
@@ -296,10 +413,13 @@ fn adaptive_marquee(table: &mut Table, threads: usize, stats: &mut McStats) {
 fn main() -> ExitCode {
     run_experiment(
         "perf_mc",
-        "Deterministic parallel Monte-Carlo: validation, invariance, speedup, and the regime past k*t = 30",
-        "DESIGN.md section 4.6 (stream splitting, Wilson intervals, adaptive stopping); Lemma B.1",
+        "Deterministic parallel Monte-Carlo: validation, invariance, bit-sliced speedup, and the regime past k*t = 30",
+        "DESIGN.md sections 4.6 and 4.8 (stream splitting, Wilson intervals, lane words, verdict plans); Lemma B.1",
         |eng, rep| {
             let threads = eng.threads();
+            let (samples_override, seed_override) = eng.mc_overrides();
+            let perf_samples = samples_override.unwrap_or(PERF_SAMPLES);
+            let perf_seed = seed_override.unwrap_or(7);
             let mut stats = McStats::default();
 
             let mut table = Table::new(vec![
@@ -338,21 +458,46 @@ fn main() -> ExitCode {
                 "ref_ms",
                 "kernel_ms",
                 "parallel_ms",
-                "kernel_speedup",
+                "bitsliced_ms",
                 "parallel_speedup",
+                "bitsliced_speedup",
             ]);
-            let min_speedup = performance(&mut table, threads);
-            let section = rep.section("sampling kernel: reference vs kernel vs parallel");
+            let (min_speedup, min_bitsliced) =
+                performance(&mut table, threads, perf_samples, perf_seed);
+            let section =
+                rep.section("sampling kernel: reference vs kernel vs parallel vs bit-sliced");
             section.table(table);
             section.note(
                 "reference = Realization + full Execution trace + consistency partition \
                  per sample; kernel = RoundStepper + partition memo, allocation-free, \
-                 stops at the first solving round (monotonicity)",
+                 stops at the first solving round (monotonicity); bit-sliced = 64 samples \
+                 per u64 lane word, verdicts from a compiled VerdictPlan",
             );
             section.note(format!(
                 "minimum parallel-kernel speedup over the serial reference: \
-                 {min_speedup:.1}x (acceptance floor 5x; worker threads: {threads})"
+                 {min_speedup:.1}x; minimum bit-sliced speedup over the parallel \
+                 kernel: {min_bitsliced:.1}x (acceptance floors 5x each; worker \
+                 threads: {threads})"
             ));
+
+            let mut table = Table::new(vec![
+                "task",
+                "sizes",
+                "t",
+                "samples",
+                "threads",
+                "solved/samples",
+                "bit_identical",
+            ]);
+            bitsliced_identity(&mut table, perf_samples, perf_seed, &mut stats);
+            let section = rep.section("lane bit-identity across threads and lane fills");
+            section.table(table);
+            section.note(
+                "lane l of word w is exactly stream w*64 + l, so the bit-sliced \
+                 estimate (and the whole series) is asserted bit-identical to \
+                 monte_carlo_parallel for threads in {1, 2, 4, 8} and sample counts \
+                 off the 64-lane word boundary",
+            );
 
             for n in [16usize, 24] {
                 let rows = eng.sweep(&scenario_spec(n));
@@ -404,11 +549,26 @@ fn main() -> ExitCode {
                 stats.dense_scan_verdicts, 0,
                 "built-in tasks must never fall back to the dense scan"
             );
+            assert!(
+                stats.lane_words > 0,
+                "acceptance: the bit-sliced lane path must be exercised in MC mode"
+            );
+            assert_eq!(
+                stats.peeled_lanes, 0,
+                "built-in tasks compile lane plans; no sample may peel to the \
+                 scalar path"
+            );
             rep.section("verdict-path counters").note(format!(
                 "closed_form_verdicts={} dense_scan_verdicts={} memo_hits={} \
-                 (all Monte-Carlo verdicts in this run went closed-form-first; the \
-                 dense fallback is reserved for tasks without a closed form)",
-                stats.closed_form_verdicts, stats.dense_scan_verdicts, stats.memo_hits
+                 lane_words={} peeled_lanes={} \
+                 (scalar Monte-Carlo verdicts in this run went closed-form-first, \
+                 lane verdicts came from compiled plans; the dense fallback and the \
+                 peel path are reserved for tasks without a closed form or plan)",
+                stats.closed_form_verdicts,
+                stats.dense_scan_verdicts,
+                stats.memo_hits,
+                stats.lane_words,
+                stats.peeled_lanes
             ));
         },
     )

@@ -13,6 +13,7 @@
 //! rendering plus `rsbt-bench-report/v1` JSON), prints the text form, and
 //! writes the schema-validated JSON when requested.
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -139,6 +140,10 @@ pub struct ExpArgs {
     pub json: Option<PathBuf>,
     /// Worker-thread override (`--threads <n>`).
     pub threads: Option<usize>,
+    /// Monte-Carlo sample-count override (`--samples <n>`).
+    pub samples: Option<usize>,
+    /// Monte-Carlo base-seed override (`--seed <hex>`).
+    pub seed: Option<u64>,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -168,6 +173,23 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<ExpArgs, String
                 }
                 out.threads = Some(n);
             }
+            "--samples" => {
+                let n = args.next().ok_or("--samples needs a number")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--samples needs a number, got '{n}'"))?;
+                if n == 0 {
+                    return Err("--samples must be at least 1".into());
+                }
+                out.samples = Some(n);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a hex value")?;
+                let digits = v.strip_prefix("0x").unwrap_or(&v);
+                let seed = u64::from_str_radix(digits, 16)
+                    .map_err(|_| format!("--seed needs a hex u64, got '{v}'"))?;
+                out.seed = Some(seed);
+            }
             "--help" | "-h" => out.help = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -187,19 +209,26 @@ where
         Ok(args) => args,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: {experiment} [--json <path>] [--threads <n>]");
+            eprintln!(
+                "usage: {experiment} [--json <path>] [--threads <n>] [--samples <n>] [--seed <hex>]"
+            );
             return ExitCode::from(2);
         }
     };
     if args.help {
         println!("{experiment} — {title}");
-        println!("usage: {experiment} [--json <path>] [--threads <n>]");
+        println!(
+            "usage: {experiment} [--json <path>] [--threads <n>] [--samples <n>] [--seed <hex>]"
+        );
         println!("  --json <path>   also write the {SCHEMA} JSON report");
         println!("  --threads <n>   sweep worker threads (default: min(cores, 8))");
+        println!("  --samples <n>   override the Monte-Carlo sample count per point");
+        println!("  --seed <hex>    override the Monte-Carlo base seed (hex, 0x optional)");
         return ExitCode::SUCCESS;
     }
     let threads = args.threads.unwrap_or_else(default_threads);
     let mut engine = SweepEngine::new(threads);
+    engine.set_mc_overrides(args.samples, args.seed);
     let mut rep = Report::new(experiment, title, paper_ref);
     rep.set_threads(threads);
     let start = std::time::Instant::now();
@@ -256,5 +285,18 @@ mod tests {
         assert!(args(&["--threads", "0"]).is_err());
         assert!(args(&["--threads", "x"]).is_err());
         assert!(args(&["--nope"]).is_err());
+    }
+
+    #[test]
+    fn mc_override_parsing() {
+        let parsed = args(&["--samples", "5000", "--seed", "0xDEADbeef"]).unwrap();
+        assert_eq!(parsed.samples, Some(5000));
+        assert_eq!(parsed.seed, Some(0xdead_beef));
+        assert_eq!(args(&["--seed", "7e5"]).unwrap().seed, Some(0x7e5));
+        assert!(args(&["--samples"]).is_err());
+        assert!(args(&["--samples", "0"]).is_err());
+        assert!(args(&["--samples", "x"]).is_err());
+        assert!(args(&["--seed"]).is_err());
+        assert!(args(&["--seed", "zz"]).is_err());
     }
 }

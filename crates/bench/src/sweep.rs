@@ -492,6 +492,8 @@ pub struct SweepEngine {
     sweep_hits: u64,
     sweep_misses: u64,
     mc_stats: probability::McStats,
+    mc_samples_override: Option<usize>,
+    mc_seed_override: Option<u64>,
 }
 
 /// The default worker count: available parallelism, capped at 8 (sweep
@@ -518,12 +520,36 @@ impl SweepEngine {
             sweep_hits: 0,
             sweep_misses: 0,
             mc_stats: probability::McStats::default(),
+            mc_samples_override: None,
+            mc_seed_override: None,
         }
     }
 
+    /// Overrides the sample count and/or base seed of every Monte-Carlo
+    /// sweep mode in subsequent [`SweepEngine::sweep`] calls (the CLI's
+    /// `--samples`/`--seed` flags; `None` keeps the spec's value). The
+    /// per-point stream seed is still derived via the usual
+    /// spec-base-seed hashing, so overriding the seed re-keys every
+    /// point coherently.
+    pub fn set_mc_overrides(&mut self, samples: Option<usize>, seed: Option<u64>) {
+        if let Some(s) = samples {
+            assert!(s >= 1, "sample override must be at least 1");
+        }
+        self.mc_samples_override = samples;
+        self.mc_seed_override = seed;
+    }
+
+    /// The active `--samples`/`--seed` overrides (bins apply them to
+    /// their own non-sweep Monte-Carlo sections too).
+    pub fn mc_overrides(&self) -> (Option<usize>, Option<u64>) {
+        (self.mc_samples_override, self.mc_seed_override)
+    }
+
     /// Aggregated verdict-path counters of every estimated (Monte-Carlo)
-    /// sweep point run so far. `dense_scan_verdicts` stays zero whenever
-    /// all swept tasks carry closed forms — the `exp_perf_mc` acceptance
+    /// sweep point run so far. Estimated rows run on the bit-sliced
+    /// kernel, so `lane_words` counts the 64-sample words processed;
+    /// `peeled_lanes` and `dense_scan_verdicts` stay zero whenever all
+    /// swept tasks compile lane plans — the `exp_perf_mc` acceptance
     /// gate.
     pub fn mc_stats(&self) -> probability::McStats {
         self.mc_stats
@@ -670,7 +696,12 @@ impl SweepEngine {
             .iter()
             .map(|p| {
                 let (series, mc) = if p.mc {
-                    self.estimate_point(p, spec.mc.expect("mc points imply an mc spec"))
+                    let base = spec.mc.expect("mc points imply an mc spec");
+                    let eff = McSweep {
+                        samples: self.mc_samples_override.unwrap_or(base.samples),
+                        seed: self.mc_seed_override.unwrap_or(base.seed),
+                    };
+                    self.estimate_point(p, eff)
                 } else {
                     let series = (1..=p.t_max)
                         .map(|t| {
@@ -702,14 +733,16 @@ impl SweepEngine {
     }
 
     /// Estimates one Monte-Carlo row's whole series in **one** sampling
-    /// pass ([`probability::monte_carlo_series_parallel`]): sample `i`
-    /// at time `t` is the prefix of sample `i` at `t + 1`, so the series
-    /// is exactly monotone, and the estimator is bit-identical for any
-    /// worker count — the row is a pure function of the spec.
+    /// pass on the bit-sliced kernel
+    /// ([`probability::monte_carlo_bitsliced_series`]): sample `i` at
+    /// time `t` is the prefix of sample `i` at `t + 1`, so the series is
+    /// exactly monotone, and the estimator is bit-identical for any
+    /// worker count — and to the PR 5 scalar kernel on the same seed —
+    /// so the row is a pure function of the spec.
     fn estimate_point(&mut self, p: &Point, mc: McSweep) -> (Vec<f64>, Option<McRow>) {
         let seed = point_seed(mc.seed, &p.model_label, &p.task_name, p.alpha.group_sizes());
         let (estimates, stats): (Vec<Estimate>, _) =
-            probability::monte_carlo_series_parallel_with_stats(
+            probability::monte_carlo_bitsliced_series_with_stats(
                 &p.model,
                 p.task.as_ref(),
                 &p.alpha,
@@ -878,10 +911,35 @@ mod tests {
             mc.ci_lo[1],
             mc.ci_hi[1]
         );
-        // Counters: built-in tasks never fall back to the dense scan.
+        // Counters: built-in tasks compile lane plans, so every sample
+        // runs bit-sliced — no peeling, no dense fallback.
         let stats = engine.mc_stats();
-        assert!(stats.closed_form_verdicts > 0);
+        assert!(stats.lane_words > 0);
+        assert_eq!(stats.peeled_lanes, 0);
         assert_eq!(stats.dense_scan_verdicts, 0);
+    }
+
+    #[test]
+    fn mc_overrides_rekey_and_resize_estimated_rows() {
+        let mut engine = SweepEngine::new(2);
+        engine.set_mc_overrides(Some(512), Some(99));
+        assert_eq!(engine.mc_overrides(), (Some(512), Some(99)));
+        let rows = engine.sweep(&mixed_mode_spec());
+        let mut saw_mc = false;
+        for r in rows.iter().filter(|r| r.mode == RowMode::Mc) {
+            saw_mc = true;
+            let mc = r.mc.as_ref().unwrap();
+            assert_eq!(mc.samples, 512, "{:?}", r.sizes);
+            assert_eq!(
+                mc.seed,
+                point_seed(99, &r.model, &r.task, &r.sizes),
+                "{:?}",
+                r.sizes
+            );
+        }
+        assert!(saw_mc, "spec has estimated rows");
+        // Exact rows are untouched by the overrides.
+        assert!(rows.iter().any(|r| r.mode == RowMode::Exact));
     }
 
     #[test]

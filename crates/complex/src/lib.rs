@@ -43,6 +43,7 @@
 //! assert!(o_le.is_pure());
 //! ```
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

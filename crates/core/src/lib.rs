@@ -50,9 +50,11 @@
 //! assert!(solvability::solves(&Model::Blackboard, &rho, &LeaderElection, &mut arena));
 //! ```
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitsliced;
 pub mod bounds;
 pub mod consistency;
 pub mod engine;

@@ -21,6 +21,11 @@ use crate::engine::{self, SolvabilityMemo, TaskKernel};
 use crate::output_cache::OutputComplexCache;
 use crate::solvability;
 
+pub use crate::bitsliced::{
+    monte_carlo_bitsliced, monte_carlo_bitsliced_series, monte_carlo_bitsliced_series_with_stats,
+    monte_carlo_bitsliced_with_stats,
+};
+
 /// Largest `k·t` accepted by the exact enumerator (`2^30` executions —
 /// raised from `2^26` when the prefix-sharing engine replaced leaf-by-leaf
 /// re-simulation; see `DESIGN.md` §4.4 for the complexity accounting).
@@ -583,10 +588,17 @@ pub struct McStats {
     /// Verdicts computed by the dense facet scan (zero for every built-in
     /// task — they all carry closed forms).
     pub dense_scan_verdicts: u64,
+    /// 64-sample lane words processed by the bit-sliced kernel (each one
+    /// [`rsbt_tasks::VerdictPlan`] evaluation per round; zero on the
+    /// scalar entry points).
+    pub lane_words: u64,
+    /// Samples the bit-sliced kernel peeled to the scalar path because
+    /// the task compiled no lane plan (zero for every built-in task).
+    pub peeled_lanes: u64,
 }
 
 impl McStats {
-    fn absorb(&mut self, memo: &SolvabilityMemo) {
+    pub(crate) fn absorb(&mut self, memo: &SolvabilityMemo) {
         self.memo_hits += memo.memo_hits();
         self.closed_form_verdicts += memo.closed_form_verdicts();
         self.dense_scan_verdicts += memo.dense_scan_verdicts();
@@ -598,6 +610,8 @@ impl McStats {
         self.memo_hits += other.memo_hits;
         self.closed_form_verdicts += other.closed_form_verdicts;
         self.dense_scan_verdicts += other.dense_scan_verdicts;
+        self.lane_words += other.lane_words;
+        self.peeled_lanes += other.peeled_lanes;
     }
 }
 
@@ -608,7 +622,7 @@ impl McStats {
 /// `f64`-exact range), this validates every argument up front — including
 /// the round count, which would otherwise fail deep inside
 /// [`BitString::sample`] with an unrelated message.
-fn check_mc_args(model: &Model, alpha: &Assignment, t: usize, samples: usize) {
+pub(crate) fn check_mc_args(model: &Model, alpha: &Assignment, t: usize, samples: usize) {
     assert!(samples > 0, "need at least one sample");
     assert!(
         samples <= MAX_MC_SAMPLES,
@@ -634,7 +648,7 @@ fn check_mc_args(model: &Model, alpha: &Assignment, t: usize, samples: usize) {
 /// each sample's verdict through the [`SolvabilityMemo`] (closed-form
 /// first, dense scan only for tasks without one) — no per-sample
 /// allocation after the first few samples warm the buffers.
-struct SampleKernel<'a, T: Task + ?Sized> {
+pub(crate) struct SampleKernel<'a, T: Task + ?Sized> {
     stepper: RoundStepper,
     kernel: TaskKernel<'a, T>,
     alpha: &'a Assignment,
@@ -649,7 +663,7 @@ struct SampleKernel<'a, T: Task + ?Sized> {
 }
 
 impl<'a, T: Task + ?Sized> SampleKernel<'a, T> {
-    fn new(
+    pub(crate) fn new(
         model: &Model,
         kernel: TaskKernel<'a, T>,
         alpha: &'a Assignment,
@@ -695,7 +709,7 @@ impl<'a, T: Task + ?Sized> SampleKernel<'a, T> {
     /// `p(t) → 1` regime the expected per-sample round count drops to
     /// `O(1)`, the dominant term of the kernel's speedup over the
     /// reference (which always steps all `t` rounds).
-    fn first_solving_round<R: Rng + ?Sized>(
+    pub(crate) fn first_solving_round<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
         memo: &mut SolvabilityMemo,

@@ -26,6 +26,7 @@
 //! simulator, a parallel Monte-Carlo estimator, and real processes over
 //! local TCP).
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -32,6 +32,7 @@
 //! assert!(all.iter().all(|r| (r.probability(&alpha) - 0.25).abs() < 1e-12));
 //! ```
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,0 +1,350 @@
+//! Bit-sliced knowledge tracking: 64 independent samples per `u64` word.
+//!
+//! The Monte-Carlo estimator only ever consumes an execution through its
+//! *consistency partition* (`i ∼_t j ⇔ K_i(t) = K_j(t)`), so it never
+//! needs the knowledge values themselves — only the pairwise equality
+//! relation. [`LaneStepper`] tracks exactly that relation for 64 samples
+//! at once, one bit per sample ("lane"), as a packed upper-triangular
+//! matrix of `u64` words over *knowledge units*:
+//!
+//! * **Blackboard** — every node sees the same board, so `K_i(t)` is a
+//!   function of node `i`'s *source* and the per-source bit prefixes:
+//!   `K_i(t) = K_j(t)` iff the sources of `i` and `j` emitted identical
+//!   bit strings through round `t` (nodes of the same source are always
+//!   equal). The units are therefore the `k` sources, and one round is a
+//!   single in-place refinement per pair:
+//!   `eq'[u,v] = eq[u,v] & !(bits[u] ^ bits[v])`.
+//! * **Message-passing** — the units are the `n` nodes. Round knowledge
+//!   is built from the own source bit plus the neighbors' previous
+//!   knowledge *in port order* (the arena keeps ports positional, it
+//!   never sorts them), and hash-consing makes id equality structural
+//!   equality. Hence `K_i(t) = K_j(t)` iff their source bits agree *and*
+//!   every port-aligned neighbor pair was equal at `t − 1`:
+//!   `eq'[i,j] = !(b[i] ^ b[j]) & AND_p eq[nbr(i,p), nbr(j,p)]`
+//!   (ports `p` with `nbr(i,p) = nbr(j,p)` contribute nothing and are
+//!   dropped at construction). This reads the *previous* relation, so the
+//!   step double-buffers.
+//!
+//! Both rules are exact — no abstraction, no over-approximation — so a
+//! caller evaluating a partition-based verdict on the packed relation
+//! gets bit-for-bit the verdict of 64 scalar executions.
+
+use rsbt_random::Assignment;
+
+use crate::model::Model;
+
+/// The packed index of unit pair `(a, b)`, `a < b`, among `units` units:
+/// row-major upper triangle, `a·(2·units − a − 1)/2 + (b − a − 1)`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) unless `a < b < units`.
+pub fn pair_index(units: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < units, "need a < b < units");
+    a * (2 * units - a - 1) / 2 + (b - a - 1)
+}
+
+/// The number of packed unit pairs: `units·(units − 1)/2`.
+pub fn pair_count(units: usize) -> usize {
+    units * (units - 1) / 2
+}
+
+/// Pairwise knowledge-equality words for 64 samples at once.
+///
+/// `eq_words()[pair_index(units, a, b)]` holds one bit per lane: bit `l`
+/// is set iff units `a` and `b` have equal knowledge in lane `l`'s sample
+/// after the rounds stepped so far. See the module docs for the exact
+/// per-model update rules and why they are lossless.
+///
+/// # Example
+///
+/// ```
+/// use rsbt_random::Assignment;
+/// use rsbt_sim::{lanes::LaneStepper, Model};
+///
+/// // Two private-source nodes: they stay equal exactly while their
+/// // source bits agree. Lane 1's bits agree in round 0, lane 0's differ.
+/// let alpha = Assignment::private(2);
+/// let mut st = LaneStepper::new(&Model::Blackboard, &alpha);
+/// st.step(|s| if s == 0 { 0b10 } else { 0b11 });
+/// assert_eq!(st.eq_words()[0] & 0b11, 0b10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LaneStepper {
+    units: usize,
+    unit_of_node: Vec<usize>,
+    /// The source feeding each unit's bits.
+    unit_source: Vec<usize>,
+    eq: Vec<u64>,
+    /// Double buffer for the message-passing step (empty on blackboard).
+    next: Vec<u64>,
+    /// Flattened per-pair neighbor-pair term lists (message-passing).
+    terms: Vec<u32>,
+    /// `term_offsets[p]..term_offsets[p + 1]` indexes `terms` for pair `p`.
+    term_offsets: Vec<u32>,
+    /// Scratch: the current round's bit word per unit.
+    bits: Vec<u64>,
+}
+
+impl LaneStepper {
+    /// Builds a stepper for `model` under source assignment `alpha` with
+    /// all lanes in the initial all-equal state (`K_i(0) = ⊥` for all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is message-passing with a port numbering whose
+    /// node count differs from `alpha.n()`.
+    pub fn new(model: &Model, alpha: &Assignment) -> Self {
+        let n = alpha.n();
+        let (units, unit_of_node, unit_source) = match model {
+            Model::Blackboard => {
+                let k = alpha.k();
+                let unit_of_node: Vec<usize> = (0..n).map(|i| alpha.source_of(i)).collect();
+                (k, unit_of_node, (0..k).collect())
+            }
+            Model::MessagePassing(ports) => {
+                assert_eq!(
+                    ports.n(),
+                    n,
+                    "port numbering is for {} nodes, assignment for {n}",
+                    ports.n()
+                );
+                let unit_source: Vec<usize> = (0..n).map(|i| alpha.source_of(i)).collect();
+                (n, (0..n).collect(), unit_source)
+            }
+        };
+        let pairs = pair_count(units);
+        let (terms, term_offsets, next) = match model {
+            Model::Blackboard => (Vec::new(), Vec::new(), Vec::new()),
+            Model::MessagePassing(ports) => {
+                let mut terms = Vec::new();
+                let mut offsets = Vec::with_capacity(pairs + 1);
+                offsets.push(0u32);
+                for a in 0..units {
+                    for b in a + 1..units {
+                        // Port-aligned neighbor pairs whose previous-round
+                        // equality the rule must consult.
+                        for p in 1..n {
+                            let (x, y) = (ports.neighbor(a, p), ports.neighbor(b, p));
+                            if x != y {
+                                let q = pair_index(units, x.min(y), x.max(y));
+                                terms.push(q as u32);
+                            }
+                        }
+                        offsets.push(terms.len() as u32);
+                    }
+                }
+                (terms, offsets, vec![0u64; pairs])
+            }
+        };
+        LaneStepper {
+            units,
+            unit_of_node,
+            unit_source,
+            eq: vec![u64::MAX; pairs],
+            next,
+            terms,
+            term_offsets,
+            bits: vec![0u64; units],
+        }
+    }
+
+    /// The number of knowledge units (`k` on the blackboard, `n` under
+    /// message passing).
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// The unit tracking each node's knowledge.
+    pub fn unit_of_node(&self) -> &[usize] {
+        &self.unit_of_node
+    }
+
+    /// The packed pairwise-equality words (see [`pair_index`]).
+    pub fn eq_words(&self) -> &[u64] {
+        &self.eq
+    }
+
+    /// Resets every lane to the initial all-equal state.
+    pub fn reset(&mut self) {
+        self.eq.fill(u64::MAX);
+    }
+
+    /// Advances every lane by one round. `source_bits(s)` must return the
+    /// current round's bit of source `s`, one lane per bit position.
+    pub fn step<F: Fn(usize) -> u64>(&mut self, source_bits: F) {
+        for u in 0..self.units {
+            self.bits[u] = source_bits(self.unit_source[u]);
+        }
+        if self.next.is_empty() {
+            // Blackboard: pure refinement, safe in place.
+            let mut p = 0;
+            for a in 0..self.units {
+                for b in a + 1..self.units {
+                    self.eq[p] &= !(self.bits[a] ^ self.bits[b]);
+                    p += 1;
+                }
+            }
+        } else {
+            let mut p = 0;
+            for a in 0..self.units {
+                for b in a + 1..self.units {
+                    let mut w = !(self.bits[a] ^ self.bits[b]);
+                    let lo = self.term_offsets[p] as usize;
+                    let hi = self.term_offsets[p + 1] as usize;
+                    for &q in &self.terms[lo..hi] {
+                        if w == 0 {
+                            break;
+                        }
+                        w &= self.eq[q as usize];
+                    }
+                    self.next[p] = w;
+                    p += 1;
+                }
+            }
+            std::mem::swap(&mut self.eq, &mut self.next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsbt_random::{BitString, Realization};
+
+    use crate::execution::Execution;
+    use crate::knowledge::KnowledgeArena;
+    use crate::ports::PortNumbering;
+
+    /// Deterministic lane words without any RNG dependency.
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Cross-checks `LaneStepper` against 64 scalar `Execution` runs.
+    #[allow(clippy::needless_range_loop)] // `r` indexes the *inner* vectors
+    fn check_against_scalar(model: &Model, alpha: &Assignment, t: usize, salt: u64) {
+        let k = alpha.k();
+        let n = alpha.n();
+        // Per-source draw words: draws[s] bit l = source s's round bit in
+        // lane l... transposed below into per-round words.
+        let source_words: Vec<Vec<u64>> = (0..k)
+            .map(|s| {
+                (0..t)
+                    .map(|r| mix(salt ^ (s as u64) << 32 ^ r as u64))
+                    .collect()
+            })
+            .collect();
+        let mut stepper = LaneStepper::new(model, alpha);
+        let mut arena = KnowledgeArena::new();
+        // Scalar truth: one execution per lane.
+        let execs: Vec<Execution> = (0..64)
+            .map(|l| {
+                let strings: Vec<BitString> = (0..n)
+                    .map(|i| {
+                        let s = alpha.source_of(i);
+                        BitString::from_bits((0..t).map(|r| source_words[s][r] >> l & 1 == 1))
+                    })
+                    .collect();
+                let rho = Realization::new(strings).unwrap();
+                Execution::run(model, &rho, &mut arena)
+            })
+            .collect();
+        for r in 0..t {
+            stepper.step(|s| source_words[s][r]);
+            for i in 0..n {
+                for j in i + 1..n {
+                    let (ui, uj) = (stepper.unit_of_node()[i], stepper.unit_of_node()[j]);
+                    for (l, exec) in execs.iter().enumerate() {
+                        let scalar = exec.knowledge(r + 1, i) == exec.knowledge(r + 1, j);
+                        let sliced = ui == uj
+                            || stepper.eq_words()
+                                [pair_index(stepper.units(), ui.min(uj), ui.max(uj))]
+                                >> l
+                                & 1
+                                == 1;
+                        assert_eq!(
+                            scalar, sliced,
+                            "round {r}, nodes ({i},{j}), lane {l}, model {model}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blackboard_matches_scalar_executions() {
+        check_against_scalar(
+            &Model::Blackboard,
+            &Assignment::from_group_sizes(&[1, 2]).unwrap(),
+            5,
+            7,
+        );
+        check_against_scalar(&Model::Blackboard, &Assignment::private(3), 4, 11);
+        check_against_scalar(&Model::Blackboard, &Assignment::shared(4), 3, 13);
+    }
+
+    #[test]
+    fn message_passing_matches_scalar_executions() {
+        check_against_scalar(
+            &Model::message_passing_cyclic(4),
+            &Assignment::private(4),
+            4,
+            17,
+        );
+        check_against_scalar(
+            &Model::message_passing_cyclic(3),
+            &Assignment::from_group_sizes(&[1, 2]).unwrap(),
+            5,
+            19,
+        );
+        check_against_scalar(
+            &Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+            &Assignment::private(4),
+            4,
+            23,
+        );
+    }
+
+    #[test]
+    fn pair_index_is_the_packed_upper_triangle() {
+        for m in 1..=8 {
+            let mut expect = 0;
+            for a in 0..m {
+                for b in a + 1..m {
+                    assert_eq!(pair_index(m, a, b), expect);
+                    expect += 1;
+                }
+            }
+            assert_eq!(pair_count(m), expect);
+        }
+    }
+
+    #[test]
+    fn reset_restores_all_equal() {
+        let alpha = Assignment::private(2);
+        let mut st = LaneStepper::new(&Model::Blackboard, &alpha);
+        st.step(|s| if s == 0 { 0 } else { u64::MAX });
+        assert_eq!(st.eq_words()[0], 0);
+        st.reset();
+        assert_eq!(st.eq_words()[0], u64::MAX);
+    }
+
+    #[test]
+    fn shared_source_needs_no_pairs() {
+        let alpha = Assignment::shared(5);
+        let st = LaneStepper::new(&Model::Blackboard, &alpha);
+        assert_eq!(st.units(), 1);
+        assert!(st.eq_words().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "port numbering is for")]
+    fn node_count_mismatch_panics() {
+        let _ = LaneStepper::new(&Model::message_passing_cyclic(3), &Assignment::private(4));
+    }
+}

@@ -44,6 +44,7 @@
 mod execution;
 pub mod fxhash;
 mod knowledge;
+pub mod lanes;
 mod model;
 pub mod net;
 pub mod pool;
@@ -54,5 +55,6 @@ pub mod stats;
 pub use crate::execution::{Execution, RoundStepper};
 pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use crate::knowledge::{KnowledgeArena, KnowledgeId, KnowledgeNode, NeighborInfo};
+pub use crate::lanes::LaneStepper;
 pub use crate::model::Model;
 pub use crate::ports::PortNumbering;

@@ -92,8 +92,30 @@ where
     R: Send,
     F: Fn(&mut KnowledgeArena, std::ops::Range<usize>) -> R + Sync,
 {
+    map_sample_chunks_aligned(total, threads, 1, f)
+}
+
+/// [`map_sample_chunks`] with chunk boundaries rounded up to a multiple
+/// of `align`: every chunk starts at an index divisible by `align`, and
+/// every chunk except the last covers a whole number of `align`-sized
+/// words. The bit-sliced Monte-Carlo kernel passes `align = 64` so each
+/// worker owns whole lane words and only the globally last word can be
+/// partially filled.
+///
+/// `align = 1` is exactly [`map_sample_chunks`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `align == 0`, or propagates a worker
+/// panic.
+pub fn map_sample_chunks_aligned<R, F>(total: usize, threads: usize, align: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut KnowledgeArena, std::ops::Range<usize>) -> R + Sync,
+{
     assert!(threads >= 1, "need at least one worker");
-    let chunk = total.div_ceil(threads).max(1);
+    assert!(align >= 1, "alignment must be at least 1");
+    let chunk = total.div_ceil(threads).max(1).div_ceil(align) * align;
     let ranges: Vec<std::ops::Range<usize>> = (0..threads)
         .map(|w| (w * chunk).min(total)..((w + 1) * chunk).min(total))
         .filter(|r| !r.is_empty())
@@ -175,5 +197,43 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn sample_chunks_zero_threads_rejected() {
         let _ = map_sample_chunks(4, 0, |_, r| r.len());
+    }
+
+    #[test]
+    fn aligned_chunks_cover_the_range_on_word_boundaries() {
+        // Word-boundary edge cases: counts not divisible by 64, counts
+        // below 64, and a single sample.
+        for total in [0usize, 1, 2, 63, 64, 65, 127, 128, 130, 1000] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let chunks = map_sample_chunks_aligned(total, threads, 64, |_, r| r);
+                let flat: Vec<usize> = chunks.iter().cloned().flatten().collect();
+                let expect: Vec<usize> = (0..total).collect();
+                assert_eq!(flat, expect, "total={total} threads={threads}");
+                for (c, r) in chunks.iter().enumerate() {
+                    assert_eq!(r.start % 64, 0, "chunk {c} start, total={total}");
+                    assert!(
+                        r.end % 64 == 0 || r.end == total,
+                        "only the last word may be partial: chunk {c}, total={total}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn align_one_matches_the_unaligned_chunking() {
+        for total in [0usize, 1, 7, 100, 129] {
+            for threads in [1usize, 2, 3, 8] {
+                let plain = map_sample_chunks(total, threads, |_, r| r);
+                let aligned = map_sample_chunks_aligned(total, threads, 1, |_, r| r);
+                assert_eq!(plain, aligned, "total={total} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be at least 1")]
+    fn zero_alignment_rejected() {
+        let _ = map_sample_chunks_aligned(4, 1, 0, |_, r| r.len());
     }
 }

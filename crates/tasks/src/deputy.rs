@@ -13,6 +13,7 @@ use std::borrow::Cow;
 
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
+use crate::plan::{unit_weights, PlanBuilder, VerdictPlan};
 use crate::task::{FacetStream, Task};
 
 /// Output value for the elected leader in [`LeaderAndDeputy`].
@@ -177,6 +178,57 @@ impl Task for LeaderAndDeputy {
                 && singleton(i)
                 && (0..n).any(|j| j != i && self.may_deputy[j] && singleton(j))
         }))
+    }
+
+    /// Lane lowering of the two-singletons test: only a *weight-1 unit*
+    /// can be a singleton node class, and it is one iff it differs from
+    /// every other unit ("alone"). Materialize an alone-flag register
+    /// per weight-1 unit whose node may hold a role, then OR over the
+    /// admissible `(leader unit, deputy unit)` pairs the AND of the two
+    /// flags.
+    fn lane_plan(&self, unit_of_node: &[usize], units: usize) -> Option<VerdictPlan> {
+        let n = self.n();
+        assert_eq!(
+            unit_of_node.len(),
+            n,
+            "constraints defined for {} nodes",
+            self.n()
+        );
+        // Panic-parity with `solves_partition` on impossible constraints.
+        assert!(
+            (0..n).any(|l| (0..n).any(|d| l != d && self.may_lead[l] && self.may_deputy[d])),
+            "role constraints admit no (leader, deputy) pair"
+        );
+        let w = unit_weights(unit_of_node, units);
+        // The unique node of each weight-1 unit carries the unit's role
+        // permissions.
+        let mut lead = vec![false; units];
+        let mut deputy = vec![false; units];
+        for (i, &u) in unit_of_node.iter().enumerate() {
+            if w[u] == 1 {
+                lead[u] = self.may_lead[i];
+                deputy[u] = self.may_deputy[i];
+            }
+        }
+        let mut b = PlanBuilder::new(units);
+        let mut alone = vec![0u16; units];
+        for u in (0..units).filter(|&u| w[u] == 1 && (lead[u] || deputy[u])) {
+            let r = b.reg();
+            b.ones(r);
+            for v in (0..units).filter(|&v| v != u) {
+                b.and_not_eq(r, u, v);
+            }
+            alone[u] = r;
+        }
+        for u in (0..units).filter(|&u| w[u] == 1 && lead[u]) {
+            for v in (0..units).filter(|&v| v != u && w[v] == 1 && deputy[v]) {
+                b.or_and(0, alone[u], alone[v]);
+            }
+            if b.len() > crate::plan::MAX_PLAN_OPS {
+                return None;
+            }
+        }
+        b.finish()
     }
 }
 

@@ -12,6 +12,7 @@ use rsbt_complex::generators::Combinations;
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
 use crate::leader::{DEFEATED, LEADER};
+use crate::plan::{unit_weights, PlanBuilder, VerdictPlan};
 use crate::task::{class_sizes, FacetStream, Task};
 
 /// The exactly-`k`-leaders task.
@@ -119,6 +120,49 @@ impl Task for KLeaderElection {
             }
         }
         Some(reachable[self.k])
+    }
+
+    /// Lane lowering of the subset-sum verdict: the class sizes reach
+    /// `k` iff some unit subset `S` of total node weight `k` is *closed
+    /// under equality* — no unit of `S` consistent with a unit outside
+    /// it (then `S` is exactly a union of classes). One AND-term per
+    /// such subset, enumerated over at most `2^units` masks; refused
+    /// (`None` — callers peel to the scalar DP) when the unit count or
+    /// the op budget makes the enumeration a bad trade.
+    fn lane_plan(&self, unit_of_node: &[usize], units: usize) -> Option<VerdictPlan> {
+        let n = unit_of_node.len();
+        assert!(self.k <= n, "cannot elect {} leaders among {n}", self.k);
+        if units > 16 {
+            return None;
+        }
+        let w = unit_weights(unit_of_node, units);
+        let mut b = PlanBuilder::new(units);
+        let term = b.reg();
+        for mask in 1u32..1 << units {
+            let weight: u32 = (0..units)
+                .filter(|&u| mask >> u & 1 == 1)
+                .map(|u| w[u])
+                .sum();
+            if weight != self.k as u32 {
+                continue;
+            }
+            if mask == (1 << units) - 1 {
+                // The full unit set: closed under anything (k = n).
+                b.ones(0);
+                continue;
+            }
+            b.ones(term);
+            for u in (0..units).filter(|&u| mask >> u & 1 == 1) {
+                for v in (0..units).filter(|&v| mask >> v & 1 == 0) {
+                    b.and_not_eq(term, u, v);
+                }
+            }
+            b.or(0, term);
+            if b.len() > crate::plan::MAX_PLAN_OPS {
+                return None;
+            }
+        }
+        b.finish()
     }
 }
 

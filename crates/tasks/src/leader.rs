@@ -4,6 +4,7 @@ use std::borrow::Cow;
 
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
+use crate::plan::{unit_weights, PlanBuilder, VerdictPlan};
 use crate::task::{class_sizes, FacetStream, Task};
 
 /// Output value of the elected leader.
@@ -72,6 +73,33 @@ impl Task for LeaderElection {
         );
         let (sizes, _) = class_sizes(labels);
         Some(sizes.contains(&1))
+    }
+
+    /// Lane lowering of the singleton-class test: a node class is a
+    /// singleton iff it is a *weight-1 unit* split from every other unit
+    /// (units of weight ≥ 2 contain ≥ 2 always-consistent nodes). So:
+    /// OR over weight-1 units `u` of AND over `v ≠ u` of "u ≠ v".
+    fn lane_plan(&self, unit_of_node: &[usize], units: usize) -> Option<VerdictPlan> {
+        assert!(
+            !unit_of_node.is_empty(),
+            "leader election needs at least one node"
+        );
+        let w = unit_weights(unit_of_node, units);
+        let mut b = PlanBuilder::new(units);
+        let term = b.reg();
+        for u in (0..units).filter(|&u| w[u] == 1) {
+            if units == 1 {
+                // A lone weight-1 unit is a singleton unconditionally.
+                b.ones(0);
+                break;
+            }
+            b.ones(term);
+            for v in (0..units).filter(|&v| v != u) {
+                b.and_not_eq(term, u, v);
+            }
+            b.or(0, term);
+        }
+        b.finish()
     }
 }
 

@@ -35,12 +35,14 @@
 //! assert_eq!(pi.isolated_vertices().len(), 1);
 //! ```
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod deputy;
 mod k_leader;
 mod leader;
+mod plan;
 pub mod projection;
 mod task;
 mod wsb;
@@ -48,5 +50,6 @@ mod wsb;
 pub use crate::deputy::LeaderAndDeputy;
 pub use crate::k_leader::KLeaderElection;
 pub use crate::leader::{LeaderElection, DEFEATED, LEADER};
+pub use crate::plan::{pair_count, pair_index, VerdictPlan};
 pub use crate::task::{FacetStream, Task};
 pub use crate::wsb::WeakSymmetryBreaking;

@@ -1,0 +1,333 @@
+//! Compiled lane-parallel verdict plans: `solves_partition` lowered to
+//! straight-line bitwise ops over pairwise-equality words.
+//!
+//! The bit-sliced Monte-Carlo kernel tracks, for 64 samples at once, the
+//! pairwise knowledge-equality relation over *units* (sources on the
+//! blackboard, nodes under message passing) as packed `u64` words — bit
+//! `l` of `eq[pair_index(units, a, b)]` says whether units `a` and `b`
+//! are consistent in sample `l`. A [`VerdictPlan`] is the task's
+//! closed-form [`crate::Task::solves_partition`] verdict compiled once
+//! per `(task, unit layout)` into a short branch-free program over those
+//! words: one [`VerdictPlan::eval`] answers all 64 samples in a handful
+//! of ANDs and ORs, in the spirit of a JIT — compile the decision once,
+//! run it per word — instead of re-interpreting the closed form per
+//! sample.
+//!
+//! The lowerings exploit that the equality relation is an *equivalence*:
+//! literal bit-string (or hash-consed id) equality is transitive, so
+//! e.g. "≥ 2 classes" is simply "some unit differs from unit 0", and "a
+//! weight-1 unit forms a singleton node class" is "that unit differs
+//! from every other unit".
+
+/// The packed index of unit pair `(a, b)`, `a < b`, among `units` units
+/// (row-major upper triangle). Must match the convention of the caller's
+/// equality words — `rsbt_sim::lanes` uses the same formula.
+pub fn pair_index(units: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < units, "need a < b < units");
+    a * (2 * units - a - 1) / 2 + (b - a - 1)
+}
+
+/// The number of packed unit pairs: `units·(units − 1)/2`.
+pub fn pair_count(units: usize) -> usize {
+    units * (units - 1) / 2
+}
+
+/// Plans longer than this are refused at compile time
+/// ([`crate::Task::lane_plan`] returns `None` and the caller peels lanes
+/// to the scalar path): past a few thousand ops the straight-line
+/// program loses to the scalar verdict it replaces.
+pub(crate) const MAX_PLAN_OPS: usize = 4096;
+
+/// One straight-line instruction over lane words. Register 0 is the
+/// verdict accumulator; all registers start zeroed.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// `regs[dst] = !0`.
+    Ones { dst: u16 },
+    /// `regs[dst] &= !eq[pair]` — "…and the units of `pair` differ".
+    AndNotEq { dst: u16, pair: u32 },
+    /// `regs[dst] |= !eq[pair]` — "…or the units of `pair` differ".
+    OrNotEq { dst: u16, pair: u32 },
+    /// `regs[dst] |= regs[src]`.
+    Or { dst: u16, src: u16 },
+    /// `regs[dst] |= regs[a] & regs[b]`.
+    OrAnd { dst: u16, a: u16, b: u16 },
+}
+
+/// A compiled lane-parallel solvability verdict (see the module docs).
+///
+/// Built by [`crate::Task::lane_plan`]; evaluated once per 64-sample
+/// word by [`VerdictPlan::eval`].
+#[derive(Clone, Debug)]
+pub struct VerdictPlan {
+    units: usize,
+    regs: usize,
+    ops: Vec<Op>,
+}
+
+impl VerdictPlan {
+    /// The unit count the plan was compiled for.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// The number of straight-line ops (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the plan is the empty (constant-false) program.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Runs the plan over packed pairwise-equality words: bit `l` of the
+    /// result is the task's verdict for lane `l`'s partition. `regs` is
+    /// caller-owned scratch, reused across calls without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eq` is not the packed upper triangle for the plan's
+    /// unit count.
+    pub fn eval(&self, eq: &[u64], regs: &mut Vec<u64>) -> u64 {
+        assert_eq!(
+            eq.len(),
+            pair_count(self.units),
+            "equality words do not match the plan's {} units",
+            self.units
+        );
+        regs.clear();
+        regs.resize(self.regs, 0);
+        for op in &self.ops {
+            match *op {
+                Op::Ones { dst } => regs[dst as usize] = !0,
+                Op::AndNotEq { dst, pair } => regs[dst as usize] &= !eq[pair as usize],
+                Op::OrNotEq { dst, pair } => regs[dst as usize] |= !eq[pair as usize],
+                Op::Or { dst, src } => regs[dst as usize] |= regs[src as usize],
+                Op::OrAnd { dst, a, b } => {
+                    let v = regs[a as usize] & regs[b as usize];
+                    regs[dst as usize] |= v;
+                }
+            }
+        }
+        regs[0]
+    }
+}
+
+/// Incremental [`VerdictPlan`] assembly for the task lowerings.
+pub(crate) struct PlanBuilder {
+    units: usize,
+    regs: usize,
+    ops: Vec<Op>,
+}
+
+impl PlanBuilder {
+    /// A builder with register 0 (the verdict) allocated and zeroed.
+    pub(crate) fn new(units: usize) -> Self {
+        PlanBuilder {
+            units,
+            regs: 1,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh scratch register (starts zeroed).
+    pub(crate) fn reg(&mut self) -> u16 {
+        let r = self.regs;
+        self.regs += 1;
+        u16::try_from(r).expect("plan register file overflow")
+    }
+
+    pub(crate) fn ones(&mut self, dst: u16) {
+        self.ops.push(Op::Ones { dst });
+    }
+
+    /// `regs[dst] &= !eq[(a, b)]` for distinct units `a`, `b`.
+    pub(crate) fn and_not_eq(&mut self, dst: u16, a: usize, b: usize) {
+        let pair = pair_index(self.units, a.min(b), a.max(b)) as u32;
+        self.ops.push(Op::AndNotEq { dst, pair });
+    }
+
+    /// `regs[dst] |= !eq[(a, b)]` for distinct units `a`, `b`.
+    pub(crate) fn or_not_eq(&mut self, dst: u16, a: usize, b: usize) {
+        let pair = pair_index(self.units, a.min(b), a.max(b)) as u32;
+        self.ops.push(Op::OrNotEq { dst, pair });
+    }
+
+    pub(crate) fn or(&mut self, dst: u16, src: u16) {
+        self.ops.push(Op::Or { dst, src });
+    }
+
+    pub(crate) fn or_and(&mut self, dst: u16, a: u16, b: u16) {
+        self.ops.push(Op::OrAnd { dst, a, b });
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Finishes the plan, or `None` when it overran [`MAX_PLAN_OPS`].
+    pub(crate) fn finish(self) -> Option<VerdictPlan> {
+        if self.ops.len() > MAX_PLAN_OPS {
+            return None;
+        }
+        Some(VerdictPlan {
+            units: self.units,
+            regs: self.regs,
+            ops: self.ops,
+        })
+    }
+}
+
+/// The number of nodes each unit covers, from the node → unit map.
+pub(crate) fn unit_weights(unit_of_node: &[usize], units: usize) -> Vec<u32> {
+    let mut w = vec![0u32; units];
+    for &u in unit_of_node {
+        w[u] += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use crate::{KLeaderElection, LeaderAndDeputy, LeaderElection, WeakSymmetryBreaking};
+
+    /// Packs per-lane node partitions into unit-equality words for the
+    /// identity unit layout (units = nodes).
+    fn eq_words_from_labels(lanes: &[Vec<u8>], n: usize) -> Vec<u64> {
+        let mut eq = vec![0u64; pair_count(n)];
+        for (l, labels) in lanes.iter().enumerate() {
+            for a in 0..n {
+                for b in a + 1..n {
+                    if labels[a] == labels[b] {
+                        eq[pair_index(n, a, b)] |= 1 << l;
+                    }
+                }
+            }
+        }
+        eq
+    }
+
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    }
+
+    /// 64 independently randomized partitions of `n` nodes.
+    fn random_lanes(n: usize, salt: u64) -> Vec<Vec<u8>> {
+        (0..64u64)
+            .map(|l| {
+                (0..n)
+                    .map(|i| (mix(salt ^ (l << 16) ^ i as u64) % n as u64) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_plan_matches_scalar(task: &dyn Task, n: usize, salt: u64) {
+        let unit_of_node: Vec<usize> = (0..n).collect();
+        let plan = task
+            .lane_plan(&unit_of_node, n)
+            .unwrap_or_else(|| panic!("{} has no plan for n={n}", task.name()));
+        let lanes = random_lanes(n, salt);
+        let eq = eq_words_from_labels(&lanes, n);
+        let mut regs = Vec::new();
+        let got = plan.eval(&eq, &mut regs);
+        for (l, labels) in lanes.iter().enumerate() {
+            let want = task.solves_partition(labels).expect("closed form");
+            assert_eq!(
+                got >> l & 1 == 1,
+                want,
+                "{} n={n} lane {l} labels {labels:?}",
+                task.name()
+            );
+        }
+    }
+
+    #[test]
+    fn plans_match_scalar_closed_forms_on_random_partitions() {
+        for n in 1..=8 {
+            assert_plan_matches_scalar(&LeaderElection, n, 101 + n as u64);
+        }
+        for n in 2..=8 {
+            assert_plan_matches_scalar(&WeakSymmetryBreaking, n, 211 + n as u64);
+            assert_plan_matches_scalar(&LeaderAndDeputy::unconstrained(n), n, 307 + n as u64);
+            for k in 1..=n {
+                let task = KLeaderElection::new(k);
+                assert_plan_matches_scalar(&task, n, 401 + (n * 16 + k) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_deputy_plans_match_scalar() {
+        let t = LeaderAndDeputy::new(
+            vec![true, true, false, false],
+            vec![false, false, true, true],
+        );
+        assert_plan_matches_scalar(&t, 4, 997);
+    }
+
+    #[test]
+    fn k_leader_subset_sum_pin() {
+        // Sizes [3, 3, 2] reach k = 5 (3 + 2) but not k = 4.
+        let labels = [0u8, 0, 0, 1, 1, 1, 2, 2];
+        let unit_of_node: Vec<usize> = (0..8).collect();
+        let eq = eq_words_from_labels(&[labels.to_vec()], 8);
+        let mut regs = Vec::new();
+        let five = KLeaderElection::new(5);
+        let four = KLeaderElection::new(4);
+        assert_eq!(five.solves_partition(&labels), Some(true));
+        assert_eq!(four.solves_partition(&labels), Some(false));
+        let p5 = five.lane_plan(&unit_of_node, 8).unwrap();
+        let p4 = four.lane_plan(&unit_of_node, 8).unwrap();
+        assert_eq!(p5.eval(&eq, &mut regs) & 1, 1);
+        assert_eq!(p4.eval(&eq, &mut regs) & 1, 0);
+    }
+
+    #[test]
+    fn grouped_units_carry_their_weights() {
+        // Blackboard-style layout: 3 nodes on 2 units ([1, 2]). The
+        // weight-2 unit can never be a singleton class, so leader
+        // election solves iff unit 0 is alone.
+        let unit_of_node = [0usize, 1, 1];
+        let plan = LeaderElection.lane_plan(&unit_of_node, 2).unwrap();
+        let mut regs = Vec::new();
+        assert_eq!(plan.eval(&[u64::MAX], &mut regs), 0, "one class of 3");
+        assert_eq!(plan.eval(&[0], &mut regs), u64::MAX, "unit 0 split off");
+    }
+
+    #[test]
+    fn oversized_plans_are_refused() {
+        // 2-leader election over 17+ units bails out of the subset
+        // enumeration rather than compile an enormous program.
+        let unit_of_node: Vec<usize> = (0..32).collect();
+        assert!(KLeaderElection::new(2)
+            .lane_plan(&unit_of_node, 32)
+            .is_none());
+    }
+
+    #[test]
+    fn default_lane_plan_is_none() {
+        struct Opaque;
+        impl Task for Opaque {
+            fn name(&self) -> std::borrow::Cow<'static, str> {
+                std::borrow::Cow::Borrowed("opaque")
+            }
+            fn output_complex(&self, n: usize) -> rsbt_complex::Complex<u64> {
+                LeaderElection.output_complex(n)
+            }
+        }
+        assert!(Opaque.lane_plan(&[0, 1], 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn eval_checks_the_pair_word_count() {
+        let plan = LeaderElection.lane_plan(&[0, 1], 2).unwrap();
+        let _ = plan.eval(&[], &mut Vec::new());
+    }
+}

@@ -4,6 +4,7 @@ use std::borrow::Cow;
 
 use rsbt_complex::{Complex, Simplex};
 
+use crate::plan::VerdictPlan;
 use crate::projection;
 
 /// A boxed lazy facet iterator (the return type of [`Task::facet_stream`]).
@@ -93,6 +94,33 @@ pub trait Task {
     /// (e.g. `k > n`), so both paths agree on the defined domain.
     fn solves_partition(&self, labels: &[u8]) -> Option<bool> {
         let _ = labels;
+        None
+    }
+
+    /// [`Task::solves_partition`] compiled to a lane-parallel
+    /// [`VerdictPlan`], if this task supports it.
+    ///
+    /// `unit_of_node[i]` names the knowledge *unit* tracking node `i`
+    /// (`0 ≤ unit_of_node[i] < units`; every unit is some node's); the
+    /// plan evaluates over packed pairwise unit-equality words (see
+    /// [`crate::pair_index`]). The contract: for every lane, the plan's
+    /// verdict bit must equal `solves_partition(labels)` on the node
+    /// partition induced by the lane — `i ∼ j` iff
+    /// `unit_of_node[i] == unit_of_node[j]` or the pair's equality bit is
+    /// set. Implementations may assume the relation is an equivalence
+    /// (unit equality is transitive for the callers' executions).
+    ///
+    /// Return `None` (the default) when no plan exists — because the
+    /// task has no closed form, or the lowering would exceed the op
+    /// budget; callers then peel lanes to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic exactly where [`Task::solves_partition`]
+    /// would on `n = unit_of_node.len()` nodes, so both paths agree on
+    /// the defined domain.
+    fn lane_plan(&self, unit_of_node: &[usize], units: usize) -> Option<VerdictPlan> {
+        let _ = (unit_of_node, units);
         None
     }
 

@@ -12,6 +12,7 @@ use std::borrow::Cow;
 
 use rsbt_complex::{Complex, ProcessName, Simplex, Vertex};
 
+use crate::plan::{PlanBuilder, VerdictPlan};
 use crate::task::{class_sizes, FacetStream, Task};
 
 /// The weak-symmetry-breaking task.
@@ -88,6 +89,21 @@ impl Task for WeakSymmetryBreaking {
         assert!(labels.len() >= 2, "weak symmetry breaking needs n ≥ 2");
         let (_, classes) = class_sizes(labels);
         Some(classes >= 2)
+    }
+
+    /// Lane lowering of "≥ 2 classes": equality is transitive, so at
+    /// least two classes exist iff *some* unit differs from unit 0 —
+    /// an OR of `units − 1` pair words. One unit means one class.
+    fn lane_plan(&self, unit_of_node: &[usize], units: usize) -> Option<VerdictPlan> {
+        assert!(
+            unit_of_node.len() >= 2,
+            "weak symmetry breaking needs n ≥ 2"
+        );
+        let mut b = PlanBuilder::new(units);
+        for v in 1..units {
+            b.or_not_eq(0, 0, v);
+        }
+        b.finish()
     }
 }
 

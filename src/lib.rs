@@ -17,6 +17,7 @@
 //! See the workspace `README.md` for a tour and `DESIGN.md` for the
 //! paper-to-code mapping.
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub use rsbt_complex as complex;
