@@ -10,15 +10,24 @@
 //! every ported protocol, so even the byte counters transfer).
 //!
 //! Worker invocation (spawned internally, listed for debugging):
-//! `exp_proto_net --net-worker <ble|euclid> <index> <addr> <n> <k>`.
-//! Workers rebuild their projected machine from `(protocol, n, k)` alone
-//! — the models used here (blackboard, cyclic ports) are deterministic
-//! in `n`, so no model state crosses the wire.
+//! `exp_proto_net --net-worker <ble|euclid> <index> <addr> <n> <k>
+//! <timeout_ms>`. Workers rebuild their projected machine from
+//! `(protocol, n, k)` alone — the models used here (blackboard, cyclic
+//! ports) are deterministic in `n`, so no model state crosses the wire.
+//!
+//! Extra flags beyond the shared experiment CLI:
+//!
+//! * `--timeout-ms <n>` — per-read deadline for the coordinator and the
+//!   spawned workers (default 30000 ms);
+//! * `--kill <node> <round>` — fault-injection smoke: kill worker
+//!   `<node>`'s process when the coordinator reaches round `<round>`
+//!   (1-based) and assert the run degrades to a partial outcome instead
+//!   of failing. Replaces the usual sim-agreement rows.
 
 use std::process::{Command, ExitCode};
 use std::time::Duration;
 
-use rsbt_bench::{fmt_sizes, run_experiment, Table};
+use rsbt_bench::{fmt_sizes, run_experiment_from, Table};
 use rsbt_protocols::choreo::{
     Backend, BleChoreo, Choreography, EuclidChoreo, RunJob, SimBackend, SocketBackend,
 };
@@ -28,7 +37,7 @@ use rsbt_sim::net::run_node;
 use rsbt_sim::Model;
 
 const WORKER_FLAG: &str = "--net-worker";
-const TIMEOUT: Duration = Duration::from_secs(30);
+const DEFAULT_TIMEOUT_MS: u64 = 30_000;
 
 /// The per-protocol model reconstruction shared by the coordinator and
 /// the workers: both sides must derive the identical model from `n`.
@@ -41,20 +50,22 @@ fn model_for(proto: &str, n: usize) -> Model {
 }
 
 fn worker(args: &[String]) -> ExitCode {
-    let usage = "usage: --net-worker <ble|euclid> <index> <addr> <n> <k>";
-    let [proto, index, addr, n, k] = args else {
+    let usage = "usage: --net-worker <ble|euclid> <index> <addr> <n> <k> <timeout_ms>";
+    let [proto, index, addr, n, k, timeout_ms] = args else {
         eprintln!("{usage}");
         return ExitCode::from(2);
     };
-    let (Ok(index), Ok(addr), Ok(n), Ok(k)) = (
+    let (Ok(index), Ok(addr), Ok(n), Ok(k), Ok(timeout_ms)) = (
         index.parse::<usize>(),
         addr.parse::<std::net::SocketAddr>(),
         n.parse::<usize>(),
         k.parse::<usize>(),
+        timeout_ms.parse::<u64>(),
     ) else {
         eprintln!("{usage}");
         return ExitCode::from(2);
     };
+    let timeout = Duration::from_millis(timeout_ms);
     let model = model_for(proto, n);
     let result = match proto.as_str() {
         "ble" => {
@@ -64,7 +75,7 @@ fn worker(args: &[String]) -> ExitCode {
                 addr,
                 index,
                 choreo.node(index, &model, &projection),
-                Some(TIMEOUT),
+                Some(timeout),
             )
             .map(|_| ())
         }
@@ -75,7 +86,7 @@ fn worker(args: &[String]) -> ExitCode {
                 addr,
                 index,
                 choreo.node(index, &model, &projection),
-                Some(TIMEOUT),
+                Some(timeout),
             )
             .map(|_| ())
         }
@@ -94,8 +105,8 @@ fn worker(args: &[String]) -> ExitCode {
 }
 
 /// A socket backend that re-spawns this binary once per node.
-fn process_backend(proto: &'static str, n: usize, k: usize) -> SocketBackend {
-    SocketBackend::spawning(TIMEOUT, move |index, addr| {
+fn process_backend(proto: &'static str, n: usize, k: usize, timeout_ms: u64) -> SocketBackend {
+    SocketBackend::spawning(Duration::from_millis(timeout_ms), move |index, addr| {
         let exe = std::env::current_exe().expect("own executable path");
         let mut cmd = Command::new(exe);
         cmd.args([
@@ -105,6 +116,7 @@ fn process_backend(proto: &'static str, n: usize, k: usize) -> SocketBackend {
             addr,
             &n.to_string(),
             &k.to_string(),
+            &timeout_ms.to_string(),
         ]);
         cmd
     })
@@ -115,11 +127,109 @@ fn main() -> ExitCode {
     if args.get(1).map(String::as_str) == Some(WORKER_FLAG) {
         return worker(&args[2..]);
     }
-    run_experiment(
+
+    // Extract this binary's extra flags; the remainder goes to the shared
+    // experiment CLI (which rejects anything it does not know).
+    let mut kill: Option<(usize, usize)> = None;
+    let mut timeout_ms = DEFAULT_TIMEOUT_MS;
+    let mut shared: Vec<String> = Vec::new();
+    let mut iter = args.into_iter().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--kill" => {
+                let parsed = match (iter.next(), iter.next()) {
+                    (Some(node), Some(round)) => {
+                        node.parse::<usize>().ok().zip(round.parse::<usize>().ok())
+                    }
+                    _ => None,
+                };
+                let Some((node, round)) = parsed.filter(|&(_, round)| round >= 1) else {
+                    eprintln!("error: --kill needs <node> <round> (round is 1-based)");
+                    return ExitCode::from(2);
+                };
+                kill = Some((node, round));
+            }
+            "--timeout-ms" => {
+                let parsed = iter.next().and_then(|v| v.parse::<u64>().ok());
+                let Some(ms) = parsed.filter(|&ms| ms >= 1) else {
+                    eprintln!("error: --timeout-ms needs a positive millisecond count");
+                    return ExitCode::from(2);
+                };
+                timeout_ms = ms;
+            }
+            _ => shared.push(arg),
+        }
+    }
+    if shared.iter().any(|a| a == "--help" || a == "-h") {
+        println!("proto_net extras:");
+        println!("  --timeout-ms <n>       per-read deadline for the coordinator and the");
+        println!("                         spawned workers, in ms (default 30000). Crash");
+        println!("                         detection retries a timed-out read 2 more times");
+        println!("                         with 10ms..500ms doubling backoff before");
+        println!("                         declaring the node crashed.");
+        println!("  --kill <node> <round>  kill worker <node> at round <round> (1-based)");
+        println!("                         and assert the run degrades to a partial");
+        println!("                         outcome; replaces the sim-agreement rows");
+        println!();
+    }
+    run_experiment_from(
+        shared.into_iter(),
         "proto_net",
         "Multi-process protocol execution over loopback TCP",
         "Fraigniaud-Gelles-Lotker 2021, Sections 3-4 protocols as real processes",
         |_eng, rep| {
+            if let Some((node, round)) = kill {
+                let alpha = Assignment::from_group_sizes(&[1, 1, 2]).unwrap();
+                assert!(
+                    node < alpha.n(),
+                    "--kill node {node} out of range for n={}",
+                    alpha.n()
+                );
+                let model = model_for("ble", alpha.n());
+                let job = RunJob {
+                    model: &model,
+                    alpha: &alpha,
+                    max_rounds: 128,
+                    seed: 0,
+                };
+                let net = process_backend("ble", alpha.n(), alpha.k(), timeout_ms)
+                    .with_kill(node, round)
+                    .run(&BleChoreo, &job)
+                    .unwrap()
+                    .into_run();
+                assert!(net.crashed[node], "killed worker must be declared crashed");
+                assert!(net.outputs[node].is_none(), "dead node reports no output");
+                assert!(net.stats.crashes >= 1, "crash must be counted");
+                let live_outputs = net.outputs.iter().filter(|o| o.is_some()).count();
+                let mut table = Table::new(vec![
+                    "protocol",
+                    "sizes",
+                    "killed node",
+                    "kill round",
+                    "completed",
+                    "rounds",
+                    "crashes",
+                    "live outputs",
+                ]);
+                table.row(vec![
+                    "blackboard-le".into(),
+                    fmt_sizes(alpha.group_sizes()),
+                    node.to_string(),
+                    round.to_string(),
+                    net.completed.to_string(),
+                    net.rounds.to_string(),
+                    net.stats.crashes.to_string(),
+                    live_outputs.to_string(),
+                ]);
+                let section = rep.section("mid-run worker kill (fault-tolerant coordinator)");
+                section.table(table);
+                section.note(format!(
+                    "killed worker {node}'s OS process at round {round}: crashes={} and the \
+                     coordinator still returned a partial outcome instead of failing",
+                    net.stats.crashes
+                ));
+                return;
+            }
             let mut table = Table::new(vec![
                 "protocol",
                 "sizes",
@@ -144,7 +254,7 @@ fn main() -> ExitCode {
                     seed,
                 };
                 let sim = SimBackend.run(&BleChoreo, &job).unwrap().into_run();
-                let net = process_backend("ble", alpha.n(), alpha.k())
+                let net = process_backend("ble", alpha.n(), alpha.k(), timeout_ms)
                     .run(&BleChoreo, &job)
                     .unwrap()
                     .into_run();
@@ -178,7 +288,7 @@ fn main() -> ExitCode {
                 };
                 let choreo = EuclidChoreo { k: alpha.k() };
                 let sim = SimBackend.run(&choreo, &job).unwrap().into_run();
-                let net = process_backend("euclid", alpha.n(), alpha.k())
+                let net = process_backend("euclid", alpha.n(), alpha.k(), timeout_ms)
                     .run(&choreo, &job)
                     .unwrap()
                     .into_run();

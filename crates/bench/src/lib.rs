@@ -205,7 +205,24 @@ pub fn run_experiment<F>(experiment: &str, title: &str, paper_ref: &str, body: F
 where
     F: FnOnce(&mut SweepEngine, &mut Report),
 {
-    let args = match parse_args(std::env::args().skip(1)) {
+    run_experiment_from(std::env::args().skip(1), experiment, title, paper_ref, body)
+}
+
+/// [`run_experiment`] over an explicit argument iterator: binaries with
+/// extra flags of their own (e.g. `exp_proto_net --kill`) extract those
+/// first and hand the remainder here for the shared CLI.
+pub fn run_experiment_from<I, F>(
+    raw_args: I,
+    experiment: &str,
+    title: &str,
+    paper_ref: &str,
+    body: F,
+) -> ExitCode
+where
+    I: Iterator<Item = String>,
+    F: FnOnce(&mut SweepEngine, &mut Report),
+{
+    let args = match parse_args(raw_args) {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("error: {msg}");

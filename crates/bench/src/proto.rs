@@ -114,6 +114,8 @@ impl ProtoMc {
                     ci_lo,
                     ci_hi,
                 }),
+                crash: None,
+                omission: None,
                 predicted: None,
                 matches: None,
             },

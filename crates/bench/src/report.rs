@@ -87,6 +87,15 @@ impl Json {
         matches!(self, Json::Int(_) | Json::Num(_))
     }
 
+    /// The numeric payload as `f64` (integers widen), if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Serializes with 2-space indentation and a trailing newline.
     pub fn to_pretty_string(&self) -> String {
         let mut out = String::new();
@@ -732,6 +741,18 @@ fn validate_sweep_row(row: &Json, v1: bool) -> Result<(), String> {
                 return Err(format!("sweep row '{key}' must be a boolean"));
             }
         }
+    }
+    // Fault-dimension rates (optional, emitted pairwise by the sweep).
+    for key in ["crash", "omission"] {
+        if let Some(v) = row.get(key) {
+            match v.as_f64() {
+                Some(p) if (0.0..=1.0).contains(&p) => {}
+                _ => return Err(format!("sweep row '{key}' must be a rate in [0, 1]")),
+            }
+        }
+    }
+    if row.get("crash").is_some() != row.get("omission").is_some() {
+        return Err("sweep row fault rates must come as a crash/omission pair".into());
     }
     // Estimator fields (v2): a `mode` discriminator on every row, and the
     // Monte-Carlo companion fields on `"mc"` rows only. v1 rows are

@@ -28,7 +28,7 @@ use std::ops::RangeInclusive;
 use rsbt_core::eventual::{self, LimitClass};
 use rsbt_core::probability::{self, Cache, Estimate};
 use rsbt_random::Assignment;
-use rsbt_sim::{pool, KnowledgeArena, Model, PortNumbering};
+use rsbt_sim::{pool, FaultSpec, KnowledgeArena, Model, PortNumbering};
 use rsbt_tasks::Task;
 
 use crate::report::Json;
@@ -133,6 +133,7 @@ pub struct SweepSpec {
     t_cap: usize,
     bit_budget: usize,
     mc: Option<McSweep>,
+    faults: Vec<(f64, f64)>,
     filter: Option<AlphaPredicate>,
     predicate: Option<AlphaPredicate>,
 }
@@ -154,6 +155,7 @@ impl SweepSpec {
             t_cap: 3,
             bit_budget: 16,
             mc: None,
+            faults: Vec::new(),
             filter: None,
             predicate: None,
         }
@@ -196,6 +198,29 @@ impl SweepSpec {
     pub fn mc(mut self, mc: McSweep) -> Self {
         assert!(mc.samples > 0, "mc sweep needs at least one sample");
         self.mc = Some(mc);
+        self
+    }
+
+    /// Adds a fault dimension: every `(task, model, α)` triple is swept
+    /// once per `(crash, omission)` per-round rate pair, on top of (not
+    /// instead of) its fault-free row. Fault rows always run the full
+    /// `t_cap` series on the faulted bit-sliced Monte-Carlo kernel —
+    /// random fault schedules have no exact enumerator — so the spec
+    /// must also attach [`SweepSpec::mc`]. The `(0.0, 0.0)` point is
+    /// allowed and routes through the faulted kernel too, where it is
+    /// bit-identical to the fault-free estimator (the PR 8 invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is outside `[0, 1]`.
+    pub fn faults(mut self, points: Vec<(f64, f64)>) -> Self {
+        for &(crash, omission) in &points {
+            assert!(
+                (0.0..=1.0).contains(&crash) && (0.0..=1.0).contains(&omission),
+                "fault rates must be probabilities, got ({crash}, {omission})"
+            );
+        }
+        self.faults = points;
         self
     }
 
@@ -301,6 +326,10 @@ pub struct SweepRow {
     pub mode: RowMode,
     /// Estimator companion data (`mode == Mc` rows only).
     pub mc: Option<McRow>,
+    /// Per-round crash probability (fault-dimension rows only).
+    pub crash: Option<f64>,
+    /// Per-round omission probability (fault-dimension rows only).
+    pub omission: Option<f64>,
     /// The spec predicate's verdict, when one was attached.
     pub predicted: Option<bool>,
     /// Whether the observed limit matches `predicted`.
@@ -362,6 +391,12 @@ impl SweepRow {
                 Json::Arr(mc.ci_hi.iter().map(|&p| Json::Num(p)).collect()),
             ));
         }
+        if let Some(crash) = self.crash {
+            pairs.push(("crash".to_string(), Json::Num(crash)));
+        }
+        if let Some(omission) = self.omission {
+            pairs.push(("omission".to_string(), Json::Num(omission)));
+        }
         if let Some(p) = self.predicted {
             pairs.push(("predicted".to_string(), Json::Bool(p)));
         }
@@ -380,6 +415,7 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
     let show_task = varies(|r| &r.task);
     let show_predicted = rows.iter().any(|r| r.predicted.is_some());
     let show_mode = rows.iter().any(|r| r.mode == RowMode::Mc);
+    let show_fault = rows.iter().any(|r| r.crash.is_some());
     let series_cols = rows
         .iter()
         .map(|r| r.series.len())
@@ -397,6 +433,10 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
     headers.push("gcd".to_string());
     if show_mode {
         headers.push("mode".to_string());
+    }
+    if show_fault {
+        headers.push("crash".to_string());
+        headers.push("omission".to_string());
     }
     if show_predicted {
         headers.push("predicted".to_string());
@@ -421,6 +461,11 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
         cells.push(r.gcd.to_string());
         if show_mode {
             cells.push(r.mode.as_str().to_string());
+        }
+        if show_fault {
+            let rate = |v: Option<f64>| v.map(|p| format!("{p:.2}")).unwrap_or_else(|| "-".into());
+            cells.push(rate(r.crash));
+            cells.push(rate(r.omission));
         }
         if show_predicted {
             cells.push(
@@ -457,6 +502,8 @@ struct Point {
     t_max: usize,
     /// Whether this row is estimated instead of enumerated.
     mc: bool,
+    /// `(crash, omission)` per-round rates for fault-dimension rows.
+    fault: Option<(f64, f64)>,
     predicted: Option<bool>,
 }
 
@@ -616,6 +663,11 @@ impl SweepEngine {
             &spec.models
         };
         assert!(!spec.tasks.is_empty(), "sweep spec needs at least one task");
+        assert!(
+            spec.faults.is_empty() || spec.mc.is_some(),
+            "a fault dimension needs a Monte-Carlo estimator (SweepSpec::mc): \
+             random fault schedules have no exact enumerator"
+        );
 
         let mut points = Vec::new();
         for tspec in &spec.tasks {
@@ -625,18 +677,29 @@ impl SweepEngine {
                         if spec.filter.as_ref().is_some_and(|f| !f(&alpha)) {
                             continue;
                         }
-                        let task = (tspec.make)(n);
-                        let (t_max, mc) = spec.row_plan(&alpha);
-                        points.push(Point {
-                            model: (mspec.make)(&alpha),
-                            model_label: mspec.label.clone(),
-                            task_name: task.name().into_owned(),
-                            task,
-                            t_max,
-                            mc,
-                            predicted: spec.predicate.as_ref().map(|p| p(&alpha)),
-                            alpha,
-                        });
+                        let predicted = spec.predicate.as_ref().map(|p| p(&alpha));
+                        // The fault-free row, then one row per fault point
+                        // (always estimated: faults force the MC kernel).
+                        let plans = std::iter::once(None)
+                            .chain(spec.faults.iter().map(|&f| Some(f)))
+                            .map(|fault| match fault {
+                                None => (spec.row_plan(&alpha), None),
+                                Some(f) => ((spec.t_cap, true), Some(f)),
+                            });
+                        for ((t_max, mc), fault) in plans {
+                            let task = (tspec.make)(n);
+                            points.push(Point {
+                                model: (mspec.make)(&alpha),
+                                model_label: mspec.label.clone(),
+                                task_name: task.name().into_owned(),
+                                task,
+                                t_max,
+                                mc,
+                                fault,
+                                predicted,
+                                alpha: alpha.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -725,6 +788,8 @@ impl SweepEngine {
                     limit,
                     mode: if p.mc { RowMode::Mc } else { RowMode::Exact },
                     mc,
+                    crash: p.fault.map(|(crash, _)| crash),
+                    omission: p.fault.map(|(_, omission)| omission),
                     predicted: p.predicted,
                     matches,
                 }
@@ -741,8 +806,11 @@ impl SweepEngine {
     /// so the row is a pure function of the spec.
     fn estimate_point(&mut self, p: &Point, mc: McSweep) -> (Vec<f64>, Option<McRow>) {
         let seed = point_seed(mc.seed, &p.model_label, &p.task_name, p.alpha.group_sizes());
-        let (estimates, stats): (Vec<Estimate>, _) =
-            probability::monte_carlo_bitsliced_series_with_stats(
+        // Fault rows share the fault-free row's seed on purpose: the
+        // source draws are common random numbers across the whole fault
+        // grid, so degradation curves vary only through the schedules.
+        let (estimates, stats): (Vec<Estimate>, _) = match p.fault {
+            None => probability::monte_carlo_bitsliced_series_with_stats(
                 &p.model,
                 p.task.as_ref(),
                 &p.alpha,
@@ -750,7 +818,20 @@ impl SweepEngine {
                 mc.samples,
                 seed,
                 self.threads,
-            );
+            ),
+            Some((crash, omission)) => {
+                probability::monte_carlo_bitsliced_series_faulted_with_stats(
+                    &p.model,
+                    p.task.as_ref(),
+                    &p.alpha,
+                    p.t_max,
+                    mc.samples,
+                    seed,
+                    self.threads,
+                    &FaultSpec::rates(crash, omission),
+                )
+            }
+        };
         self.mc_stats.merge(&stats);
         (
             estimates.iter().map(|e| e.p).collect(),
@@ -959,6 +1040,86 @@ mod tests {
         assert_ne!(a, point_seed(1, "cyclic ports", "leader-election", &[1, 2]));
         assert_ne!(a, point_seed(1, "blackboard", "wsb", &[1, 2]));
         assert_ne!(a, point_seed(1, "blackboard", "leader-election", &[2, 1]));
+    }
+
+    /// `n = 3` LE with a fault axis: profiles [3], [2,1] stay exact
+    /// fault-free while [1,1,1] overflows the 8-bit budget into MC, and
+    /// every profile gains one row per fault point.
+    fn faulted_spec() -> SweepSpec {
+        SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(3..=3)
+            .t_cap(4)
+            .bit_budget(8)
+            .mc(McSweep {
+                samples: 2_000,
+                seed: 7,
+            })
+            .faults(vec![(0.0, 0.0), (0.1, 0.2)])
+    }
+
+    #[test]
+    fn fault_axis_crosses_every_row() {
+        let mut engine = SweepEngine::new(2);
+        let rows = engine.sweep(&faulted_spec());
+        // 3 profiles × (fault-free + 2 fault points), in expansion order.
+        assert_eq!(rows.len(), 9);
+        for triple in rows.chunks(3) {
+            let [base, zero, faulted] = triple else {
+                unreachable!()
+            };
+            assert!(base.crash.is_none() && base.omission.is_none());
+            assert_eq!((zero.crash, zero.omission), (Some(0.0), Some(0.0)));
+            assert_eq!((faulted.crash, faulted.omission), (Some(0.1), Some(0.2)));
+            for fault_row in [zero, faulted] {
+                assert_eq!(fault_row.sizes, base.sizes);
+                assert_eq!(fault_row.mode, RowMode::Mc, "faults force the MC kernel");
+                assert!(fault_row.mc.is_some());
+                assert_eq!(fault_row.series.len(), 4, "fault rows run to t_cap");
+                let json = fault_row.to_json();
+                assert!(json.get("crash").is_some() && json.get("omission").is_some());
+            }
+            assert!(base.to_json().get("crash").is_none());
+        }
+    }
+
+    #[test]
+    fn zero_rate_fault_rows_are_bit_identical_to_fault_free_estimates() {
+        let mut engine = SweepEngine::new(3);
+        let rows = engine.sweep(&faulted_spec());
+        // [1,1,1] is estimated even fault-free, so its (0, 0) fault row
+        // must reproduce the fault-free estimator bit for bit (same
+        // seed, same kernel, structurally no fault RNG at rate zero).
+        let base = rows
+            .iter()
+            .find(|r| r.k == 3 && r.crash.is_none())
+            .expect("k = 3 fault-free row is MC");
+        assert_eq!(base.mode, RowMode::Mc);
+        let zero = rows
+            .iter()
+            .find(|r| r.k == 3 && r.crash == Some(0.0))
+            .expect("k = 3 zero-rate fault row");
+        assert_eq!(base.series, zero.series);
+        assert_eq!(base.mc, zero.mc);
+    }
+
+    #[test]
+    fn faulted_sweep_is_thread_count_invariant() {
+        let rows1 = SweepEngine::new(1).sweep(&faulted_spec());
+        for threads in [2usize, 8] {
+            let rows = SweepEngine::new(threads).sweep(&faulted_spec());
+            assert_eq!(rows, rows1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault dimension needs a Monte-Carlo estimator")]
+    fn fault_axis_without_mc_is_rejected() {
+        let spec = SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(3..=3)
+            .faults(vec![(0.1, 0.0)]);
+        SweepEngine::new(1).sweep(&spec);
     }
 
     #[test]

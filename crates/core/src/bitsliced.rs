@@ -41,7 +41,7 @@
 use rand::rngs::StreamRng;
 use rand::RngCore;
 use rsbt_random::Assignment;
-use rsbt_sim::{pool, LaneStepper, Model};
+use rsbt_sim::{pool, FaultSchedule, FaultSpec, LaneStepper, Model};
 use rsbt_tasks::{Task, VerdictPlan};
 
 use crate::engine::{self, SolvabilityMemo, TaskKernel};
@@ -99,6 +99,79 @@ where
         samples,
         seed,
         threads,
+        None,
+        || 0u64,
+        |solved: &mut u64, _first, count| *solved += u64::from(count),
+    );
+    (Estimate::from_counts(chunks.iter().sum(), samples), stats)
+}
+
+/// [`monte_carlo_bitsliced`] under a [`FaultSpec`]: lane `l` of word `w`
+/// is still sample `w·64 + l`, draws its source words from the identical
+/// unsalted stream, and compiles its per-sample [`FaultSchedule`] from
+/// the salted fault substream — the 64 schedules of a word become
+/// per-round **silence lane words** (bit `l` = lane `l`'s node silent
+/// this round) fed to
+/// [`LaneStepper::step_faulted`](rsbt_sim::LaneStepper::step_faulted).
+/// Faulted lanes track every node as its own unit (silence is
+/// per-node), so the plan compiles over the identity unit layout;
+/// estimates are bit-identical to
+/// [`monte_carlo_parallel_faulted`](crate::probability::monte_carlo_parallel_faulted)
+/// for any thread count, and with a rate-zero spec bit-identical to the
+/// fault-free kernels (asserted by tests).
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_bitsliced`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_bitsliced_faulted<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    faults: &FaultSpec,
+) -> Estimate
+where
+    T: Task + Sync + ?Sized,
+{
+    monte_carlo_bitsliced_faulted_with_stats(model, task, alpha, t, samples, seed, threads, faults)
+        .0
+}
+
+/// [`monte_carlo_bitsliced_faulted`] exposing the verdict-path
+/// statistics (summed across workers).
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_bitsliced`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_bitsliced_faulted_with_stats<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    faults: &FaultSpec,
+) -> (Estimate, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    check_mc_args(model, alpha, t, samples);
+    let (chunks, stats) = fold_lane_chunks(
+        model,
+        task,
+        alpha,
+        t,
+        samples,
+        seed,
+        threads,
+        Some(faults),
         || 0u64,
         |solved: &mut u64, _first, count| *solved += u64::from(count),
     );
@@ -159,13 +232,96 @@ where
         samples,
         seed,
         threads,
+        None,
         || vec![0u64; t_max],
         |first_solved: &mut Vec<u64>, first, count| {
             first_solved[first.saturating_sub(1)] += u64::from(count);
         },
     );
+    prefix_sum_series(&chunks, t_max, samples, stats)
+}
+
+/// [`monte_carlo_bitsliced_series`] under a [`FaultSpec`] (see
+/// [`monte_carlo_bitsliced_faulted`] for the lane discipline): the whole
+/// degradation curve `p̂(1), …, p̂(t_max)` from one faulted sampling
+/// pass. Sample `i`'s schedule is compiled once at horizon `t_max` and
+/// every prefix time reads the same silence pattern — common random
+/// numbers *and* common faults across the series.
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_bitsliced_series`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_bitsliced_series_faulted<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    faults: &FaultSpec,
+) -> Vec<Estimate>
+where
+    T: Task + Sync + ?Sized,
+{
+    monte_carlo_bitsliced_series_faulted_with_stats(
+        model, task, alpha, t_max, samples, seed, threads, faults,
+    )
+    .0
+}
+
+/// [`monte_carlo_bitsliced_series_faulted`] exposing the verdict-path
+/// statistics.
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_bitsliced_series`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_bitsliced_series_faulted_with_stats<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    faults: &FaultSpec,
+) -> (Vec<Estimate>, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    assert!(t_max >= 1, "need at least one round");
+    check_mc_args(model, alpha, t_max, samples);
+    let (chunks, stats) = fold_lane_chunks(
+        model,
+        task,
+        alpha,
+        t_max,
+        samples,
+        seed,
+        threads,
+        Some(faults),
+        || vec![0u64; t_max],
+        |first_solved: &mut Vec<u64>, first, count| {
+            first_solved[first.saturating_sub(1)] += u64::from(count);
+        },
+    );
+    prefix_sum_series(&chunks, t_max, samples, stats)
+}
+
+/// Merges per-chunk first-solving-round tallies into the cumulative
+/// estimate series (shared by the fault-free and faulted series entry
+/// points).
+fn prefix_sum_series(
+    chunks: &[Vec<u64>],
+    t_max: usize,
+    samples: usize,
+    stats: McStats,
+) -> (Vec<Estimate>, McStats) {
     let mut first_solved = vec![0u64; t_max];
-    for chunk in &chunks {
+    for chunk in chunks {
         for (acc, c) in first_solved.iter_mut().zip(chunk) {
             *acc += c;
         }
@@ -195,6 +351,7 @@ fn fold_lane_chunks<T, A, I, F>(
     samples: usize,
     seed: u64,
     threads: usize,
+    faults: Option<&FaultSpec>,
     init: I,
     tally: F,
 ) -> (Vec<A>, McStats)
@@ -205,8 +362,13 @@ where
     F: Fn(&mut A, usize, u32) + Sync,
 {
     // Compile once per run: the unit layout is a pure function of
-    // (model, alpha), so one probe stepper serves every worker.
-    let probe = LaneStepper::new(model, alpha);
+    // (model, alpha) — and of whether faults are in play: silence is
+    // per-node, so the faulted stepper tracks every node as its own
+    // unit instead of collapsing source groups.
+    let probe = match faults {
+        None => LaneStepper::new(model, alpha),
+        Some(_) => LaneStepper::new_faulted(model, alpha),
+    };
     let plan = task.lane_plan(probe.unit_of_node(), probe.units());
     // The dense fallback is only reachable from the peel path.
     let table = if plan.is_some() {
@@ -217,20 +379,32 @@ where
     let per_chunk = pool::map_sample_chunks_aligned(samples, threads, 64, |arena, range| {
         let mut acc = init();
         let mut stats = McStats::default();
-        match plan.as_ref() {
-            Some(plan) => run_plan_words(
+        match (plan.as_ref(), faults) {
+            (Some(plan), None) => run_plan_words(
                 model, alpha, plan, t, seed, &range, &mut acc, &tally, &mut stats,
             ),
-            None => {
+            (Some(plan), Some(spec)) => run_plan_words_faulted(
+                model, alpha, plan, t, seed, spec, &range, &mut acc, &tally, &mut stats,
+            ),
+            (None, _) => {
                 let kernel = match table.as_ref() {
                     Some(table) => TaskKernel::new(task, table),
                     None => TaskKernel::closed_form_only(task),
                 };
                 let mut memo = SolvabilityMemo::new();
                 let mut sampler = SampleKernel::new(model, kernel, alpha, t, arena);
+                let mut schedule = FaultSchedule::empty(alpha.n(), t);
                 for i in range.clone() {
                     let mut rng = StreamRng::new(seed, i as u64);
-                    if let Some(first) = sampler.first_solving_round(&mut rng, &mut memo, arena) {
+                    let first = match faults {
+                        None => sampler.first_solving_round(&mut rng, &mut memo, arena),
+                        Some(spec) => {
+                            spec.fill_schedule(alpha.n(), t, seed, i as u64, &mut schedule);
+                            sampler
+                                .first_solving_round_faulted(&mut rng, &schedule, &mut memo, arena)
+                        }
+                    };
+                    if let Some(first) = first {
                         tally(&mut acc, first, 1);
                     }
                 }
@@ -313,6 +487,96 @@ fn run_plan_words<A, F>(
                 break;
             }
             stepper.step(|s| draws[s * 64 + r]);
+            let newly = plan.eval(stepper.eq_words(), &mut regs) & live_mask & !solved;
+            if newly != 0 {
+                tally(acc, r + 1, newly.count_ones());
+                solved |= newly;
+            }
+        }
+        base += 64;
+    }
+}
+
+/// The faulted compiled-plan word loop: [`run_plan_words`] plus, per
+/// word, the 64 per-lane [`FaultSchedule`]s compiled from the salted
+/// fault substream and transposed into per-round **silence lane words**
+/// (`sil[i·64 + r]` bit `l` = lane `l`'s node `i` silent in round
+/// `r + 1`) for [`LaneStepper::step_faulted`]. Source draws are
+/// untouched — same streams, same order — so a rate-zero spec compiles
+/// all-zero silence words and reproduces the fault-free verdicts
+/// bit-for-bit. Early exit per word stays sound: faulted partitions
+/// still only refine over time (each round's knowledge embeds the
+/// node's own previous knowledge), so per-lane verdicts stay monotone
+/// in `r`.
+#[allow(clippy::too_many_arguments)]
+fn run_plan_words_faulted<A, F>(
+    model: &Model,
+    alpha: &Assignment,
+    plan: &VerdictPlan,
+    t: usize,
+    seed: u64,
+    spec: &FaultSpec,
+    range: &std::ops::Range<usize>,
+    acc: &mut A,
+    tally: &F,
+    stats: &mut McStats,
+) where
+    F: Fn(&mut A, usize, u32),
+{
+    debug_assert_eq!(range.start % 64, 0, "chunks must be word-aligned");
+    let k = alpha.k();
+    let n = alpha.n();
+    let mut stepper = LaneStepper::new_faulted(model, alpha);
+    let mut draws = vec![0u64; k * 64];
+    // sil[i·64 + l] before the transpose: lane l's silence mask for node
+    // i (bit r = silent in round r + 1); after: per-round lane words.
+    let mut sil = vec![0u64; n * 64];
+    let mut schedule = FaultSchedule::empty(n, t);
+    let mut regs: Vec<u64> = Vec::new();
+    let mut base = range.start;
+    while base < range.end {
+        let live = (range.end - base).min(64);
+        let live_mask = if live == 64 {
+            u64::MAX
+        } else {
+            (1u64 << live) - 1
+        };
+        for l in 0..64 {
+            if l < live {
+                let mut rng = StreamRng::new(seed, (base + l) as u64);
+                for s in 0..k {
+                    draws[s * 64 + l] = rng.next_u64();
+                }
+                spec.fill_schedule(n, t, seed, (base + l) as u64, &mut schedule);
+                for i in 0..n {
+                    sil[i * 64 + l] = schedule.silent_mask64(i);
+                }
+            } else {
+                for s in 0..k {
+                    draws[s * 64 + l] = 0;
+                }
+                for i in 0..n {
+                    sil[i * 64 + l] = 0;
+                }
+            }
+        }
+        for s in 0..k {
+            transpose64(&mut draws[s * 64..(s + 1) * 64]);
+        }
+        for i in 0..n {
+            transpose64(&mut sil[i * 64..(i + 1) * 64]);
+        }
+        stepper.reset();
+        stats.lane_words += 1;
+        let mut solved = plan.eval(stepper.eq_words(), &mut regs) & live_mask;
+        if solved != 0 {
+            tally(acc, 0, solved.count_ones());
+        }
+        for r in 0..t {
+            if solved == live_mask {
+                break;
+            }
+            stepper.step_faulted(|s| draws[s * 64 + r], |i| sil[i * 64 + r]);
             let newly = plan.eval(stepper.eq_words(), &mut regs) & live_mask & !solved;
             if newly != 0 {
                 tally(acc, r + 1, newly.count_ones());
@@ -470,6 +734,159 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn faulted_bitsliced_matches_the_faulted_scalar_kernel() {
+        use crate::probability::monte_carlo_parallel_faulted;
+        let specs = [
+            FaultSpec::rates(0.05, 0.15),
+            FaultSpec::rates(0.0, 0.3),
+            FaultSpec::rates(0.2, 0.0),
+        ];
+        for (model, task, alpha, t) in grid() {
+            for spec in &specs {
+                for samples in [63usize, 200] {
+                    let reference = monte_carlo_parallel_faulted(
+                        &model,
+                        task.as_ref(),
+                        &alpha,
+                        t,
+                        samples,
+                        42,
+                        1,
+                        spec,
+                    );
+                    for threads in [1usize, 3] {
+                        let sliced = monte_carlo_bitsliced_faulted(
+                            &model,
+                            task.as_ref(),
+                            &alpha,
+                            t,
+                            samples,
+                            42,
+                            threads,
+                            spec,
+                        );
+                        assert_eq!(
+                            sliced,
+                            reference,
+                            "{} {model} spec={spec:?} samples={samples} threads={threads}",
+                            task.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_spec_is_bit_identical_to_the_fault_free_kernels() {
+        let spec = FaultSpec::none();
+        for (model, task, alpha, t) in grid() {
+            let plain = monte_carlo_bitsliced(&model, task.as_ref(), &alpha, t, 200, 11, 2);
+            let faulted =
+                monte_carlo_bitsliced_faulted(&model, task.as_ref(), &alpha, t, 200, 11, 2, &spec);
+            assert_eq!(faulted, plain, "{} {model}", task.name());
+            let series = monte_carlo_bitsliced_series(&model, task.as_ref(), &alpha, t, 200, 11, 2);
+            let faulted_series = monte_carlo_bitsliced_series_faulted(
+                &model,
+                task.as_ref(),
+                &alpha,
+                t,
+                200,
+                11,
+                2,
+                &spec,
+            );
+            assert_eq!(faulted_series, series, "{} {model} series", task.name());
+        }
+    }
+
+    #[test]
+    fn faulted_series_tail_equals_the_point_estimate_and_stays_monotone() {
+        // Schedules are compiled at the series horizon, so interior points
+        // are *distributionally* p̂(t) but only the tail is bit-identical
+        // to the point kernel at the same horizon.
+        let spec = FaultSpec::rates(0.1, 0.2);
+        for (model, task, alpha, t_max) in grid() {
+            let series = monte_carlo_bitsliced_series_faulted(
+                &model,
+                task.as_ref(),
+                &alpha,
+                t_max,
+                200,
+                13,
+                2,
+                &spec,
+            );
+            let point = monte_carlo_bitsliced_faulted(
+                &model,
+                task.as_ref(),
+                &alpha,
+                t_max,
+                200,
+                13,
+                2,
+                &spec,
+            );
+            assert_eq!(series[t_max - 1], point, "{} {model}", task.name());
+            for w in series.windows(2) {
+                assert!(w[1].solved >= w[0].solved, "{} {model}", task.name());
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_plan_path_actually_engages_lanes() {
+        // Leader election on the blackboard compiles a lane plan in the
+        // identity unit layout: the faulted kernel must run words, not
+        // peel.
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let (_, stats) = monte_carlo_bitsliced_faulted_with_stats(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            4,
+            130,
+            9,
+            3,
+            &FaultSpec::rates(0.1, 0.1),
+        );
+        assert_eq!(stats.lane_words, 3);
+        assert_eq!(stats.peeled_lanes, 0);
+    }
+
+    #[test]
+    fn faulted_planless_tasks_peel_to_the_scalar_path() {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let spec = FaultSpec::rates(0.1, 0.2);
+        let (est, stats) = monte_carlo_bitsliced_faulted_with_stats(
+            &Model::Blackboard,
+            &OpaqueLeaderElection,
+            &alpha,
+            4,
+            100,
+            5,
+            2,
+            &spec,
+        );
+        assert_eq!(stats.peeled_lanes, 100);
+        assert_eq!(stats.lane_words, 0);
+        // Bit-identical to the plan path on the same underlying task.
+        assert_eq!(
+            est,
+            monte_carlo_bitsliced_faulted(
+                &Model::Blackboard,
+                &LeaderElection,
+                &alpha,
+                4,
+                100,
+                5,
+                3,
+                &spec,
+            )
+        );
     }
 
     #[test]

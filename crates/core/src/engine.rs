@@ -43,7 +43,7 @@
 
 use rsbt_complex::FacetTable;
 use rsbt_random::{Assignment, BitString, Realization};
-use rsbt_sim::{FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper};
+use rsbt_sim::{FaultSchedule, FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper};
 use rsbt_tasks::Task;
 
 use crate::output_cache::build_output_table;
@@ -224,6 +224,65 @@ pub fn solved_counts<T: Task + ?Sized>(
     solved_counts_shard(model, &kernel, alpha, t_max, 0, 0, 1, arena, &mut memo)
 }
 
+/// [`solved_counts`] under a **fixed** [`FaultSchedule`]: every
+/// enumerated realization executes against the same deterministic
+/// silence pattern (a node silent in round `r` contributes nothing to
+/// that round's board or messages — the semantics of
+/// [`Execution::run_with_faults`](rsbt_sim::Execution::run_with_faults)).
+///
+/// Only fixed schedules are enumerable: a *random* fault model would
+/// break Lemma B.1's equiprobability (realizations would carry
+/// fault-pattern weights), so [`FaultSpec`](rsbt_sim::FaultSpec) rates
+/// are Monte-Carlo-only and the exact path takes the schedule directly.
+///
+/// The monotone subtree pruning the engine relies on survives faults
+/// unchanged: each round node embeds the node's own previous knowledge,
+/// so equal time-`t` knowledge still forces equal time-`t − 1` knowledge
+/// — the consistency partition only refines over time, faulted or not,
+/// and a solving node's subtree solves wholesale. (What does *not*
+/// survive crashes is the zero-one *interpretation*: a crashed node's
+/// class may "decide" in the partition sense while the operational
+/// runner reports it as `None`. See `DESIGN.md` §4.9.)
+///
+/// # Panics
+///
+/// Same conditions as [`solved_counts`], plus a schedule/assignment
+/// node-count mismatch.
+pub fn solved_counts_faulted<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    faults: &FaultSchedule,
+    arena: &mut KnowledgeArena,
+) -> Vec<u64> {
+    assert_eq!(
+        faults.n(),
+        alpha.n(),
+        "fault schedule is for {} nodes, assignment for {}",
+        faults.n(),
+        alpha.n()
+    );
+    let table = fallback_table(task, alpha.n());
+    let kernel = match table.as_ref() {
+        Some(table) => TaskKernel::new(task, table),
+        None => TaskKernel::closed_form_only(task),
+    };
+    let mut memo = SolvabilityMemo::new();
+    shard_impl(
+        model,
+        &kernel,
+        alpha,
+        t_max,
+        0,
+        0,
+        1,
+        Some(faults),
+        arena,
+        &mut memo,
+    )
+}
+
 /// Builds the dense output table only when `task` has no closed-form
 /// verdict (probed on one partition — the trait contract makes
 /// `solves_partition` uniformly `Some`/`None` per `(task, n)`). The probe
@@ -263,6 +322,38 @@ pub fn solved_counts_shard<T: Task + ?Sized>(
     arena: &mut KnowledgeArena,
     memo: &mut SolvabilityMemo,
 ) -> Vec<u64> {
+    shard_impl(
+        model,
+        kernel,
+        alpha,
+        t_max,
+        shard_depth,
+        lo,
+        hi,
+        None,
+        arena,
+        memo,
+    )
+}
+
+/// The shared traversal body of [`solved_counts_shard`] and
+/// [`solved_counts_faulted`]: `faults = None` is the fault-free walk,
+/// `Some(schedule)` steps every round through
+/// [`RoundStepper::step_faulted`] with the schedule's silence at that
+/// depth (tree depth *is* the 1-based round number).
+#[allow(clippy::too_many_arguments)]
+fn shard_impl<T: Task + ?Sized>(
+    model: &Model,
+    kernel: &TaskKernel<'_, T>,
+    alpha: &Assignment,
+    t_max: usize,
+    shard_depth: usize,
+    lo: u64,
+    hi: u64,
+    faults: Option<&FaultSchedule>,
+    arena: &mut KnowledgeArena,
+    memo: &mut SolvabilityMemo,
+) -> Vec<u64> {
     let k = alpha.k();
     let n = alpha.n();
     assert!(shard_depth <= t_max, "shard depth beyond the tree");
@@ -285,6 +376,7 @@ pub fn solved_counts_shard<T: Task + ?Sized>(
         alpha,
         k,
         t_max,
+        faults,
         counts,
     };
     // levels[d] holds the knowledge-id vector of the current depth-d node.
@@ -297,9 +389,10 @@ pub fn solved_counts_shard<T: Task + ?Sized>(
         for r in 1..=shard_depth {
             let digit = prefix >> ((shard_depth - r) * k) & digit_mask;
             let (before, after) = levels.split_at_mut(r);
-            walker.stepper.step(
+            walker.advance(
                 arena,
                 &before[r - 1],
+                r,
                 |i| digit >> alpha.source_of(i) & 1 == 1,
                 &mut after[0],
             );
@@ -348,10 +441,32 @@ struct TreeWalker<'a, T: Task + ?Sized> {
     alpha: &'a Assignment,
     k: usize,
     t_max: usize,
+    /// `Some` enumerates against a fixed silence pattern (tree depth is
+    /// the 1-based round the schedule is consulted at).
+    faults: Option<&'a FaultSchedule>,
     counts: Vec<u64>,
 }
 
 impl<T: Task + ?Sized> TreeWalker<'_, T> {
+    /// One round of knowledge construction landing at 1-based `round`:
+    /// the plain step when fault-free, [`RoundStepper::step_faulted`]
+    /// with the schedule's silence at `round` otherwise.
+    fn advance<F: Fn(usize) -> bool>(
+        &mut self,
+        arena: &mut KnowledgeArena,
+        prev: &[KnowledgeId],
+        round: usize,
+        bit: F,
+        out: &mut Vec<KnowledgeId>,
+    ) {
+        match self.faults {
+            None => self.stepper.step(arena, prev, bit, out),
+            Some(f) => self
+                .stepper
+                .step_faulted(arena, prev, bit, |m| f.is_silent(m, round), out),
+        }
+    }
+
     /// Expands the node whose knowledge vector is `levels[0]` (at `depth`,
     /// known not to solve): steps each of the `2^k` children into
     /// `levels[1]`, tallies, prunes solving subtrees, recurses otherwise.
@@ -360,9 +475,10 @@ impl<T: Task + ?Sized> TreeWalker<'_, T> {
         let child_depth = depth + 1;
         let alpha = self.alpha;
         for digit in 0..1u64 << self.k {
-            self.stepper.step(
+            self.advance(
                 arena,
                 cur,
+                child_depth,
                 |i| digit >> alpha.source_of(i) & 1 == 1,
                 &mut rest[0],
             );
@@ -590,6 +706,44 @@ mod tests {
                     }
                     assert_eq!(summed, serial, "{model} depth={shard_depth} cuts={cuts:?}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_engine_matches_leaf_by_leaf_reference() {
+        // The pruning traversal under a fixed schedule must tally exactly
+        // what a leaf-by-leaf faulted re-simulation counts (pinning that
+        // monotone pruning stays sound under faults: partitions still
+        // only refine, because every round node embeds the node's own
+        // previous knowledge — silent or not).
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let t_max = 3;
+        let mut sched = FaultSchedule::empty(3, t_max);
+        sched.set_omission(0, 2);
+        sched.set_crash(2, 2);
+        for model in [Model::Blackboard, Model::message_passing_cyclic(3)] {
+            let counts = solved_counts_faulted(
+                &model,
+                &LeaderElection,
+                &alpha,
+                t_max,
+                &sched,
+                &mut KnowledgeArena::new(),
+            );
+            let kernel = TaskKernel::closed_form_only(&LeaderElection);
+            let mut memo = SolvabilityMemo::new();
+            let mut arena = KnowledgeArena::new();
+            for t in 1..=t_max {
+                let mut solved = 0u64;
+                for rho in Realization::enumerate_consistent(&alpha, t) {
+                    let exec =
+                        rsbt_sim::Execution::run_with_faults(&model, &rho, &sched, &mut arena);
+                    if memo.solves(exec.knowledge_at(t), &kernel) {
+                        solved += 1;
+                    }
+                }
+                assert_eq!(counts[t - 1], solved, "{model} t={t}");
             }
         }
     }

@@ -12,7 +12,9 @@
 use rand::rngs::StreamRng;
 use rand::Rng;
 use rsbt_random::{Assignment, BitString, Realization};
-use rsbt_sim::{pool, FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper};
+use rsbt_sim::{
+    pool, FaultSchedule, FaultSpec, FxHashMap, KnowledgeArena, KnowledgeId, Model, RoundStepper,
+};
 use rsbt_tasks::Task;
 
 use rsbt_complex::FacetTable;
@@ -22,7 +24,9 @@ use crate::output_cache::OutputComplexCache;
 use crate::solvability;
 
 pub use crate::bitsliced::{
-    monte_carlo_bitsliced, monte_carlo_bitsliced_series, monte_carlo_bitsliced_series_with_stats,
+    monte_carlo_bitsliced, monte_carlo_bitsliced_faulted, monte_carlo_bitsliced_faulted_with_stats,
+    monte_carlo_bitsliced_series, monte_carlo_bitsliced_series_faulted,
+    monte_carlo_bitsliced_series_faulted_with_stats, monte_carlo_bitsliced_series_with_stats,
     monte_carlo_bitsliced_with_stats,
 };
 
@@ -77,6 +81,56 @@ pub fn exact_with_arena<T: Task + ?Sized>(
         return exact_reference(model, task, alpha, 0, arena);
     }
     let counts = engine::solved_counts(model, task, alpha, t, arena);
+    counts[t - 1] as f64 / (1u64 << (alpha.k() * t)) as f64
+}
+
+/// Exact `Pr[S(t) | α]` under a **fixed** [`FaultSchedule`]: counts the
+/// `2^{k·t}` equiprobable realizations that solve when every execution
+/// runs against the same deterministic silence pattern (crashed or
+/// omitting nodes contribute nothing to a round's board or messages; see
+/// [`rsbt_sim::Execution::run_with_faults`]).
+///
+/// Random fault *rates* are deliberately not accepted here: enumerating
+/// them would weight realizations by fault-pattern probability and break
+/// Lemma B.1's equiprobability — rates belong to the Monte-Carlo
+/// estimators ([`monte_carlo_parallel_faulted`] and the bit-sliced
+/// family). For the solvability-law fine print (where the zero-one
+/// argument survives omission faults and where crashes break it) see
+/// `DESIGN.md` §4.9.
+///
+/// # Panics
+///
+/// Same conditions as [`exact`], plus a schedule/assignment node
+/// mismatch.
+pub fn exact_faulted<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    faults: &FaultSchedule,
+) -> f64 {
+    exact_faulted_with_arena(model, task, alpha, t, faults, &mut KnowledgeArena::new())
+}
+
+/// [`exact_faulted`] with a caller-provided [`KnowledgeArena`].
+///
+/// # Panics
+///
+/// Same conditions as [`exact_faulted`].
+pub fn exact_faulted_with_arena<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    faults: &FaultSchedule,
+    arena: &mut KnowledgeArena,
+) -> f64 {
+    check_budget(model, alpha, t);
+    if t == 0 {
+        // No rounds: faults never act, and the all-⊥ partition decides.
+        return exact_reference(model, task, alpha, 0, arena);
+    }
+    let counts = engine::solved_counts_faulted(model, task, alpha, t, faults, arena);
     counts[t - 1] as f64 / (1u64 << (alpha.k() * t)) as f64
 }
 
@@ -741,6 +795,47 @@ impl<'a, T: Task + ?Sized> SampleKernel<'a, T> {
         }
         None
     }
+
+    /// [`SampleKernel::first_solving_round`] under a per-sample
+    /// [`FaultSchedule`]: identical source-draw discipline (`k` `u64`
+    /// words in source order — fault draws live on a salted stream and
+    /// never touch `rng`), with every round stepped through
+    /// [`RoundStepper::step_faulted`] at the schedule's 1-based round.
+    /// With an empty schedule the verdict stream is bit-identical to the
+    /// fault-free kernel's.
+    pub(crate) fn first_solving_round_faulted<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        faults: &FaultSchedule,
+        memo: &mut SolvabilityMemo,
+        arena: &mut KnowledgeArena,
+    ) -> Option<usize> {
+        self.sources.clear();
+        for _ in 0..self.alpha.k() {
+            self.sources.push(BitString::sample(rng, self.t));
+        }
+        if memo.solves(&self.initial, &self.kernel) {
+            return Some(0);
+        }
+        self.cur.clear();
+        self.cur.extend_from_slice(&self.initial);
+        for r in 0..self.t {
+            let sources = &self.sources;
+            let alpha = self.alpha;
+            self.stepper.step_faulted(
+                arena,
+                &self.cur,
+                |i| sources[alpha.source_of(i)].bit(r),
+                |i| faults.is_silent(i, r + 1),
+                &mut self.next,
+            );
+            std::mem::swap(&mut self.cur, &mut self.next);
+            if memo.solves(&self.cur, &self.kernel) {
+                return Some(r + 1);
+            }
+        }
+        None
+    }
 }
 
 /// Monte-Carlo `Pr[S(t) | α]` from a caller-provided generator.
@@ -892,6 +987,82 @@ where
         0,
         samples,
         threads,
+        None,
+    );
+    (Estimate::from_counts(solved, samples), stats)
+}
+
+/// [`monte_carlo_parallel`] under a [`FaultSpec`]: sample `i` draws its
+/// source bits from [`StreamRng`]`(seed, i)` — exactly the fault-free
+/// discipline — and compiles its [`FaultSchedule`] from the salted fault
+/// substream [`rsbt_sim::faults::fault_stream`]`(seed, i)`, so the
+/// estimate is **bit-identical for any `threads` value**, and with a
+/// rate-zero spec bit-identical to [`monte_carlo_parallel`] itself
+/// (asserted by property test: the fault substream is never even
+/// constructed at rate zero, and the faulted step with no silence
+/// interns the same knowledge).
+///
+/// A sample "solves" when its consistency partition solves at some
+/// round `≤ t` — crashed nodes keep their (listening) knowledge and stay
+/// in the partition; see `DESIGN.md` §4.9 for how this relates to the
+/// operational runner's `None` outputs.
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_parallel`], plus the
+/// [`FaultSpec::rates`] range panics if the spec was built with invalid
+/// rates, and a fixed schedule must cover `alpha.n()` nodes.
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_parallel_faulted<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    faults: &FaultSpec,
+) -> Estimate
+where
+    T: Task + Sync + ?Sized,
+{
+    monte_carlo_parallel_faulted_with_stats(model, task, alpha, t, samples, seed, threads, faults).0
+}
+
+/// [`monte_carlo_parallel_faulted`] exposing the verdict-path statistics
+/// (summed across workers).
+///
+/// # Panics
+///
+/// Same conditions as [`monte_carlo_parallel_faulted`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_parallel_faulted_with_stats<T>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t: usize,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    faults: &FaultSpec,
+) -> (Estimate, McStats)
+where
+    T: Task + Sync + ?Sized,
+{
+    assert!(threads >= 1, "need at least one thread");
+    check_mc_args(model, alpha, t, samples);
+    let table = engine::fallback_table(task, alpha.n());
+    let (solved, stats) = sample_stream_range(
+        model,
+        task,
+        table.as_ref(),
+        alpha,
+        t,
+        seed,
+        0,
+        samples,
+        threads,
+        Some(faults),
     );
     (Estimate::from_counts(solved, samples), stats)
 }
@@ -960,6 +1131,7 @@ where
         0,
         samples,
         threads,
+        None,
         || vec![0u64; t_max],
         |first_solved, first| {
             if let Some(r) = first {
@@ -1000,6 +1172,7 @@ fn sample_stream_range<T>(
     lo: usize,
     hi: usize,
     threads: usize,
+    faults: Option<&FaultSpec>,
 ) -> (u64, McStats)
 where
     T: Task + Sync + ?Sized,
@@ -1014,6 +1187,7 @@ where
         lo,
         hi - lo,
         threads,
+        faults,
         || 0u64,
         |solved, first| {
             if first.is_some() {
@@ -1042,6 +1216,7 @@ fn fold_sample_chunks<T, A, I, F>(
     lo: usize,
     count: usize,
     threads: usize,
+    faults: Option<&FaultSpec>,
     init: I,
     tally: F,
 ) -> (Vec<A>, McStats)
@@ -1059,12 +1234,31 @@ where
         let mut memo = SolvabilityMemo::new();
         let mut sampler = SampleKernel::new(model, kernel, alpha, t, arena);
         let mut acc = init();
-        for i in range {
-            let mut rng = StreamRng::new(seed, (lo + i) as u64);
-            tally(
-                &mut acc,
-                sampler.first_solving_round(&mut rng, &mut memo, arena),
-            );
+        match faults {
+            None => {
+                for i in range {
+                    let mut rng = StreamRng::new(seed, (lo + i) as u64);
+                    tally(
+                        &mut acc,
+                        sampler.first_solving_round(&mut rng, &mut memo, arena),
+                    );
+                }
+            }
+            Some(spec) => {
+                // One schedule buffer per worker; sample i compiles its
+                // schedule from the salted fault substream keyed by the
+                // same (seed, stream index) pair its source draws use.
+                let mut schedule = FaultSchedule::empty(alpha.n(), t);
+                for i in range {
+                    let stream = (lo + i) as u64;
+                    spec.fill_schedule(alpha.n(), t, seed, stream, &mut schedule);
+                    let mut rng = StreamRng::new(seed, stream);
+                    tally(
+                        &mut acc,
+                        sampler.first_solving_round_faulted(&mut rng, &schedule, &mut memo, arena),
+                    );
+                }
+            }
         }
         let mut stats = McStats::default();
         stats.absorb(&memo);
@@ -1163,6 +1357,7 @@ where
             samples,
             samples + batch,
             threads,
+            None,
         );
         solved += s;
         stats.merge(&st);
@@ -1367,6 +1562,93 @@ mod tests {
         assert_eq!(stats.dense_scan_verdicts, 0);
         assert!(stats.closed_form_verdicts > 0);
         assert!(stats.memo_hits > 0, "partition memo must absorb repeats");
+    }
+
+    #[test]
+    fn exact_faulted_with_empty_schedule_matches_exact() {
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        for model in [Model::Blackboard, Model::message_passing_cyclic(3)] {
+            for t in 0..=4usize {
+                let plain = exact(&model, &LeaderElection, &alpha, t);
+                let faulted = exact_faulted(
+                    &model,
+                    &LeaderElection,
+                    &alpha,
+                    t,
+                    &FaultSchedule::empty(3, t),
+                );
+                assert_eq!(plain.to_bits(), faulted.to_bits(), "{model} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_monte_carlo_brackets_faulted_exact() {
+        // A fixed schedule evaluated two independent ways: the pruning
+        // engine's enumeration and the sampling kernels must agree within
+        // the Wilson interval, and the two MC kernels bit-for-bit.
+        let alpha = Assignment::from_group_sizes(&[1, 2, 2]).unwrap();
+        let t = 4;
+        let mut sched = FaultSchedule::empty(5, t);
+        sched.set_omission(1, 1);
+        sched.set_crash(3, 2);
+        let spec = FaultSpec::fixed(sched.clone());
+        for model in [Model::Blackboard, Model::message_passing_cyclic(5)] {
+            let p = exact_faulted(&model, &LeaderElection, &alpha, t, &sched);
+            let est = monte_carlo_parallel_faulted(
+                &model,
+                &LeaderElection,
+                &alpha,
+                t,
+                40_000,
+                2021,
+                4,
+                &spec,
+            );
+            assert!(
+                est.is_consistent_with(p, 4.0),
+                "{model}: MC {est:?} vs exact {p}"
+            );
+            let sliced = monte_carlo_bitsliced_faulted(
+                &model,
+                &LeaderElection,
+                &alpha,
+                t,
+                40_000,
+                2021,
+                3,
+                &spec,
+            );
+            assert_eq!(sliced, est, "{model}");
+        }
+    }
+
+    #[test]
+    fn blackboard_silence_is_observable_and_only_refines() {
+        // Theorem 4.1 'only if': sizes [2, 2] never solve a fault-free
+        // blackboard. Faults change that — a node's silence shortens the
+        // board, which is symmetry-breaking information in itself — so
+        // the faulted success count dominates the fault-free one (here:
+        // strictly, from 0).
+        let alpha = Assignment::from_group_sizes(&[2, 2]).unwrap();
+        let t = 4;
+        let plain =
+            monte_carlo_parallel(&Model::Blackboard, &LeaderElection, &alpha, t, 4_000, 3, 2);
+        assert_eq!(plain.solved, 0, "fault-free [2,2] blackboard is dead");
+        let faulted = monte_carlo_parallel_faulted(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            t,
+            4_000,
+            3,
+            2,
+            &FaultSpec::rates(0.2, 0.1),
+        );
+        assert!(
+            faulted.solved > 0,
+            "silence must break the [2,2] symmetry: {faulted:?}"
+        );
     }
 
     #[test]

@@ -182,6 +182,92 @@ proptest! {
         }
     }
 
+    /// A rate-zero fault spec is bit-identical to the fault-free kernels
+    /// — scalar, bit-sliced, and bit-sliced series — for any thread
+    /// count. The fault plumbing constructs no RNG at rate zero and the
+    /// faulted steppers intern/track exactly the fault-free relation, so
+    /// this is structural, not coincidental; the property pins it for
+    /// random seeds, profiles, and horizons.
+    #[test]
+    fn rate_zero_faults_are_bit_identical_to_fault_free(
+        seed in any::<u64>(),
+        sizes_idx in 0usize..4,
+        t in 1usize..5,
+    ) {
+        let profiles: [&[usize]; 4] = [&[1, 1], &[1, 2], &[2, 2], &[1, 1, 2]];
+        let alpha = Assignment::from_group_sizes(profiles[sizes_idx]).unwrap();
+        let spec = rsbt_sim::FaultSpec::none();
+        let samples = 192usize;
+        for model in [Model::Blackboard, Model::message_passing_cyclic(alpha.n())] {
+            let plain = probability::monte_carlo_parallel(
+                &model, &LeaderElection, &alpha, t, samples, seed, 1,
+            );
+            let sliced = probability::monte_carlo_bitsliced(
+                &model, &LeaderElection, &alpha, t, samples, seed, 1,
+            );
+            let series = probability::monte_carlo_bitsliced_series(
+                &model, &LeaderElection, &alpha, t, samples, seed, 1,
+            );
+            for threads in [1usize, 2, 3, 8] {
+                prop_assert_eq!(
+                    probability::monte_carlo_parallel_faulted(
+                        &model, &LeaderElection, &alpha, t, samples, seed, threads, &spec,
+                    ),
+                    plain,
+                    "scalar threads={}", threads
+                );
+                prop_assert_eq!(
+                    probability::monte_carlo_bitsliced_faulted(
+                        &model, &LeaderElection, &alpha, t, samples, seed, threads, &spec,
+                    ),
+                    sliced,
+                    "bitsliced threads={}", threads
+                );
+                prop_assert_eq!(
+                    probability::monte_carlo_bitsliced_series_faulted(
+                        &model, &LeaderElection, &alpha, t, samples, seed, threads, &spec,
+                    ),
+                    series.clone(),
+                    "series threads={}", threads
+                );
+            }
+        }
+    }
+
+    /// The faulted estimators are thread-count invariant at nonzero rates
+    /// too: per-sample schedules come from the salted per-sample
+    /// substream, never from worker-local state.
+    #[test]
+    fn faulted_monte_carlo_is_thread_count_invariant(
+        seed in any::<u64>(),
+        sizes_idx in 0usize..4,
+        t in 1usize..5,
+    ) {
+        let profiles: [&[usize]; 4] = [&[1, 1], &[1, 2], &[2, 2], &[1, 1, 2]];
+        let alpha = Assignment::from_group_sizes(profiles[sizes_idx]).unwrap();
+        let spec = rsbt_sim::FaultSpec::rates(0.1, 0.2);
+        let samples = 192usize;
+        let reference = probability::monte_carlo_parallel_faulted(
+            &Model::Blackboard, &LeaderElection, &alpha, t, samples, seed, 1, &spec,
+        );
+        for threads in [2usize, 3, 8] {
+            prop_assert_eq!(
+                probability::monte_carlo_parallel_faulted(
+                    &Model::Blackboard, &LeaderElection, &alpha, t, samples, seed, threads, &spec,
+                ),
+                reference,
+                "threads={}", threads
+            );
+        }
+        prop_assert_eq!(
+            probability::monte_carlo_bitsliced_faulted(
+                &Model::Blackboard, &LeaderElection, &alpha, t, samples, seed, 4, &spec,
+            ),
+            reference,
+            "bitsliced"
+        );
+    }
+
     /// Wilson intervals bracket the sample mean, stay inside [0, 1], and
     /// widen monotonically in z.
     #[test]

@@ -27,7 +27,7 @@ use rand::rngs::{StdRng, StreamRng};
 use rand::SeedableRng;
 use rsbt_core::probability::wilson_interval;
 use rsbt_random::Assignment;
-use rsbt_sim::net::{run_coordinator, run_node, NetError, Wire};
+use rsbt_sim::net::{run_coordinator, run_coordinator_ft, run_node, FtConfig, NetError, Wire};
 use rsbt_sim::pool::map_sample_chunks;
 use rsbt_sim::runner::{run_nodes_with, Protocol, RunOutcome, RunStats};
 use rsbt_sim::Model;
@@ -336,6 +336,8 @@ impl McBackend {
                     }
                     acc.stats.posts += out.stats.posts;
                     acc.stats.sends += out.stats.sends;
+                    acc.stats.crashes += out.stats.crashes;
+                    acc.stats.omissions += out.stats.omissions;
                     acc.stats.max_msg_bytes = acc.stats.max_msg_bytes.max(out.stats.max_msg_bytes);
                 }
                 acc
@@ -355,6 +357,8 @@ impl McBackend {
             }
             stats.posts += chunk.stats.posts;
             stats.sends += chunk.stats.sends;
+            stats.crashes += chunk.stats.crashes;
+            stats.omissions += chunk.stats.omissions;
             stats.max_msg_bytes = stats.max_msg_bytes.max(chunk.stats.max_msg_bytes);
         }
         let (ci_lo, ci_hi) = wilson_interval(successes, self.samples, 1.96);
@@ -412,6 +416,19 @@ impl fmt::Debug for Launcher {
     }
 }
 
+/// A deterministic mid-run fault injection: kill worker `node`'s process
+/// when the coordinator reaches round `round` (1-based, before that
+/// round's messages are exchanged). Only meaningful with
+/// [`Launcher::Spawn`] — in-process workers share our address space and
+/// cannot be killed without taking the coordinator down.
+#[derive(Clone, Copy, Debug)]
+pub struct KillPlan {
+    /// Worker index to kill.
+    pub node: usize,
+    /// 1-based round at whose barrier the kill fires.
+    pub round: usize,
+}
+
 /// Backend 3: real multi-process execution over loopback TCP.
 ///
 /// The coordinator (this process) draws bits from
@@ -419,12 +436,22 @@ impl fmt::Debug for Launcher {
 /// the two backends agree on outputs, rounds, and — when
 /// [`Protocol::msg_bytes`] is the wire length — on byte counters, for the
 /// same job.
+///
+/// Spawned workers run under the fault-tolerant coordinator
+/// ([`run_coordinator_ft`]): a worker that dies mid-run is declared
+/// crashed after a bounded retry/backoff and the run degrades to a
+/// partial [`RunOutcome`] (`None` output, `crashed` flag) instead of
+/// failing. With every worker alive the fault-tolerant path draws the
+/// same RNG stream as the strict one, so no-fault runs stay bit-identical
+/// to [`SimBackend`].
 #[derive(Debug)]
 pub struct SocketBackend {
     /// Per-read deadline (handshake and round barriers).
     pub timeout: Duration,
     /// Worker strategy.
     pub launcher: Launcher,
+    /// Optional deterministic mid-run kill (spawn launcher only).
+    pub kill: Option<KillPlan>,
 }
 
 impl SocketBackend {
@@ -434,6 +461,7 @@ impl SocketBackend {
         SocketBackend {
             timeout,
             launcher: Launcher::InProcess,
+            kill: None,
         }
     }
 
@@ -446,7 +474,17 @@ impl SocketBackend {
         SocketBackend {
             timeout,
             launcher: Launcher::Spawn(Box::new(spawn)),
+            kill: None,
         }
+    }
+
+    /// Kills worker `node` when the coordinator reaches round `round`
+    /// (1-based). Requires [`Launcher::Spawn`]; the in-process launcher
+    /// panics on a kill plan.
+    #[must_use]
+    pub fn with_kill(mut self, node: usize, round: usize) -> Self {
+        self.kill = Some(KillPlan { node, round });
+        self
     }
 
     fn run_inner<C>(
@@ -469,27 +507,34 @@ impl SocketBackend {
         let mut rng = StdRng::seed_from_u64(job.seed);
 
         match &self.launcher {
-            Launcher::InProcess => std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..n)
-                    .map(|i| {
-                        let node = choreo.node(i, job.model, &projection);
-                        scope.spawn(move || run_node(addr, i, node, timeout))
-                    })
-                    .collect();
-                let result = run_coordinator::<NodeMsg<C>, NodeOutput<C>, _>(
-                    &listener,
-                    job.model,
-                    job.alpha,
-                    job.max_rounds,
-                    &mut rng,
-                    options,
-                    timeout,
+            Launcher::InProcess => {
+                assert!(
+                    self.kill.is_none(),
+                    "kill plans require the Spawn launcher: in-process workers \
+                     share the coordinator's address space"
                 );
-                for handle in handles {
-                    let _ = handle.join();
-                }
-                result.map_err(BackendError::Net)
-            }),
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|i| {
+                            let node = choreo.node(i, job.model, &projection);
+                            scope.spawn(move || run_node(addr, i, node, timeout))
+                        })
+                        .collect();
+                    let result = run_coordinator::<NodeMsg<C>, NodeOutput<C>, _>(
+                        &listener,
+                        job.model,
+                        job.alpha,
+                        job.max_rounds,
+                        &mut rng,
+                        options,
+                        timeout,
+                    );
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    result.map_err(BackendError::Net)
+                })
+            }
             Launcher::Spawn(spawn) => {
                 let addr_str = addr.to_string();
                 let mut children: Vec<Child> = Vec::with_capacity(n);
@@ -509,14 +554,25 @@ impl SocketBackend {
                         }
                     }
                 }
-                let result = run_coordinator::<NodeMsg<C>, NodeOutput<C>, _>(
+                let ft = FtConfig::with_timeout(self.timeout);
+                let kill = self.kill;
+                let result = run_coordinator_ft::<NodeMsg<C>, NodeOutput<C>, _, _>(
                     &listener,
                     job.model,
                     job.alpha,
                     job.max_rounds,
                     &mut rng,
                     options,
-                    timeout,
+                    &ft,
+                    |round| {
+                        if let Some(plan) = kill {
+                            if round == plan.round {
+                                if let Some(child) = children.get_mut(plan.node) {
+                                    let _ = child.kill();
+                                }
+                            }
+                        }
+                    },
                 );
                 for mut child in children {
                     if result.is_err() {

@@ -31,8 +31,8 @@ pub mod machine;
 pub mod protocols;
 
 pub use backend::{
-    Backend, BackendError, BackendReport, Choreography, Launcher, McBackend, NodeMsg, NodeOutput,
-    ProtocolEstimate, RunJob, SimBackend, SocketBackend, SpawnFn,
+    Backend, BackendError, BackendReport, Choreography, KillPlan, Launcher, McBackend, NodeMsg,
+    NodeOutput, ProtocolEstimate, RunJob, SimBackend, SocketBackend, SpawnFn,
 };
 pub use global::{
     ActionKind, GlobalProtocol, LocalPhase, LocalSpec, ModelClass, Participation, PhaseExit,

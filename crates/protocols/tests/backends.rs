@@ -8,6 +8,7 @@
 //!   count: per-sample RNG streams are keyed by `(seed, sample)`, never
 //!   by the executing thread.
 
+use std::process::Command;
 use std::time::Duration;
 
 use rand::SeedableRng;
@@ -106,6 +107,46 @@ fn socket_backend_agrees_with_simulator_on_matching_and_consensus() {
     assert_eq!(sim.outputs, net.outputs);
     assert_eq!(sim.outputs[0], Some(4), "minimum input wins");
     assert_eq!(sim.stats, net.stats);
+}
+
+/// Graceful degradation: spawned workers that die before the handshake
+/// are declared crashed, and the backend returns a partial outcome — all
+/// outputs `None`, every `crashed` flag set — instead of an error.
+#[test]
+fn spawn_backend_degrades_when_workers_never_connect() {
+    let alpha = Assignment::from_group_sizes(&[1, 1, 2]).unwrap();
+    let model = Model::Blackboard;
+    let job = RunJob {
+        model: &model,
+        alpha: &alpha,
+        max_rounds: 8,
+        seed: 3,
+    };
+    // `true` exits immediately without ever dialing the coordinator.
+    let net = SocketBackend::spawning(Duration::from_millis(200), |_, _| Command::new("true"))
+        .run(&BleChoreo, &job)
+        .unwrap()
+        .into_run();
+    assert!(net.crashed.iter().all(|&c| c), "every worker is crashed");
+    assert!(net.outputs.iter().all(Option::is_none));
+    assert_eq!(net.stats.crashes, 4);
+}
+
+/// Kill plans need a process to kill: the in-process launcher refuses.
+#[test]
+#[should_panic(expected = "kill plans require the Spawn launcher")]
+fn in_process_backend_rejects_kill_plans() {
+    let alpha = Assignment::from_group_sizes(&[1, 1]).unwrap();
+    let model = Model::Blackboard;
+    let job = RunJob {
+        model: &model,
+        alpha: &alpha,
+        max_rounds: 4,
+        seed: 0,
+    };
+    let _ = SocketBackend::in_process(TIMEOUT)
+        .with_kill(0, 1)
+        .run(&BleChoreo, &job);
 }
 
 #[test]

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use rsbt_random::Realization;
 
+use crate::faults::FaultSchedule;
 use crate::knowledge::{KnowledgeArena, KnowledgeId};
 use crate::model::Model;
 
@@ -68,6 +69,43 @@ impl Execution {
         for t in 1..=rho.time() {
             let mut now = Vec::with_capacity(n);
             stepper.step(arena, &ids[t - 1], |i| rho.node(i).bit(t - 1), &mut now);
+            ids.push(now);
+        }
+        Execution { ids }
+    }
+
+    /// Runs the dynamics under a fault schedule (see [`crate::faults`]):
+    /// a node silent in round `t` contributes nothing to the others'
+    /// round-`t` knowledge — its blackboard post is absent, its port
+    /// messages become [`crate::KnowledgeNode::Hole`] — while its own
+    /// knowledge keeps evolving (it still listens and still sees its own
+    /// bit). With a fault-free schedule this is exactly
+    /// [`Execution::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults.n() != rho.n()`, or on a node-count mismatch
+    /// with the port numbering.
+    pub fn run_with_faults(
+        model: &Model,
+        rho: &Realization,
+        faults: &FaultSchedule,
+        arena: &mut KnowledgeArena,
+    ) -> Execution {
+        let n = rho.n();
+        assert_eq!(faults.n(), n, "fault schedule covers {} nodes", faults.n());
+        let mut stepper = RoundStepper::new(model, n);
+        let mut ids: Vec<Vec<KnowledgeId>> = Vec::with_capacity(rho.time() + 1);
+        ids.push((0..n).map(|_| arena.initial(None)).collect());
+        for t in 1..=rho.time() {
+            let mut now = Vec::with_capacity(n);
+            stepper.step_faulted(
+                arena,
+                &ids[t - 1],
+                |i| rho.node(i).bit(t - 1),
+                |i| faults.is_silent(i, t),
+                &mut now,
+            );
             ids.push(now);
         }
         Execution { ids }
@@ -206,6 +244,55 @@ impl RoundStepper {
                 Model::MessagePassing(ports) => {
                     self.scratch
                         .extend((1..n).map(|j| prev[ports.neighbor(i, j)]));
+                    arena.round_ports_reuse(prev[i], bit(i), &mut self.scratch)
+                }
+            };
+            out.push(id);
+        }
+    }
+
+    /// [`RoundStepper::step`] under silence: node `j` with `silent(j)`
+    /// true makes no transmission this round. Blackboard: its post is
+    /// simply absent from every other node's board (the board shortens —
+    /// silence is observable). Message passing: the receiving port slot
+    /// holds the interned [`crate::KnowledgeNode::Hole`] sentinel instead
+    /// of the sender's knowledge. The silent node itself still receives,
+    /// and its own `prev`/`bit` enter its knowledge as usual.
+    ///
+    /// With `silent ≡ false` this computes exactly the same ids as
+    /// [`RoundStepper::step`].
+    pub fn step_faulted<F, S>(
+        &mut self,
+        arena: &mut KnowledgeArena,
+        prev: &[KnowledgeId],
+        bit: F,
+        silent: S,
+        out: &mut Vec<KnowledgeId>,
+    ) where
+        F: Fn(usize) -> bool,
+        S: Fn(usize) -> bool,
+    {
+        let n = prev.len();
+        out.clear();
+        // Interned once per step; only the message-passing branch needs it.
+        let mut hole: Option<KnowledgeId> = None;
+        for i in 0..n {
+            self.scratch.clear();
+            let id = match &self.model {
+                Model::Blackboard => {
+                    self.scratch
+                        .extend((0..n).filter(|&j| j != i && !silent(j)).map(|j| prev[j]));
+                    arena.round_blackboard_reuse(prev[i], bit(i), &mut self.scratch)
+                }
+                Model::MessagePassing(ports) => {
+                    for j in 1..n {
+                        let m = ports.neighbor(i, j);
+                        self.scratch.push(if silent(m) {
+                            *hole.get_or_insert_with(|| arena.hole())
+                        } else {
+                            prev[m]
+                        });
+                    }
                     arena.round_ports_reuse(prev[i], bit(i), &mut self.scratch)
                 }
             };
@@ -384,6 +471,67 @@ mod tests {
         assert_eq!(exec.class_sizes(1), vec![1, 2]);
         let exec2 = Execution::run(&Model::Blackboard, &rho(&["1", "1", "1"]), &mut arena);
         assert!(!exec2.has_singleton_class(1));
+    }
+
+    #[test]
+    fn faultfree_schedule_matches_plain_run() {
+        let r = rho(&["0110", "1001", "0011"]);
+        let faults = crate::faults::FaultSchedule::empty(3, 4);
+        for model in [Model::Blackboard, Model::message_passing_cyclic(3)] {
+            let mut arena = KnowledgeArena::new();
+            let plain = Execution::run(&model, &r, &mut arena);
+            let faulted = Execution::run_with_faults(&model, &r, &faults, &mut arena);
+            for t in 0..=4 {
+                assert_eq!(plain.knowledge_at(t), faulted.knowledge_at(t), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn silence_breaks_symmetry_on_the_blackboard() {
+        // Identical bits everywhere, but node 2 omits in round 1: the
+        // others see a shorter board than node 2 does, and node 2's own
+        // post is missing from their view — observable silence separates
+        // {0,1} from {2}.
+        let r = rho(&["11", "11", "11"]);
+        let mut faults = crate::faults::FaultSchedule::empty(3, 2);
+        faults.set_omission(2, 1);
+        let mut arena = KnowledgeArena::new();
+        let exec = Execution::run_with_faults(&Model::Blackboard, &r, &faults, &mut arena);
+        assert_eq!(exec.consistency_partition(1), vec![vec![0, 1], vec![2]]);
+        // Omission is one round only: no *new* splits afterwards, but the
+        // round-1 split persists (knowledge is cumulative).
+        assert_eq!(exec.consistency_partition(2), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn silent_node_keeps_listening_and_evolving() {
+        // A crashed node still hears the survivors; its knowledge keeps
+        // deepening even though it transmits nothing.
+        let r = rho(&["010", "101"]);
+        let mut faults = crate::faults::FaultSchedule::empty(2, 3);
+        faults.set_crash(1, 1);
+        let mut arena = KnowledgeArena::new();
+        let exec = Execution::run_with_faults(&Model::Blackboard, &r, &faults, &mut arena);
+        let k = exec.knowledge(3, 1);
+        assert_eq!(arena.depth(k), 3);
+        assert_eq!(arena.randomness(k), vec![true, false, true]);
+    }
+
+    #[test]
+    fn ports_hole_is_distinct_from_every_knowledge() {
+        // MP: a silent sender's slot holds Hole, which differs from ⊥ and
+        // from any real knowledge — the receivers can tell silence from
+        // any message content.
+        let r = rho(&["00", "00", "00"]);
+        let mut faults = crate::faults::FaultSchedule::empty(3, 2);
+        faults.set_omission(0, 1);
+        let mut arena = KnowledgeArena::new();
+        let model = Model::message_passing_cyclic(3);
+        let exec = Execution::run_with_faults(&model, &r, &faults, &mut arena);
+        // Node 0 heard everyone (it only failed to send), nodes 1 and 2
+        // each have one holed slot at different ports: three classes.
+        assert_eq!(exec.consistency_partition(1).len(), 3);
     }
 
     #[test]

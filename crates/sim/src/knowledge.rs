@@ -69,6 +69,11 @@ pub enum KnowledgeNode {
         /// What the node heard from the rest of the system this round.
         heard: NeighborInfo,
     },
+    /// The distinguished "silence" value a message-passing port slot holds
+    /// when its sender omitted or crashed that round (see
+    /// [`crate::faults`]). Observably distinct from every real knowledge
+    /// value — silence carries information — and equal only to itself.
+    Hole,
 }
 
 /// Interning arena for knowledge values.
@@ -125,6 +130,11 @@ impl KnowledgeArena {
     /// Interns an initial knowledge value (`⊥` for `None`).
     pub fn initial(&mut self, input: Option<u64>) -> KnowledgeId {
         self.intern(KnowledgeNode::Initial(input))
+    }
+
+    /// Interns the silence sentinel ([`KnowledgeNode::Hole`]).
+    pub fn hole(&mut self) -> KnowledgeId {
+        self.intern(KnowledgeNode::Hole)
     }
 
     /// Interns one blackboard round (Eq. 1): sorts the board multiset,
@@ -258,7 +268,7 @@ impl KnowledgeArena {
         let mut cur = id;
         loop {
             match self.get(cur) {
-                KnowledgeNode::Initial(_) => break,
+                KnowledgeNode::Initial(_) | KnowledgeNode::Hole => break,
                 KnowledgeNode::Round { prev, bit, .. } => {
                     bits.push(*bit);
                     cur = *prev;
@@ -276,6 +286,7 @@ impl KnowledgeArena {
         loop {
             match self.get(cur) {
                 KnowledgeNode::Initial(v) => return *v,
+                KnowledgeNode::Hole => return None,
                 KnowledgeNode::Round { prev, .. } => cur = *prev,
             }
         }

@@ -28,6 +28,34 @@
 //! Both rules are exact — no abstraction, no over-approximation — so a
 //! caller evaluating a partition-based verdict on the packed relation
 //! gets bit-for-bit the verdict of 64 scalar executions.
+//!
+//! # Faulted lanes
+//!
+//! [`LaneStepper::new_faulted`] tracks the same relation under per-node
+//! silence (see [`crate::faults`]), with silence masks supplied as lane
+//! words just like source bits. Because silence is per *node*, the units
+//! are the `n` nodes in **both** models, and the rules change:
+//!
+//! * **Blackboard** — node `i`'s round board is the sorted multiset of
+//!   the *live* others' previous knowledge. If `i` and `j` had equal
+//!   knowledge and the same silence status, their boards differ only by
+//!   swapping `K_j ↔ K_i` (equal values) — still equal; any silence
+//!   mismatch changes the board size; and unequal previous knowledge can
+//!   never re-merge. Hence the exact in-place rule
+//!   `eq'[i,j] = eq[i,j] & !(b[i] ^ b[j]) & !(S[i] ^ S[j])`.
+//! * **Message-passing** — a silent sender's slot holds the `Hole`
+//!   sentinel. A port-aligned pair `(x, y)`, `x ≠ y`, contributes
+//!   `!(S[x] ^ S[y]) & (S[x] | eq[x,y])` (both silent → holes match; both
+//!   live → previous equality; mixed → a hole never equals knowledge).
+//!   Unlike the fault-free rule, the own-previous conjunct `eq[a,b]` must
+//!   be **explicit**: fault-free it is implied by multiset cancellation
+//!   across the aligned slots, but two silent senders' matching holes
+//!   carry no information about their knowledge, which breaks the
+//!   cancellation. So
+//!   `eq'[a,b] = eq[a,b] & !(b[a] ^ b[b]) & AND_p term(x, y)`.
+//!
+//! Both faulted rules remain exact, verified lane-by-lane against 64
+//! scalar [`Execution::run_with_faults`] runs in the tests.
 
 use rsbt_random::Assignment;
 
@@ -80,10 +108,18 @@ pub struct LaneStepper {
     next: Vec<u64>,
     /// Flattened per-pair neighbor-pair term lists (message-passing).
     terms: Vec<u32>,
-    /// `term_offsets[p]..term_offsets[p + 1]` indexes `terms` for pair `p`.
+    /// `term_offsets[p]..term_offsets[p + 1]` indexes `terms` (fault-free)
+    /// or `fault_terms` (faulted) for pair `p`.
     term_offsets: Vec<u32>,
     /// Scratch: the current round's bit word per unit.
     bits: Vec<u64>,
+    /// Whether this stepper was built by [`LaneStepper::new_faulted`].
+    faulted: bool,
+    /// Faulted message-passing term list: `(pair q, sender x, sender y)`
+    /// per port-aligned neighbor pair, indexed by `term_offsets`.
+    fault_terms: Vec<[u32; 3]>,
+    /// Scratch: the current round's silence word per unit (faulted mode).
+    silence: Vec<u64>,
 }
 
 impl LaneStepper {
@@ -146,6 +182,70 @@ impl LaneStepper {
             terms,
             term_offsets,
             bits: vec![0u64; units],
+            faulted: false,
+            fault_terms: Vec::new(),
+            silence: Vec::new(),
+        }
+    }
+
+    /// Builds a stepper tracking knowledge equality under per-node
+    /// silence (see the module docs for the faulted update rules). The
+    /// units are the `n` nodes in both models — silence is per node, so
+    /// the blackboard's source-level collapse no longer applies. Advance
+    /// with [`LaneStepper::step_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is message-passing with a port numbering whose
+    /// node count differs from `alpha.n()`.
+    pub fn new_faulted(model: &Model, alpha: &Assignment) -> Self {
+        let n = alpha.n();
+        if let Model::MessagePassing(ports) = model {
+            assert_eq!(
+                ports.n(),
+                n,
+                "port numbering is for {} nodes, assignment for {n}",
+                ports.n()
+            );
+        }
+        let units = n;
+        let unit_source: Vec<usize> = (0..n).map(|i| alpha.source_of(i)).collect();
+        let pairs = pair_count(units);
+        let (fault_terms, term_offsets, next) = match model {
+            Model::Blackboard => (Vec::new(), Vec::new(), Vec::new()),
+            Model::MessagePassing(ports) => {
+                let mut terms: Vec<[u32; 3]> = Vec::new();
+                let mut offsets = Vec::with_capacity(pairs + 1);
+                offsets.push(0u32);
+                for a in 0..units {
+                    for b in a + 1..units {
+                        for p in 1..n {
+                            let (x, y) = (ports.neighbor(a, p), ports.neighbor(b, p));
+                            // x == y: both receivers hold the same slot
+                            // value (knowledge or hole) — no constraint.
+                            if x != y {
+                                let q = pair_index(units, x.min(y), x.max(y));
+                                terms.push([q as u32, x as u32, y as u32]);
+                            }
+                        }
+                        offsets.push(terms.len() as u32);
+                    }
+                }
+                (terms, offsets, vec![0u64; pairs])
+            }
+        };
+        LaneStepper {
+            units,
+            unit_of_node: (0..n).collect(),
+            unit_source,
+            eq: vec![u64::MAX; pairs],
+            next,
+            terms: Vec::new(),
+            term_offsets,
+            bits: vec![0u64; units],
+            faulted: true,
+            fault_terms,
+            silence: vec![0u64; units],
         }
     }
 
@@ -173,6 +273,7 @@ impl LaneStepper {
     /// Advances every lane by one round. `source_bits(s)` must return the
     /// current round's bit of source `s`, one lane per bit position.
     pub fn step<F: Fn(usize) -> u64>(&mut self, source_bits: F) {
+        debug_assert!(!self.faulted, "faulted stepper: use step_faulted");
         for u in 0..self.units {
             self.bits[u] = source_bits(self.unit_source[u]);
         }
@@ -197,6 +298,56 @@ impl LaneStepper {
                             break;
                         }
                         w &= self.eq[q as usize];
+                    }
+                    self.next[p] = w;
+                    p += 1;
+                }
+            }
+            std::mem::swap(&mut self.eq, &mut self.next);
+        }
+    }
+
+    /// Advances every lane of a faulted stepper by one round. `silent(i)`
+    /// must return node `i`'s silence word for the round (bit `l` set iff
+    /// node `i` is silent in lane `l`'s sample). With all-zero silence
+    /// words this computes exactly the fault-free relation (over node
+    /// units).
+    pub fn step_faulted<F, S>(&mut self, source_bits: F, silent: S)
+    where
+        F: Fn(usize) -> u64,
+        S: Fn(usize) -> u64,
+    {
+        debug_assert!(self.faulted, "fault-free stepper: use step");
+        for u in 0..self.units {
+            self.bits[u] = source_bits(self.unit_source[u]);
+            self.silence[u] = silent(u);
+        }
+        if self.next.is_empty() {
+            // Blackboard: pure refinement, safe in place.
+            let mut p = 0;
+            for a in 0..self.units {
+                for b in a + 1..self.units {
+                    self.eq[p] &=
+                        !(self.bits[a] ^ self.bits[b]) & !(self.silence[a] ^ self.silence[b]);
+                    p += 1;
+                }
+            }
+        } else {
+            let mut p = 0;
+            for a in 0..self.units {
+                for b in a + 1..self.units {
+                    // The own-previous conjunct is explicit here — see the
+                    // module docs on why faults break the fault-free
+                    // multiset cancellation.
+                    let mut w = !(self.bits[a] ^ self.bits[b]) & self.eq[p];
+                    let lo = self.term_offsets[p] as usize;
+                    let hi = self.term_offsets[p + 1] as usize;
+                    for &[q, x, y] in &self.fault_terms[lo..hi] {
+                        if w == 0 {
+                            break;
+                        }
+                        let (sx, sy) = (self.silence[x as usize], self.silence[y as usize]);
+                        w &= !(sx ^ sy) & (sx | self.eq[q as usize]);
                     }
                     self.next[p] = w;
                     p += 1;
@@ -276,6 +427,75 @@ mod tests {
         }
     }
 
+    /// Cross-checks faulted lanes against 64 scalar
+    /// `Execution::run_with_faults` runs — the faulted twin of
+    /// `check_against_scalar`. Each lane gets its own compiled
+    /// `FaultSchedule`; silence words are the per-round transposition of
+    /// the 64 schedules.
+    #[allow(clippy::needless_range_loop)]
+    fn check_faulted_against_scalar(
+        model: &Model,
+        alpha: &Assignment,
+        t: usize,
+        salt: u64,
+        spec: &crate::faults::FaultSpec,
+    ) {
+        let k = alpha.k();
+        let n = alpha.n();
+        let source_words: Vec<Vec<u64>> = (0..k)
+            .map(|s| {
+                (0..t)
+                    .map(|r| mix(salt ^ (s as u64) << 32 ^ r as u64))
+                    .collect()
+            })
+            .collect();
+        let schedules: Vec<crate::faults::FaultSchedule> = (0..64)
+            .map(|l| spec.schedule(n, t, salt, l as u64))
+            .collect();
+        // silence_words[r][i] bit l = node i silent in round r+1, lane l.
+        let silence_words: Vec<Vec<u64>> = (1..=t)
+            .map(|round| {
+                (0..n)
+                    .map(|i| {
+                        (0..64).fold(0u64, |w, l| {
+                            w | u64::from(schedules[l].is_silent(i, round)) << l
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut stepper = LaneStepper::new_faulted(model, alpha);
+        assert_eq!(stepper.units(), n, "faulted units are nodes");
+        let mut arena = KnowledgeArena::new();
+        let execs: Vec<Execution> = (0..64)
+            .map(|l| {
+                let strings: Vec<BitString> = (0..n)
+                    .map(|i| {
+                        let s = alpha.source_of(i);
+                        BitString::from_bits((0..t).map(|r| source_words[s][r] >> l & 1 == 1))
+                    })
+                    .collect();
+                let rho = Realization::new(strings).unwrap();
+                Execution::run_with_faults(model, &rho, &schedules[l], &mut arena)
+            })
+            .collect();
+        for r in 0..t {
+            stepper.step_faulted(|s| source_words[s][r], |i| silence_words[r][i]);
+            for i in 0..n {
+                for j in i + 1..n {
+                    for (l, exec) in execs.iter().enumerate() {
+                        let scalar = exec.knowledge(r + 1, i) == exec.knowledge(r + 1, j);
+                        let sliced = stepper.eq_words()[pair_index(n, i, j)] >> l & 1 == 1;
+                        assert_eq!(
+                            scalar, sliced,
+                            "round {r}, nodes ({i},{j}), lane {l}, model {model}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn blackboard_matches_scalar_executions() {
         check_against_scalar(
@@ -308,6 +528,88 @@ mod tests {
             4,
             23,
         );
+    }
+
+    #[test]
+    fn faulted_blackboard_matches_scalar_executions() {
+        let spec = crate::faults::FaultSpec::rates(0.08, 0.2);
+        check_faulted_against_scalar(
+            &Model::Blackboard,
+            &Assignment::from_group_sizes(&[1, 2]).unwrap(),
+            5,
+            29,
+            &spec,
+        );
+        check_faulted_against_scalar(&Model::Blackboard, &Assignment::private(4), 4, 31, &spec);
+        // Shared source: fault-free all nodes stay equal forever, so any
+        // split the lanes report comes purely from silence observability.
+        check_faulted_against_scalar(&Model::Blackboard, &Assignment::shared(4), 4, 37, &spec);
+    }
+
+    #[test]
+    fn faulted_message_passing_matches_scalar_executions() {
+        let spec = crate::faults::FaultSpec::rates(0.08, 0.2);
+        check_faulted_against_scalar(
+            &Model::message_passing_cyclic(4),
+            &Assignment::private(4),
+            4,
+            41,
+            &spec,
+        );
+        check_faulted_against_scalar(
+            &Model::message_passing_cyclic(3),
+            &Assignment::from_group_sizes(&[1, 2]).unwrap(),
+            5,
+            43,
+            &spec,
+        );
+        check_faulted_against_scalar(
+            &Model::MessagePassing(PortNumbering::adversarial(4, 2)),
+            &Assignment::private(4),
+            4,
+            47,
+            &spec,
+        );
+        // High rates stress the both-silent hole==hole case that forces
+        // the explicit own-previous conjunct.
+        check_faulted_against_scalar(
+            &Model::message_passing_cyclic(3),
+            &Assignment::private(3),
+            5,
+            53,
+            &crate::faults::FaultSpec::rates(0.3, 0.5),
+        );
+    }
+
+    #[test]
+    fn faulted_stepper_with_zero_silence_matches_fault_free() {
+        // Rate 0: the faulted relation over node units must agree with the
+        // fault-free relation lifted through unit_of_node.
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        for model in [Model::Blackboard, Model::message_passing_cyclic(3)] {
+            let mut plain = LaneStepper::new(&model, &alpha);
+            let mut faulted = LaneStepper::new_faulted(&model, &alpha);
+            for r in 0..5u64 {
+                let words: Vec<u64> = (0..alpha.k())
+                    .map(|s| mix(59 ^ (s as u64) << 32 ^ r))
+                    .collect();
+                plain.step(|s| words[s]);
+                faulted.step_faulted(|s| words[s], |_| 0);
+                let n = alpha.n();
+                for i in 0..n {
+                    for j in i + 1..n {
+                        let (ui, uj) = (plain.unit_of_node()[i], plain.unit_of_node()[j]);
+                        let p = if ui == uj {
+                            u64::MAX
+                        } else {
+                            plain.eq_words()[pair_index(plain.units(), ui.min(uj), ui.max(uj))]
+                        };
+                        let f = faulted.eq_words()[pair_index(n, i, j)];
+                        assert_eq!(p, f, "round {r}, nodes ({i},{j}), model {model}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

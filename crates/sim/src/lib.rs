@@ -38,10 +38,12 @@
 //! assert_eq!(exec.consistency_partition(2), vec![vec![0], vec![1]]);
 //! ```
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod execution;
+pub mod faults;
 pub mod fxhash;
 mod knowledge;
 pub mod lanes;
@@ -53,6 +55,7 @@ pub mod runner;
 pub mod stats;
 
 pub use crate::execution::{Execution, RoundStepper};
+pub use crate::faults::{FaultSchedule, FaultSpec};
 pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use crate::knowledge::{KnowledgeArena, KnowledgeId, KnowledgeNode, NeighborInfo};
 pub use crate::lanes::LaneStepper;

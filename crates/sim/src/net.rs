@@ -573,6 +573,365 @@ where
         rounds,
         completed,
         stats,
+        crashed: vec![false; n],
+    })
+}
+
+/// Retry, backoff, and crash-detection policy for
+/// [`run_coordinator_ft`].
+#[derive(Clone, Copy, Debug)]
+pub struct FtConfig {
+    /// Per-attempt socket read deadline during rounds. One round-barrier
+    /// wait may block up to `round_timeout × (retries + 1)` plus the
+    /// backoff sleeps before the node is declared crashed.
+    pub round_timeout: Duration,
+    /// Total deadline for the initial handshake; nodes not connected by
+    /// then are declared crashed at round 0 instead of failing the run.
+    pub handshake_timeout: Duration,
+    /// Additional read attempts after the first timed-out read.
+    pub retries: u32,
+    /// Sleep after the first timed-out read attempt; doubles per retry.
+    pub backoff_start: Duration,
+    /// Saturation bound for the doubling backoff (also caps the accept
+    /// poll interval).
+    pub backoff_cap: Duration,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            round_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_secs(30),
+            retries: 2,
+            backoff_start: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+impl FtConfig {
+    /// A policy whose per-read deadline and handshake deadline are both
+    /// `timeout` (retry count and backoff stay at the defaults).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        FtConfig {
+            round_timeout: timeout,
+            handshake_timeout: timeout,
+            ..FtConfig::default()
+        }
+    }
+}
+
+/// [`read_frame`] with bounded retry: a timed-out read sleeps the
+/// (saturating, doubling) backoff and tries again up to `ft.retries`
+/// extra times. Any other error — including EOF from a dead peer — is
+/// returned immediately.
+fn read_frame_ft(r: &mut impl Read, ft: &FtConfig) -> Result<Vec<u8>, NetError> {
+    let mut backoff = ft.backoff_start;
+    let mut attempt = 0;
+    loop {
+        match read_frame(r) {
+            Err(NetError::Timeout(_)) if attempt < ft.retries => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ft.backoff_cap);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Like [`accept_nodes`], but degrades instead of failing: polls with an
+/// exponentially backed-off interval until `ft.handshake_timeout`, then
+/// returns whatever connected — missing slots are `None` (declared
+/// crashed at round 0 by the caller) rather than a fatal
+/// [`NetError::Timeout`].
+fn accept_nodes_ft(
+    listener: &TcpListener,
+    n: usize,
+    ft: &FtConfig,
+) -> Result<Vec<Option<TcpStream>>, NetError> {
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + ft.handshake_timeout;
+    let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut accepted = 0;
+    let mut poll = Duration::from_millis(1);
+    while accepted < n {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                poll = Duration::from_millis(1);
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(ft.round_timeout))?;
+                stream.set_nodelay(true).ok();
+                let frame = read_frame(&mut stream)?;
+                let mut buf = frame.as_slice();
+                if u8::decode(&mut buf)? != TAG_HELLO {
+                    return Err(NetError::Protocol("expected handshake frame".into()));
+                }
+                let index = u32::decode(&mut buf)? as usize;
+                if index >= n {
+                    return Err(NetError::Protocol(format!(
+                        "node index {index} out of range"
+                    )));
+                }
+                if slots[index].is_some() {
+                    return Err(NetError::Protocol(format!("duplicate node index {index}")));
+                }
+                slots[index] = Some(stream);
+                accepted += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(poll);
+                poll = (poll * 2).min(ft.backoff_cap);
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    listener.set_nonblocking(false)?;
+    Ok(slots)
+}
+
+/// Fault-tolerant variant of [`run_coordinator`]: instead of aborting the
+/// run, a node that misses its deadlines is declared **crashed** and the
+/// run degrades gracefully to a partial [`RunOutcome`].
+///
+/// Differences from the strict coordinator:
+///
+/// * the handshake accepts whoever connects before
+///   [`FtConfig::handshake_timeout`]; missing nodes start crashed;
+/// * a round-barrier read retries up to [`FtConfig::retries`] times with
+///   saturating exponential backoff; exhaustion, EOF, or any socket error
+///   declares the node crashed (recorded in [`RunStats::crashes`] and
+///   [`RunOutcome::crashed`]) — never a fatal error;
+/// * crashed nodes receive no further frames, their queued mail is
+///   dropped, their output is reported `None` even if they had decided
+///   earlier, and completion covers the live nodes only;
+/// * `on_round(r)` runs at the top of every round **before** any frame is
+///   sent — the hook the choreography backend uses to kill a worker
+///   process mid-run and prove the degradation path.
+///
+/// With responsive nodes the RNG draw order, message routing, and
+/// counters are identical to [`run_coordinator`] (one bit per source per
+/// round, drawn before any send), so estimates stay bit-identical when a
+/// backend switches to the fault-tolerant path.
+///
+/// # Panics
+///
+/// Panics when `options.full_participation` is violated by a *live* node
+/// (crashed nodes are exempt).
+#[allow(clippy::too_many_arguments)]
+pub fn run_coordinator_ft<M, O, R, C>(
+    listener: &TcpListener,
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    rng: &mut R,
+    options: RunOptions,
+    ft: &FtConfig,
+    mut on_round: C,
+) -> Result<RunOutcome<O>, NetError>
+where
+    M: Wire + Ord + Clone + fmt::Debug,
+    O: Wire + Clone + fmt::Debug,
+    R: Rng + ?Sized,
+    C: FnMut(usize),
+{
+    let n = alpha.n();
+    if let Model::MessagePassing(p) = model {
+        assert_eq!(p.n(), n, "port numbering covers {} nodes, need {n}", p.n());
+    }
+    let mut streams = accept_nodes_ft(listener, n, ft)?;
+    let mut crashed: Vec<bool> = streams.iter().map(Option::is_none).collect();
+
+    let model_tag = if model.is_blackboard() {
+        MODEL_BOARD
+    } else {
+        MODEL_PORTS
+    };
+    let mut config = vec![TAG_CONFIG];
+    (n as u32).encode(&mut config);
+    (max_rounds as u32).encode(&mut config);
+    config.push(model_tag);
+    for (i, stream) in streams.iter_mut().enumerate() {
+        if let Some(s) = stream {
+            if write_frame(s, &config).is_err() {
+                crashed[i] = true;
+                *stream = None;
+            }
+        }
+    }
+
+    let mut board: Vec<(usize, M)> = Vec::new();
+    let mut mailboxes: Vec<Vec<Option<M>>> = vec![vec![None; n.saturating_sub(1)]; n];
+    let mut outputs: Vec<Option<O>> = vec![None; n];
+    let mut rounds = 0;
+    let mut stats = RunStats::default();
+    let check_participation = options.full_participation && model.is_blackboard();
+
+    for round in 1..=max_rounds {
+        on_round(round);
+        rounds = round;
+        // Drawn before any send, faults or not: keeps the stream aligned
+        // with the strict coordinator and the in-process runner.
+        let source_bits: Vec<bool> = (0..alpha.k()).map(|_| rng.gen::<bool>()).collect();
+
+        for i in 0..n {
+            let Some(stream) = streams[i].as_mut() else {
+                continue;
+            };
+            let mut payload = vec![TAG_ROUND];
+            (round as u32).encode(&mut payload);
+            source_bits[alpha.source_of(i)].encode(&mut payload);
+            match model {
+                Model::Blackboard => {
+                    let mut view: Vec<M> = board
+                        .iter()
+                        .filter(|(sender, _)| *sender != i)
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    view.sort();
+                    view.encode(&mut payload);
+                }
+                Model::MessagePassing(_) => {
+                    let slots =
+                        std::mem::replace(&mut mailboxes[i], vec![None; n.saturating_sub(1)]);
+                    slots.encode(&mut payload);
+                }
+            }
+            if write_frame(stream, &payload).is_err() {
+                crashed[i] = true;
+                outputs[i] = None;
+                streams[i] = None;
+            }
+        }
+
+        let mut next_board: Vec<(usize, M)> = Vec::new();
+        let mut next_mailboxes: Vec<Vec<Option<M>>> = vec![vec![None; n.saturating_sub(1)]; n];
+        let mut posted = vec![false; n];
+        for i in 0..n {
+            let Some(stream) = streams[i].as_mut() else {
+                continue;
+            };
+            let frame = match read_frame_ft(stream, ft) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    // Missed the round barrier past every retry (or the
+                    // socket died): declared crashed, not fatal.
+                    crashed[i] = true;
+                    outputs[i] = None;
+                    streams[i] = None;
+                    continue;
+                }
+            };
+            let mut buf = frame.as_slice();
+            if u8::decode(&mut buf)? != TAG_REPLY {
+                return Err(NetError::Protocol(format!(
+                    "node {i}: expected reply frame"
+                )));
+            }
+            let outgoing: Outgoing<M> = decode_outgoing(&mut buf)?;
+            outputs[i] = Option::<O>::decode(&mut buf)?;
+            match (outgoing, model) {
+                (Outgoing::Silent, _) => {}
+                (Outgoing::Post(m), Model::Blackboard) => {
+                    stats.posts += 1;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(m.wire_len());
+                    posted[i] = true;
+                    next_board.push((i, m));
+                }
+                (Outgoing::Send(msgs), Model::MessagePassing(ports)) => {
+                    for (port, m) in msgs {
+                        if port < 1 || port >= n {
+                            return Err(NetError::Protocol(format!(
+                                "node {i}: port {port} out of range for n={n}"
+                            )));
+                        }
+                        stats.sends += 1;
+                        stats.max_msg_bytes = stats.max_msg_bytes.max(m.wire_len());
+                        let target = ports.neighbor(i, port);
+                        let back = ports.port_towards(target, i);
+                        if next_mailboxes[target][back - 1].is_some() {
+                            return Err(NetError::Protocol(format!(
+                                "node {i}: duplicate message on edge"
+                            )));
+                        }
+                        next_mailboxes[target][back - 1] = Some(m);
+                    }
+                }
+                (Outgoing::Broadcast(m), Model::MessagePassing(ports)) => {
+                    stats.sends += n.saturating_sub(1) as u64;
+                    stats.max_msg_bytes = stats.max_msg_bytes.max(m.wire_len());
+                    for port in 1..n {
+                        let target = ports.neighbor(i, port);
+                        let back = ports.port_towards(target, i);
+                        next_mailboxes[target][back - 1] = Some(m.clone());
+                    }
+                }
+                (out, _) => {
+                    return Err(NetError::Protocol(format!(
+                        "node {i}: outgoing {out:?} does not match model {model}"
+                    )))
+                }
+            }
+        }
+        if check_participation {
+            for (i, posted_i) in posted.iter().enumerate() {
+                if crashed[i] {
+                    continue;
+                }
+                let undecided = outputs[i].is_none();
+                assert_eq!(
+                    *posted_i,
+                    undecided,
+                    "full participation violated in round {round}: node {i} {}",
+                    if undecided {
+                        "is undecided but did not post"
+                    } else {
+                        "has decided but posted"
+                    }
+                );
+            }
+        }
+        board = next_board;
+        mailboxes = next_mailboxes;
+
+        if outputs
+            .iter()
+            .enumerate()
+            .all(|(i, o)| crashed[i] || o.is_some())
+        {
+            break;
+        }
+    }
+
+    for (i, stream) in streams.iter_mut().enumerate() {
+        if let Some(s) = stream {
+            // A node dying between its last reply and FINISH is still just
+            // a crash, not a run failure.
+            if write_frame(s, &[TAG_FINISH]).is_err() {
+                crashed[i] = true;
+                outputs[i] = None;
+            }
+        }
+    }
+    for (i, o) in outputs.iter_mut().enumerate() {
+        if crashed[i] {
+            *o = None;
+        }
+    }
+    stats.crashes = crashed.iter().filter(|&&c| c).count() as u64;
+    let completed = outputs
+        .iter()
+        .enumerate()
+        .all(|(i, o)| crashed[i] || o.is_some());
+    Ok(RunOutcome {
+        outputs,
+        rounds,
+        completed,
+        stats,
+        crashed,
     })
 }
 
@@ -853,6 +1212,148 @@ mod tests {
         assert_eq!(net.outputs, sim.outputs);
         assert_eq!(net.rounds, sim.rounds);
         assert_eq!(net.stats, sim.stats);
+    }
+
+    #[test]
+    fn ft_coordinator_matches_strict_without_faults() {
+        // With responsive nodes the fault-tolerant coordinator must be
+        // indistinguishable from the strict one (and from the simulator):
+        // same RNG draws, same outputs, same counters.
+        let alpha = Assignment::private(4);
+        for seed in 0..4 {
+            let mut sim_rng = StdRng::seed_from_u64(seed);
+            let sim = crate::runner::run(
+                &Model::Blackboard,
+                &alpha,
+                6,
+                PostBit::default,
+                &mut sim_rng,
+            );
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut net_rng = StdRng::seed_from_u64(seed);
+            let net = std::thread::scope(|scope| {
+                for i in 0..4 {
+                    scope.spawn(move || {
+                        run_node(addr, i, PostBit::default(), Some(Duration::from_secs(10)))
+                    });
+                }
+                run_coordinator_ft::<bool, Vec<bool>, _, _>(
+                    &listener,
+                    &Model::Blackboard,
+                    &alpha,
+                    6,
+                    &mut net_rng,
+                    RunOptions::default(),
+                    &FtConfig::with_timeout(Duration::from_secs(10)),
+                    |_| {},
+                )
+            })
+            .expect("loopback run");
+            assert_eq!(net.outputs, sim.outputs);
+            assert_eq!(net.rounds, sim.rounds);
+            assert_eq!(net.stats, sim.stats);
+            assert!(net.crashed.iter().all(|&c| !c));
+        }
+    }
+
+    #[test]
+    fn ft_coordinator_survives_mid_run_death() {
+        // Node 2 replies to round 1 and then silently dies. The strict
+        // coordinator would abort the whole run; the fault-tolerant one
+        // must declare it crashed and let the survivors decide.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let alpha = Assignment::private(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ft = FtConfig {
+            round_timeout: Duration::from_millis(200),
+            handshake_timeout: Duration::from_secs(5),
+            retries: 1,
+            backoff_start: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+        };
+        let out = std::thread::scope(|scope| {
+            for i in 0..2 {
+                scope.spawn(move || {
+                    run_node(addr, i, PostBit::default(), Some(Duration::from_secs(5)))
+                });
+            }
+            scope.spawn(move || -> Result<(), NetError> {
+                let mut stream = TcpStream::connect(addr)?;
+                stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+                let mut hello = vec![TAG_HELLO];
+                2u32.encode(&mut hello);
+                write_frame(&mut stream, &hello)?;
+                let _config = read_frame(&mut stream)?;
+                let frame = read_frame(&mut stream)?;
+                let mut buf = frame.as_slice();
+                assert_eq!(u8::decode(&mut buf).unwrap(), TAG_ROUND);
+                let _round = u32::decode(&mut buf).unwrap();
+                let bit = bool::decode(&mut buf).unwrap();
+                let mut reply = vec![TAG_REPLY];
+                encode_outgoing(&Outgoing::Post(bit), &mut reply);
+                Option::<Vec<bool>>::None.encode(&mut reply);
+                write_frame(&mut stream, &reply)?;
+                Ok(()) // drop the stream: an unannounced death
+            });
+            run_coordinator_ft::<bool, Vec<bool>, _, _>(
+                &listener,
+                &Model::Blackboard,
+                &alpha,
+                6,
+                &mut rng,
+                RunOptions::default(),
+                &ft,
+                |_| {},
+            )
+        })
+        .expect("graceful degradation, not an abort");
+        assert!(out.completed, "survivors decided");
+        assert_eq!(out.crashed, vec![false, false, true]);
+        assert_eq!(out.outputs[2], None, "dead node reports None");
+        assert!(out.outputs[0].is_some() && out.outputs[1].is_some());
+        assert_eq!(out.stats.crashes, 1);
+        // The round-1 post escaped before the death, so the survivors
+        // decided on the full 3-post board.
+        assert_eq!(out.stats.posts, 3);
+    }
+
+    #[test]
+    fn ft_handshake_degrades_when_a_node_never_connects() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let alpha = Assignment::private(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ft = FtConfig {
+            round_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_millis(300),
+            retries: 0,
+            backoff_start: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(50),
+        };
+        let out = std::thread::scope(|scope| {
+            scope
+                .spawn(move || run_node(addr, 0, PostBit::default(), Some(Duration::from_secs(5))));
+            // Node 1 never shows up.
+            run_coordinator_ft::<bool, Vec<bool>, _, _>(
+                &listener,
+                &Model::Blackboard,
+                &alpha,
+                6,
+                &mut rng,
+                RunOptions::default(),
+                &ft,
+                |_| {},
+            )
+        })
+        .expect("degraded, not fatal");
+        assert_eq!(out.crashed, vec![false, true]);
+        assert_eq!(out.stats.crashes, 1);
+        assert!(out.completed);
+        // The lone survivor saw an empty board.
+        assert_eq!(out.outputs[0], Some(vec![]));
+        assert_eq!(out.outputs[1], None);
     }
 
     #[test]

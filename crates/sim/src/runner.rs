@@ -104,10 +104,9 @@ impl<M> Deref for PortsView<'_, M> {
 impl<M> Incoming<M> {
     /// The blackboard view, or `None` under message passing.
     ///
-    /// This is the non-panicking, model-typed replacement for
-    /// [`Incoming::board`]: the choreography layer's projected machines
-    /// receive a [`BoardView`] directly, so a model mismatch surfaces at
-    /// projection time rather than as a runtime panic.
+    /// Non-panicking and model-typed: the choreography layer's projected
+    /// machines receive a [`BoardView`] directly, so a model mismatch
+    /// surfaces at projection time rather than as a runtime panic.
     pub fn board_view(&self) -> Option<BoardView<'_, M>> {
         match self {
             Incoming::Board(b) => Some(BoardView::new(b)),
@@ -117,43 +116,11 @@ impl<M> Incoming<M> {
 
     /// The per-port view, or `None` under the blackboard model.
     ///
-    /// Non-panicking, model-typed replacement for [`Incoming::ports`].
+    /// Non-panicking, model-typed dual of [`Incoming::board_view`].
     pub fn ports_view(&self) -> Option<PortsView<'_, M>> {
         match self {
             Incoming::Ports(p) => Some(PortsView::new(p)),
             Incoming::Board(_) => None,
-        }
-    }
-
-    /// The board content; panics in the message-passing model.
-    ///
-    /// # Panics
-    ///
-    /// Panics when called on [`Incoming::Ports`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `board_view()` (model-typed, non-panicking)"
-    )]
-    pub fn board(&self) -> &[M] {
-        match self {
-            Incoming::Board(b) => b,
-            Incoming::Ports(_) => panic!("protocol expected the blackboard model"),
-        }
-    }
-
-    /// The per-port slots; panics in the blackboard model.
-    ///
-    /// # Panics
-    ///
-    /// Panics when called on [`Incoming::Board`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `ports_view()` (model-typed, non-panicking)"
-    )]
-    pub fn ports(&self) -> &[Option<M>] {
-        match self {
-            Incoming::Ports(p) => p,
-            Incoming::Board(_) => panic!("protocol expected the message-passing model"),
         }
     }
 }
@@ -215,19 +182,32 @@ pub struct RunStats {
     pub sends: u64,
     /// Largest single message, in bytes (see [`Protocol::msg_bytes`]).
     pub max_msg_bytes: usize,
+    /// Nodes that crashed during the run (permanent silence — injected by
+    /// a [`crate::faults::FaultSchedule`], or declared by the
+    /// fault-tolerant socket coordinator).
+    pub crashes: u64,
+    /// Transmissions dropped by omission faults (a dropped
+    /// [`Outgoing::Post`] counts 1, a dropped [`Outgoing::Send`] counts
+    /// its entries, a dropped [`Outgoing::Broadcast`] counts `n − 1`).
+    pub omissions: u64,
 }
 
 /// The result of running a protocol.
 #[derive(Clone, Debug)]
 pub struct RunOutcome<O> {
-    /// Per-node outputs (`None` for undecided nodes on timeout).
+    /// Per-node outputs (`None` for undecided nodes on timeout, and
+    /// always `None` for crashed nodes).
     pub outputs: Vec<Option<O>>,
     /// Rounds executed.
     pub rounds: usize,
-    /// Whether every node decided before the round cap.
+    /// Whether every *live* (non-crashed) node decided before the round
+    /// cap.
     pub completed: bool,
     /// Message and byte counters for the run.
     pub stats: RunStats,
+    /// Which nodes had crashed by the end of the run (all `false` on the
+    /// fault-free paths).
+    pub crashed: Vec<bool>,
 }
 
 /// Execution options for [`run_nodes_with`].
@@ -339,7 +319,7 @@ pub fn run_nodes_with<P, R>(
     model: &Model,
     alpha: &Assignment,
     max_rounds: usize,
-    mut nodes: Vec<P>,
+    nodes: Vec<P>,
     rng: &mut R,
     options: RunOptions,
 ) -> RunOutcome<P::Output>
@@ -347,8 +327,45 @@ where
     P: Protocol,
     R: Rng + ?Sized,
 {
+    // A zero-horizon schedule is never silent: this is exactly the
+    // fault-free run (identical RNG draws, identical behavior).
+    let faults = crate::faults::FaultSchedule::empty(alpha.n(), 0);
+    run_nodes_with_faults(model, alpha, max_rounds, nodes, rng, options, &faults)
+}
+
+/// Like [`run_nodes_with`], under a [`crate::faults::FaultSchedule`].
+///
+/// Fault semantics (see [`crate::faults`]): a node that *omits* in a
+/// round still executes it, but every transmission it emitted is dropped
+/// (counted in [`RunStats::omissions`]); a node that has *crashed* stops
+/// executing entirely — its output is reported as `None` even if it had
+/// decided earlier, it is flagged in [`RunOutcome::crashed`], and
+/// completion only requires the live nodes to decide. Source bits are
+/// drawn identically every round regardless of faults, so runs under
+/// different schedules stay coupled to the same randomness.
+///
+/// # Panics
+///
+/// Same conditions as [`run_nodes_with`] (the participation check
+/// exempts nodes silent in the violating round), plus
+/// `faults.n() == alpha.n()`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nodes_with_faults<P, R>(
+    model: &Model,
+    alpha: &Assignment,
+    max_rounds: usize,
+    mut nodes: Vec<P>,
+    rng: &mut R,
+    options: RunOptions,
+    faults: &crate::faults::FaultSchedule,
+) -> RunOutcome<P::Output>
+where
+    P: Protocol,
+    R: Rng + ?Sized,
+{
     let n = alpha.n();
     assert_eq!(nodes.len(), n, "one node per assignment slot");
+    assert_eq!(faults.n(), n, "fault schedule covers {} nodes", faults.n());
     if let Model::MessagePassing(p) = model {
         assert_eq!(p.n(), n, "port numbering covers {} nodes, need {n}", p.n());
     }
@@ -372,6 +389,12 @@ where
         posted.fill(false);
 
         for (i, node) in nodes.iter_mut().enumerate() {
+            if faults.crashed_by(i, round) {
+                // Dead: no execution at all. Mail addressed to it is
+                // simply never read.
+                continue;
+            }
+            let silent_now = faults.is_silent(i, round);
             let ctx = RoundCtx {
                 round,
                 bit: source_bits[alpha.source_of(i)],
@@ -395,32 +418,44 @@ where
             match (node.round(ctx, &incoming), model) {
                 (Outgoing::Silent, _) => {}
                 (Outgoing::Post(m), Model::Blackboard) => {
-                    stats.posts += 1;
-                    stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
-                    posted[i] = true;
-                    next_board.push((i, m));
+                    if silent_now {
+                        stats.omissions += 1;
+                    } else {
+                        stats.posts += 1;
+                        stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
+                        posted[i] = true;
+                        next_board.push((i, m));
+                    }
                 }
                 (Outgoing::Send(msgs), Model::MessagePassing(ports)) => {
-                    for (port, m) in msgs {
-                        assert!(port >= 1 && port < n, "port {port} out of range for n={n}");
-                        stats.sends += 1;
-                        stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
-                        let target = ports.neighbor(i, port);
-                        let back = ports.port_towards(target, i);
-                        assert!(
-                            next_mailboxes[target][back - 1].is_none(),
-                            "duplicate message on edge"
-                        );
-                        next_mailboxes[target][back - 1] = Some(m);
+                    if silent_now {
+                        stats.omissions += msgs.len() as u64;
+                    } else {
+                        for (port, m) in msgs {
+                            assert!(port >= 1 && port < n, "port {port} out of range for n={n}");
+                            stats.sends += 1;
+                            stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
+                            let target = ports.neighbor(i, port);
+                            let back = ports.port_towards(target, i);
+                            assert!(
+                                next_mailboxes[target][back - 1].is_none(),
+                                "duplicate message on edge"
+                            );
+                            next_mailboxes[target][back - 1] = Some(m);
+                        }
                     }
                 }
                 (Outgoing::Broadcast(m), Model::MessagePassing(ports)) => {
-                    stats.sends += n.saturating_sub(1) as u64;
-                    stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
-                    for port in 1..n {
-                        let target = ports.neighbor(i, port);
-                        let back = ports.port_towards(target, i);
-                        next_mailboxes[target][back - 1] = Some(m.clone());
+                    if silent_now {
+                        stats.omissions += n.saturating_sub(1) as u64;
+                    } else {
+                        stats.sends += n.saturating_sub(1) as u64;
+                        stats.max_msg_bytes = stats.max_msg_bytes.max(P::msg_bytes(&m));
+                        for port in 1..n {
+                            let target = ports.neighbor(i, port);
+                            let back = ports.port_towards(target, i);
+                            next_mailboxes[target][back - 1] = Some(m.clone());
+                        }
                     }
                 }
                 (out, _) => panic!("outgoing message {out:?} does not match model {model}"),
@@ -428,6 +463,11 @@ where
         }
         if check_participation {
             for (i, node) in nodes.iter().enumerate() {
+                if faults.is_silent(i, round) {
+                    // A silent node cannot post; don't hold that against
+                    // the protocol.
+                    continue;
+                }
                 let undecided = node.output().is_none();
                 assert_eq!(
                     posted[i],
@@ -444,20 +484,43 @@ where
         board = next_board;
         mailboxes = next_mailboxes;
 
-        if nodes.iter().all(|nd| nd.output().is_some()) {
-            return RunOutcome {
-                outputs: nodes.iter().map(Protocol::output).collect(),
-                rounds,
-                completed: true,
-                stats,
-            };
+        if nodes
+            .iter()
+            .enumerate()
+            .all(|(i, nd)| faults.crashed_by(i, round) || nd.output().is_some())
+        {
+            return faulted_outcome(&nodes, rounds, stats, faults);
         }
     }
+    faulted_outcome(&nodes, rounds, stats, faults)
+}
+
+/// Builds a [`RunOutcome`] at the end of a (possibly faulted) run:
+/// crashed nodes report `None` and are flagged, completion covers the
+/// live nodes only.
+fn faulted_outcome<P: Protocol>(
+    nodes: &[P],
+    rounds: usize,
+    mut stats: RunStats,
+    faults: &crate::faults::FaultSchedule,
+) -> RunOutcome<P::Output> {
+    let crashed: Vec<bool> = (0..nodes.len())
+        .map(|i| faults.crashed_by(i, rounds))
+        .collect();
+    stats.crashes = crashed.iter().filter(|&&c| c).count() as u64;
     RunOutcome {
-        outputs: nodes.iter().map(Protocol::output).collect(),
+        completed: nodes
+            .iter()
+            .enumerate()
+            .all(|(i, nd)| crashed[i] || nd.output().is_some()),
+        outputs: nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| if crashed[i] { None } else { nd.output() })
+            .collect(),
         rounds,
-        completed: nodes.iter().all(|nd| nd.output().is_some()),
         stats,
+        crashed,
     }
 }
 
@@ -656,6 +719,149 @@ mod tests {
         assert!(!out.completed);
         assert_eq!(out.rounds, 3);
         assert!(out.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn empty_schedule_matches_fault_free_run() {
+        // run_nodes_with delegates through the faulted core; a run with
+        // an explicit empty schedule must be identical, RNG and all.
+        let alpha = Assignment::private(4);
+        let faults = crate::faults::FaultSchedule::empty(4, 0);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let a = run(
+            &Model::Blackboard,
+            &alpha,
+            5,
+            BitCounter::default,
+            &mut rng_a,
+        );
+        let nodes = (0..4).map(|_| BitCounter::default()).collect();
+        let b = run_nodes_with_faults(
+            &Model::Blackboard,
+            &alpha,
+            5,
+            nodes,
+            &mut rng_b,
+            RunOptions::default(),
+            &faults,
+        );
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.stats, b.stats);
+        assert!(b.crashed.iter().all(|&c| !c));
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "same draw count");
+    }
+
+    #[test]
+    fn crashed_node_reports_none_and_survivors_decide() {
+        // Node 2 crashes in round 1: it never posts, each survivor sees
+        // a 2-post board (the other two live nodes), everyone live
+        // decides in round 2, and the outcome flags the crash.
+        let alpha = Assignment::private(4);
+        let mut faults = crate::faults::FaultSchedule::empty(4, 5);
+        faults.set_crash(2, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let nodes = (0..4).map(|_| BitCounter::default()).collect();
+        let out = run_nodes_with_faults(
+            &Model::Blackboard,
+            &alpha,
+            5,
+            nodes,
+            &mut rng,
+            RunOptions::default(),
+            &faults,
+        );
+        assert!(out.completed, "live nodes decided");
+        assert_eq!(out.crashed, vec![false, false, true, false]);
+        assert_eq!(out.outputs[2], None, "crashed node's output is forced out");
+        for i in [0usize, 1, 3] {
+            assert!(out.outputs[i].is_some(), "survivor {i} decided");
+        }
+        assert_eq!(out.stats.crashes, 1);
+        // Three live posts in round 1; the crashed node never executed,
+        // so nothing of its was dropped either.
+        assert_eq!(out.stats.posts, 3);
+        assert_eq!(out.stats.omissions, 0);
+    }
+
+    #[test]
+    fn omission_drops_the_post_and_counts_it() {
+        let alpha = Assignment::private(3);
+        let mut faults = crate::faults::FaultSchedule::empty(3, 5);
+        faults.set_omission(1, 1);
+        let mut rng = StdRng::seed_from_u64(13);
+        let nodes = (0..3).map(|_| BitCounter::default()).collect();
+        let out = run_nodes_with_faults(
+            &Model::Blackboard,
+            &alpha,
+            5,
+            nodes,
+            &mut rng,
+            RunOptions {
+                full_participation: true, // silent rounds are exempt
+            },
+            &faults,
+        );
+        assert!(out.completed);
+        assert_eq!(out.stats.posts, 2, "round-1 post of node 1 dropped");
+        assert_eq!(out.stats.omissions, 1);
+        assert_eq!(out.stats.crashes, 0);
+        assert!(out.outputs[1].is_some(), "omitting node still decides");
+    }
+
+    /// Broadcasts in round 1, decides on how many messages arrived —
+    /// tolerant of empty slots, so omissions surface in the output.
+    #[derive(Default)]
+    struct CountArrivals {
+        got: Option<usize>,
+    }
+
+    impl Protocol for CountArrivals {
+        type Msg = bool;
+        type Output = usize;
+
+        fn round(&mut self, ctx: RoundCtx, incoming: &Incoming<bool>) -> Outgoing<bool> {
+            if ctx.round == 1 {
+                Outgoing::Broadcast(ctx.bit)
+            } else {
+                if self.got.is_none() {
+                    let ports = incoming.ports_view().expect("message-passing protocol");
+                    self.got = Some(ports.iter().flatten().count());
+                }
+                Outgoing::Silent
+            }
+        }
+
+        fn output(&self) -> Option<usize> {
+            self.got
+        }
+    }
+
+    #[test]
+    fn omitted_broadcast_counts_per_port() {
+        let alpha = Assignment::private(3);
+        let mut faults = crate::faults::FaultSchedule::empty(3, 4);
+        faults.set_omission(0, 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let nodes = (0..3).map(|_| CountArrivals::default()).collect();
+        let out = run_nodes_with_faults(
+            &Model::message_passing_cyclic(3),
+            &alpha,
+            4,
+            nodes,
+            &mut rng,
+            RunOptions::default(),
+            &faults,
+        );
+        assert!(out.completed);
+        assert_eq!(out.stats.omissions, 2, "one dropped broadcast x 2 ports");
+        assert_eq!(out.stats.sends, 4, "two live broadcasts delivered");
+        // The omitting node still hears both neighbors; the neighbors
+        // each miss exactly its message.
+        assert_eq!(out.outputs[0], Some(2));
+        assert_eq!(out.outputs[1], Some(1));
+        assert_eq!(out.outputs[2], Some(1));
     }
 
     #[test]

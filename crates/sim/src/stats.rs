@@ -49,7 +49,7 @@ pub fn arena_stats(arena: &KnowledgeArena) -> ArenaStats {
     for i in 0..arena.len() {
         let id = KnowledgeId::from_index_for_stats(i);
         let d = match arena.get(id) {
-            KnowledgeNode::Initial(_) => 0,
+            KnowledgeNode::Initial(_) | KnowledgeNode::Hole => 0,
             KnowledgeNode::Round { prev, .. } => depth_of[prev.index() as usize] + 1,
         };
         depth_of.push(d);
@@ -80,7 +80,7 @@ pub fn expansion_factor(arena: &KnowledgeArena, id: KnowledgeId) -> (u128, usize
         }
         reach.insert(id);
         let s = match arena.get(id).clone() {
-            KnowledgeNode::Initial(_) => 1,
+            KnowledgeNode::Initial(_) | KnowledgeNode::Hole => 1,
             KnowledgeNode::Round { prev, heard, .. } => {
                 let mut total = 1 + go(arena, prev, sizes, reach);
                 let children = match heard {

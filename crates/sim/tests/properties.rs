@@ -144,4 +144,68 @@ proptest! {
             }
         }
     }
+
+    /// The faulted lane stepper tracks exactly 64 scalar faulted
+    /// executions per word — for random seeds, fault rates, and both
+    /// models. Lane `l` pairs sample stream `l`'s source draws with the
+    /// schedule compiled from the salted fault substream at the same
+    /// index, mirroring the bit-sliced Monte-Carlo kernel's discipline.
+    #[test]
+    fn faulted_lanes_match_scalar_faulted_executions(
+        seed in any::<u64>(),
+        rate_idx in 0usize..4,
+        model_idx in 0usize..2,
+    ) {
+        use rand::rngs::StreamRng;
+        use rand::RngCore;
+        use rsbt_sim::lanes::pair_index;
+        use rsbt_sim::{FaultSpec, LaneStepper};
+        let (crash, omission) = [(0.0, 0.0), (0.15, 0.0), (0.0, 0.25), (0.15, 0.2)][rate_idx];
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let (n, t) = (3usize, 4usize);
+        let model = [Model::Blackboard, Model::message_passing_cyclic(3)][model_idx].clone();
+        let spec = FaultSpec::rates(crash, omission);
+        let schedules: Vec<_> = (0..64u64).map(|l| spec.schedule(n, t, seed, l)).collect();
+        let draws: Vec<Vec<u64>> = (0..64u64)
+            .map(|l| {
+                let mut rng = StreamRng::new(seed, l);
+                (0..alpha.k()).map(|_| rng.next_u64()).collect()
+            })
+            .collect();
+        let mut arena = KnowledgeArena::new();
+        let execs: Vec<Execution> = (0..64usize)
+            .map(|l| {
+                let strings: Vec<BitString> = (0..n)
+                    .map(|i| BitString::from_word(draws[l][alpha.source_of(i)], t))
+                    .collect();
+                let rho = Realization::new(strings).expect("uniform length");
+                Execution::run_with_faults(&model, &rho, &schedules[l], &mut arena)
+            })
+            .collect();
+        let mut stepper = LaneStepper::new_faulted(&model, &alpha);
+        for r in 0..t {
+            stepper.step_faulted(
+                |s| (0..64).fold(0u64, |w, l| w | ((draws[l][s] >> r & 1) << l)),
+                |i| {
+                    (0..64).fold(0u64, |w, l| {
+                        w | (u64::from(schedules[l].is_silent(i, r + 1)) << l)
+                    })
+                },
+            );
+            for a in 0..n {
+                for b in a + 1..n {
+                    let word = stepper.eq_words()[pair_index(n, a, b)];
+                    for (l, exec) in execs.iter().enumerate() {
+                        let lane_eq = word >> l & 1 == 1;
+                        let scalar_eq =
+                            exec.knowledge(r + 1, a) == exec.knowledge(r + 1, b);
+                        prop_assert_eq!(
+                            lane_eq, scalar_eq,
+                            "round {} pair ({}, {}) lane {}", r + 1, a, b, l
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
