@@ -1,23 +1,29 @@
-//! Experiment `perf_enum` — the prefix-sharing enumeration engine versus
-//! the pre-engine leaf-by-leaf path, on a fixed `exact_series` grid with
-//! `k·t ≥ 16`, plus a before/after micro-benchmark of the interning
-//! index's hasher (SipHash vs the vendored Fx).
+//! Experiment `perf_enum` — three generations of the exact path on a
+//! fixed `exact_series` grid with `k·t ≥ 16`: the pre-engine leaf-by-leaf
+//! reference, the prefix-sharing execution-tree engine (PR 3), and the
+//! quotient DP engine over knowledge-equality states — plus a
+//! before/after micro-benchmark of the interning index's hasher (SipHash
+//! vs the vendored Fx) and an `exact-dp` sweep past the tree wall.
 //!
 //! The old path (`probability::exact_series_reference`, kept verbatim for
 //! this comparison) pays `t` full rounds of knowledge construction per
 //! realization and one facet search per leaf — `Σ_t t·2^{k·t}` rounds for
-//! a series. The engine walks one shared execution tree (`Σ_s 2^{k·s}`
-//! rounds for the *whole* series), memoizes solvability per consistency
-//! partition (≤ Bell(n) facet searches total), and prunes solved
-//! subtrees. Probabilities are asserted bit-identical in-process before
-//! any timing is reported.
+//! a series. The tree engine walks one shared execution tree (`Σ_s
+//! 2^{k·s}` rounds for the *whole* series), memoizes solvability per
+//! consistency partition, and prunes solved subtrees. The quotient engine
+//! (`rsbt_core::engine_dp`, the production dispatch behind
+//! `exact_series`) folds the tree into a DP over equality states —
+//! `O(states · 2^k)` per round, flat in `t`. All three series are
+//! asserted bit-identical in-process before any timing is reported; the
+//! dedicated head-to-head on adversarial-for-pruning points lives in
+//! `exp_perf_quotient`.
 
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rsbt_bench::{fmt_sizes, run_experiment, Table};
-use rsbt_core::probability;
+use rsbt_bench::{fmt_sizes, run_experiment, RowMode, SweepSpec, Table, TaskSpec};
+use rsbt_core::{engine, probability};
 use rsbt_random::{Assignment, Realization};
 use rsbt_sim::{Execution, KnowledgeArena, KnowledgeId, KnowledgeNode, Model, NeighborInfo};
 use rsbt_tasks::LeaderElection;
@@ -26,8 +32,9 @@ use rsbt_tasks::LeaderElection;
 /// (the acceptance regime: deep enough that prefix sharing dominates).
 const GRID: &[(&[usize], usize)] = &[(&[1, 2], 8), (&[2, 2], 8), (&[1, 3], 8), (&[1, 1, 2], 6)];
 
-fn series_comparison(rep_table: &mut Table) -> f64 {
+fn series_comparison(rep_table: &mut Table) -> (f64, f64) {
     let mut min_speedup = f64::INFINITY;
+    let mut min_dp_speedup = f64::INFINITY;
     for &(sizes, t_max) in GRID {
         let alpha = Assignment::from_group_sizes(sizes).unwrap();
         let bits = alpha.k() * t_max;
@@ -42,33 +49,54 @@ fn series_comparison(rep_table: &mut Table) -> f64 {
         );
         let old_ms = start.elapsed().as_secs_f64() * 1e3;
 
+        // The PR 3 tree engine, called directly (the public entry points
+        // now dispatch to the quotient engine).
         let start = Instant::now();
-        let engine = probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, t_max);
-        let engine_ms = start.elapsed().as_secs_f64() * 1e3;
+        let tree_counts = engine::solved_counts(
+            &Model::Blackboard,
+            &LeaderElection,
+            &alpha,
+            t_max,
+            &mut KnowledgeArena::new(),
+        );
+        let tree_ms = start.elapsed().as_secs_f64() * 1e3;
+        let tree: Vec<f64> = tree_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 / (1u128 << (alpha.k() * (i + 1))) as f64)
+            .collect();
 
-        let identical = old.len() == engine.len()
-            && old
-                .iter()
-                .zip(&engine)
-                .all(|(a, b)| a.to_bits() == b.to_bits());
+        // The quotient DP engine via the production dispatch.
+        let start = Instant::now();
+        let dp = probability::exact_series(&Model::Blackboard, &LeaderElection, &alpha, t_max);
+        let dp_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let bitwise = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        let identical = bitwise(&old, &tree) && bitwise(&old, &dp);
         assert!(
             identical,
-            "engine diverged from reference on {sizes:?} t_max={t_max}: {old:?} vs {engine:?}"
+            "engines diverged on {sizes:?} t_max={t_max}: ref {old:?} tree {tree:?} dp {dp:?}"
         );
-        let speedup = old_ms / engine_ms.max(1e-6);
+        let speedup = old_ms / tree_ms.max(1e-6);
+        let dp_speedup = old_ms / dp_ms.max(1e-6);
         min_speedup = min_speedup.min(speedup);
+        min_dp_speedup = min_dp_speedup.min(dp_speedup);
         rep_table.row(vec![
             fmt_sizes(sizes),
             alpha.k().to_string(),
             t_max.to_string(),
             bits.to_string(),
             format!("{old_ms:.2}"),
-            format!("{engine_ms:.2}"),
+            format!("{tree_ms:.2}"),
+            format!("{dp_ms:.2}"),
             format!("{speedup:.1}"),
+            format!("{dp_speedup:.1}"),
             identical.to_string(),
         ]);
     }
-    min_speedup
+    (min_speedup, min_dp_speedup)
 }
 
 /// Times `inserts + lookups` of realistic `KnowledgeNode` keys through a
@@ -134,31 +162,65 @@ fn main() -> ExitCode {
         "perf_enum",
         "Prefix-sharing enumeration engine vs leaf-by-leaf reference",
         "DESIGN.md section 4.4 (execution tree); Lemma B.1 enumeration",
-        |_eng, rep| {
+        |eng, rep| {
             let mut table = Table::new(vec![
                 "sizes",
                 "k",
                 "t_max",
                 "bits",
                 "old_ms",
-                "engine_ms",
+                "tree_ms",
+                "dp_ms",
                 "speedup",
+                "dp_speedup",
                 "identical",
             ]);
-            let min_speedup = series_comparison(&mut table);
-            let section = rep.section("exact_series: old path vs engine (blackboard)");
+            let (min_speedup, min_dp_speedup) = series_comparison(&mut table);
+            let section = rep.section("exact_series: reference vs tree engine vs quotient DP");
             section.table(table);
             section.note(
                 "old path = exact_series_reference: t rounds of interning + one facet search \
                  per leaf, one enumeration per t (sum_t t*2^(kt) rounds per series)",
             );
             section.note(
-                "engine = one shared execution-tree traversal per series: one round per tree \
+                "tree = one shared execution-tree traversal per series: one round per tree \
                  node (sum_s 2^(ks)), solvability memoized per consistency partition, solved \
-                 subtrees pruned wholesale",
+                 subtrees pruned wholesale; dp = the quotient engine over knowledge-equality \
+                 states (production dispatch), O(states*2^k) per round, flat in t",
             );
             section.note(format!(
-                "probabilities bit-identical on every grid point; minimum speedup {min_speedup:.1}x"
+                "probabilities bit-identical across all three on every grid point; minimum \
+                 speedup {min_speedup:.1}x (tree vs old), {min_dp_speedup:.1}x (dp vs old)"
+            ));
+
+            // Past the tree wall: exact-dp rows that no tree walk could
+            // have produced (k*t up to 96 >> TREE_EXACT_BITS = 30), now
+            // routine — and committed through the v2 schema's exact-dp
+            // mode tag.
+            let spec = SweepSpec::new()
+                .task(TaskSpec::fixed(LeaderElection))
+                .nodes(3..=4)
+                .t_cap(48)
+                .bit_budget(126)
+                .filter(|alpha| alpha.k() == 2);
+            let rows = eng.sweep(&spec);
+            assert!(!rows.is_empty());
+            assert!(
+                rows.iter().all(|r| r.mode == RowMode::ExactDp
+                    && r.k * r.series.len() > probability::TREE_EXACT_BITS),
+                "beyond-the-wall rows must carry the exact-dp tag"
+            );
+            assert!(
+                rows.iter().all(|r| r.is_monotone()),
+                "exact series must be monotone"
+            );
+            let section = rep.section("beyond the tree wall: exact-dp series to k*t = 96");
+            section.sweep("quotient-engine exact series (two-source profiles)", rows);
+            section.note(format!(
+                "every row has k*t > TREE_EXACT_BITS = {}: exact integer-ratio data in a \
+                 regime the repository previously covered only by Monte-Carlo estimation \
+                 (mode exact-dp; the u128 dyadic budget runs to k*t <= 126)",
+                probability::TREE_EXACT_BITS
             ));
 
             let mut hasher_table = Table::new(vec!["hasher", "ops", "ms", "ns_per_op"]);

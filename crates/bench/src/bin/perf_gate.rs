@@ -1,0 +1,224 @@
+//! `perf_gate <fresh.json> <committed.json>` — the CI performance gate.
+//!
+//! Compares a freshly generated benchmark report against the committed
+//! baseline and fails (exit code 1) when performance regressed beyond the
+//! documented noise margin:
+//!
+//! * every table column whose header contains `speedup` is reduced to its
+//!   **minimum** over the rows (the weakest point is the gate), and the
+//!   fresh minimum must be at least `committed / NOISE_MARGIN`;
+//! * every engine counter (`dp_states=`, `row_hits=`, `memo_hits=`,
+//!   `closed_form_verdicts=`) that the committed report's notes mention
+//!   must appear in the fresh notes with a non-zero value — a zero means
+//!   the quotient DP or the solvability memo silently stopped being
+//!   exercised, which no timing column would catch.
+//!
+//! Sections are matched by title and tables by position within their
+//! section, so a committed section the fresh run no longer produces is
+//! itself a failure (a silently dropped benchmark is a regression).
+//! Cosmetic drift — new sections, new columns, faster numbers — passes.
+
+use std::process::ExitCode;
+
+use rsbt_bench::Json;
+
+/// Multiplicative slack on speedup floors. Benchmark bins already assert
+/// hard floors in-process (e.g. ≥ 100× in `exp_perf_quotient`); the gate
+/// guards the *committed* level instead, and shared CI runners jitter
+/// wall-clock ratios by a few× — an 8× band separates machine noise from
+/// an algorithmic regression (those show up as orders of magnitude).
+const NOISE_MARGIN: f64 = 8.0;
+
+/// Counters whose disappearance or zeroing the gate treats as a failure.
+const COUNTER_KEYS: &[&str] = &["dp_states", "row_hits", "memo_hits", "closed_form_verdicts"];
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn sections(doc: &Json) -> Vec<&Json> {
+    doc.get("sections")
+        .and_then(Json::as_arr)
+        .map(|s| s.iter().collect())
+        .unwrap_or_default()
+}
+
+fn section_title(section: &Json) -> &str {
+    section
+        .get("title")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+}
+
+/// Minimum value of each `speedup`-named column in each table of the
+/// section: `(table index, column name, min value)`.
+fn speedup_minima(section: &Json) -> Vec<(usize, String, f64)> {
+    let mut out = Vec::new();
+    let tables = section.get("tables").and_then(Json::as_arr).unwrap_or(&[]);
+    for (ti, table) in tables.iter().enumerate() {
+        let columns = table.get("columns").and_then(Json::as_arr).unwrap_or(&[]);
+        let rows = table.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+        for (ci, column) in columns.iter().enumerate() {
+            let Some(name) = column.as_str() else {
+                continue;
+            };
+            if !name.contains("speedup") {
+                continue;
+            }
+            let min = rows
+                .iter()
+                .filter_map(|row| row.as_arr()?.get(ci)?.as_str()?.parse::<f64>().ok())
+                .fold(f64::INFINITY, f64::min);
+            if min.is_finite() {
+                out.push((ti, name.to_string(), min));
+            }
+        }
+    }
+    out
+}
+
+/// Sums `key=<int>` occurrences across the section's notes; `None` when
+/// the key never appears.
+fn counter_total(section: &Json, key: &str) -> Option<u64> {
+    let notes = section.get("notes").and_then(Json::as_arr)?;
+    let mut total = None;
+    for note in notes {
+        let Some(text) = note.as_str() else { continue };
+        for token in text.split_whitespace() {
+            if let Some(value) = token.strip_prefix(&format!("{key}=")) {
+                if let Ok(v) = value.trim_end_matches([',', ';', ')']).parse::<u64>() {
+                    *total.get_or_insert(0) += v;
+                }
+            }
+        }
+    }
+    total
+}
+
+fn gate(fresh: &Json, committed: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let fresh_sections = sections(fresh);
+    for committed_section in sections(committed) {
+        let title = section_title(committed_section);
+        let Some(fresh_section) = fresh_sections.iter().find(|s| section_title(s) == title) else {
+            failures.push(format!("section \"{title}\" missing from the fresh report"));
+            continue;
+        };
+        let fresh_minima = speedup_minima(fresh_section);
+        for (ti, column, committed_min) in speedup_minima(committed_section) {
+            let Some(&(_, _, fresh_min)) = fresh_minima
+                .iter()
+                .find(|&&(fti, ref fc, _)| fti == ti && *fc == column)
+            else {
+                failures.push(format!(
+                    "section \"{title}\": column \"{column}\" missing from the fresh report"
+                ));
+                continue;
+            };
+            let floor = committed_min / NOISE_MARGIN;
+            if fresh_min < floor {
+                failures.push(format!(
+                    "section \"{title}\": min {column} regressed to {fresh_min:.1}x \
+                     (committed {committed_min:.1}x, noise-margin floor {floor:.1}x)"
+                ));
+            } else {
+                println!(
+                    "ok: \"{title}\" min {column} = {fresh_min:.1}x \
+                     (committed {committed_min:.1}x, floor {floor:.1}x)"
+                );
+            }
+        }
+        for key in COUNTER_KEYS {
+            let Some(committed_total) = counter_total(committed_section, key) else {
+                continue;
+            };
+            match counter_total(fresh_section, key) {
+                Some(fresh_total) if fresh_total > 0 => {
+                    println!("ok: \"{title}\" {key}={fresh_total} (committed {committed_total})");
+                }
+                Some(_) => failures.push(format!(
+                    "section \"{title}\": counter {key} is zero in the fresh report \
+                     (committed {committed_total}) — the instrumented path stopped running"
+                )),
+                None => failures.push(format!(
+                    "section \"{title}\": counter {key} missing from the fresh report"
+                )),
+            }
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, fresh_path, committed_path] = args.as_slice() else {
+        eprintln!("usage: perf_gate <fresh.json> <committed.json>");
+        return ExitCode::from(2);
+    };
+    let (fresh, committed) = match (load(fresh_path), load(committed_path)) {
+        (Ok(f), Ok(c)) => (f, c),
+        (f, c) => {
+            for err in [f.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = gate(&fresh, &committed);
+    if failures.is_empty() {
+        println!("perf gate passed ({fresh_path} vs {committed_path})");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(speedup: &str, note: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"x","sections":[{{"title":"s","tables":[{{"columns":["name","speedup"],
+                "rows":[["a","{speedup}"],["b","9000.0"]]}}],"sweeps":[],"notes":["{note}"]}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn passes_within_the_noise_margin() {
+        let committed = doc("800.0", "dp_states=50 memo_hits=3");
+        let fresh = doc("101.0", "dp_states=48 memo_hits=2"); // 800/8 = 100 floor
+        assert!(gate(&fresh, &committed).is_empty());
+    }
+
+    #[test]
+    fn fails_past_the_noise_margin() {
+        let committed = doc("800.0", "dp_states=50");
+        let fresh = doc("99.0", "dp_states=48");
+        let failures = gate(&fresh, &committed);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+    }
+
+    #[test]
+    fn fails_on_zero_or_missing_counters() {
+        let committed = doc("800.0", "dp_states=50 memo_hits=3");
+        let zeroed = doc("800.0", "dp_states=0 memo_hits=3");
+        assert!(gate(&zeroed, &committed)[0].contains("dp_states is zero"));
+        let missing = doc("800.0", "memo_hits=3");
+        assert!(gate(&missing, &committed)[0].contains("dp_states missing"));
+    }
+
+    #[test]
+    fn fails_on_a_dropped_section() {
+        let committed = doc("800.0", "dp_states=50");
+        let fresh = Json::parse(r#"{"schema":"x","sections":[]}"#).unwrap();
+        let failures = gate(&fresh, &committed);
+        assert!(failures[0].contains("missing from the fresh report"));
+    }
+}

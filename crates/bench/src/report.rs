@@ -10,8 +10,10 @@
 //! in shortest round-trip form, so committed `BENCH_*.json` baselines diff
 //! cleanly across PRs.
 //!
-//! **v2 over v1**: sweep rows carry a `mode` field (`"exact"` or
-//! `"mc"`), and Monte-Carlo rows add `samples`, `seed`, `ci_lo`, and
+//! **v2 over v1**: sweep rows carry a `mode` field (`"exact"`,
+//! `"exact-dp"` for exact rows past the tree-engine wall that only the
+//! quotient DP engine reaches, or `"mc"`), and Monte-Carlo rows add
+//! `samples`, `seed`, `ci_lo`, and
 //! `ci_hi` (per-`t` Wilson bounds parallel to `series`). v1 documents —
 //! exact-only rows, no `mode` — still [`validate`] (the parser never
 //! depended on the schema tag), so earlier committed baselines remain
@@ -766,10 +768,13 @@ fn validate_sweep_row(row: &Json, v1: bool) -> Result<(), String> {
         }
         return Ok(());
     }
+    // "exact-dp" rows are exact-like: integer-count series from the
+    // quotient DP engine past the tree wall — a provenance tag, not an
+    // estimator, so they must not carry the Monte-Carlo companions.
     let mc = match row.get("mode").and_then(Json::as_str) {
-        Some("exact") => false,
+        Some("exact") | Some("exact-dp") => false,
         Some("mc") => true,
-        _ => return Err("v2 sweep row 'mode' must be \"exact\" or \"mc\"".into()),
+        _ => return Err("v2 sweep row 'mode' must be \"exact\", \"exact-dp\", or \"mc\"".into()),
     };
     if !mc {
         for key in ["samples", "seed", "ci_lo", "ci_hi"] {
@@ -954,6 +959,52 @@ mod tests {
             r
         };
         validate(&doc_with_row(SCHEMA, exact)).unwrap();
+    }
+
+    #[test]
+    fn v2_exact_dp_rows_are_exact_like() {
+        // The quotient-engine tag: validates without estimator
+        // companions, rejects them, and round-trips through the parser.
+        let dp = {
+            let mut r = without(&mc_row(), &["samples", "seed", "ci_lo", "ci_hi"]);
+            if let Json::Obj(pairs) = &mut r {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "mode" {
+                        *v = Json::Str("exact-dp".into());
+                    }
+                }
+            }
+            r
+        };
+        let doc = doc_with_row(SCHEMA, dp);
+        validate(&doc).unwrap();
+        let round = Json::parse(&doc.to_pretty_string()).unwrap();
+        assert_eq!(round, doc);
+        validate(&round).unwrap();
+
+        // exact-dp is a provenance tag, not an estimator: Monte-Carlo
+        // companions are as illegal here as on plain exact rows.
+        let mut bad = mc_row();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("exact-dp".into());
+                }
+            }
+        }
+        assert!(validate(&doc_with_row(SCHEMA, bad)).is_err());
+
+        // Unknown mode strings are still rejected.
+        let mut unknown = without(&mc_row(), &["samples", "seed", "ci_lo", "ci_hi"]);
+        if let Json::Obj(pairs) = &mut unknown {
+            for (k, v) in pairs.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str("exact-quotient".into());
+                }
+            }
+        }
+        let e = validate(&doc_with_row(SCHEMA, unknown));
+        assert!(e.unwrap_err().contains("exact-dp"));
     }
 
     #[test]

@@ -264,19 +264,33 @@ impl SweepSpec {
 /// How a sweep row's series was produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RowMode {
-    /// Exact enumeration through the execution-tree engine.
+    /// Exact integer counts, within the tree engines' historical reach
+    /// (`k·t ≤` [`probability::TREE_EXACT_BITS`]).
     Exact,
+    /// Exact integer counts that only the quotient DP engine can produce
+    /// (`k·t >` [`probability::TREE_EXACT_BITS`], up to the 126-bit
+    /// dyadic budget). Same exactness contract as [`RowMode::Exact`] —
+    /// the tag exists so report consumers can tell which rows the old
+    /// engine could not have emitted.
+    ExactDp,
     /// Deterministic parallel Monte-Carlo estimation.
     Mc,
 }
 
 impl RowMode {
-    /// The schema string (`"exact"` / `"mc"`).
+    /// The schema string (`"exact"` / `"exact-dp"` / `"mc"`).
     pub fn as_str(self) -> &'static str {
         match self {
             RowMode::Exact => "exact",
+            RowMode::ExactDp => "exact-dp",
             RowMode::Mc => "mc",
         }
+    }
+
+    /// Whether the row's series is exact integer ratios (either exact
+    /// tag) rather than estimated.
+    pub fn is_exact(self) -> bool {
+        self != RowMode::Mc
     }
 }
 
@@ -414,7 +428,7 @@ pub fn standard_table(rows: &[SweepRow]) -> Table {
     let show_model = varies(|r| &r.model);
     let show_task = varies(|r| &r.task);
     let show_predicted = rows.iter().any(|r| r.predicted.is_some());
-    let show_mode = rows.iter().any(|r| r.mode == RowMode::Mc);
+    let show_mode = rows.iter().any(|r| r.mode != RowMode::Exact);
     let show_fault = rows.iter().any(|r| r.crash.is_some());
     let series_cols = rows
         .iter()
@@ -786,7 +800,13 @@ impl SweepEngine {
                     gcd: p.alpha.gcd_of_group_sizes(),
                     series,
                     limit,
-                    mode: if p.mc { RowMode::Mc } else { RowMode::Exact },
+                    mode: if p.mc {
+                        RowMode::Mc
+                    } else if p.alpha.k() * p.t_max > probability::TREE_EXACT_BITS {
+                        RowMode::ExactDp
+                    } else {
+                        RowMode::Exact
+                    },
                     mc,
                     crash: p.fault.map(|(crash, _)| crash),
                     omission: p.fault.map(|(_, omission)| omission),
@@ -915,6 +935,35 @@ mod tests {
         // And the suffix-only path is bit-identical to a cold engine.
         let cold = SweepEngine::new(2).sweep(&spec);
         assert_eq!(rows, cold);
+    }
+
+    #[test]
+    fn exact_dp_mode_tags_rows_past_the_tree_wall() {
+        // k = 2 at t_cap = 20 under a 126-bit budget: k·t = 40 >
+        // TREE_EXACT_BITS = 30 — exact integer counts only the quotient
+        // engine can produce, tagged so report consumers can tell.
+        let spec = SweepSpec::new()
+            .task(TaskSpec::fixed(LeaderElection))
+            .nodes(3..=3)
+            .t_cap(20)
+            .bit_budget(126)
+            .filter(|alpha| alpha.k() == 2);
+        let mut engine = SweepEngine::new(2);
+        let rows = engine.sweep(&spec);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r.mode, RowMode::ExactDp, "{:?}", r.sizes);
+            assert!(r.mode.is_exact());
+            assert!(r.mc.is_none(), "exact-dp rows carry no estimator data");
+            assert_eq!(r.series.len(), 20);
+        }
+        // [2,1]: one singleton among two sources, p(t) = 1 − 2^{−t} —
+        // exactly representable, so the check is bitwise.
+        let r = rows.iter().find(|r| r.sizes == vec![2, 1]).unwrap();
+        assert_eq!(r.series[19].to_bits(), (1.0 - 0.5f64.powi(20)).to_bits());
+        // Any non-plain-exact row makes the mode column visible.
+        let text = standard_table(&rows).to_string();
+        assert!(text.contains("exact-dp"));
     }
 
     #[test]

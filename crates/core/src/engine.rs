@@ -40,6 +40,18 @@
 //! worker re-derives its prefix paths (negligible: `2^{k·D} ≈` worker
 //! count) and owns a tree node iff it owns the node's leftmost prefix, so
 //! per-depth tallies sum to the serial traversal's exactly.
+//!
+//! This engine is now the **reference path**: the production exact
+//! dispatch runs through the quotient engine ([`crate::engine_dp`]),
+//! which walks the same tree *up to knowledge-equality state* — per-round
+//! cost `O(states · 2^k)` instead of `O(2^{k·r})` — and is asserted
+//! bit-identical to these tallies across this engine's reachable range.
+//! The tallies here stay `u64` deliberately: with the enforced
+//! `k·t_max ≤ 62` every `1u64 << (k·d)` shift is in range (the 62-bit
+//! edge is pinned by test), and widening the reference would cost the
+//! before/after comparability of the `exp_perf_*` benches. The quotient
+//! engine carries `u128` counts and moves the integer-exact wall to
+//! `k·t ≤ 126`.
 
 use rsbt_complex::FacetTable;
 use rsbt_random::{Assignment, BitString, Realization};
@@ -178,6 +190,49 @@ impl SolvabilityMemo {
                 }
             }
         }
+        self.verdict_for_scratch(kernel)
+    }
+
+    /// [`SolvabilityMemo::solves`] on a consistency partition given
+    /// directly as canonical first-occurrence class labels — the entry
+    /// point of the quotient engine ([`crate::engine_dp`]), which tracks
+    /// equality *states* and never synthesizes knowledge ids. The class
+    /// representatives the dense fallback scan needs are derived from the
+    /// labels themselves (the first node of each class), so tasks without
+    /// a closed form answer through the same [`TaskKernel`] table as the
+    /// id path. Verdicts land in the same memo as [`SolvabilityMemo::solves`]
+    /// — the two entry points share every cached partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() > 255` or if `labels` is not canonical
+    /// (class `c`'s first occurrence must come after class `c − 1`'s).
+    pub fn solves_labels<T: Task + ?Sized>(
+        &mut self,
+        labels: &[u8],
+        kernel: &TaskKernel<'_, T>,
+    ) -> bool {
+        assert!(
+            labels.len() <= u8::MAX as usize,
+            "too many nodes for labels"
+        );
+        self.labels.clear();
+        self.labels.extend_from_slice(labels);
+        self.reps.clear();
+        for (i, &c) in labels.iter().enumerate() {
+            let c = c as usize;
+            if c == self.reps.len() {
+                self.reps.push(i);
+            } else {
+                assert!(c < self.reps.len(), "labels not in first-occurrence form");
+            }
+        }
+        self.verdict_for_scratch(kernel)
+    }
+
+    /// The shared memo/closed-form/dense-scan tail: answers for the
+    /// canonical partition currently held in the `labels`/`reps` scratch.
+    fn verdict_for_scratch<T: Task + ?Sized>(&mut self, kernel: &TaskKernel<'_, T>) -> bool {
         if let Some(&verdict) = self.verdicts.get(self.labels.as_slice()) {
             self.memo_hits += 1;
             return verdict;
@@ -756,5 +811,66 @@ mod tests {
         let mut arena = KnowledgeArena::new();
         let counts = solved_counts(&Model::Blackboard, &LeaderElection, &alpha, 4, &mut arena);
         assert_eq!(counts, vec![2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn u64_tallies_survive_the_62_bit_edge() {
+        // k = 1, t = 62 sits exactly on this engine's k·t ≤ 62 wall: the
+        // root-solving fill exercises `1u64 << (k·d)` at d = 62 — the
+        // largest shift the assert admits — and the top count must be
+        // exactly 2^62, not a wrapped residue. (The quotient engine's
+        // 126-bit twin lives in `engine_dp`.)
+        let alpha = Assignment::private(1);
+        let mut arena = KnowledgeArena::new();
+        let counts = solved_counts(&Model::Blackboard, &LeaderElection, &alpha, 62, &mut arena);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[61], 1u64 << 62);
+    }
+
+    #[test]
+    fn labels_entry_point_shares_the_memo() {
+        // `solves_labels` must agree with `solves` on every realization's
+        // partition and share the same memo entries (no double-computes).
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let task = LeaderElection;
+        let kernel = TaskKernel::closed_form_only(&task);
+        let mut via_ids = SolvabilityMemo::new();
+        let mut via_labels = SolvabilityMemo::new();
+        let mut arena = KnowledgeArena::new();
+        for t in 0..=2usize {
+            for rho in Realization::enumerate_consistent(&alpha, t) {
+                let exec = rsbt_sim::Execution::run(&Model::Blackboard, &rho, &mut arena);
+                let ids = exec.knowledge_at(t);
+                let expected = via_ids.solves(ids, &kernel);
+                // Canonicalize by hand, then ask the labels entry point.
+                let mut labels = Vec::new();
+                let mut seen: Vec<KnowledgeId> = Vec::new();
+                for &id in ids {
+                    match seen.iter().position(|&s| s == id) {
+                        Some(c) => labels.push(c as u8),
+                        None => {
+                            labels.push(seen.len() as u8);
+                            seen.push(id);
+                        }
+                    }
+                }
+                assert_eq!(
+                    via_labels.solves_labels(&labels, &kernel),
+                    expected,
+                    "{rho}"
+                );
+            }
+        }
+        assert_eq!(via_ids.entries(), via_labels.entries());
+        assert!(via_labels.memo_hits() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels not in first-occurrence form")]
+    fn non_canonical_labels_rejected() {
+        let mut memo = SolvabilityMemo::new();
+        let kernel = TaskKernel::closed_form_only(&LeaderElection);
+        // Class 1 appears before class 0 — not first-occurrence canonical.
+        memo.solves_labels(&[1, 0], &kernel);
     }
 }

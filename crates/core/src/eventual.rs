@@ -108,8 +108,9 @@ pub fn lemma_3_2_limit(series: &[f64]) -> LimitClass {
 /// # Panics
 ///
 /// Panics if `alpha.k() · t_max` exceeds
-/// [`crate::probability::MAX_EXACT_BITS`], or on a model/assignment node
-/// mismatch.
+/// [`crate::probability::TREE_EXACT_BITS`] — the search enumerates
+/// realizations leaf by leaf, so the quotient engine's 126-bit budget
+/// does not apply here — or on a model/assignment node mismatch.
 pub fn lemma_3_2_certificate<T: Task + ?Sized>(
     model: &Model,
     task: &T,
@@ -119,7 +120,7 @@ pub fn lemma_3_2_certificate<T: Task + ?Sized>(
     cache: &mut OutputComplexCache,
 ) -> Option<Realization> {
     assert!(
-        alpha.k() * t_max <= crate::probability::MAX_EXACT_BITS,
+        alpha.k() * t_max <= crate::probability::TREE_EXACT_BITS,
         "k*t_max = {} exceeds exact-enumeration budget",
         alpha.k() * t_max
     );

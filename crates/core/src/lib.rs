@@ -20,6 +20,9 @@
 //! * [`engine`] — the prefix-sharing execution-tree enumerator: one round
 //!   of interning per tree node instead of `t` per leaf, solvability
 //!   memoized per consistency partition, monotone subtree pruning;
+//! * [`engine_dp`] — the quotient exact engine: dynamic programming over
+//!   knowledge-equality states (the transposition table), `u128` dyadic
+//!   counts to `k·t ≤ 126`, per-round cost flat in `t`;
 //! * [`probability`] — `Pr[S(t) | α]` exactly (engine traversal over the
 //!   `2^{kt}` source words) and by Monte-Carlo;
 //! * [`eventual`] — the eventual-solvability predicates of Theorems 4.1
@@ -58,6 +61,7 @@ mod bitsliced;
 pub mod bounds;
 pub mod consistency;
 pub mod engine;
+pub mod engine_dp;
 pub mod eventual;
 pub mod evolution;
 pub mod iso_h;

@@ -2,12 +2,16 @@
 //! `t` (Section 3.4).
 //!
 //! Exact values count the `2^{k·t}` positive-probability realizations
-//! (all equiprobable by Lemma B.1) that solve — computed by the
-//! prefix-sharing execution-tree engine ([`crate::engine`]), which does
-//! one round of knowledge construction per *tree node* instead of `t`
-//! rounds per leaf, memoizes solvability per consistency partition, and
-//! prunes solved subtrees wholesale. A Monte-Carlo estimator covers the
-//! regimes where even that is out of reach.
+//! (all equiprobable by Lemma B.1) that solve — computed by the quotient
+//! DP engine ([`crate::engine_dp`]), which folds the execution tree into
+//! a dynamic program over knowledge-equality states, carries counts as
+//! exact `u128` dyadic integers up to `k·t ≤` [`MAX_EXACT_BITS`]` = 126`,
+//! and costs `O(states · 2^k)` per round — flat in `t`. The
+//! prefix-sharing execution-tree engine ([`crate::engine`]) remains the
+//! dispatch fallback for `k >` [`crate::engine_dp::MAX_DP_K`] (where the
+//! DP's per-state `2^k` fan-out is unaffordable) and the reference path
+//! for bit-identity tests. A Monte-Carlo estimator covers the regimes
+//! where even the DP is out of reach.
 
 use rand::rngs::StreamRng;
 use rand::Rng;
@@ -20,6 +24,7 @@ use rsbt_tasks::Task;
 use rsbt_complex::FacetTable;
 
 use crate::engine::{self, SolvabilityMemo, TaskKernel};
+use crate::engine_dp;
 use crate::output_cache::OutputComplexCache;
 use crate::solvability;
 
@@ -30,12 +35,29 @@ pub use crate::bitsliced::{
     monte_carlo_bitsliced_with_stats,
 };
 
-/// Largest `k·t` accepted by the exact enumerator (`2^30` executions —
-/// raised from `2^26` when the prefix-sharing engine replaced leaf-by-leaf
-/// re-simulation; see `DESIGN.md` §4.4 for the complexity accounting).
-pub const MAX_EXACT_BITS: usize = 30;
+/// Largest `k·t` accepted by the exact entry points: the quotient DP
+/// engine carries solved counts as exact dyadic `u128` integers, and 126
+/// bits is the last point where every tally — including the full-tree
+/// mass `2^{k·t}` — stays representable. Raised from 30 (see
+/// [`TREE_EXACT_BITS`]) when the quotient engine
+/// ([`crate::engine_dp`]) replaced tree traversal as the production
+/// exact path; the history is 26 → 30 (prefix-sharing engine, `DESIGN.md`
+/// §4.4) → 126 (knowledge-equality DP, `DESIGN.md` §4.10).
+pub const MAX_EXACT_BITS: usize = 126;
 
-/// Exact `Pr[S(t) | α]` by enumeration.
+/// The previous exact wall: the largest `k·t` the tree-walking paths can
+/// afford (`2^30` executions). Still load-bearing three ways: the
+/// `k > MAX_DP_K` dispatch fallback runs the tree engine, whose cost is
+/// `2^{k·t}` node visits; leaf-by-leaf certificate searches
+/// ([`crate::eventual`]) enumerate realizations outright; and bench
+/// sweeps tag rows past this budget with the `exact-dp` mode so report
+/// consumers can tell which numbers the old engine could not have
+/// produced.
+pub const TREE_EXACT_BITS: usize = 30;
+
+/// Exact `Pr[S(t) | α]`: the integer count of solving realizations over
+/// `2^{k·t}`, computed by the quotient DP / tree-engine dispatch (see
+/// [`MAX_EXACT_BITS`] and `dispatch_series` for the routing).
 ///
 /// # Panics
 ///
@@ -61,10 +83,11 @@ pub fn exact<T: Task + ?Sized>(model: &Model, task: &T, alpha: &Assignment, t: u
 
 /// [`exact`] with a caller-provided [`KnowledgeArena`].
 ///
-/// Interning is content-addressed, so reusing one arena across many
-/// enumeration points (a whole `p(1..t_max)` series, or a sweep worker's
-/// chunk) produces bit-identical probabilities while skipping the
-/// re-interning of shared knowledge prefixes.
+/// The arena matters only on the tree-engine fallback path (`k >`
+/// [`engine_dp::MAX_DP_K`]) and at `t = 0`, where interning is
+/// content-addressed and reuse across points skips re-interning shared
+/// knowledge prefixes; the quotient DP path keeps no knowledge ids.
+/// Results are bit-identical either way.
 ///
 /// # Panics
 ///
@@ -80,8 +103,8 @@ pub fn exact_with_arena<T: Task + ?Sized>(
     if t == 0 {
         return exact_reference(model, task, alpha, 0, arena);
     }
-    let counts = engine::solved_counts(model, task, alpha, t, arena);
-    counts[t - 1] as f64 / (1u64 << (alpha.k() * t)) as f64
+    let counts = dispatch_series(model, task, alpha, t, None, 1, arena);
+    counts[t - 1] as f64 / (1u128 << (alpha.k() * t)) as f64
 }
 
 /// Exact `Pr[S(t) | α]` under a **fixed** [`FaultSchedule`]: counts the
@@ -130,8 +153,8 @@ pub fn exact_faulted_with_arena<T: Task + ?Sized>(
         // No rounds: faults never act, and the all-⊥ partition decides.
         return exact_reference(model, task, alpha, 0, arena);
     }
-    let counts = engine::solved_counts_faulted(model, task, alpha, t, faults, arena);
-    counts[t - 1] as f64 / (1u64 << (alpha.k() * t)) as f64
+    let counts = dispatch_series(model, task, alpha, t, Some(faults), 1, arena);
+    counts[t - 1] as f64 / (1u128 << (alpha.k() * t)) as f64
 }
 
 /// Asserts the shared preconditions of every exact entry point.
@@ -144,6 +167,49 @@ fn check_budget(model: &Model, alpha: &Assignment, t: usize) {
     if let Some(p) = model.ports() {
         assert_eq!(p.n(), alpha.n(), "model/assignment node mismatch");
     }
+}
+
+/// The production dispatch behind every `exact*` entry point: solved
+/// counts per depth from the quotient DP engine
+/// ([`engine_dp::solved_series`] and the faulted twin) whenever its
+/// per-state `2^k` digit fan-out is affordable (`k ≤`
+/// [`engine_dp::MAX_DP_K`]), else from the prefix-sharing tree engine —
+/// whose `u64` tallies additionally require `k·t ≤ 62`. The two are
+/// bit-identical on the overlap (property-tested in [`crate::engine_dp`]
+/// and asserted in-process by the `exp_perf_quotient` bench). `arena` is
+/// consulted only on the tree path (the DP keeps no knowledge ids);
+/// `threads` only on the DP path (tree-path parallelism goes through
+/// [`exact_parallel`]'s subtree sharding instead).
+fn dispatch_series<T: Task + ?Sized>(
+    model: &Model,
+    task: &T,
+    alpha: &Assignment,
+    t_max: usize,
+    faults: Option<&FaultSchedule>,
+    threads: usize,
+    arena: &mut KnowledgeArena,
+) -> Vec<u128> {
+    if alpha.k() <= engine_dp::MAX_DP_K {
+        return match faults {
+            None => engine_dp::solved_series_with_stats(model, task, alpha, t_max, threads).0,
+            Some(f) => {
+                engine_dp::solved_series_faulted_with_stats(model, task, alpha, t_max, f, threads).0
+            }
+        };
+    }
+    assert!(
+        alpha.k() * t_max <= 62,
+        "k = {} exceeds the quotient engine's digit fan-out bound (MAX_DP_K = {}) \
+         and k*t = {} exceeds the tree engine's u64 tallies (62 bits)",
+        alpha.k(),
+        engine_dp::MAX_DP_K,
+        alpha.k() * t_max
+    );
+    let counts = match faults {
+        None => engine::solved_counts(model, task, alpha, t_max, arena),
+        Some(f) => engine::solved_counts_faulted(model, task, alpha, t_max, f, arena),
+    };
+    counts.into_iter().map(u128::from).collect()
 }
 
 /// The pre-engine reference path: leaf-by-leaf re-simulation over
@@ -221,11 +287,11 @@ pub fn exact_series_with_arena<T: Task + ?Sized>(
     arena: &mut KnowledgeArena,
 ) -> Vec<f64> {
     check_budget(model, alpha, t_max);
-    let counts = engine::solved_counts(model, task, alpha, t_max, arena);
+    let counts = dispatch_series(model, task, alpha, t_max, None, 1, arena);
     counts
         .iter()
         .enumerate()
-        .map(|(i, &c)| c as f64 / (1u64 << (alpha.k() * (i + 1))) as f64)
+        .map(|(i, &c)| c as f64 / (1u128 << (alpha.k() * (i + 1))) as f64)
         .collect()
 }
 
@@ -443,15 +509,19 @@ pub fn exact_series_cached<T: Task + ?Sized>(
         .collect()
 }
 
-/// Exact `Pr[S(t) | α]` computed on `threads` OS threads, each with its
-/// own knowledge arena. Produces bit-identical results to [`exact`]
-/// (verified by test); use for the larger sweeps where `2^{kt}` single-
-/// threaded enumeration dominates wall-clock time.
+/// Exact `Pr[S(t) | α]` computed on `threads` OS threads. Produces
+/// bit-identical results to [`exact`] (verified by test); use for the
+/// larger sweeps where single-threaded evaluation dominates wall-clock
+/// time.
 ///
-/// Parallelism is top-level-subtree sharding over the execution tree: the
-/// depth-`D` prefixes (smallest `D` with `2^{k·D} ≥ threads`) are split
-/// into contiguous ranges, each worker runs the prefix-sharing engine on
-/// its range with a private arena/memo
+/// On the quotient-DP path (`k ≤` [`engine_dp::MAX_DP_K`]) the threads
+/// build missing transition rows per round
+/// ([`engine_dp::solved_series_with_stats`]); interning stays serial and
+/// ordered, so the counts are independent of `threads`. On the tree
+/// fallback, parallelism is top-level-subtree sharding over the
+/// execution tree: the depth-`D` prefixes (smallest `D` with `2^{k·D} ≥
+/// threads`) are split into contiguous ranges, each worker runs the
+/// prefix-sharing engine on its range with a private arena/memo
 /// ([`engine::solved_counts_shard`]), and the per-shard tallies are
 /// merged in index order via [`pool::map_with_arena`] — integer counts,
 /// so the merged probability is bit-identical to the serial walk.
@@ -475,6 +545,10 @@ where
         return exact(model, task, alpha, t);
     }
     let k = alpha.k();
+    if k <= engine_dp::MAX_DP_K {
+        let (counts, _) = engine_dp::solved_series_with_stats(model, task, alpha, t, threads);
+        return counts[t - 1] as f64 / (1u128 << (k * t)) as f64;
+    }
     let mut shard_depth = 0;
     while shard_depth < t && (1u64 << (k * shard_depth)) < threads as u64 {
         shard_depth += 1;
@@ -508,7 +582,10 @@ where
         )
     });
     let solved: u64 = shard_counts.iter().map(|counts| counts[t - 1]).sum();
-    solved as f64 / (1u64 << (k * t)) as f64
+    // u128 like every other tally division: the shard engine's own
+    // `k·t ≤ 62` assert keeps `solved` in u64 range, but the denominator
+    // shift must not be the thing that pins the wall.
+    solved as f64 / (1u128 << (k * t)) as f64
 }
 
 /// The largest sample count the estimators accept: counts above `2^53`
@@ -1773,11 +1850,13 @@ mod tests {
 
     #[test]
     fn monte_carlo_beyond_the_exact_wall() {
-        // k·t = 2·31 = 62 > MAX_EXACT_BITS: the exact engine refuses this
-        // point; the estimator covers it. Verify against the closed form
-        // p(t) = 1 − 2^{−t} for sizes [1, m] (singleton vs rest).
-        let alpha = Assignment::from_group_sizes(&[1, 15]).unwrap();
-        let t = 31;
+        // k·t = 4·32 = 128 > MAX_EXACT_BITS = 126: even the quotient
+        // engine's dyadic u128 counts refuse this point; the estimator
+        // covers it. Verify against the closed form for one singleton
+        // source among k: a singleton class exists iff its prefix differs
+        // from every other source's, so p(t) = (1 − 2^{−t})^{k−1}.
+        let alpha = Assignment::from_group_sizes(&[1, 7, 7, 7]).unwrap();
+        let t = 32;
         assert!(alpha.k() * t > MAX_EXACT_BITS);
         let est = monte_carlo_parallel(
             &Model::Blackboard,
@@ -1788,7 +1867,7 @@ mod tests {
             42,
             4,
         );
-        let closed_form = 1.0 - 0.5f64.powi(t as i32);
+        let closed_form = (1.0 - 0.5f64.powi(t as i32)).powi(3);
         assert!(
             est.is_consistent_with(closed_form, 4.0),
             "{est:?} vs {closed_form}"
@@ -1838,9 +1917,46 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds exact-enumeration budget")]
     fn exact_budget_guard() {
-        // k·t = 32 > MAX_EXACT_BITS = 30.
-        let alpha = Assignment::private(8);
+        // k·t = 32·4 = 128 > MAX_EXACT_BITS = 126.
+        let alpha = Assignment::private(32);
         let _ = exact(&Model::Blackboard, &LeaderElection, &alpha, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit fan-out bound")]
+    fn dispatch_rejects_wide_k_past_the_tree_tallies() {
+        // k = 21 > MAX_DP_K routes to the tree engine, whose u64 tallies
+        // stop at k·t = 62; 21·3 = 63 must be refused with a message
+        // naming both limits.
+        let alpha = Assignment::private(21);
+        let _ = exact(&Model::Blackboard, &LeaderElection, &alpha, 3);
+    }
+
+    #[test]
+    fn exact_past_the_tree_wall_matches_the_closed_form() {
+        // k·t = 2·40 = 80: four powers of two past TREE_EXACT_BITS = 30,
+        // unreachable by any tree walk. For sizes [1, m] the closed form
+        // is p(t) = 1 − 2^{−t}, exactly representable in f64 at t = 40,
+        // and the DP's integer counts divide out exactly — so equality is
+        // bitwise, not approximate.
+        let alpha = Assignment::from_group_sizes(&[1, 2]).unwrap();
+        let t = 40;
+        assert!(alpha.k() * t > TREE_EXACT_BITS);
+        let p = exact(&Model::Blackboard, &LeaderElection, &alpha, t);
+        assert_eq!(p.to_bits(), (1.0 - 0.5f64.powi(t as i32)).to_bits());
+        let series = exact_series(&Model::Blackboard, &LeaderElection, &alpha, t);
+        assert_eq!(series[t - 1].to_bits(), p.to_bits());
+    }
+
+    #[test]
+    fn exact_at_the_126_bit_edge() {
+        // k·t = 2·63 = 126: the new wall itself. counts[62] =
+        // 2^126 − 2^63; numerator and denominator are exact u128s whose
+        // ratio rounds to the f64 nearest 1 − 2^{−63}.
+        let alpha = Assignment::private(2);
+        let p = exact(&Model::Blackboard, &LeaderElection, &alpha, 63);
+        let expect = ((1u128 << 126) - (1u128 << 63)) as f64 / (1u128 << 126) as f64;
+        assert_eq!(p.to_bits(), expect.to_bits());
     }
 
     #[test]

@@ -60,6 +60,7 @@
 use rsbt_random::Assignment;
 
 use crate::model::Model;
+use crate::ports::PortNumbering;
 
 /// The packed index of unit pair `(a, b)`, `a < b`, among `units` units:
 /// row-major upper triangle, `a·(2·units − a − 1)/2 + (b − a − 1)`.
@@ -75,6 +76,64 @@ pub fn pair_index(units: usize, a: usize, b: usize) -> usize {
 /// The number of packed unit pairs: `units·(units − 1)/2`.
 pub fn pair_count(units: usize) -> usize {
     units * (units - 1) / 2
+}
+
+/// The fault-free message-passing term lists: for every node pair
+/// `(a, b)` (packed order, see [`pair_index`]), the packed indices `q` of
+/// the port-aligned neighbor pairs `(nbr(a, p), nbr(b, p))`, `p ∈ 1..n`,
+/// whose previous-round equality the update rule
+/// `eq'[a,b] = !(b[a] ^ b[b]) & AND_q eq[q]` consults. Ports with
+/// `nbr(a, p) = nbr(b, p)` contribute nothing and are dropped.
+///
+/// Returns `(terms, offsets)` with `offsets[p]..offsets[p + 1]` indexing
+/// `terms` for pair `p`. Shared ground truth between [`LaneStepper`] and
+/// the quotient exact engine (`rsbt_core::engine_dp`), which evaluates the
+/// same rule on one labeled equality state instead of 64 lanes.
+pub fn aligned_terms(ports: &PortNumbering) -> (Vec<u32>, Vec<u32>) {
+    let n = ports.n();
+    let mut terms = Vec::new();
+    let mut offsets = Vec::with_capacity(pair_count(n) + 1);
+    offsets.push(0u32);
+    for a in 0..n {
+        for b in a + 1..n {
+            for p in 1..n {
+                let (x, y) = (ports.neighbor(a, p), ports.neighbor(b, p));
+                if x != y {
+                    terms.push(pair_index(n, x.min(y), x.max(y)) as u32);
+                }
+            }
+            offsets.push(terms.len() as u32);
+        }
+    }
+    (terms, offsets)
+}
+
+/// The faulted message-passing term lists: like [`aligned_terms`], but
+/// each term keeps its sender pair `(x, y)` alongside the packed pair
+/// index `q` — the faulted rule needs the senders' silence status
+/// (`!(S[x] ^ S[y]) & (S[x] | eq[q])`), not just the previous equality.
+///
+/// Returns `(terms, offsets)` with entries `[q, x, y]`.
+pub fn aligned_fault_terms(ports: &PortNumbering) -> (Vec<[u32; 3]>, Vec<u32>) {
+    let n = ports.n();
+    let mut terms: Vec<[u32; 3]> = Vec::new();
+    let mut offsets = Vec::with_capacity(pair_count(n) + 1);
+    offsets.push(0u32);
+    for a in 0..n {
+        for b in a + 1..n {
+            for p in 1..n {
+                let (x, y) = (ports.neighbor(a, p), ports.neighbor(b, p));
+                // x == y: both receivers hold the same slot value
+                // (knowledge or hole) — no constraint.
+                if x != y {
+                    let q = pair_index(n, x.min(y), x.max(y));
+                    terms.push([q as u32, x as u32, y as u32]);
+                }
+            }
+            offsets.push(terms.len() as u32);
+        }
+    }
+    (terms, offsets)
 }
 
 /// Pairwise knowledge-equality words for 64 samples at once.
@@ -153,23 +212,9 @@ impl LaneStepper {
         let (terms, term_offsets, next) = match model {
             Model::Blackboard => (Vec::new(), Vec::new(), Vec::new()),
             Model::MessagePassing(ports) => {
-                let mut terms = Vec::new();
-                let mut offsets = Vec::with_capacity(pairs + 1);
-                offsets.push(0u32);
-                for a in 0..units {
-                    for b in a + 1..units {
-                        // Port-aligned neighbor pairs whose previous-round
-                        // equality the rule must consult.
-                        for p in 1..n {
-                            let (x, y) = (ports.neighbor(a, p), ports.neighbor(b, p));
-                            if x != y {
-                                let q = pair_index(units, x.min(y), x.max(y));
-                                terms.push(q as u32);
-                            }
-                        }
-                        offsets.push(terms.len() as u32);
-                    }
-                }
+                // Port-aligned neighbor pairs whose previous-round
+                // equality the rule must consult.
+                let (terms, offsets) = aligned_terms(ports);
                 (terms, offsets, vec![0u64; pairs])
             }
         };
@@ -214,23 +259,7 @@ impl LaneStepper {
         let (fault_terms, term_offsets, next) = match model {
             Model::Blackboard => (Vec::new(), Vec::new(), Vec::new()),
             Model::MessagePassing(ports) => {
-                let mut terms: Vec<[u32; 3]> = Vec::new();
-                let mut offsets = Vec::with_capacity(pairs + 1);
-                offsets.push(0u32);
-                for a in 0..units {
-                    for b in a + 1..units {
-                        for p in 1..n {
-                            let (x, y) = (ports.neighbor(a, p), ports.neighbor(b, p));
-                            // x == y: both receivers hold the same slot
-                            // value (knowledge or hole) — no constraint.
-                            if x != y {
-                                let q = pair_index(units, x.min(y), x.max(y));
-                                terms.push([q as u32, x as u32, y as u32]);
-                            }
-                        }
-                        offsets.push(terms.len() as u32);
-                    }
-                }
+                let (terms, offsets) = aligned_fault_terms(ports);
                 (terms, offsets, vec![0u64; pairs])
             }
         };
@@ -268,6 +297,33 @@ impl LaneStepper {
     /// Resets every lane to the initial all-equal state.
     pub fn reset(&mut self) {
         self.eq.fill(u64::MAX);
+    }
+
+    /// Loads the same labeled equality state into **every** lane:
+    /// `labels[u]` is unit `u`'s class tag (equal tag ⟺ equal knowledge),
+    /// exactly the state representation of the quotient exact engine.
+    /// Subsequent steps then evolve 64 copies of that state in lockstep —
+    /// the cross-check harness for one-step transitions from arbitrary
+    /// mid-execution states (not just the initial all-equal one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != units()`.
+    pub fn load_relation(&mut self, labels: &[u8]) {
+        assert_eq!(
+            labels.len(),
+            self.units,
+            "state is over {} units, stepper over {}",
+            labels.len(),
+            self.units
+        );
+        let mut p = 0;
+        for a in 0..self.units {
+            for b in a + 1..self.units {
+                self.eq[p] = if labels[a] == labels[b] { u64::MAX } else { 0 };
+                p += 1;
+            }
+        }
     }
 
     /// Advances every lane by one round. `source_bits(s)` must return the

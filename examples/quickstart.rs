@@ -52,7 +52,15 @@ fn main() {
     }
     println!();
 
-    // 5. The eventual-solvability predicates of Theorems 4.1 and 4.2.
+    // 5. Exact answers far past the old enumeration wall: k·t = 2·40
+    //    means 2^80 realizations, but the quotient engine (DESIGN.md
+    //    §4.10) folds them onto a handful of knowledge-equality states
+    //    and answers exactly, in microseconds.
+    let p = probability::exact(&Model::Blackboard, &LeaderElection, &alpha, 40);
+    assert_eq!(p, 1.0 - 0.5f64.powi(40));
+    println!("\nPr[S(40) | [1,2]] = {p} (exact; 2^80 realizations, quotiented)");
+
+    // 6. The eventual-solvability predicates of Theorems 4.1 and 4.2.
     for sizes in [vec![1usize, 2], vec![2, 2], vec![2, 3]] {
         let alpha = Assignment::from_group_sizes(&sizes).unwrap();
         println!(
