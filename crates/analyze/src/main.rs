@@ -1,0 +1,146 @@
+//! The `rsbt-analyze` binary: runs both analysis layers and gates CI.
+//!
+//! ```text
+//! rsbt-analyze [--root <dir>] [--ci] [--json <path>] [--update-ratchet]
+//! ```
+//!
+//! * `--root <dir>` — workspace root (default: the current directory).
+//! * `--ci` — CI mode: always write the findings artifact
+//!   (`ANALYZE_FINDINGS.json` under the root) before exiting, so a
+//!   failing gate still uploads its evidence.
+//! * `--json <path>` — write the findings artifact to an explicit path.
+//! * `--update-ratchet` — rewrite `ANALYZE_BASELINE.json` with the
+//!   measured ratchet counts instead of comparing against it.
+//!
+//! Exit status: 0 when no findings, 1 on findings, 2 on usage or I/O
+//! errors.
+
+#![deny(deprecated)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rsbt_analyze::{analyze, findings_json, Analysis, Options};
+
+/// The default findings-artifact name (written under the root in CI
+/// mode). Git-ignored; CI uploads it on failure.
+const FINDINGS_FILE: &str = "ANALYZE_FINDINGS.json";
+
+struct Cli {
+    root: PathBuf,
+    ci: bool,
+    json: Option<PathBuf>,
+    update_ratchet: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        ci: false,
+        json: None,
+        update_ratchet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                cli.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--ci" => cli.ci = true,
+            "--json" => {
+                cli.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--update-ratchet" => cli.update_ratchet = true,
+            "--help" | "-h" => {
+                return Err("usage: rsbt-analyze [--root <dir>] [--ci] [--json <path>] \
+                            [--update-ratchet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if !cli.root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "'{}' does not look like the workspace root (no Cargo.toml)",
+            cli.root.display()
+        ));
+    }
+    Ok(cli)
+}
+
+fn render(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let s = &analysis.stats;
+    out.push_str("=== rsbt-analyze ===\n");
+    out.push_str(&format!(
+        "layer 1: {} source files scanned, {} occurrences suppressed by allow directives\n",
+        s.files_scanned, s.suppressed
+    ));
+    out.push_str(&format!(
+        "layer 2: {} plans verified ({} grid points without a lowering), \
+         {} protocols x {} projections, {} baselines / {} sweep rows audited\n",
+        s.plans_verified,
+        s.plans_skipped,
+        s.protocols_checked,
+        s.projections_checked,
+        s.baselines_audited,
+        s.rows_audited
+    ));
+    if !analysis.notes.is_empty() {
+        out.push_str("\nnotes (non-fatal):\n");
+        for note in &analysis.notes {
+            out.push_str(&format!("  {note}\n"));
+        }
+    }
+    if analysis.findings.is_empty() {
+        out.push_str("\nno findings\n");
+    } else {
+        out.push_str(&format!("\n{} finding(s):\n", analysis.findings.len()));
+        for finding in &analysis.findings {
+            out.push_str(&format!("  {finding}\n"));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match analyze(
+        &cli.root,
+        Options {
+            update_ratchet: cli.update_ratchet,
+        },
+    ) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("rsbt-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render(&analysis));
+
+    let artifact = cli
+        .json
+        .clone()
+        .or_else(|| cli.ci.then(|| cli.root.join(FINDINGS_FILE)));
+    if let Some(path) = artifact {
+        if let Err(e) = std::fs::write(&path, findings_json(&analysis).to_pretty_string()) {
+            eprintln!("rsbt-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("findings artifact: {}", path.display());
+    }
+
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

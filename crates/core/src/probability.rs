@@ -550,7 +550,9 @@ where
         return counts[t - 1] as f64 / (1u128 << (k * t)) as f64;
     }
     let mut shard_depth = 0;
-    while shard_depth < t && (1u64 << (k * shard_depth)) < threads as u64 {
+    // u128: `check_budget` bounds `k * t` (and so `k * shard_depth`) only
+    // to the 126-bit DP budget, past the 64-bit shift range.
+    while shard_depth < t && (1u128 << (k * shard_depth)) < threads as u128 {
         shard_depth += 1;
     }
     let prefixes: u64 = 1 << (k * shard_depth);

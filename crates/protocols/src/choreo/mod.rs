@@ -43,7 +43,7 @@ pub use machine::{
     PortMachine, PortRole, View,
 };
 pub use protocols::{
-    consensus_choreo, consensus_shared_solver, BleChoreo, BleRole, DeputyChoreo, DeputyElectRole,
-    EuclidChoreo, EuclidRole, KLeaderChoreo, KLeaderRole, MatchingChoreo, MatchingRole,
-    ReductionChoreo, ReductionRole, SharedSolver, WsbChoreo, WsbRole,
+    consensus_choreo, consensus_shared_solver, registered_globals, BleChoreo, BleRole,
+    DeputyChoreo, DeputyElectRole, EuclidChoreo, EuclidRole, KLeaderChoreo, KLeaderRole,
+    MatchingChoreo, MatchingRole, ReductionChoreo, ReductionRole, SharedSolver, WsbChoreo, WsbRole,
 };

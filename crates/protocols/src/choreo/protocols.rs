@@ -1221,3 +1221,65 @@ where
         consensus_shared_solver(),
     )
 }
+
+/// Every global protocol registered on the choreography layer, one entry
+/// per distinct [`GlobalProtocol`] description.
+///
+/// This is the enumeration hook for ahead-of-time analysis
+/// (`rsbt-analyze`'s projection checker exhaustively projects each entry
+/// across both model classes and an `n`-range): a choreography whose
+/// global description is not returned here is invisible to the static
+/// pass, so new protocols must be added to this list. Parameterized
+/// choreographies contribute one representative — their `global()` does
+/// not depend on the parameters (only `node()` does).
+pub fn registered_globals() -> Vec<GlobalProtocol> {
+    vec![
+        BleChoreo.global(),
+        WsbChoreo.global(),
+        KLeaderChoreo { k: 2 }.global(),
+        DeputyChoreo.global(),
+        EuclidChoreo { k: 2 }.global(),
+        MatchingChoreo { a: 1, b: 1 }.global(),
+        consensus_choreo(BleChoreo, Vec::new()).global(),
+    ]
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_distinct_and_validate() {
+        let globals = registered_globals();
+        assert_eq!(globals.len(), 7);
+        for (i, g) in globals.iter().enumerate() {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));
+            assert!(
+                globals[..i].iter().all(|h| h.name != g.name),
+                "duplicate global name {}",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn registry_globals_match_choreography_accessors() {
+        // The representative instances must return the very description a
+        // backend would project: same name, model class, phase count.
+        let from_registry = registered_globals();
+        let direct = [
+            BleChoreo.global(),
+            WsbChoreo.global(),
+            KLeaderChoreo { k: 3 }.global(),
+            DeputyChoreo.global(),
+            EuclidChoreo { k: 3 }.global(),
+            MatchingChoreo { a: 2, b: 3 }.global(),
+            consensus_choreo(BleChoreo, vec![7, 7]).global(),
+        ];
+        for (r, d) in from_registry.iter().zip(direct.iter()) {
+            assert_eq!(r.name, d.name);
+            assert_eq!(r.model, d.model);
+            assert_eq!(r.phases.len(), d.phases.len());
+        }
+    }
+}

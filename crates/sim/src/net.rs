@@ -351,6 +351,7 @@ fn accept_nodes(
     timeout: Option<Duration>,
 ) -> Result<Vec<TcpStream>, NetError> {
     listener.set_nonblocking(true)?;
+    // rsbt-analyze: allow(RSBT-L003): socket handshake deadline, not result data
     let deadline = timeout.map(|t| Instant::now() + t);
     let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
     let mut accepted = 0;
@@ -378,6 +379,7 @@ fn accept_nodes(
                 accepted += 1;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // rsbt-analyze: allow(RSBT-L003): deadline poll on the accept loop
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     return Err(NetError::Timeout("node handshake"));
                 }
@@ -651,6 +653,7 @@ fn accept_nodes_ft(
     ft: &FtConfig,
 ) -> Result<Vec<Option<TcpStream>>, NetError> {
     listener.set_nonblocking(true)?;
+    // rsbt-analyze: allow(RSBT-L003): fault-tolerant handshake deadline
     let deadline = Instant::now() + ft.handshake_timeout;
     let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
     let mut accepted = 0;
@@ -680,6 +683,7 @@ fn accept_nodes_ft(
                 accepted += 1;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // rsbt-analyze: allow(RSBT-L003): deadline poll on the accept loop
                 if Instant::now() >= deadline {
                     break;
                 }

@@ -211,8 +211,17 @@ impl Task for LeaderAndDeputy {
             }
         }
         let mut b = PlanBuilder::new(units);
+        // Only units that can actually appear in a (leader, deputy) pair
+        // get a singleton register: a lead-capable unit with no
+        // deputy-capable partner (or vice versa) would compute a value the
+        // pair loop never reads, and the static plan verifier flags such
+        // dead ops.
+        let paired = |u: usize| -> bool {
+            let partner = |cap: &[bool]| (0..units).any(|v| v != u && w[v] == 1 && cap[v]);
+            w[u] == 1 && ((lead[u] && partner(&deputy)) || (deputy[u] && partner(&lead)))
+        };
         let mut alone = vec![0u16; units];
-        for u in (0..units).filter(|&u| w[u] == 1 && (lead[u] || deputy[u])) {
+        for u in (0..units).filter(|&u| paired(u)) {
             let r = b.reg();
             b.ones(r);
             for v in (0..units).filter(|&v| v != u) {
@@ -243,6 +252,22 @@ mod tests {
             assert_eq!(t.output_complex(n).facet_count(), n * (n - 1));
             assert!(t.is_symmetric_for(n));
         }
+    }
+
+    #[test]
+    fn unpaired_singleton_units_compile_to_nothing() {
+        // One weight-1 unit among weight-2 units: no (leader, deputy)
+        // pair of singletons is ever possible, so the plan must be the
+        // empty constant-false program — not dead singleton computations.
+        let t = LeaderAndDeputy::unconstrained(3);
+        let plan = t.lane_plan(&[0, 1, 1], 2).unwrap();
+        assert!(plan.is_empty(), "expected no ops, got {}", plan.len());
+        assert_eq!(plan.eval(&[0], &mut Vec::new()), 0);
+        // A lead-capable singleton whose only deputy-capable peers sit on
+        // a weight-2 unit likewise contributes nothing.
+        let t = LeaderAndDeputy::new(vec![true, false, false], vec![false, true, true]);
+        let plan = t.lane_plan(&[0, 1, 1], 2).unwrap();
+        assert!(plan.is_empty(), "expected no ops, got {}", plan.len());
     }
 
     #[test]

@@ -50,6 +50,6 @@ mod wsb;
 pub use crate::deputy::LeaderAndDeputy;
 pub use crate::k_leader::KLeaderElection;
 pub use crate::leader::{LeaderElection, DEFEATED, LEADER};
-pub use crate::plan::{pair_count, pair_index, VerdictPlan};
+pub use crate::plan::{pair_count, pair_index, PlanOp, VerdictPlan};
 pub use crate::task::{FacetStream, Task};
 pub use crate::wsb::WeakSymmetryBreaking;

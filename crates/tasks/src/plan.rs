@@ -54,6 +54,55 @@ enum Op {
     OrAnd { dst: u16, a: u16, b: u16 },
 }
 
+/// The introspection view of one plan instruction, mirroring the private
+/// op encoding one-for-one. `rsbt-analyze`'s abstract interpreter walks
+/// plans through this view ([`VerdictPlan::ops`]) and rebuilds corrupted
+/// plans for its rejection tests ([`VerdictPlan::from_raw_ops`]); the
+/// execution path never touches it.
+///
+/// Every op is monotone non-decreasing in the pairwise *distinction*
+/// inputs `!eq[pair]` — the structural fact behind the verifier's
+/// refinement-monotonicity argument. A new op kind added here must keep
+/// that property or the static verifier will reject every plan using it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanOp {
+    /// `regs[dst] = !0`.
+    Ones {
+        /// Destination register.
+        dst: u16,
+    },
+    /// `regs[dst] &= !eq[pair]`.
+    AndNotEq {
+        /// Destination register (read-modify-write).
+        dst: u16,
+        /// Packed pair index (see [`pair_index`]).
+        pair: u32,
+    },
+    /// `regs[dst] |= !eq[pair]`.
+    OrNotEq {
+        /// Destination register (read-modify-write).
+        dst: u16,
+        /// Packed pair index (see [`pair_index`]).
+        pair: u32,
+    },
+    /// `regs[dst] |= regs[src]`.
+    Or {
+        /// Destination register (read-modify-write).
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// `regs[dst] |= regs[a] & regs[b]`.
+    OrAnd {
+        /// Destination register (read-modify-write).
+        dst: u16,
+        /// First source register.
+        a: u16,
+        /// Second source register.
+        b: u16,
+    },
+}
+
 /// A compiled lane-parallel solvability verdict (see the module docs).
 ///
 /// Built by [`crate::Task::lane_plan`]; evaluated once per 64-sample
@@ -69,6 +118,52 @@ impl VerdictPlan {
     /// The unit count the plan was compiled for.
     pub fn units(&self) -> usize {
         self.units
+    }
+
+    /// The size of the plan's register file (register 0 is the verdict).
+    pub fn regs(&self) -> usize {
+        self.regs
+    }
+
+    /// The op budget compilation refuses to exceed — the bound the static
+    /// verifier re-checks on every built plan.
+    pub fn max_ops() -> usize {
+        MAX_PLAN_OPS
+    }
+
+    /// The instruction stream as introspection ops, in execution order.
+    pub fn ops(&self) -> impl Iterator<Item = PlanOp> + '_ {
+        self.ops.iter().map(|op| match *op {
+            Op::Ones { dst } => PlanOp::Ones { dst },
+            Op::AndNotEq { dst, pair } => PlanOp::AndNotEq { dst, pair },
+            Op::OrNotEq { dst, pair } => PlanOp::OrNotEq { dst, pair },
+            Op::Or { dst, src } => PlanOp::Or { dst, src },
+            Op::OrAnd { dst, a, b } => PlanOp::OrAnd { dst, a, b },
+        })
+    }
+
+    /// Assembles a plan from raw introspection ops, bypassing the task
+    /// lowerings and every builder invariant.
+    ///
+    /// This is an analysis/testing hook: `rsbt-analyze` uses it to build
+    /// deliberately corrupted plans and prove its verifier rejects them.
+    /// Nothing validates the ops — evaluating a plan with out-of-range
+    /// registers or pair indices panics.
+    pub fn from_raw_ops(units: usize, regs: usize, ops: &[PlanOp]) -> VerdictPlan {
+        VerdictPlan {
+            units,
+            regs,
+            ops: ops
+                .iter()
+                .map(|op| match *op {
+                    PlanOp::Ones { dst } => Op::Ones { dst },
+                    PlanOp::AndNotEq { dst, pair } => Op::AndNotEq { dst, pair },
+                    PlanOp::OrNotEq { dst, pair } => Op::OrNotEq { dst, pair },
+                    PlanOp::Or { dst, src } => Op::Or { dst, src },
+                    PlanOp::OrAnd { dst, a, b } => Op::OrAnd { dst, a, b },
+                })
+                .collect(),
+        }
     }
 
     /// The number of straight-line ops (diagnostics only).
@@ -308,6 +403,21 @@ mod tests {
         assert!(KLeaderElection::new(2)
             .lane_plan(&unit_of_node, 32)
             .is_none());
+    }
+
+    #[test]
+    fn introspection_roundtrips_through_raw_ops() {
+        let unit_of_node: Vec<usize> = (0..5).collect();
+        let plan = KLeaderElection::new(2).lane_plan(&unit_of_node, 5).unwrap();
+        let ops: Vec<PlanOp> = plan.ops().collect();
+        assert_eq!(ops.len(), plan.len());
+        assert!(plan.regs() >= 1 && plan.len() <= VerdictPlan::max_ops());
+        let rebuilt = VerdictPlan::from_raw_ops(plan.units(), plan.regs(), &ops);
+        let lanes = random_lanes(5, 77);
+        let eq = eq_words_from_labels(&lanes, 5);
+        let mut regs = Vec::new();
+        let want = plan.eval(&eq, &mut regs);
+        assert_eq!(rebuilt.eval(&eq, &mut regs), want);
     }
 
     #[test]

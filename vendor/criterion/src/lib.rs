@@ -16,6 +16,7 @@
 //!
 //! [`criterion`]: https://docs.rs/criterion/0.5
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

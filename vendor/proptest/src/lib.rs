@@ -20,6 +20,7 @@
 //!
 //! [`proptest`]: https://docs.rs/proptest/1
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

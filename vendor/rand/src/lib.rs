@@ -23,6 +23,7 @@
 //!
 //! [`rand`]: https://docs.rs/rand/0.8
 
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
